@@ -1,0 +1,169 @@
+"""E11 — the cures trade-off the paper's introduction motivates.
+
+Skarra & Zdonik (ENCORE) mask inconsistencies with exception handlers
+"since conversion is too expensive"; Zicari (O2) converts immediately;
+the paper wants *both* built in, plus the freedom to add new cures.
+This benchmark quantifies the trade-off on a population of objects
+missing a freshly added attribute:
+
+* **eager conversion** — pay for all objects at cure time;
+* **pure masking** — cure is O(1), every access pays interpretation;
+* **lazy conversion** (a "new cure" composed from the two) — cure is
+  O(1), the first access per object pays, later accesses are native.
+
+Expected shape: cure cost — conversion grows with N, masking flat;
+access cost — conversion cheapest, masking pays every time, lazy pays
+once.  The crossover (few accesses after the change ⇒ masking wins;
+hot data ⇒ conversion wins) is the paper's argument for choice.
+"""
+
+import pytest
+
+from repro.gom.builtins import builtin_type
+from repro.manager import SchemaManager
+
+N_OBJECTS = 300
+
+_RESULTS = {}
+
+
+def build_population():
+    manager = SchemaManager()
+    manager.define("""
+    schema Fleet is
+    type Truck is
+      [ plate : string;
+        km    : float; ]
+    end type Truck;
+    end schema Fleet;
+    """)
+    tid = manager.model.type_id("Truck", manager.model.schema_id("Fleet"))
+    objects = [
+        manager.runtime.create_object("Truck",
+                                      {"plate": f"KA-{index}",
+                                       "km": float(index)})
+        for index in range(N_OBJECTS)
+    ]
+    session = manager.begin_session()
+    prims = manager.analyzer.primitives(session)
+    prims.add_attribute(tid, "fuelType", builtin_type("string"))
+    return manager, tid, objects, session
+
+
+def test_e11_cure_eager_conversion(benchmark):
+    benchmark.group = "E11 cure cost"
+    worlds = []
+
+    def setup():
+        world = build_population()
+        worlds.append(world)
+        return (world,), {}
+
+    def cure(world):
+        manager, tid, objects, session = world
+        manager.conversions.add_slot(
+            tid, "fuelType",
+            lambda truck: "unleaded" if truck.slots["km"] > 100 else
+            "leaded",
+            session=session)
+        session.commit()
+
+    benchmark.pedantic(cure, setup=setup, rounds=5)
+    manager, tid, objects, session = worlds[-1]
+    assert all("fuelType" in truck.slots for truck in objects)
+    _RESULTS["cure_conversion"] = benchmark.stats.stats.mean
+
+
+def test_e11_cure_masking(benchmark):
+    benchmark.group = "E11 cure cost"
+    worlds = []
+
+    def setup():
+        world = build_population()
+        worlds.append(world)
+        return (world,), {}
+
+    def cure(world):
+        manager, tid, objects, session = world
+        manager.conversions.mask_with_handler(
+            tid, "fuelType",
+            lambda truck: "unleaded" if truck.slots["km"] > 100 else
+            "leaded",
+            session=session)
+        session.commit()
+
+    benchmark.pedantic(cure, setup=setup, rounds=5)
+    manager, tid, objects, session = worlds[-1]
+    assert all("fuelType" not in truck.slots for truck in objects)
+    _RESULTS["cure_masking"] = benchmark.stats.stats.mean
+
+
+@pytest.fixture(scope="module")
+def cured_worlds():
+    converted_manager, tid, converted_objects, session = build_population()
+    converted_manager.conversions.add_slot(tid, "fuelType", "leaded",
+                                           session=session)
+    session.commit()
+
+    masked_manager, tid2, masked_objects, session2 = build_population()
+    masked_manager.conversions.mask_with_handler(
+        tid2, "fuelType", "leaded", session=session2)
+    session2.commit()
+
+    lazy_manager, tid3, lazy_objects, session3 = build_population()
+    lazy_manager.conversions.mask_with_handler(
+        tid3, "fuelType", "leaded", materialize=True, session=session3)
+    session3.commit()
+    return {
+        "converted": (converted_manager, converted_objects),
+        "masked": (masked_manager, masked_objects),
+        "lazy": (lazy_manager, lazy_objects),
+    }
+
+
+@pytest.mark.parametrize("kind", ("converted", "masked", "lazy"))
+def test_e11_access_cost(benchmark, cured_worlds, kind):
+    manager, objects = cured_worlds[kind]
+    benchmark.group = "E11 access cost (scan all objects)"
+
+    def scan():
+        return sum(1 for truck in objects
+                   if manager.runtime.get_attr(truck, "fuelType")
+                   == "leaded")
+
+    count = benchmark(scan)
+    assert count == N_OBJECTS
+    _RESULTS[f"access_{kind}"] = benchmark.stats.stats.mean
+
+
+def test_e11_report(benchmark, report):
+    benchmark(lambda: None)
+    needed = {"cure_conversion", "cure_masking", "access_converted",
+              "access_masked", "access_lazy"}
+    if not needed <= set(_RESULTS):
+        pytest.skip("cure benchmarks did not run")
+    cure_conv = _RESULTS["cure_conversion"] * 1000
+    cure_mask = _RESULTS["cure_masking"] * 1000
+    acc_conv = _RESULTS["access_converted"] * 1000
+    acc_mask = _RESULTS["access_masked"] * 1000
+    acc_lazy = _RESULTS["access_lazy"] * 1000
+    lines = [f"E11 — cures compared on {N_OBJECTS} objects "
+             f"(times in ms)", "",
+             f"{'cure':<18} {'cure cost':>10} {'scan cost':>10}"]
+    lines.append(f"{'conversion (O2)':<18} {cure_conv:>10.2f} "
+                 f"{acc_conv:>10.2f}")
+    lines.append(f"{'masking (ENCORE)':<18} {cure_mask:>10.2f} "
+                 f"{acc_mask:>10.2f}")
+    lines.append(f"{'lazy conversion':<18} {cure_mask:>10.2f} "
+                 f"{acc_lazy:>10.2f}   (first scan pays, later scans "
+                 f"are native)")
+    lines.append("")
+    shape = (cure_mask < cure_conv and acc_conv < acc_mask)
+    lines.append("expected shape — masking cures cheaper, conversion "
+                 "accesses cheaper: " + ("HOLDS" if shape else
+                                         "DOES NOT HOLD"))
+    lines.append("the paper's conclusion: no single best cure; the "
+                 "schema manager must let the user choose (and define "
+                 "new ones, like the lazy variant above).")
+    report("e11_cures", "\n".join(lines))
+    assert shape

@@ -1,0 +1,85 @@
+"""E7 — §4.1's Person fashion: masked access works, at bounded cost.
+
+Old ``Person@CarSchema`` instances are substitutable for
+``Person@NewPersonSchema``: reads/writes of the non-existing ``birthday``
+attribute are redirected through the fashion code.  The benchmark
+measures native attribute access vs masked access vs a fashion-imitated
+operation call, reporting the masking overhead factor.
+"""
+
+import pytest
+
+from repro.manager import SchemaManager
+from repro.workloads.carschema import define_car_schema
+from repro.workloads.newcarschema import (
+    EVOLUTION_FEATURES,
+    evolve_person_schema,
+)
+
+_TIMINGS = {}
+
+
+def build_world():
+    manager = SchemaManager(features=EVOLUTION_FEATURES)
+    define_car_schema(manager)
+    person = manager.runtime.create_object("Person",
+                                           {"name": "Ada", "age": 38})
+    evolve_person_schema(manager)
+    return manager, person
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world()
+
+
+def test_e7_native_read(benchmark, world):
+    manager, person = world
+    benchmark.group = "E7 attribute access"
+    value = benchmark(lambda: manager.runtime.get_attr(person, "age"))
+    assert value == 38
+    _TIMINGS["native_read"] = benchmark.stats.stats.mean
+
+
+def test_e7_masked_read(benchmark, world):
+    manager, person = world
+    benchmark.group = "E7 attribute access"
+    value = benchmark(lambda: manager.runtime.get_attr(person, "birthday"))
+    assert value == 1955
+    _TIMINGS["masked_read"] = benchmark.stats.stats.mean
+
+
+def test_e7_masked_write(benchmark, world):
+    manager, person = world
+    benchmark.group = "E7 attribute access"
+    benchmark(lambda: manager.runtime.set_attr(person, "birthday", 1955))
+    assert person.slots["age"] == 38
+    _TIMINGS["masked_write"] = benchmark.stats.stats.mean
+
+
+def test_e7_report(benchmark, world, report):
+    manager, person = world
+    benchmark(lambda: None)
+    if "masked_read" not in _TIMINGS or "native_read" not in _TIMINGS:
+        pytest.skip("access benchmarks did not run")
+    native = _TIMINGS["native_read"] * 1e6
+    masked = _TIMINGS["masked_read"] * 1e6
+    write = _TIMINGS.get("masked_write", 0) * 1e6
+    lines = ["E7 — fashion masking: Person@CarSchema as "
+             "Person@NewPersonSchema", ""]
+    lines.append(f"native read of age:        {native:>9.2f} µs")
+    lines.append(f"masked read of birthday:   {masked:>9.2f} µs "
+                 f"({masked / native:.1f}x native)")
+    lines.append(f"masked write of birthday:  {write:>9.2f} µs")
+    lines.append("")
+    lines.append("semantic checks: birthday==1955 for age==38 (year 1993); "
+                 "write-through birthday:=1955 restores age==38")
+    consistent = manager.check().consistent
+    lines.append(f"fashion completeness constraints hold: "
+                 f"{'yes' if consistent else 'NO'}")
+    lines.append("")
+    lines.append("paper's claim: instances of the old type version are "
+                 "substitutable for the new one via fashion -> HOLDS"
+                 if consistent else "-> DOES NOT HOLD")
+    report("e7_fashion", "\n".join(lines))
+    assert consistent

@@ -1,0 +1,68 @@
+"""E9 — the constraint catalogue under seeded inconsistencies.
+
+For each class of inconsistency (dangling reference, duplicate name,
+subtype cycle, missing code, broken refinement), measure detection via
+the incremental EES check plus repair generation, and verify the
+expected constraint fires and offers repairs.  This exercises the
+"advanced user support" goal: detailed violations, never a bare yes/no.
+"""
+
+import random
+
+import pytest
+
+from repro.manager import SchemaManager
+from repro.workloads.synthetic import generate_schema, seeded_violation
+
+KINDS = (
+    ("dangling_domain", "ref_Attr_domain_Type"),
+    ("duplicate_type_name", "type_name_unique"),
+    ("subtype_cycle", "subtype_acyclic"),
+    ("missing_code", "decl_has_code"),
+    ("bad_refinement", "refine_same_name"),
+)
+
+_SUMMARY = []
+
+
+@pytest.mark.parametrize("kind,expected", KINDS)
+def test_e9_detect_and_repair(benchmark, kind, expected):
+    manager = SchemaManager()
+    schema = generate_schema(manager, 60, seed=3)
+    manager.model.db.materialize()
+    benchmark.group = "E9 detect+repair"
+
+    def scenario():
+        session = manager.begin_session()
+        seeded_violation(schema, session, random.Random(5), kind)
+        check = session.check()
+        repairs = [session.repairs(violation)
+                   for violation in check.violations[:3]]
+        session.rollback()
+        return check, repairs
+
+    check, repairs = benchmark(scenario)
+    names = {violation.constraint.name for violation in check.violations}
+    assert expected in names, (kind, names)
+    assert any(repair_list for repair_list in repairs)
+    _SUMMARY.append((kind, expected, len(check.violations),
+                     sum(len(r) for r in repairs),
+                     benchmark.stats.stats.mean * 1000))
+
+
+def test_e9_report(benchmark, report):
+    benchmark(lambda: None)
+    if len(_SUMMARY) < len(KINDS):
+        pytest.skip("catalogue benchmarks did not run")
+    lines = ["E9 — constraint catalogue: detection + repair generation "
+             "(60-type schema)", "",
+             f"{'inconsistency':<22} {'constraint fired':<26} "
+             f"{'violations':>10} {'repairs':>8} {'ms':>8}"]
+    for kind, expected, n_violations, n_repairs, ms in _SUMMARY:
+        lines.append(f"{kind:<22} {expected:<26} {n_violations:>10} "
+                     f"{n_repairs:>8} {ms:>8.2f}")
+    lines.append("")
+    lines.append("every seeded inconsistency is detected by the expected "
+                 "declarative constraint, with repairs generated — "
+                 "no 'stupid yes/no' answers (paper §2.1) -> HOLDS")
+    report("e9_constraint_catalogue", "\n".join(lines))

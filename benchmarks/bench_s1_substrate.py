@@ -1,0 +1,115 @@
+"""S1 — substrate validation: the deductive database's own costs.
+
+Not a paper artifact, but the foundation every experiment stands on:
+materialization (stratified semi-naive with full provenance),
+incremental maintenance after single-fact deltas, and indexed pattern
+matching, across growing transitive-closure workloads.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog.engine import DeductiveDatabase
+from repro.datalog.facts import PredicateDecl
+from repro.datalog.parser import parse_rules
+from repro.datalog.terms import Atom, Variable
+
+SIZES = (80, 160)
+
+_RESULTS = {}
+
+
+def chain_db(n_nodes, extra_random=0, seed=0):
+    """A chain 0 -> 1 -> … -> n plus optional random forward edges
+    (forward-only keeps the closure quadratic, not pathological)."""
+    db = DeductiveDatabase([PredicateDecl("edge", ("s", "d"))])
+    db.add_rules(parse_rules("""
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Z) :- edge(X, Y), tc(Y, Z).
+    """))
+    for index in range(n_nodes - 1):
+        db.add_fact(Atom("edge", (index, index + 1)))
+    rng = random.Random(seed)
+    for _ in range(extra_random):
+        source = rng.randrange(0, n_nodes - 1)
+        target = rng.randrange(source + 1, n_nodes)
+        db.add_fact(Atom("edge", (source, target)))
+    return db
+
+
+@pytest.mark.parametrize("n_nodes", SIZES)
+def test_s1_materialization(benchmark, n_nodes):
+    benchmark.group = f"S1 materialize n={n_nodes}"
+
+    def run():
+        db = chain_db(n_nodes)
+        db.materialize()
+        return db.count("tc")
+
+    count = benchmark(run)
+    assert count == n_nodes * (n_nodes - 1) // 2
+    _RESULTS[("materialize", n_nodes)] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("n_nodes", SIZES)
+def test_s1_incremental_addition(benchmark, n_nodes):
+    """Adding one edge re-derives only the affected predicate."""
+    db = chain_db(n_nodes)
+    db.materialize()
+    benchmark.group = f"S1 single-edge delta n={n_nodes}"
+    toggle = [True]
+
+    def run():
+        if toggle[0]:
+            db.add_fact(Atom("edge", (0, n_nodes - 1)))
+        else:
+            db.remove_fact(Atom("edge", (0, n_nodes - 1)))
+        toggle[0] = not toggle[0]
+        return db.count("tc")
+
+    benchmark(run)
+    _RESULTS[("delta", n_nodes)] = benchmark.stats.stats.mean
+
+
+def test_s1_indexed_matching(benchmark):
+    db = chain_db(200)
+    db.materialize()
+    x = Variable("X")
+    benchmark.group = "S1 pattern match"
+
+    def run():
+        return sum(1 for _f in db.matching(Atom("tc", (100, x))))
+
+    count = benchmark(run)
+    assert count == 99
+    _RESULTS[("match", 200)] = benchmark.stats.stats.mean
+
+
+def test_s1_report(benchmark, report):
+    benchmark(lambda: None)
+    if ("materialize", SIZES[0]) not in _RESULTS:
+        pytest.skip("substrate benchmarks did not run")
+    lines = ["S1 — deductive-database substrate costs", ""]
+    for n_nodes in SIZES:
+        mat = _RESULTS[("materialize", n_nodes)] * 1000
+        closure = n_nodes * (n_nodes - 1) // 2
+        lines.append(f"materialize chain n={n_nodes} "
+                     f"({closure} closure facts, full provenance): "
+                     f"{mat:.1f} ms")
+    for n_nodes in SIZES:
+        delta = _RESULTS.get(("delta", n_nodes))
+        if delta is not None:
+            lines.append(f"recompute after one-edge change at n={n_nodes}: "
+                         f"{delta * 1000:.2f} ms   (invalidation is "
+                         f"predicate-level: the whole closure re-derives; "
+                         f"GOM's win comes from most deltas not touching "
+                         f"recursive predicates at all — see A2)")
+    match = _RESULTS.get(("match", 200))
+    if match is not None:
+        lines.append(f"indexed pattern match over {200 * 199 // 2} "
+                     f"facts: {match * 1e6:.0f} µs")
+    lines.append("(pure-Python evaluation with complete provenance: "
+                 "~50-80 µs per recorded derivation; the GOM workloads "
+                 "are far shallower than these chains)")
+    report("s1_substrate", "\n".join(lines))

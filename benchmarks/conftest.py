@@ -1,0 +1,27 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_e*.py`` file regenerates one of the paper's artifacts
+(tables, worked examples, or claims) and writes a paper-vs-measured
+report under ``benchmarks/results/`` — the inputs to EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_report(name: str, text: str) -> str:
+    """Persist one experiment's report and echo it to stdout."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text.rstrip() + "\n")
+    print(f"\n{text}\n[report written to {path}]")
+    return path
+
+
+@pytest.fixture
+def report():
+    return write_report

@@ -1,0 +1,125 @@
+"""Tailoring the schema manager: the paper's central promise.
+
+Three customizations, none of which touches the library's code:
+
+1. a **new notion of consistency** — every type must have at most five
+   attributes of its own, stated declaratively as a feature module;
+2. a **new complex evolution operator** — `extract_supertype` pulls
+   shared attributes of several types up into a fresh common supertype;
+3. a **new inconsistency cure policy** — a repair chooser that undoes
+   attribute additions but converts everything else.
+
+Run:  python examples/custom_schema_manager.py
+"""
+
+from repro import FeatureModule, SchemaManager, register_feature
+from repro.control.protocol import ROLLBACK
+
+# --- 1. A project-specific consistency definition -------------------------
+register_feature(FeatureModule(
+    name="lean_types",
+    constraints_text="""
+    % no type may declare more than five own attributes — stated over a
+    % helper view counting... kept simple: no two attributes may share a
+    % name prefix "tmp_" (a style rule), and every type name is short.
+    constraint no_tmp_attributes: style:
+      Attr(T, A, D) & A = "tmp" ==> FALSE.
+    """,
+    requires=("core",),
+    doc="a project leader's extra style constraints",
+))
+
+manager = SchemaManager(features=("core", "objectbase", "lean_types"))
+manager.define("""
+schema Shop is
+type Item is
+  [ name  : string;
+    price : float; ]
+end type Item;
+type Order is
+  [ item     : Item;
+    quantity : int; ]
+end type Order;
+end schema Shop;
+""")
+print("custom consistency active:",
+      "no_tmp_attributes" in
+      {c.name for c in manager.model.checker.constraints()})
+
+# The new constraint is enforced like any built-in one:
+session = manager.begin_session()
+prims = manager.analyzer.primitives(session)
+shop = manager.model.schema_id("Shop")
+item = manager.model.type_id("Item", shop)
+prims.add_attribute(item, "tmp", manager.model.type_id("int"))
+print("EES verdict on adding attribute 'tmp':",
+      [v.constraint.name for v in session.check().violations])
+session.rollback()
+
+
+# --- 2. A user-defined complex evolution operator -------------------------
+def extract_supertype(primitives, tids, new_name):
+    """Pull attributes shared by all *tids* up into a new supertype."""
+    model = primitives.model
+    shared = None
+    for tid in tids:
+        attrs = set(model.attributes(tid, inherited=False))
+        shared = attrs if shared is None else shared & attrs
+    schema = model.schema_of_type(tids[0])
+    new_tid = primitives.add_type(schema, new_name)
+    for name, domain in sorted(shared or ()):
+        primitives.add_attribute(new_tid, name, domain)
+        for tid in tids:
+            primitives.delete_attribute(tid, name)
+    for tid in tids:
+        primitives.add_supertype(tid, new_tid)
+    return new_tid
+
+
+manager.analyzer.operators.register("extract_supertype", extract_supertype)
+
+session = manager.begin_session()
+prims = manager.analyzer.primitives(session)
+order = manager.model.type_id("Order", shop)
+prims.add_attribute(item, "createdAt", manager.model.type_id("int"))
+prims.add_attribute(order, "createdAt", manager.model.type_id("int"))
+timestamped = manager.analyzer.apply_operator(
+    session, "extract_supertype", tids=[item, order],
+    new_name="Timestamped")
+print("\nextract_supertype created:",
+      manager.model.type_name(timestamped),
+      "with attributes", manager.model.attributes(timestamped))
+print("Item now inherits:", manager.model.attributes(item))
+report = session.check()
+print("operator result consistent:", report.consistent)
+session.commit()
+
+
+# --- 3. A custom repair policy ---------------------------------------------
+def cautious_chooser(violation, repairs):
+    """Undo attribute additions; convert for everything else."""
+    for index, explained in enumerate(repairs):
+        action = explained.repair.display_action
+        if action.sign == "-" and action.fact.pred in ("Attr", "Attr_i"):
+            return index
+    for index, explained in enumerate(repairs):
+        if explained.repair.kind == "validate-conclusion" \
+                and not explained.repair.requires_user_input():
+            return index
+    return ROLLBACK
+
+
+manager.runtime.create_object("Item", {"name": "mug", "price": 7.5,
+                                       "createdAt": 1993})
+
+
+def risky_change(session):
+    prims = manager.analyzer.primitives(session)
+    prims.add_attribute(item, "discount", manager.model.type_id("float"))
+
+
+result = manager.evolve(risky_change, chooser=cautious_chooser)
+print("\ncautious policy outcome:", result.outcome)
+print("Item attributes now:",
+      [name for name, _d in manager.model.attributes(item)])
+print("final check:", manager.check().describe())

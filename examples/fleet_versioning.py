@@ -1,0 +1,79 @@
+"""§4: schema versioning and masking via fashion.
+
+Two evolutions on top of the CarSchema:
+
+* Person gets ``birthday : date`` instead of ``age : int`` in a new
+  schema version; a **fashion** declaration makes old Person instances
+  substitutable for the new version (§4.1);
+* the Car hierarchy is partitioned into PolluterCar / CatalystCar under
+  a new Car supertype, with old cars masked as PolluterCar (§4.2).
+
+Run:  python examples/fleet_versioning.py
+"""
+
+from repro import SchemaManager
+from repro.versioning import VersionGraph
+from repro.workloads.carschema import (
+    car_schema_ids,
+    define_car_schema,
+    instantiate_paper_objects,
+)
+from repro.workloads.newcarschema import (
+    EVOLUTION_FEATURES,
+    evolve_car_schema,
+    evolve_person_schema,
+)
+
+manager = SchemaManager(features=EVOLUTION_FEATURES)
+result = define_car_schema(manager)
+objects = instantiate_paper_objects(manager)
+old_person = objects["Person"]
+old_car = objects["Car"]
+
+print("=" * 70)
+print("§4.1 — Person evolves: age replaced by birthday, fashion bridges")
+print("=" * 70)
+evolve_person_schema(manager)
+print("consistency after the evolution:", manager.check().describe())
+print()
+print(f"old person {old_person!r} has slots {sorted(old_person.slots)}")
+print("reading the (not existing) birthday through the mask:",
+      manager.runtime.get_attr(old_person, "birthday"))
+manager.runtime.set_attr(old_person, "birthday", 1965)
+print("after writing birthday := 1965, the underlying age is",
+      old_person.slots["age"])
+
+graph = VersionGraph(manager.model)
+old_tid = result.type("CarSchema", "Person")
+print("version lineage of Person:",
+      [f"{manager.model.type_name(t)} ({t})"
+       for t in graph.type_lineage(old_tid)])
+
+print()
+print("=" * 70)
+print("§4.2 — the fleet splits into polluters and catalyst cars")
+print("=" * 70)
+created = evolve_car_schema(manager, result)
+print("consistency after the seven steps:", manager.check().describe())
+
+person, city = objects["Person"], objects["City"]
+polluter = manager.runtime.create_object(
+    created["PolluterCar"],
+    {"owner": person.oid, "maxspeed": 140.0, "milage": 0.0,
+     "location": city.oid})
+catalyst = manager.runtime.create_object(
+    created["CatalystCar"],
+    {"owner": person.oid, "maxspeed": 200.0, "milage": 0.0,
+     "location": city.oid})
+print("polluter.fuel() =", manager.runtime.call(polluter, "fuel"))
+print("catalyst.fuel() =", manager.runtime.call(catalyst, "fuel"))
+print("OLD car (instantiated before the evolution!) .fuel() =",
+      manager.runtime.call(old_car, "fuel"),
+      " — masked as PolluterCar via fashion")
+
+print()
+print("substitutability of the old car for PolluterCar:",
+      manager.model.db.is_base("FashionType"))
+latest = graph.latest_type_versions(result.type("CarSchema", "Car"))
+print("latest version(s) of the original Car type:",
+      [manager.model.type_name(t) for t in latest])

@@ -1,0 +1,65 @@
+"""Quickstart: define a schema, evolve it, get repairs, commit.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SchemaManager
+
+manager = SchemaManager()
+
+# --- 1. Define a schema in GOM's schema-definition language. -------------
+manager.define("""
+schema Library is
+
+type Author is
+  [ name : string;
+    born : int; ]
+end type Author;
+
+type Book is
+  [ title  : string;
+    author : Author;
+    pages  : int; ]
+operations
+  declare isLong : -> bool;
+implementation
+  define isLong() is begin return self.pages > 300; end define;
+end type Book;
+
+end schema Library;
+""")
+print("schemas:", manager.analyzer.schemas())
+print("types in Library:", manager.analyzer.types_in("Library"))
+
+# --- 2. Create objects; the runtime maintains the object-base model. -----
+author = manager.runtime.create_object("Author",
+                                       {"name": "Le Guin", "born": 1929})
+book = manager.runtime.create_object(
+    "Book", {"title": "The Dispossessed", "author": author.oid,
+             "pages": 387})
+print("isLong?", manager.runtime.call(book, "isLong"))
+
+# --- 3. Evolve the schema inside a session (BES ... EES). ----------------
+session = manager.begin_session()
+prims = manager.analyzer.primitives(session)
+library = manager.model.schema_id("Library")
+book_tid = manager.model.type_id("Book", library)
+prims.add_attribute(book_tid, "isbn", manager.model.type_id("string"))
+
+# EES: deferred consistency check.  The new attribute has no slot in the
+# existing Book representation -> constraint (*) is violated.
+report = session.check()
+print("\nEES check:", report.describe())
+
+# --- 4. Ask the Consistency Control for repairs, with explanations. ------
+violation = report.violations[0]
+for index, explained in enumerate(session.repairs(violation), start=1):
+    print(f"repair {index}:")
+    print("   " + explained.describe().replace("\n", "\n   "))
+
+# --- 5. Cure by conversion (the paper's §3.5), then commit. --------------
+manager.conversions.add_slot(book_tid, "isbn", "unknown", session=session)
+print("\nafter conversion:", session.check().describe())
+session.commit()
+print("book.isbn =", manager.runtime.get_attr(book, "isbn"))
+print("final full check:", manager.check().describe())

@@ -1,0 +1,65 @@
+"""repro — flexible schema management in object bases.
+
+A full reproduction of Moerkotte & Zachmann, "Towards More Flexible
+Schema Management in Object Bases" (ICDE 1993): a schema manager for the
+GOM object model whose Consistency Control is a deductive database —
+schema consistency is stated declaratively as constraints, checked
+incrementally at the end of evolution sessions, and violations come with
+automatically generated, explained repairs.
+
+Quick start::
+
+    from repro import SchemaManager
+
+    manager = SchemaManager()
+    manager.define(CAR_SCHEMA_SOURCE)      # parse + check + commit
+    session = manager.begin_session()      # BES
+    prims = manager.analyzer.primitives(session)
+    prims.add_attribute(tid_car, "fuelType", tid_string)
+    report = session.check()               # EES: violations + repairs
+
+See the ``examples/`` directory for complete scenarios.
+"""
+
+from repro.errors import ReproError
+from repro.gom.ids import Id, IdFactory
+from repro.gom.model import (
+    FeatureModule,
+    GomDatabase,
+    available_features,
+    register_feature,
+)
+from repro.manager import SchemaManager
+from repro.analyzer.analyzer import Analyzer
+from repro.control.protocol import (
+    SchemaEvolutionProtocol,
+    always_rollback,
+    choose_first,
+    prefer_conversion,
+)
+from repro.control.session import EvolutionSession
+from repro.runtime.conversion import ConversionRoutines
+from repro.runtime.objects import GomObject, RuntimeSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Analyzer",
+    "ConversionRoutines",
+    "EvolutionSession",
+    "FeatureModule",
+    "GomDatabase",
+    "GomObject",
+    "Id",
+    "IdFactory",
+    "ReproError",
+    "RuntimeSystem",
+    "SchemaEvolutionProtocol",
+    "SchemaManager",
+    "always_rollback",
+    "available_features",
+    "choose_first",
+    "prefer_conversion",
+    "register_feature",
+    "__version__",
+]

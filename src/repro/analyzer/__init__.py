@@ -1,0 +1,35 @@
+"""The Analyzer: the schema manager's front end (Figure 1).
+
+The Analyzer parses GOM schema-definition source (or receives primitive
+evolution operations programmatically), derives the necessary changes to
+the base-predicate extensions, and submits them to the Consistency
+Control — it never touches the Schema Base directly.
+
+Modules:
+
+* :mod:`repro.analyzer.lexer` / :mod:`repro.analyzer.parser` — the GOM
+  DDL front end (the paper built this with Lex and Yacc; a hand-written
+  lexer and recursive-descent parser fill the same architectural slot);
+* :mod:`repro.analyzer.ast_nodes` — schema-definition and code ASTs;
+* :mod:`repro.analyzer.codeanalysis` — derives ``CodeReqDecl`` /
+  ``CodeReqAttr`` from operation bodies with static type inference;
+* :mod:`repro.analyzer.translator` — AST → base-predicate deltas;
+* :mod:`repro.analyzer.evolution` — the primitive evolution operations;
+* :mod:`repro.analyzer.operators` — user-defined *complex* evolution
+  operators (§4.2), with a library including the paper's examples;
+* :mod:`repro.analyzer.namespaces` — Appendix A: schema hierarchies,
+  visibility, imports, renaming, and schema paths;
+* :mod:`repro.analyzer.explain` — explains base-predicate changes in
+  user terms (protocol step 7).
+"""
+
+from repro.analyzer.analyzer import Analyzer
+from repro.analyzer.parser import parse_source
+from repro.analyzer.operators import OperatorRegistry, standard_operators
+
+__all__ = [
+    "Analyzer",
+    "OperatorRegistry",
+    "parse_source",
+    "standard_operators",
+]

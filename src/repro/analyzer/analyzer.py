@@ -1,0 +1,127 @@
+"""The Analyzer facade — Figure 1's front-end module.
+
+Offers the user-visible update interface: textual schema definition
+(:meth:`define`), the primitive evolution operations
+(:meth:`primitives`), and named complex operators
+(:meth:`apply_operator`); plus the retrieval interface the paper's
+footnote promises (:meth:`describe_type`, :meth:`describe_schema`).
+
+Every update goes through an :class:`EvolutionSession`, i.e. through the
+Consistency Control's ``modify`` operation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.datalog.terms import Atom
+from repro.gom.builtins import BUILTIN_SCHEMA
+from repro.gom.ids import Id
+from repro.gom.model import GomDatabase
+from repro.analyzer.evolution import EvolutionPrimitives
+from repro.analyzer.explain import analyzer_explainer
+from repro.analyzer.operators import OperatorRegistry, standard_operators
+from repro.analyzer.parser import parse_source
+from repro.analyzer.translator import TranslationResult, Translator
+from repro.control.session import EvolutionSession
+
+
+class Analyzer:
+    """Parses schema definitions and maps updates to modify() calls."""
+
+    def __init__(self, model: GomDatabase,
+                 record_dynamic_calls: bool = True,
+                 operators: Optional[OperatorRegistry] = None) -> None:
+        self.model = model
+        self.record_dynamic_calls = record_dynamic_calls
+        self.operators = operators or standard_operators()
+        self.explainer = analyzer_explainer(model)
+
+    # -- sessions -------------------------------------------------------------
+
+    def begin_session(self, check_mode: str = "delta") -> EvolutionSession:
+        """BES: open an evolution session with this Analyzer's explainer."""
+        session = EvolutionSession(self.model, check_mode=check_mode)
+        session.register_explainer(self.explainer)
+        return session
+
+    # -- the update interface ----------------------------------------------------
+
+    def define(self, session: EvolutionSession,
+               source: str) -> TranslationResult:
+        """Parse GOM source and derive the base-predicate changes."""
+        unit = parse_source(source)
+        translator = Translator(
+            self.model, session,
+            record_dynamic_calls=self.record_dynamic_calls)
+        return translator.translate_unit(unit)
+
+    def primitives(self, session: EvolutionSession) -> EvolutionPrimitives:
+        """The primitive evolution operations, bound to *session*."""
+        return EvolutionPrimitives(
+            self.model, session,
+            record_dynamic_calls=self.record_dynamic_calls)
+
+    def apply_operator(self, session: EvolutionSession, name: str,
+                       **params) -> object:
+        """Run a registered complex evolution operator."""
+        return self.operators.apply(name, self.primitives(session), **params)
+
+    # -- the retrieval interface ----------------------------------------------------
+
+    def schemas(self) -> List[str]:
+        """User schema names (built-ins excluded)."""
+        return sorted(
+            fact.args[1]
+            for fact in self.model.db.facts("Schema")
+            if fact.args[0] != BUILTIN_SCHEMA
+        )
+
+    def types_in(self, schema_name: str) -> List[str]:
+        sid = self.model.schema_id(schema_name)
+        if sid is None:
+            return []
+        return sorted(
+            fact.args[1]
+            for fact in self.model.db.matching(Atom("Type",
+                                                    (None, None, sid)))
+        )
+
+    def describe_type(self, tid: Id) -> str:
+        """Render a type frame back from the schema base."""
+        model = self.model
+        name = model.type_name(tid) or str(tid)
+        supers = [model.type_name(s) or str(s)
+                  for s in model.supertypes(tid)]
+        lines = [f"type {name}"
+                 + (f" supertype {', '.join(supers)}" if supers else "")
+                 + " is"]
+        attrs = model.attributes(tid, inherited=False)
+        if attrs:
+            lines.append("  [ " + "\n    ".join(
+                f"{attr}: {model.type_name(domain) or domain};"
+                for attr, domain in attrs) + " ]")
+        decls = model.declarations(tid, inherited=False)
+        if decls:
+            lines.append("operations")
+            for did, opname, result in decls:
+                args = ", ".join(model.type_name(t) or str(t)
+                                 for t in model.arg_types(did))
+                result_name = model.type_name(result) or str(result)
+                arrow = f"{args} -> {result_name}" if args \
+                    else f"-> {result_name}"
+                lines.append(f"  declare {opname}: {arrow};")
+        lines.append(f"end type {name};")
+        return "\n".join(lines)
+
+    def describe_schema(self, schema_name: str) -> str:
+        """Render every type frame of one schema."""
+        sid = self.model.schema_id(schema_name)
+        if sid is None:
+            return f"!! unknown schema {schema_name}"
+        blocks = [f"schema {schema_name} is"]
+        for fact in sorted(self.model.db.matching(
+                Atom("Type", (None, None, sid))), key=lambda f: f.args[1]):
+            blocks.append(self.describe_type(fact.args[0]))
+        blocks.append(f"end schema {schema_name};")
+        return "\n\n".join(blocks)

@@ -1,0 +1,306 @@
+"""AST nodes for GOM schema-definition source and operation bodies.
+
+Two node families live here:
+
+* *definition nodes* — schemas, types, sorts, attributes, operation
+  declarations and implementations, fashion clauses, subschema/import
+  clauses with renaming (Appendix A);
+* *code nodes* — the statement/expression language of operation bodies
+  (assignment, if/else, return, attribute access, method calls,
+  arithmetic and comparisons), rich enough for every fragment in the
+  paper and interpreted directly by the runtime system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Code (operation body) nodes
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """An int, float, string, or bool literal."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class SelfRef(Expr):
+    """The receiver, ``self``."""
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A bare identifier: a parameter, local, or enum value."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class AttrAccess(Expr):
+    """``receiver.attr`` (read position)."""
+
+    receiver: Expr
+    attr: str
+
+
+@dataclass(frozen=True)
+class MethodCall(Expr):
+    """``receiver.op(args…)`` — dynamically bound."""
+
+    receiver: Expr
+    op: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class SuperCall(Expr):
+    """``super.op(args…)`` — statically bound to the refined declaration."""
+
+    op: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """``f(args…)`` — a builtin helper function of the interpreter."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation: arithmetic, comparison, ``and`` / ``or``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """``-x`` or ``not x``."""
+
+    op: str
+    operand: Expr
+
+
+class Stmt:
+    """Base class of statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``lvalue := expr``; the lvalue is an attribute access or a name."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if (cond) block [else block]``."""
+
+    condition: Expr
+    then_block: "Block"
+    else_block: Optional["Block"] = None
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    """``return expr;`` (or bare ``return;``)."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """An expression evaluated for its effect (e.g. a method call)."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    """``begin stmt… end`` (a single statement is a one-element block)."""
+
+    statements: Tuple[Stmt, ...]
+
+
+# ---------------------------------------------------------------------------
+# Definition nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A reference to a type by name, optionally version-qualified.
+
+    The paper's at-notation ``Person@CarSchema`` identifies a type version
+    by (type name, schema name); an unqualified name resolves in the
+    current scope.
+    """
+
+    name: str
+    schema: Optional[str] = None
+
+    def __repr__(self) -> str:
+        if self.schema:
+            return f"{self.name}@{self.schema}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class AttrDef:
+    """``name : Domain;`` inside a type body."""
+
+    name: str
+    domain: TypeRef
+
+
+@dataclass(frozen=True)
+class OpDecl:
+    """``declare name : T1, T2 -> T;`` (or the ``name : || … -> T`` form).
+
+    ``refines`` marks declarations from a ``refine`` section.
+    """
+
+    name: str
+    arg_types: Tuple[TypeRef, ...]
+    result_type: TypeRef
+    refines: bool = False
+
+
+@dataclass(frozen=True)
+class OpImpl:
+    """``define name(params) is <body> end define;``."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Block
+    source_text: str = ""
+
+
+@dataclass(frozen=True)
+class TypeDef:
+    """A complete ``type … end type`` frame."""
+
+    name: str
+    supertypes: Tuple[TypeRef, ...]
+    attributes: Tuple[AttrDef, ...]
+    operations: Tuple[OpDecl, ...]
+    implementations: Tuple[OpImpl, ...]
+
+
+@dataclass(frozen=True)
+class SortDef:
+    """``sort Fuel is enum (leaded, unleaded);``."""
+
+    name: str
+    values: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class VarDef:
+    """``var name : Type;`` — a schema-level variable (Appendix A)."""
+
+    name: str
+    domain: TypeRef
+
+
+@dataclass(frozen=True)
+class RenameItem:
+    """``type Cuboid as CSGCuboid`` inside a with-list (Appendix A)."""
+
+    kind: str  # "type" | "var" | "operation" | "schema"
+    old_name: str
+    new_name: str
+
+
+@dataclass(frozen=True)
+class SubschemaClause:
+    """``subschema Name [with renames… end subschema Name]``."""
+
+    name: str
+    renames: Tuple[RenameItem, ...] = ()
+
+
+@dataclass(frozen=True)
+class ImportClause:
+    """``import <schema path> [with renames…] end import;`` (Appendix A)."""
+
+    path: str
+    renames: Tuple[RenameItem, ...] = ()
+
+
+@dataclass(frozen=True)
+class FashionAttrDef:
+    """One masked attribute of a fashion clause: read and write bodies."""
+
+    name: str
+    domain: TypeRef
+    read_body: Block
+    write_param: str
+    write_body: Block
+    read_text: str = ""
+    write_text: str = ""
+
+
+@dataclass(frozen=True)
+class FashionOpDef:
+    """One imitated operation of a fashion clause."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Block
+    source_text: str = ""
+
+
+@dataclass(frozen=True)
+class FashionDef:
+    """``fashion X@S1 as Y@S2 where … end fashion;`` (§4.1)."""
+
+    subject: TypeRef  # the old version whose instances become substitutable
+    target: TypeRef   # the new version they substitute for
+    attributes: Tuple[FashionAttrDef, ...]
+    operations: Tuple[FashionOpDef, ...]
+
+
+SchemaComponent = Union[TypeDef, SortDef, VarDef, SubschemaClause,
+                        ImportClause]
+
+
+@dataclass(frozen=True)
+class SchemaDef:
+    """A ``schema … end schema`` frame with its three sections.
+
+    Components declared before any section keyword count as interface
+    components (the §3 style without information hiding); ``public``
+    lists the exported component names (Appendix A).
+    """
+
+    name: str
+    public: Tuple[Tuple[str, str], ...]  # (kind, name); kind may be ""
+    interface: Tuple[SchemaComponent, ...]
+    implementation: Tuple[SchemaComponent, ...]
+
+    def components(self) -> Tuple[SchemaComponent, ...]:
+        return self.interface + self.implementation
+
+
+@dataclass(frozen=True)
+class SourceUnit:
+    """A parsed source file: schema frames and top-level clauses."""
+
+    schemas: Tuple[SchemaDef, ...]
+    fashions: Tuple[FashionDef, ...]

@@ -1,0 +1,291 @@
+"""Primitive schema-evolution operations.
+
+"The possibility should exist to compose complex schema evolution
+operations from a set of primitive operations which allow any schema
+modification."  These are those primitives: thin, *unchecked* mappings
+from user-level intent to base-predicate modifications.  None of them
+guarantees consistency — by design.  Consistency is checked at EES, and
+that decoupling is the paper's central architectural decision (adding an
+argument to a used operation is momentarily inconsistent, and that is
+fine).
+
+All primitives run against an active :class:`EvolutionSession` and
+return the identifiers they created.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import EvolutionError
+from repro.datalog.terms import Atom
+from repro.gom.ids import Id
+from repro.gom.model import GomDatabase
+from repro.analyzer.codeanalysis import CodeAnalyzer
+from repro.analyzer.parser import parse_code_text
+from repro.control.session import EvolutionSession
+
+
+class EvolutionPrimitives:
+    """The primitive operations the Analyzer's interface offers."""
+
+    def __init__(self, model: GomDatabase, session: EvolutionSession,
+                 record_dynamic_calls: bool = True) -> None:
+        self.model = model
+        self.session = session
+        self.code_analyzer = CodeAnalyzer(
+            model, record_dynamic_calls=record_dynamic_calls)
+
+    # -- schemas ------------------------------------------------------------------
+
+    def add_schema(self, name: str) -> Id:
+        sid = self.model.ids.schema()
+        self.session.add(Atom("Schema", (sid, name)))
+        return sid
+
+    def delete_schema(self, sid: Id) -> None:
+        """Remove the schema fact only (dependents are the user's problem
+        until EES — referential integrity will report them)."""
+        name = None
+        for fact in self.model.db.matching(Atom("Schema", (sid, None))):
+            name = fact.args[1]
+        if name is None:
+            raise EvolutionError(f"unknown schema {sid!r}")
+        self.session.remove(Atom("Schema", (sid, name)))
+
+    # -- types ---------------------------------------------------------------------
+
+    def add_type(self, sid: Id, name: str,
+                 supertypes: Sequence[Id] = ()) -> Id:
+        tid = self.model.ids.type()
+        self.session.add(Atom("Type", (tid, name, sid)))
+        for super_tid in supertypes:
+            self.session.add(Atom("SubTypRel", (tid, super_tid)))
+        return tid
+
+    def delete_type(self, tid: Id) -> None:
+        """Remove just the type fact (the minimal primitive; the complex
+        operators offer Bocionek's different deletion semantics)."""
+        fact = self._type_fact(tid)
+        self.session.remove(fact)
+
+    def rename_type(self, tid: Id, new_name: str) -> None:
+        fact = self._type_fact(tid)
+        self.session.remove(fact)
+        self.session.add(Atom("Type", (tid, new_name, fact.args[2])))
+
+    def move_type(self, tid: Id, new_sid: Id) -> None:
+        fact = self._type_fact(tid)
+        self.session.remove(fact)
+        self.session.add(Atom("Type", (tid, fact.args[1], new_sid)))
+
+    def _type_fact(self, tid: Id) -> Atom:
+        for fact in self.model.db.matching(Atom("Type", (tid, None, None))):
+            return fact
+        raise EvolutionError(f"unknown type {tid!r}")
+
+    def add_enum_sort(self, sid: Id, name: str,
+                      values: Sequence[str]) -> Id:
+        tid = self.model.ids.type()
+        self.session.add(Atom("Type", (tid, name, sid)))
+        for value in values:
+            self.session.add(Atom("EnumValue", (tid, value)))
+        return tid
+
+    # -- subtyping -------------------------------------------------------------------
+
+    def add_supertype(self, tid: Id, super_tid: Id) -> None:
+        self.session.add(Atom("SubTypRel", (tid, super_tid)))
+
+    def remove_supertype(self, tid: Id, super_tid: Id) -> None:
+        self.session.remove(Atom("SubTypRel", (tid, super_tid)))
+
+    # -- attributes --------------------------------------------------------------------
+
+    def add_attribute(self, tid: Id, name: str, domain: Id) -> None:
+        self.session.add(Atom("Attr", (tid, name, domain)))
+
+    def delete_attribute(self, tid: Id, name: str) -> None:
+        fact = self._attr_fact(tid, name)
+        self.session.remove(fact)
+
+    def rename_attribute(self, tid: Id, name: str, new_name: str) -> None:
+        """Rename an attribute.  Code accessing the old name is *not*
+        touched: the dangling ``CodeReqAttr`` facts surface at EES."""
+        fact = self._attr_fact(tid, name)
+        self.session.remove(fact)
+        self.session.add(Atom("Attr", (tid, new_name, fact.args[2])))
+
+    def change_attribute_domain(self, tid: Id, name: str,
+                                new_domain: Id) -> None:
+        fact = self._attr_fact(tid, name)
+        self.session.remove(fact)
+        self.session.add(Atom("Attr", (tid, name, new_domain)))
+
+    def _attr_fact(self, tid: Id, name: str) -> Atom:
+        for fact in self.model.db.matching(Atom("Attr", (tid, name, None))):
+            return fact
+        raise EvolutionError(
+            f"type {self.model.type_name(tid)!r} has no attribute {name!r}")
+
+    # -- operations ------------------------------------------------------------------------
+
+    def add_operation(self, tid: Id, name: str, arg_types: Sequence[Id],
+                      result_type: Id, code_text: Optional[str] = None,
+                      refines: Optional[Id] = None) -> Id:
+        """Declare an operation; optionally implement it and/or mark it a
+        refinement of an existing declaration."""
+        did = self.model.ids.decl()
+        self.session.add(Atom("Decl", (did, tid, name, result_type)))
+        for number, arg_tid in enumerate(arg_types, start=1):
+            self.session.add(Atom("ArgDecl", (did, number, arg_tid)))
+        if refines is not None:
+            self.session.add(Atom("DeclRefinement", (did, refines)))
+        if code_text is not None:
+            self.set_code(did, code_text)
+        return did
+
+    def delete_operation(self, did: Id) -> None:
+        """Remove a declaration with its argument declarations and code.
+
+        Dangling callers (``CodeReqDecl``) and refinements are left for
+        EES to report — repairing them is what the generated repairs and
+        complex operators are for."""
+        deletions: List[Atom] = []
+        for fact in self.model.db.matching(Atom("Decl",
+                                                (did, None, None, None))):
+            deletions.append(fact)
+        if not deletions:
+            raise EvolutionError(f"unknown declaration {did!r}")
+        for fact in self.model.db.matching(Atom("ArgDecl",
+                                                (did, None, None))):
+            deletions.append(fact)
+        for fact in self.model.db.matching(Atom("Code", (None, None, did))):
+            cid = fact.args[0]
+            deletions.append(fact)
+            for req in self.model.db.matching(Atom("CodeReqDecl",
+                                                   (cid, None))):
+                deletions.append(req)
+            for req in self.model.db.matching(Atom("CodeReqAttr",
+                                                   (cid, None, None))):
+                deletions.append(req)
+        self.session.modify(deletions=deletions)
+
+    def set_code(self, did: Id, code_text: str) -> Id:
+        """Attach (or replace) the code implementing a declaration.
+
+        The text is parsed and analyzed; the derived ``CodeReq*`` facts
+        are maintained alongside.
+        """
+        receiver = None
+        for fact in self.model.db.matching(Atom("Decl",
+                                                (did, None, None, None))):
+            receiver = fact.args[1]
+        if receiver is None:
+            raise EvolutionError(f"unknown declaration {did!r}")
+        name, params, body = parse_code_text(code_text)
+        arg_tids = self.model.arg_types(did)
+        if len(params) != len(arg_tids):
+            raise EvolutionError(
+                f"code for {name!r} has {len(params)} parameter(s), "
+                f"declaration takes {len(arg_tids)}")
+        info = self.code_analyzer.analyze(
+            body, receiver, dict(zip(params, arg_tids)))
+        deletions: List[Atom] = []
+        existing = self.model.code_for(did)
+        if existing is not None:
+            old_cid, old_text = existing
+            deletions.append(Atom("Code", (old_cid, old_text, did)))
+            for req in self.model.db.matching(Atom("CodeReqDecl",
+                                                   (old_cid, None))):
+                deletions.append(req)
+            for req in self.model.db.matching(Atom("CodeReqAttr",
+                                                   (old_cid, None, None))):
+                deletions.append(req)
+        cid = self.model.ids.code()
+        additions = [Atom("Code", (cid, code_text, did))]
+        additions.extend(info.facts(cid))
+        self.session.modify(additions=additions, deletions=deletions)
+        return cid
+
+    def add_argument(self, did: Id, arg_type: Id,
+                     position: Optional[int] = None) -> int:
+        """Add an argument to an existing declaration.
+
+        This is the paper's §2.1 example of an operation that *cannot*
+        preserve consistency on its own: refinements and implementations
+        now disagree until further primitives fix them.
+        """
+        existing = self.model.arg_types(did)
+        if position is None:
+            position = len(existing) + 1
+        if not 1 <= position <= len(existing) + 1:
+            raise EvolutionError(f"argument position {position} out of range")
+        deletions: List[Atom] = []
+        additions: List[Atom] = []
+        # Shift arguments at and after the insertion point.
+        for number, tid in enumerate(existing, start=1):
+            if number >= position:
+                deletions.append(Atom("ArgDecl", (did, number, tid)))
+                additions.append(Atom("ArgDecl", (did, number + 1, tid)))
+        additions.append(Atom("ArgDecl", (did, position, arg_type)))
+        self.session.modify(additions=additions, deletions=deletions)
+        return position
+
+    def remove_argument(self, did: Id, position: int) -> None:
+        existing = self.model.arg_types(did)
+        if not 1 <= position <= len(existing):
+            raise EvolutionError(f"argument position {position} out of range")
+        deletions = [Atom("ArgDecl", (did, position, existing[position - 1]))]
+        additions: List[Atom] = []
+        for number, tid in enumerate(existing, start=1):
+            if number > position:
+                deletions.append(Atom("ArgDecl", (did, number, tid)))
+                additions.append(Atom("ArgDecl", (did, number - 1, tid)))
+        self.session.modify(additions=additions, deletions=deletions)
+
+    def add_refinement_edge(self, refining: Id, refined: Id) -> None:
+        self.session.add(Atom("DeclRefinement", (refining, refined)))
+
+    # -- versioning (§4.1) ---------------------------------------------------------------------
+
+    def add_schema_version(self, old_sid: Id, new_sid: Id) -> None:
+        self.session.add(Atom("evolves_to_S", (old_sid, new_sid)))
+
+    def add_type_version(self, old_tid: Id, new_tid: Id) -> None:
+        self.session.add(Atom("evolves_to_T", (old_tid, new_tid)))
+
+    # -- name spaces (Appendix A) -----------------------------------------------------------------
+
+    def add_subschema(self, parent: Id, child: Id) -> None:
+        self.session.add(Atom("SubSchema", (parent, child)))
+
+    def remove_subschema(self, parent: Id, child: Id) -> None:
+        self.session.remove(Atom("SubSchema", (parent, child)))
+
+    def add_import(self, sid: Id, imported: Id) -> None:
+        self.session.add(Atom("ImportRel", (sid, imported)))
+
+    def add_rename(self, sid: Id, kind: str, old_name: str, new_name: str,
+                   source: Id) -> None:
+        self.session.add(Atom("Rename", (sid, kind, old_name, new_name,
+                                         source)))
+
+    def add_public(self, sid: Id, kind: str, name: str) -> None:
+        self.session.add(Atom("PublicComp", (sid, kind, name)))
+
+    def add_schema_var(self, sid: Id, name: str, domain: Id) -> None:
+        self.session.add(Atom("SchemaVar", (sid, name, domain)))
+
+    # -- fashion (§4.1) --------------------------------------------------------------------------
+
+    def add_fashion_type(self, subject: Id, target: Id) -> None:
+        self.session.add(Atom("FashionType", (subject, target)))
+
+    def add_fashion_attr(self, target: Id, name: str, subject: Id,
+                         read_code: str, write_code: str) -> None:
+        self.session.add(Atom("FashionAttr", (target, name, subject,
+                                              read_code, write_code)))
+
+    def add_fashion_decl(self, did: Id, subject: Id, code: str) -> None:
+        self.session.add(Atom("FashionDecl", (did, subject, code)))

@@ -1,0 +1,95 @@
+"""Analyzer-side explanations of base-predicate changes (step 7).
+
+"For each change to a base predicates' extension either the Analyzer or
+the Runtime System can explain the changes to be performed."  The
+Analyzer explains changes to the *schema base*; the Runtime System
+(:mod:`repro.runtime.explain`) explains changes to the object-base model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.datalog.repair import RepairAction
+from repro.gom.ids import Id
+from repro.gom.model import GomDatabase
+
+
+def analyzer_explainer(model: GomDatabase
+                       ) -> Callable[[RepairAction], Optional[str]]:
+    """Build an explainer for schema-base changes."""
+
+    def type_name(tid: object) -> str:
+        if isinstance(tid, Id):
+            name = model.type_name(tid)
+            if name:
+                return name
+        return str(tid)
+
+    def decl_desc(did: object) -> str:
+        if isinstance(did, Id):
+            from repro.datalog.terms import Atom
+            for fact in model.db.matching(Atom("Decl", (did, None, None,
+                                                        None))):
+                return (f"operation {fact.args[2]!r} of type "
+                        f"{type_name(fact.args[1])!r}")
+        return f"declaration {did}"
+
+    def explain(action: RepairAction) -> Optional[str]:
+        fact = action.fact
+        adds = action.is_insertion
+        args = fact.args
+        if fact.pred == "Type":
+            verb = "introduces" if adds else "deletes"
+            return f"{verb} type {args[1]!r}"
+        if fact.pred == "Attr" or fact.pred == "Attr_i":
+            owner, name, domain = args
+            if adds:
+                return (f"adds attribute {name!r} of domain "
+                        f"{type_name(domain)!r} to type {type_name(owner)!r}")
+            return (f"removes attribute {name!r} from type "
+                    f"{type_name(owner)!r} (undoing the schema change if it "
+                    f"was just added)")
+        if fact.pred == "Decl":
+            verb = "declares" if adds else "removes the declaration of"
+            return f"{verb} operation {args[2]!r} on type {type_name(args[1])!r}"
+        if fact.pred == "ArgDecl":
+            verb = "adds" if adds else "removes"
+            return (f"{verb} argument #{args[1]} of type "
+                    f"{type_name(args[2])!r} for {decl_desc(args[0])}")
+        if fact.pred == "Code":
+            verb = "supplies code for" if adds else "removes the code of"
+            return f"{verb} {decl_desc(args[2])}"
+        if fact.pred == "SubTypRel":
+            relation = f"{type_name(args[0])!r} subtype-of {type_name(args[1])!r}"
+            return (f"declares {relation}" if adds
+                    else f"retracts {relation}")
+        if fact.pred == "DeclRefinement":
+            if adds:
+                return (f"declares {decl_desc(args[0])} a refinement of "
+                        f"{decl_desc(args[1])}")
+            return (f"retracts the refinement of {decl_desc(args[1])} by "
+                    f"{decl_desc(args[0])}")
+        if fact.pred == "Schema":
+            verb = "introduces" if adds else "deletes"
+            return f"{verb} schema {args[1]!r}"
+        if fact.pred == "evolves_to_T":
+            return (f"records that type {type_name(args[0])!r} evolves to "
+                    f"{type_name(args[1])!r}")
+        if fact.pred == "evolves_to_S":
+            return f"records a schema version edge {args[0]} -> {args[1]}"
+        if fact.pred == "FashionType":
+            return (f"makes instances of {type_name(args[0])!r} "
+                    f"substitutable for {type_name(args[1])!r} via fashion")
+        if fact.pred == "FashionAttr":
+            return (f"imitates attribute {args[1]!r} of "
+                    f"{type_name(args[0])!r} for instances of "
+                    f"{type_name(args[2])!r}")
+        if fact.pred == "FashionDecl":
+            return (f"imitates {decl_desc(args[0])} for instances of "
+                    f"{type_name(args[1])!r}")
+        if fact.pred in ("CodeReqDecl", "CodeReqAttr", "EnumValue"):
+            return None  # bookkeeping facts need no user-facing story
+        return None
+
+    return explain

@@ -1,0 +1,92 @@
+"""Lexer for the GOM schema-definition language.
+
+The paper builds its Analyzer front end with Lex; this module is the
+equivalent hand-written scanner.  Comments are ``!! …`` to end of line
+(as in the paper's listings) or ``/* … */`` blocks.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set
+
+from repro.errors import GomSyntaxError
+
+KEYWORDS: Set[str] = {
+    "schema", "type", "sort", "var", "is", "end", "supertype", "operations",
+    "refine", "implementation", "interface", "public", "subschema", "import",
+    "with", "as", "declare", "define", "begin", "if", "else", "return",
+    "self", "super", "not", "and", "or", "enum", "fashion", "where", "attr",
+    "op", "read", "write", "operation", "true", "false",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<linecomment>!![^\n]*)
+  | (?P<blockcomment>/\*.*?\*/)
+  | (?P<assign>:=)
+  | (?P<arrow>->)
+  | (?P<dots>\.\.)
+  | (?P<dpipe>\|\|)
+  | (?P<op>==|!=|<=|>=|<|>)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[\[\](),;:.@|+\-*/=])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str  # keyword | ident | number | string | punct | op | special
+    text: str
+    line: int
+    column: int
+    offset: int = 0  # absolute character offset, for source-text slicing
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == "punct" and self.text == text
+
+    def __repr__(self) -> str:
+        return f"{self.text!r}@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Scan *source* into tokens, ending with a synthetic ``eof`` token."""
+    tokens: List[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    while position < len(source):
+        matched = _TOKEN_RE.match(source, position)
+        if matched is None:
+            column = position - line_start + 1
+            raise GomSyntaxError(
+                f"unexpected character {source[position]!r}", line, column
+            )
+        kind = matched.lastgroup or ""
+        text = matched.group()
+        column = position - line_start + 1
+        if kind == "ident":
+            token_kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(token_kind, text, line, column, position))
+        elif kind in ("number", "string", "punct", "op",
+                      "assign", "arrow", "dots", "dpipe"):
+            tokens.append(Token(kind, text, line, column, position))
+        # ws / comments are skipped
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rfind("\n") + 1
+        position = matched.end()
+    tokens.append(Token("eof", "", line, position - line_start + 1, position))
+    return tokens

@@ -1,0 +1,222 @@
+"""Appendix A: schema hierarchies, visibility, imports, and name spaces.
+
+A schema is a collection of *schema components* (types, variables,
+subschemas); it structures the set of all types, provides information
+hiding (``public`` / ``interface`` / ``implementation``), and opens a
+local name space.  Subschemas and imports make components of other
+schemas visible, with explicit renaming to resolve conflicts; schema
+paths (``/Company/CAD/Geometry/CSG``, ``../CSG``) address schemas in the
+hierarchy.
+
+Faithful to the paper's architecture, all of this state lives in the
+deductive database as one more *feature module* — the ``namespaces``
+feature contributes the base predicates, visibility rules, and hierarchy
+constraints below, and the resolution helpers are plain queries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import NameConflictError, NameResolutionError
+from repro.datalog.facts import PredicateDecl
+from repro.datalog.terms import Atom
+from repro.gom.ids import Id
+from repro.gom.model import FeatureModule, GomDatabase, register_feature
+
+NAMESPACE_PREDICATES: Tuple[PredicateDecl, ...] = (
+    PredicateDecl(
+        "SubSchema", ("parent", "child"),
+        references=((0, "Schema", 0), (1, "Schema", 0)),
+        doc="the schema hierarchy: child is a direct subschema of parent",
+    ),
+    PredicateDecl(
+        "PublicComp", ("schemaid", "kind", "name"),
+        references=((0, "Schema", 0),),
+        doc="a component listed in the schema's public clause",
+    ),
+    PredicateDecl(
+        "ImportRel", ("schemaid", "imported"),
+        references=((0, "Schema", 0), (1, "Schema", 0)),
+        doc="an explicit import of another schema",
+    ),
+    PredicateDecl(
+        "Rename", ("schemaid", "kind", "oldname", "newname", "source"),
+        references=((0, "Schema", 0), (4, "Schema", 0)),
+        doc="a with-clause renaming of an imported/subschema component",
+    ),
+    PredicateDecl(
+        "SchemaVar", ("schemaid", "varname", "typeid"), key=(0, 1),
+        references=((0, "Schema", 0), (2, "Type", 0)),
+        doc="a schema-level variable (schemas group variables too)",
+    ),
+)
+
+NAMESPACE_RULES = """
+% --- hierarchy closure ---------------------------------------------------
+SubSchema_t(X, Y) :- SubSchema(X, Y).
+SubSchema_t(X, Z) :- SubSchema(X, Y), SubSchema_t(Y, Z).
+
+% --- components provided to a schema by subschemas and imports ------------
+ProvidedRaw(S, K, N, S2) :- SubSchema(S, S2), PublicComp(S2, K, N).
+ProvidedRaw(S, K, N, S2) :- ImportRel(S, S2), PublicComp(S2, K, N).
+RenamedAt(S, K, N, S2) :- Rename(S, K, N, N2, S2).
+
+% --- Visible(S, kind, visible-name, origin-schema, original-name) ----------
+Visible(S, K, N2, S2, N) :- ProvidedRaw(S, K, N, S2), Rename(S, K, N, N2, S2).
+Visible(S, K, N, S2, N)  :- ProvidedRaw(S, K, N, S2), not RenamedAt(S, K, N, S2).
+Visible(S, type, N, S, N)   :- Type(T, N, S).
+Visible(S, var, N, S, N)    :- SchemaVar(S, N, T).
+Visible(S, schema, N, S2, N) :- SubSchema(S, S2), Schema(S2, N).
+"""
+
+NAMESPACE_CONSTRAINTS = """
+% --- the schema hierarchy is a tree ----------------------------------------
+constraint subschema_acyclic: denial:
+  SubSchema_t(X, X) ==> FALSE.
+
+constraint subschema_single_parent: uniqueness:
+  SubSchema(P1, C) & SubSchema(P2, C) ==> P1 = P2.
+
+constraint no_self_import: denial:
+  ImportRel(S, S) ==> FALSE.
+
+% --- public components must actually exist ---------------------------------
+constraint public_exists: existence:
+  PublicComp(S, K, N) ==> exists O, N0: Visible(S, K, N, O, N0).
+
+% --- renames must rename something provided by that source -----------------
+constraint rename_source_provides: existence:
+  Rename(S, K, N, N2, S2) ==> ProvidedRaw(S, K, N, S2).
+"""
+
+register_feature(FeatureModule(
+    name="namespaces",
+    predicates=NAMESPACE_PREDICATES,
+    rules_text=NAMESPACE_RULES,
+    constraints_text=NAMESPACE_CONSTRAINTS,
+    requires=("core",),
+    doc="Appendix A: schema hierarchy, visibility, imports, renaming",
+))
+
+
+# ---------------------------------------------------------------------------
+# Resolution helpers (plain queries over the deductive database)
+# ---------------------------------------------------------------------------
+
+
+def parent_schema(model: GomDatabase, sid: Id) -> Optional[Id]:
+    """The super schema of *sid*, if any."""
+    for fact in model.db.matching(Atom("SubSchema", (None, sid))):
+        return fact.args[0]
+    return None
+
+
+def child_schema(model: GomDatabase, sid: Id, name: str) -> Optional[Id]:
+    """The direct subschema of *sid* named *name*."""
+    for fact in model.db.matching(Atom("SubSchema", (sid, None))):
+        child = fact.args[1]
+        for schema_fact in model.db.matching(Atom("Schema", (child, name))):
+            return child
+    return None
+
+
+def root_schemas(model: GomDatabase) -> List[Id]:
+    """Schemas without a parent (candidates for absolute path roots)."""
+    result = []
+    for fact in model.db.facts("Schema"):
+        sid = fact.args[0]
+        if isinstance(sid, Id) and sid.label == "builtin":
+            continue
+        if parent_schema(model, sid) is None:
+            result.append(sid)
+    return sorted(result)
+
+
+def resolve_schema_path(model: GomDatabase, path: str,
+                        current: Optional[Id] = None) -> Id:
+    """Resolve an absolute or relative schema path (Appendix A.5).
+
+    Absolute paths start at a root schema (``/Company/CAD``); relative
+    paths start at a subschema of the enclosing schema or at ``..`` (the
+    super schema), iterable as ``../..``.
+    """
+    segments = [segment for segment in path.split("/") if segment]
+    if not segments:
+        raise NameResolutionError(f"empty schema path {path!r}")
+    if path.startswith("/"):
+        roots = {
+            name: sid
+            for sid in root_schemas(model)
+            for name in (model_schema_name(model, sid),)
+        }
+        first = segments[0]
+        if first not in roots:
+            raise NameResolutionError(
+                f"no root schema named {first!r} for path {path!r}")
+        position = roots[first]
+        remaining = segments[1:]
+    else:
+        if current is None:
+            raise NameResolutionError(
+                f"relative path {path!r} needs an enclosing schema")
+        position = current
+        remaining = segments
+    for segment in remaining:
+        if segment == "..":
+            parent = parent_schema(model, position)
+            if parent is None:
+                raise NameResolutionError(
+                    f"path {path!r}: {model_schema_name(model, position)!r} "
+                    f"has no super schema")
+            position = parent
+        else:
+            child = child_schema(model, position, segment)
+            if child is None:
+                raise NameResolutionError(
+                    f"path {path!r}: no subschema {segment!r} in "
+                    f"{model_schema_name(model, position)!r}")
+            position = child
+    return position
+
+
+def model_schema_name(model: GomDatabase, sid: Id) -> Optional[str]:
+    for fact in model.db.matching(Atom("Schema", (sid, None))):
+        return fact.args[1]
+    return None
+
+
+def visible_components(model: GomDatabase, sid: Id, kind: str,
+                       name: Optional[str] = None
+                       ) -> List[Tuple[str, Id, str]]:
+    """(visible name, origin schema, original name) entries at *sid*."""
+    pattern = Atom("Visible", (sid, kind, name, None, None))
+    return sorted(
+        (fact.args[2], fact.args[3], fact.args[4])
+        for fact in model.db.matching(pattern)
+    )
+
+
+def resolve_visible_type(model: GomDatabase, sid: Id, name: str) -> Optional[Id]:
+    """Resolve a type name through the visibility rules.
+
+    Raises :class:`NameConflictError` when two components of different
+    origins qualify — the paper's name conflict, which "has to be
+    resolved within the single schema using the components whose names
+    conflict" by renaming.
+    """
+    entries = visible_components(model, sid, "type", name)
+    origins = {(origin, original) for _visible, origin, original in entries}
+    if not origins:
+        return None
+    if len(origins) > 1:
+        described = ", ".join(
+            f"{original}@{model_schema_name(model, origin)}"
+            for origin, original in sorted(origins, key=repr)
+        )
+        raise NameConflictError(
+            f"type name {name!r} is ambiguous in schema "
+            f"{model_schema_name(model, sid)!r}: {described}; "
+            f"rename the imports to resolve the conflict")
+    origin, original = next(iter(origins))
+    return model.type_id(original, origin)

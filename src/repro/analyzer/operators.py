@@ -1,0 +1,403 @@
+"""User-defined complex schema-evolution operators (§2.1, §4.2).
+
+"Beside the manual execution of these steps, the user also has the
+possibility to abstract from this concrete case and to program a new
+parameterized complex schema evolution operator which will be added to
+the implementation of the Analyzer.  Note, that all other modules of the
+system are not touched by this extension."
+
+An operator is a named Python callable over ``(primitives, session,
+**params)``.  :class:`OperatorRegistry` is the extension point;
+:func:`standard_operators` is the developer-provided library the paper
+mentions, including:
+
+* three deletion semantics for types (a nod to Bocionek's observation
+  that even type deletion has many reasonable semantics);
+* the §2.1 example — adding an argument to a *used* operation, with
+  call-site discovery and optional textual fix-up;
+* the §4.2 worked example — introducing a subtype partition in a new
+  schema version with fashion-based reuse of old instances.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import EvolutionError, UnknownOperatorError
+from repro.datalog.terms import Atom
+from repro.gom.ids import Id
+from repro.analyzer.evolution import EvolutionPrimitives
+
+ComplexOperator = Callable[..., object]
+
+
+@dataclass(frozen=True)
+class OperatorInfo:
+    """A registered complex operator."""
+
+    name: str
+    func: ComplexOperator
+    doc: str
+
+
+class OperatorRegistry:
+    """Named complex evolution operators; users add their own freely."""
+
+    def __init__(self) -> None:
+        self._operators: Dict[str, OperatorInfo] = {}
+
+    def register(self, name: str, func: ComplexOperator,
+                 doc: str = "") -> None:
+        if name in self._operators:
+            raise EvolutionError(f"operator {name!r} already registered")
+        self._operators[name] = OperatorInfo(name=name, func=func,
+                                             doc=doc or (func.__doc__ or ""))
+
+    def names(self) -> List[str]:
+        return sorted(self._operators)
+
+    def info(self, name: str) -> OperatorInfo:
+        try:
+            return self._operators[name]
+        except KeyError:
+            raise UnknownOperatorError(
+                f"unknown complex operator {name!r}; "
+                f"registered: {', '.join(self.names())}") from None
+
+    def apply(self, name: str, primitives: EvolutionPrimitives,
+              **params) -> object:
+        """Run one operator inside the primitives' session."""
+        return self.info(name).func(primitives, **params)
+
+
+# ---------------------------------------------------------------------------
+# Library operators
+# ---------------------------------------------------------------------------
+
+
+def delete_type_restrict(primitives: EvolutionPrimitives, tid: Id) -> None:
+    """Delete a type only when nothing else references it."""
+    model = primitives.model
+    references: List[str] = []
+    for fact in model.db.matching(Atom("Attr", (None, None, tid))):
+        if fact.args[0] != tid:
+            references.append(f"attribute {fact.args[1]!r} of "
+                              f"{model.type_name(fact.args[0])!r}")
+    for fact in model.db.matching(Atom("SubTypRel", (None, tid))):
+        references.append(f"subtype {model.type_name(fact.args[0])!r}")
+    for fact in model.db.matching(Atom("Decl", (None, None, None, tid))):
+        if fact.args[1] != tid:
+            references.append(f"result of operation {fact.args[2]!r}")
+    for fact in model.db.matching(Atom("ArgDecl", (None, None, tid))):
+        references.append(f"argument of declaration {fact.args[0]}")
+    if references:
+        raise EvolutionError(
+            f"cannot delete type {model.type_name(tid)!r}: referenced by "
+            + "; ".join(sorted(set(references))))
+    _delete_type_and_members(primitives, tid)
+
+
+def delete_type_cascade(primitives: EvolutionPrimitives, tid: Id) -> None:
+    """Delete a type together with everything referring to it:
+    attributes with this domain, operations using it, and subtype edges.
+    Subtypes lose this supertype without replacement."""
+    model = primitives.model
+    for fact in list(model.db.matching(Atom("Attr", (None, None, tid)))):
+        if fact.args[0] != tid:
+            primitives.delete_attribute(fact.args[0], fact.args[1])
+    for fact in list(model.db.matching(Atom("Decl", (None, None, None,
+                                                     tid)))):
+        if fact.args[1] != tid:
+            primitives.delete_operation(fact.args[0])
+    for fact in list(model.db.matching(Atom("ArgDecl", (None, None, tid)))):
+        owner = None
+        for decl in model.db.matching(Atom("Decl", (fact.args[0], None,
+                                                    None, None))):
+            owner = decl.args[1]
+        if owner is not None and owner != tid:
+            primitives.delete_operation(fact.args[0])
+    for fact in list(model.db.matching(Atom("SubTypRel", (None, tid)))):
+        primitives.remove_supertype(fact.args[0], tid)
+    _delete_type_and_members(primitives, tid)
+
+
+def delete_type_reparent(primitives: EvolutionPrimitives, tid: Id) -> None:
+    """Delete a type, reconnecting its subtypes to its supertypes — the
+    "deleting nodes within the type hierarchy" library operator."""
+    model = primitives.model
+    supers = model.supertypes(tid)
+    subs = [fact.args[0]
+            for fact in model.db.matching(Atom("SubTypRel", (None, tid)))]
+    for sub in subs:
+        primitives.remove_supertype(sub, tid)
+        for super_tid in supers:
+            primitives.add_supertype(sub, super_tid)
+    delete_type_cascade(primitives, tid)
+
+
+def _delete_type_and_members(primitives: EvolutionPrimitives,
+                             tid: Id) -> None:
+    model = primitives.model
+    for fact in list(model.db.matching(Atom("Attr", (tid, None, None)))):
+        primitives.delete_attribute(tid, fact.args[1])
+    for fact in list(model.db.matching(Atom("Decl", (None, tid, None,
+                                                     None)))):
+        primitives.delete_operation(fact.args[0])
+    for fact in list(model.db.matching(Atom("SubTypRel", (tid, None)))):
+        primitives.remove_supertype(tid, fact.args[1])
+    for fact in list(model.db.matching(Atom("EnumValue", (tid, None)))):
+        primitives.session.remove(fact)
+    primitives.delete_type(tid)
+
+
+@dataclass
+class CallSite:
+    """One piece of code affected by a signature change (§2.1/§4.2)."""
+
+    code_id: Id
+    decl_id: Id
+    operation: str
+    code_text: str
+
+
+def add_argument_with_callsites(primitives: EvolutionPrimitives, did: Id,
+                                arg_type: Id,
+                                default_text: Optional[str] = None,
+                                ) -> List[CallSite]:
+    """The paper's §2.1 example: add an argument to a *used* operation.
+
+    Adds the argument declaration, then "finds out all relevant locations
+    [calls of this operation] and offers them to the user to do the
+    necessary change".  When *default_text* is given, call sites are
+    additionally fixed up textually by appending it as the new last
+    argument (the optional automated variant).
+    Returns the affected call sites.
+    """
+    model = primitives.model
+    opname = None
+    for fact in model.db.matching(Atom("Decl", (did, None, None, None))):
+        opname = fact.args[2]
+    if opname is None:
+        raise EvolutionError(f"unknown declaration {did!r}")
+    primitives.add_argument(did, arg_type)
+    sites: List[CallSite] = []
+    for req in model.db.matching(Atom("CodeReqDecl", (None, did))):
+        cid = req.args[0]
+        for code in model.db.matching(Atom("Code", (cid, None, None))):
+            sites.append(CallSite(code_id=cid, decl_id=code.args[2],
+                                  operation=opname,
+                                  code_text=code.args[1]))
+    if default_text is not None:
+        for site in sites:
+            fixed = _append_call_argument(site.code_text, opname,
+                                          default_text)
+            if fixed != site.code_text:
+                primitives.set_code(site.decl_id, fixed)
+    return sites
+
+
+def _append_call_argument(code_text: str, opname: str,
+                          default_text: str) -> str:
+    """Append *default_text* as last argument of every ``.opname(...)``
+    call in *code_text* (textual fix-up; parenthesis-aware)."""
+    pattern = re.compile(r"\." + re.escape(opname) + r"\(")
+    result: List[str] = []
+    position = 0
+    for match in pattern.finditer(code_text):
+        open_paren = match.end() - 1
+        depth = 0
+        close = None
+        for index in range(open_paren, len(code_text)):
+            if code_text[index] == "(":
+                depth += 1
+            elif code_text[index] == ")":
+                depth -= 1
+                if depth == 0:
+                    close = index
+                    break
+        if close is None:
+            continue
+        inner = code_text[open_paren + 1:close].strip()
+        separator = ", " if inner else ""
+        result.append(code_text[position:close])
+        result.append(separator + default_text)
+        position = close
+    result.append(code_text[position:])
+    return "".join(result)
+
+
+def introduce_subtype_partition(
+    primitives: EvolutionPrimitives,
+    old_tid: Id,
+    new_schema_name: str,
+    evolved_variant: str,
+    other_variants: Sequence[str],
+    discriminator_op: str,
+    discriminator_sort: str,
+    discriminator_values: Sequence[str],
+    variant_codes: Dict[str, str],
+) -> Dict[str, Id]:
+    """The §4.2 worked example as a reusable operator.
+
+    Evolves *old_tid* (e.g. ``Car@CarSchema``) into a new schema version
+    that partitions it into subtypes (``PolluterCar``/``CatalystCar`` of
+    a fresh ``Car``), each with a discriminating operation
+    (``fuel: -> Fuel``), and masks old instances as the evolved variant
+    via **fashion**.  ``variant_codes`` maps each variant name to the
+    body of its discriminating operation in canonical code-text form.
+
+    Executes the paper's seven steps; returns the created ids by name.
+    Requires the ``versioning`` and ``fashion`` features.
+    """
+    model = primitives.model
+    session = primitives.session
+    old_schema = model.schema_of_type(old_tid)
+    old_name = model.type_name(old_tid)
+    if old_schema is None or old_name is None:
+        raise EvolutionError(f"unknown type {old_tid!r}")
+    created: Dict[str, Id] = {}
+
+    # Step 0 (implied): the new schema version.
+    new_sid = primitives.add_schema(new_schema_name)
+    primitives.add_schema_version(old_schema, new_sid)
+    created[new_schema_name] = new_sid
+
+    # Step 1+2: the evolved variant, as an evolution of the old type.
+    variant_tid = primitives.add_type(new_sid, evolved_variant)
+    primitives.add_type_version(old_tid, variant_tid)
+    created[evolved_variant] = variant_tid
+
+    # The discriminating enum sort.
+    sort_tid = primitives.add_enum_sort(new_sid, discriminator_sort,
+                                        discriminator_values)
+    created[discriminator_sort] = sort_tid
+
+    # Step 4: a new base type with the same textual definition as the old.
+    base_tid = primitives.add_type(new_sid, old_name)
+    created[old_name] = base_tid
+    for name, domain in model.attributes(old_tid, inherited=False):
+        primitives.add_attribute(base_tid, name, domain)
+    old_decls: Dict[str, Tuple[Id, Id]] = {}
+    for did, opname, result_tid in model.declarations(old_tid,
+                                                      inherited=False):
+        arg_tids = model.arg_types(did)
+        code = model.code_for(did)
+        new_did = primitives.add_operation(
+            base_tid, opname, arg_tids, result_tid,
+            code_text=code[1] if code else None)
+        old_decls[opname] = (did, new_did)
+
+    # Step 5: the other variants.
+    variant_tids: Dict[str, Id] = {evolved_variant: variant_tid}
+    for name in other_variants:
+        variant_tids[name] = primitives.add_type(new_sid, name)
+        created[name] = variant_tids[name]
+
+    # Step 3 + 6: subtype edges and the discriminating operation.
+    for name, tid in variant_tids.items():
+        primitives.add_supertype(tid, base_tid)
+        if name not in variant_codes:
+            raise EvolutionError(
+                f"no discriminator code supplied for variant {name!r}")
+        primitives.add_operation(tid, discriminator_op, (), sort_tid,
+                                 code_text=variant_codes[name])
+
+    # Step 7: fashion — old instances reusable as the evolved variant.
+    primitives.add_fashion_type(old_tid, variant_tid)
+    for name, _domain in model.attributes(variant_tid, inherited=True):
+        primitives.add_fashion_attr(
+            variant_tid, name, old_tid,
+            read_code=f"{name}() is return self.{name}",
+            write_code=f"{name}(v) is self.{name} := v;",
+        )
+    for did, opname, _result in model.declarations(variant_tid,
+                                                   inherited=True):
+        if opname == discriminator_op:
+            code = variant_codes[evolved_variant]
+        else:
+            existing = model.code_for(did)
+            if existing is None and opname in old_decls:
+                existing = model.code_for(old_decls[opname][1])
+            code = existing[1] if existing else (
+                f"{opname}() is return self.{opname}()")
+        primitives.add_fashion_decl(did, old_tid, code)
+    return created
+
+
+def derive_schema_version(primitives: EvolutionPrimitives, old_sid: Id,
+                          new_name: str) -> Dict[str, Id]:
+    """Derive a complete new schema version (Kim & Chou style, [16]).
+
+    Copies every type of the old schema — attributes, operation
+    declarations with arguments and code, subtype and refinement edges,
+    enum values — into a fresh schema, records ``evolves_to_S`` and
+    per-type ``evolves_to_T`` edges, and leaves the old version intact:
+    "since the old schema version is available still, we cannot get into
+    schema-object inconsistencies as long as we do not change the old
+    schema, but simply add new schema versions."
+
+    Intra-schema references are remapped to the new types; references to
+    types of other schemas (and built-ins) are kept.  Returns the new ids
+    keyed by type name plus the new schema id under ``new_name``.
+    Requires the ``versioning`` feature.
+    """
+    model = primitives.model
+    new_sid = primitives.add_schema(new_name)
+    primitives.add_schema_version(old_sid, new_sid)
+    created: Dict[str, Id] = {new_name: new_sid}
+    mapping: Dict[Id, Id] = {}
+    old_types = sorted(
+        (fact.args[0], fact.args[1])
+        for fact in model.db.matching(Atom("Type", (None, None, old_sid)))
+    )
+    for old_tid, type_name in old_types:
+        new_tid = primitives.add_type(new_sid, type_name)
+        mapping[old_tid] = new_tid
+        created[type_name] = new_tid
+        for value in model.enum_values(old_tid):
+            primitives.session.add(Atom("EnumValue", (new_tid, value)))
+        primitives.add_type_version(old_tid, new_tid)
+
+    def remap(tid: Id) -> Id:
+        return mapping.get(tid, tid)
+
+    decl_mapping: Dict[Id, Id] = {}
+    for old_tid, type_name in old_types:
+        new_tid = mapping[old_tid]
+        for attr_name, domain in model.attributes(old_tid,
+                                                  inherited=False):
+            primitives.add_attribute(new_tid, attr_name, remap(domain))
+        for super_tid in model.supertypes(old_tid):
+            primitives.add_supertype(new_tid, remap(super_tid))
+        for did, opname, result_tid in model.declarations(old_tid,
+                                                          inherited=False):
+            arg_tids = [remap(t) for t in model.arg_types(did)]
+            code = model.code_for(did)
+            new_did = primitives.add_operation(
+                new_tid, opname, arg_tids, remap(result_tid),
+                code_text=code[1] if code else None)
+            decl_mapping[did] = new_did
+    for old_did, new_did in decl_mapping.items():
+        for fact in model.db.matching(Atom("DeclRefinement",
+                                           (old_did, None))):
+            refined = fact.args[1]
+            if refined in decl_mapping:
+                primitives.add_refinement_edge(new_did,
+                                               decl_mapping[refined])
+    return created
+
+
+def standard_operators() -> OperatorRegistry:
+    """The developer-provided operator library the paper envisions."""
+    registry = OperatorRegistry()
+    registry.register("delete_type_restrict", delete_type_restrict)
+    registry.register("delete_type_cascade", delete_type_cascade)
+    registry.register("delete_type_reparent", delete_type_reparent)
+    registry.register("add_argument_with_callsites",
+                      add_argument_with_callsites)
+    registry.register("introduce_subtype_partition",
+                      introduce_subtype_partition)
+    registry.register("derive_schema_version", derive_schema_version)
+    return registry

@@ -1,0 +1,677 @@
+"""Recursive-descent parser for the GOM schema-definition language.
+
+Covers everything the paper writes: type frames with attribute bodies,
+``operations`` / ``refine`` / ``implementation`` sections (both the
+``declare name : T1, T2 -> T`` and the ``name : || T1, T2 -> T`` spelling),
+enum sorts, the ``fashion`` clause of §4.1, and the Appendix-A schema
+frames with ``public`` / ``interface`` / ``implementation`` sections,
+``subschema`` and ``import`` clauses with renaming, and schema paths.
+
+Operation bodies are parsed into the code AST of
+:mod:`repro.analyzer.ast_nodes`; their canonical source text
+(``name(params) is <body>``) is what gets stored in ``Code`` facts, and
+:func:`parse_code_text` re-parses it for the interpreting runtime.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import GomSyntaxError
+from repro.analyzer import ast_nodes as ast
+from repro.analyzer.lexer import Token, tokenize
+
+_RENAME_KINDS = ("type", "var", "operation", "schema")
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._tokens = tokenize(source)
+        self._position = 0
+
+    # -- token plumbing ----------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._position + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> GomSyntaxError:
+        token = token or self._peek()
+        return GomSyntaxError(message, token.line, token.column)
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise self._error(f"expected {word!r}, found {token.text!r}")
+        return self._advance()
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(text):
+            raise self._error(f"expected {text!r}, found {token.text!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind != "ident":
+            raise self._error(f"expected an identifier, found {token.text!r}")
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> Optional[Token]:
+        if self._peek().is_keyword(word):
+            return self._advance()
+        return None
+
+    def _accept_punct(self, text: str) -> Optional[Token]:
+        if self._peek().is_punct(text):
+            return self._advance()
+        return None
+
+    def at_end(self) -> bool:
+        return self._peek().kind == "eof"
+
+    # -- source units -------------------------------------------------------------
+
+    def parse_source(self) -> ast.SourceUnit:
+        schemas: List[ast.SchemaDef] = []
+        fashions: List[ast.FashionDef] = []
+        while not self.at_end():
+            token = self._peek()
+            if token.is_keyword("schema"):
+                schemas.append(self._parse_schema())
+            elif token.is_keyword("fashion"):
+                fashions.append(self._parse_fashion())
+            else:
+                raise self._error(
+                    f"expected 'schema' or 'fashion', found {token.text!r}")
+        return ast.SourceUnit(tuple(schemas), tuple(fashions))
+
+    # -- schema frames -------------------------------------------------------------
+
+    def _parse_schema(self) -> ast.SchemaDef:
+        self._expect_keyword("schema")
+        name = self._expect_ident().text
+        self._expect_keyword("is")
+        public: List[Tuple[str, str]] = []
+        if self._accept_keyword("public"):
+            public.append(self._parse_public_item())
+            while self._accept_punct(","):
+                public.append(self._parse_public_item())
+            self._expect_punct(";")
+        interface: List[ast.SchemaComponent] = []
+        implementation: List[ast.SchemaComponent] = []
+        # Sectioned (Appendix A) or flat (§3) layout.
+        if self._peek().is_keyword("interface") \
+                or self._peek().is_keyword("implementation"):
+            if self._accept_keyword("interface"):
+                interface.extend(self._parse_components())
+            if self._accept_keyword("implementation"):
+                implementation.extend(self._parse_components())
+        else:
+            interface.extend(self._parse_components())
+        self._expect_keyword("end")
+        self._expect_keyword("schema")
+        closing = self._expect_ident().text
+        if closing != name:
+            raise self._error(
+                f"schema frame {name!r} closed as {closing!r}")
+        self._expect_punct(";")
+        return ast.SchemaDef(name=name, public=tuple(public),
+                             interface=tuple(interface),
+                             implementation=tuple(implementation))
+
+    def _parse_public_item(self) -> Tuple[str, str]:
+        kind = ""
+        for candidate in _RENAME_KINDS:
+            if self._peek().is_keyword(candidate):
+                kind = self._advance().text
+                break
+        name = self._expect_ident().text
+        return kind, name
+
+    def _parse_components(self) -> List[ast.SchemaComponent]:
+        components: List[ast.SchemaComponent] = []
+        while True:
+            token = self._peek()
+            if token.is_keyword("type"):
+                components.append(self._parse_type())
+            elif token.is_keyword("sort"):
+                components.append(self._parse_sort())
+            elif token.is_keyword("var"):
+                components.append(self._parse_var())
+            elif token.is_keyword("subschema"):
+                components.append(self._parse_subschema())
+            elif token.is_keyword("import"):
+                components.append(self._parse_import())
+            else:
+                return components
+
+    # -- type frames -----------------------------------------------------------------
+
+    def _parse_type(self) -> ast.TypeDef:
+        self._expect_keyword("type")
+        name = self._expect_ident().text
+        supertypes: List[ast.TypeRef] = []
+        if self._accept_keyword("supertype"):
+            supertypes.append(self._parse_typeref())
+            while self._accept_punct(","):
+                supertypes.append(self._parse_typeref())
+        self._expect_keyword("is")
+        attributes: List[ast.AttrDef] = []
+        operations: List[ast.OpDecl] = []
+        implementations: List[ast.OpImpl] = []
+        if self._accept_punct("["):
+            while not self._accept_punct("]"):
+                attributes.append(self._parse_attr())
+        while True:
+            if self._accept_keyword("operations"):
+                operations.extend(self._parse_op_decls(refines=False))
+            elif self._accept_keyword("refine"):
+                operations.extend(self._parse_op_decls(refines=True))
+            elif self._accept_keyword("implementation"):
+                implementations.extend(self._parse_op_impls())
+            else:
+                break
+        self._expect_keyword("end")
+        self._expect_keyword("type")
+        closing = self._expect_ident().text
+        if closing != name:
+            raise self._error(f"type frame {name!r} closed as {closing!r}")
+        self._expect_punct(";")
+        return ast.TypeDef(name=name, supertypes=tuple(supertypes),
+                           attributes=tuple(attributes),
+                           operations=tuple(operations),
+                           implementations=tuple(implementations))
+
+    def _parse_attr(self) -> ast.AttrDef:
+        name = self._expect_ident().text
+        self._expect_punct(":")
+        domain = self._parse_typeref()
+        self._expect_punct(";")
+        return ast.AttrDef(name=name, domain=domain)
+
+    def _parse_typeref(self) -> ast.TypeRef:
+        name = self._expect_ident().text
+        schema: Optional[str] = None
+        if self._accept_punct("@"):
+            schema = self._expect_ident().text
+        return ast.TypeRef(name=name, schema=schema)
+
+    def _parse_op_decls(self, refines: bool) -> List[ast.OpDecl]:
+        declarations: List[ast.OpDecl] = []
+        while True:
+            token = self._peek()
+            if token.is_keyword("declare"):
+                self._advance()
+                declarations.append(self._parse_op_decl_tail(refines))
+            elif token.kind == "ident" and self._peek(1).is_punct(":"):
+                declarations.append(self._parse_op_decl_tail(refines))
+            else:
+                return declarations
+
+    def _parse_op_decl_tail(self, refines: bool) -> ast.OpDecl:
+        name = self._expect_ident().text
+        self._expect_punct(":")
+        self._accept_dpipe()
+        arg_types: List[ast.TypeRef] = []
+        if self._peek().kind != "arrow":
+            arg_types.append(self._parse_typeref())
+            while self._accept_punct(","):
+                arg_types.append(self._parse_typeref())
+        if self._peek().kind != "arrow":
+            raise self._error("expected '->' in operation signature")
+        self._advance()
+        result = self._parse_typeref()
+        self._expect_punct(";")
+        return ast.OpDecl(name=name, arg_types=tuple(arg_types),
+                          result_type=result, refines=refines)
+
+    def _accept_dpipe(self) -> bool:
+        if self._peek().kind == "dpipe":
+            self._advance()
+            return True
+        return False
+
+    def _parse_op_impls(self) -> List[ast.OpImpl]:
+        implementations: List[ast.OpImpl] = []
+        while self._peek().is_keyword("define") or (
+            self._peek().kind == "ident" and self._peek(1).is_punct("(")
+        ):
+            implementations.append(self._parse_op_impl())
+        return implementations
+
+    def _parse_op_impl(self) -> ast.OpImpl:
+        """``[define] name(params) is <body>``.
+
+        Two terminations, both used by the paper: a block body's closing
+        ``end`` doubles as the frame closer (``is begin … end
+        changeLocation;``), and a single-statement body simply ends with
+        the statement (``define fuel is return leaded;``).
+        """
+        self._accept_keyword("define")
+        name = self._expect_ident().text
+        params: List[str] = []
+        if self._accept_punct("("):
+            if not self._accept_punct(")"):
+                params.append(self._expect_ident().text)
+                while self._accept_punct(","):
+                    params.append(self._expect_ident().text)
+                self._expect_punct(")")
+        self._expect_keyword("is")
+        body_start = self._peek().offset
+        if self._peek().is_keyword("begin"):
+            self._advance()
+            statements: List[ast.Stmt] = []
+            while not self._peek().is_keyword("end"):
+                statements.append(self._parse_stmt())
+            body_end = self._peek().offset
+            self._expect_keyword("end")
+            body = ast.Block(tuple(statements))
+            token = self._peek()
+            if token.is_keyword("define"):
+                self._advance()
+            elif token.kind == "ident":
+                closing = self._advance().text
+                if closing != name:
+                    raise self._error(
+                        f"implementation of {name!r} closed as {closing!r}")
+            self._expect_punct(";")
+            body_text = "begin " + self._source[
+                body_start + len("begin"):body_end].strip() + " end"
+        else:
+            body = ast.Block((self._parse_stmt(),))
+            body_end = self._peek().offset
+            body_text = self._source[body_start:body_end].strip()
+        source_text = f"{name}({', '.join(params)}) is {body_text}"
+        return ast.OpImpl(name=name, params=tuple(params), body=body,
+                          source_text=source_text)
+
+    # -- sorts, vars ---------------------------------------------------------------------
+
+    def _parse_sort(self) -> ast.SortDef:
+        self._expect_keyword("sort")
+        name = self._expect_ident().text
+        self._expect_keyword("is")
+        self._expect_keyword("enum")
+        self._expect_punct("(")
+        values = [self._expect_ident().text]
+        while self._accept_punct(","):
+            values.append(self._expect_ident().text)
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.SortDef(name=name, values=tuple(values))
+
+    def _parse_var(self) -> ast.VarDef:
+        self._expect_keyword("var")
+        name = self._expect_ident().text
+        self._expect_punct(":")
+        domain = self._parse_typeref()
+        self._expect_punct(";")
+        return ast.VarDef(name=name, domain=domain)
+
+    # -- subschema / import (Appendix A) ----------------------------------------------------
+
+    def _parse_subschema(self) -> ast.SubschemaClause:
+        self._expect_keyword("subschema")
+        name = self._expect_ident().text
+        renames: List[ast.RenameItem] = []
+        if self._accept_keyword("with"):
+            renames = self._parse_renames()
+            self._expect_keyword("end")
+            self._expect_keyword("subschema")
+            closing = self._expect_ident().text
+            if closing != name:
+                raise self._error(
+                    f"subschema clause {name!r} closed as {closing!r}")
+        self._expect_punct(";")
+        return ast.SubschemaClause(name=name, renames=tuple(renames))
+
+    def _parse_import(self) -> ast.ImportClause:
+        self._expect_keyword("import")
+        path = self._parse_schema_path()
+        renames: List[ast.RenameItem] = []
+        if self._accept_keyword("with"):
+            renames = self._parse_renames()
+        self._expect_keyword("end")
+        self._expect_keyword("import")
+        self._expect_punct(";")
+        return ast.ImportClause(path=path, renames=tuple(renames))
+
+    def _parse_schema_path(self) -> str:
+        parts: List[str] = []
+        absolute = bool(self._accept_punct("/"))
+        while True:
+            token = self._peek()
+            if token.kind == "dots":
+                self._advance()
+                parts.append("..")
+            elif token.kind == "ident":
+                parts.append(self._advance().text)
+            else:
+                raise self._error("expected a schema path segment")
+            if not self._accept_punct("/"):
+                break
+        return ("/" if absolute else "") + "/".join(parts)
+
+    def _parse_renames(self) -> List[ast.RenameItem]:
+        renames: List[ast.RenameItem] = []
+        while any(self._peek().is_keyword(kind) for kind in _RENAME_KINDS):
+            kind = self._advance().text
+            old_name = self._expect_ident().text
+            self._expect_keyword("as")
+            new_name = self._expect_ident().text
+            self._expect_punct(";")
+            renames.append(ast.RenameItem(kind=kind, old_name=old_name,
+                                          new_name=new_name))
+        return renames
+
+    # -- fashion (§4.1) ------------------------------------------------------------------------
+
+    def _parse_fashion(self) -> ast.FashionDef:
+        self._expect_keyword("fashion")
+        subject = self._parse_typeref()
+        self._expect_keyword("as")
+        target = self._parse_typeref()
+        self._expect_keyword("where")
+        attributes: List[ast.FashionAttrDef] = []
+        operations: List[ast.FashionOpDef] = []
+        while True:
+            if self._accept_keyword("attr"):
+                attributes.append(self._parse_fashion_attr())
+            elif self._accept_keyword("op"):
+                operations.append(self._parse_fashion_op())
+            else:
+                break
+        self._expect_keyword("end")
+        self._expect_keyword("fashion")
+        self._expect_punct(";")
+        return ast.FashionDef(subject=subject, target=target,
+                              attributes=tuple(attributes),
+                              operations=tuple(operations))
+
+    def _parse_fashion_attr(self) -> ast.FashionAttrDef:
+        name = self._expect_ident().text
+        self._expect_punct(":")
+        domain = self._parse_typeref()
+        self._expect_keyword("read")
+        self._expect_keyword("is")
+        read_start = self._peek().offset
+        read_body = self._parse_accessor_body()
+        read_end = self._peek().offset
+        self._expect_keyword("write")
+        self._expect_punct("(")
+        write_param = self._expect_ident().text
+        self._expect_punct(")")
+        self._expect_keyword("is")
+        write_start = self._peek().offset
+        write_body = self._parse_accessor_body()
+        write_end = self._peek().offset
+        self._accept_punct(";")  # optional: single statements end themselves
+        read_text = f"{name}() is {self._source[read_start:read_end].strip()}"
+        write_text = (f"{name}({write_param}) is "
+                      f"{self._source[write_start:write_end].strip()}")
+        return ast.FashionAttrDef(
+            name=name, domain=domain, read_body=read_body,
+            write_param=write_param, write_body=write_body,
+            read_text=read_text, write_text=write_text,
+        )
+
+    def _parse_accessor_body(self) -> ast.Block:
+        """A block, a statement, an assignment, or a bare expression
+        (implicit return) — fashion accessors use all four shapes."""
+        token = self._peek()
+        if token.is_keyword("begin") or token.is_keyword("return") \
+                or token.is_keyword("if"):
+            return self._parse_body()
+        expr = self._parse_expr()
+        if self._peek().kind == "assign":
+            self._advance()
+            value = self._parse_expr()
+            self._accept_punct(";")
+            if not isinstance(expr, (ast.AttrAccess, ast.Name)):
+                raise self._error("assignment target must be an attribute "
+                                  "access or a variable")
+            return ast.Block((ast.Assign(target=expr, value=value),))
+        return ast.Block((ast.Return(expr),))
+
+    def _parse_fashion_op(self) -> ast.FashionOpDef:
+        name = self._expect_ident().text
+        params: List[str] = []
+        if self._accept_punct("("):
+            if not self._accept_punct(")"):
+                params.append(self._expect_ident().text)
+                while self._accept_punct(","):
+                    params.append(self._expect_ident().text)
+                self._expect_punct(")")
+        self._expect_keyword("is")
+        body_start = self._peek().offset
+        body = self._parse_body()
+        body_end = self._peek().offset
+        self._accept_punct(";")  # optional: single statements end themselves
+        body_text = self._source[body_start:body_end].strip()
+        source_text = f"{name}({', '.join(params)}) is {body_text}"
+        return ast.FashionOpDef(name=name, params=tuple(params), body=body,
+                                source_text=source_text)
+
+    # -- statements -----------------------------------------------------------------------------
+
+    def _parse_body(self) -> ast.Block:
+        """A ``begin … end`` block or a single statement."""
+        if self._accept_keyword("begin"):
+            statements: List[ast.Stmt] = []
+            while not self._accept_keyword("end"):
+                statements.append(self._parse_stmt())
+            return ast.Block(tuple(statements))
+        return ast.Block((self._parse_stmt(),))
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._peek()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("return"):
+            self._advance()
+            if self._accept_punct(";"):
+                return ast.Return(None)
+            expr = self._parse_expr()
+            self._expect_punct(";")
+            return ast.Return(expr)
+        if token.is_keyword("begin"):
+            return self._parse_body()
+        expr = self._parse_expr()
+        if self._peek().kind == "assign":
+            self._advance()
+            value = self._parse_expr()
+            self._expect_punct(";")
+            if not isinstance(expr, (ast.AttrAccess, ast.Name)):
+                raise self._error("assignment target must be an attribute "
+                                  "access or a variable")
+            return ast.Assign(target=expr, value=value)
+        self._expect_punct(";")
+        return ast.ExprStmt(expr)
+
+    def _parse_if(self) -> ast.If:
+        self._expect_keyword("if")
+        self._expect_punct("(")
+        condition = self._parse_expr()
+        self._expect_punct(")")
+        then_block = self._parse_body()
+        else_block: Optional[ast.Block] = None
+        if self._accept_keyword("else"):
+            else_block = self._parse_body()
+        return ast.If(condition=condition, then_block=then_block,
+                      else_block=else_block)
+
+    # -- expressions -------------------------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            right = self._parse_and()
+            left = ast.BinOp("or", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._accept_keyword("and"):
+            right = self._parse_not()
+            left = ast.BinOp("and", left, right)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept_keyword("not"):
+            return ast.UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind == "op" or token.is_punct("="):
+            op = self._advance().text
+            if op == "=":
+                op = "=="
+            right = self._parse_additive()
+            return ast.BinOp(op, left, right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_term()
+        while True:
+            if self._accept_punct("+"):
+                left = ast.BinOp("+", left, self._parse_term())
+            elif self._accept_punct("-"):
+                left = ast.BinOp("-", left, self._parse_term())
+            else:
+                return left
+
+    def _parse_term(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            if self._accept_punct("*"):
+                left = ast.BinOp("*", left, self._parse_unary())
+            elif self._accept_punct("/"):
+                left = ast.BinOp("/", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._accept_punct("-"):
+            return ast.UnaryOp("-", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self._accept_punct("."):
+            member = self._expect_ident().text
+            if self._accept_punct("("):
+                args: List[ast.Expr] = []
+                if not self._accept_punct(")"):
+                    args.append(self._parse_expr())
+                    while self._accept_punct(","):
+                        args.append(self._parse_expr())
+                    self._expect_punct(")")
+                expr = ast.MethodCall(receiver=expr, op=member,
+                                      args=tuple(args))
+            else:
+                expr = ast.AttrAccess(receiver=expr, attr=member)
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return ast.Literal(value)
+        if token.kind == "string":
+            self._advance()
+            return ast.Literal(token.text[1:-1])
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("self"):
+            self._advance()
+            return ast.SelfRef()
+        if token.is_keyword("super"):
+            self._advance()
+            self._expect_punct(".")
+            op = self._expect_ident().text
+            self._expect_punct("(")
+            args: List[ast.Expr] = []
+            if not self._accept_punct(")"):
+                args.append(self._parse_expr())
+                while self._accept_punct(","):
+                    args.append(self._parse_expr())
+                self._expect_punct(")")
+            return ast.SuperCall(op=op, args=tuple(args))
+        if token.kind == "ident":
+            self._advance()
+            if self._accept_punct("("):
+                args = []
+                if not self._accept_punct(")"):
+                    args.append(self._parse_expr())
+                    while self._accept_punct(","):
+                        args.append(self._parse_expr())
+                    self._expect_punct(")")
+                return ast.FuncCall(func=token.text, args=tuple(args))
+            return ast.Name(token.text)
+        if token.is_punct("("):
+            self._advance()
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        raise self._error(f"expected an expression, found {token.text!r}")
+
+
+def parse_source(source: str) -> ast.SourceUnit:
+    """Parse a complete GOM source file."""
+    return _Parser(source).parse_source()
+
+
+def parse_code_text(text: str) -> Tuple[str, Tuple[str, ...], ast.Block]:
+    """Parse canonical stored code text ``name(params) is <body>``.
+
+    This is what the runtime system uses to interpret a ``Code`` fact's
+    text.  Returns (operation name, parameter names, body block).
+    """
+    parser = _Parser(text)
+    name = parser._expect_ident().text
+    params: List[str] = []
+    if parser._accept_punct("("):
+        if not parser._accept_punct(")"):
+            params.append(parser._expect_ident().text)
+            while parser._accept_punct(","):
+                params.append(parser._expect_ident().text)
+            parser._expect_punct(")")
+    parser._expect_keyword("is")
+    # Accessor-style parsing accepts every stored shape: blocks,
+    # single statements, bare expressions (implicit return), and
+    # assignments (fashion write accessors).
+    body = parser._parse_accessor_body()
+    if not parser.at_end():
+        token = parser._peek()
+        raise GomSyntaxError("trailing input after code body",
+                             token.line, token.column)
+    return name, tuple(params), body
+
+
+def parse_expression(text: str) -> ast.Expr:
+    """Parse a standalone expression (used in tests and tools)."""
+    parser = _Parser(text)
+    expr = parser._parse_expr()
+    if not parser.at_end():
+        token = parser._peek()
+        raise GomSyntaxError("trailing input after expression",
+                             token.line, token.column)
+    return expr

@@ -1,0 +1,300 @@
+"""Translation of parsed GOM definitions into base-predicate deltas.
+
+Each call of an update operation "will be mapped to corresponding
+modifications of the schema base … via calling the modify operation of
+the Consistency Control" — the translator never touches relations
+directly, it only issues :meth:`EvolutionSession.modify` calls.
+
+Translation is two-pass per source unit: first every type and sort fact
+is created (so types may reference each other in any order), then
+supertypes, attributes, operation declarations, refinements, and code
+are translated, with code bodies analyzed into ``CodeReq*`` facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AnalyzerError, NameResolutionError
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.gom.ids import Id
+from repro.gom.model import GomDatabase
+from repro.analyzer import ast_nodes as ast
+from repro.analyzer.codeanalysis import CodeAnalyzer
+from repro.control.session import EvolutionSession
+
+
+@dataclass
+class TranslationResult:
+    """Identifiers created while translating one source unit."""
+
+    schema_ids: Dict[str, Id] = field(default_factory=dict)
+    type_ids: Dict[Tuple[str, str], Id] = field(default_factory=dict)
+    decl_ids: Dict[Tuple[Id, str], Id] = field(default_factory=dict)
+    code_ids: Dict[Id, Id] = field(default_factory=dict)  # decl -> code
+
+    def schema(self, name: str) -> Id:
+        return self.schema_ids[name]
+
+    def type(self, schema: str, name: str) -> Id:
+        return self.type_ids[(schema, name)]
+
+    def decl(self, schema: str, type_name: str, op: str) -> Id:
+        return self.decl_ids[(self.type(schema, type_name), op)]
+
+
+class Translator:
+    """Maps definition ASTs to modify() calls on an evolution session."""
+
+    def __init__(self, model: GomDatabase, session: EvolutionSession,
+                 record_dynamic_calls: bool = True) -> None:
+        self.model = model
+        self.session = session
+        self.code_analyzer = CodeAnalyzer(
+            model, record_dynamic_calls=record_dynamic_calls)
+
+    # -- entry point -----------------------------------------------------------
+
+    def translate_unit(self, unit: ast.SourceUnit) -> TranslationResult:
+        result = TranslationResult()
+        # Pass 1: schemas, types, and sorts (so references resolve).
+        for schema_def in unit.schemas:
+            self._declare_schema(schema_def, result)
+        # Pass 2: everything referring to types.
+        for schema_def in unit.schemas:
+            self._populate_schema(schema_def, result)
+        for fashion_def in unit.fashions:
+            self.translate_fashion(fashion_def, result)
+        return result
+
+    # -- pass 1 ------------------------------------------------------------------
+
+    def _declare_schema(self, schema_def: ast.SchemaDef,
+                        result: TranslationResult) -> None:
+        existing = self.model.schema_id(schema_def.name)
+        if existing is not None:
+            raise AnalyzerError(f"schema {schema_def.name!r} already exists")
+        sid = self.model.ids.schema()
+        result.schema_ids[schema_def.name] = sid
+        self.session.add(Atom("Schema", (sid, schema_def.name)))
+        for component in schema_def.components():
+            if isinstance(component, ast.TypeDef):
+                tid = self.model.ids.type()
+                result.type_ids[(schema_def.name, component.name)] = tid
+                self.session.add(Atom("Type", (tid, component.name, sid)))
+            elif isinstance(component, ast.SortDef):
+                tid = self.model.ids.type()
+                result.type_ids[(schema_def.name, component.name)] = tid
+                self.session.add(Atom("Type", (tid, component.name, sid)))
+                for value in component.values:
+                    self.session.add(Atom("EnumValue", (tid, value)))
+
+    # -- pass 2 ------------------------------------------------------------------
+
+    def _populate_schema(self, schema_def: ast.SchemaDef,
+                         result: TranslationResult) -> None:
+        sid = result.schema_ids[schema_def.name]
+        for component in schema_def.components():
+            if isinstance(component, ast.TypeDef):
+                self._populate_type(schema_def, sid, component, result)
+            elif isinstance(component, ast.VarDef):
+                self._translate_var(schema_def, sid, component, result)
+            elif isinstance(component, ast.SubschemaClause):
+                self._translate_subschema(sid, component)
+            elif isinstance(component, ast.ImportClause):
+                self._translate_import(sid, component)
+        for kind, name in schema_def.public:
+            self._translate_public(sid, kind, name)
+
+    def _populate_type(self, schema_def: ast.SchemaDef, sid: Id,
+                       type_def: ast.TypeDef,
+                       result: TranslationResult) -> None:
+        tid = result.type_ids[(schema_def.name, type_def.name)]
+        for super_ref in type_def.supertypes:
+            super_tid = self.resolve_type(super_ref, schema_def.name, result)
+            self.session.add(Atom("SubTypRel", (tid, super_tid)))
+        for attr_def in type_def.attributes:
+            domain = self.resolve_type(attr_def.domain, schema_def.name,
+                                       result)
+            self.session.add(Atom("Attr", (tid, attr_def.name, domain)))
+        for op_decl in type_def.operations:
+            self._translate_decl(tid, op_decl, schema_def.name, result)
+        for impl in type_def.implementations:
+            self._translate_impl(tid, impl, result)
+
+    def _translate_decl(self, tid: Id, op_decl: ast.OpDecl, schema_name: str,
+                        result: TranslationResult) -> Id:
+        did = self.model.ids.decl()
+        result.decl_ids[(tid, op_decl.name)] = did
+        result_tid = self.resolve_type(op_decl.result_type, schema_name,
+                                       result)
+        self.session.add(Atom("Decl", (did, tid, op_decl.name, result_tid)))
+        for number, arg_ref in enumerate(op_decl.arg_types, start=1):
+            arg_tid = self.resolve_type(arg_ref, schema_name, result)
+            self.session.add(Atom("ArgDecl", (did, number, arg_tid)))
+        if op_decl.refines:
+            refined = self._find_refined_decl(tid, op_decl.name)
+            if refined is None:
+                raise AnalyzerError(
+                    f"refine of {op_decl.name!r}: no declaration of that "
+                    f"name is visible at any supertype")
+            self.session.add(Atom("DeclRefinement", (did, refined)))
+        return did
+
+    def _find_refined_decl(self, tid: Id, opname: str) -> Optional[Id]:
+        """The declaration a ``refine`` entry refines: the nearest visible
+        declaration of that name above *tid*."""
+        frontier = self.model.supertypes(tid)
+        seen = set(frontier)
+        while frontier:
+            next_frontier: List[Id] = []
+            for super_tid in frontier:
+                did = self.model.decl_id(super_tid, opname)
+                if did is not None:
+                    return did
+                for upper in self.model.supertypes(super_tid):
+                    if upper not in seen:
+                        seen.add(upper)
+                        next_frontier.append(upper)
+            frontier = next_frontier
+        return None
+
+    def _translate_impl(self, tid: Id, impl: ast.OpImpl,
+                        result: TranslationResult) -> Id:
+        # With overloading several same-named declarations can exist;
+        # the implementation's parameter count selects the right one.
+        candidates = self.model.decl_candidates(tid, impl.name,
+                                                inherited=False)
+        if len(candidates) > 1:
+            by_arity = [candidate for candidate in candidates
+                        if len(self.model.arg_types(candidate))
+                        == len(impl.params)]
+            did = by_arity[0] if by_arity else None
+        elif candidates:
+            did = candidates[0]
+        else:
+            did = result.decl_ids.get((tid, impl.name))
+        if did is None:
+            raise AnalyzerError(
+                f"implementation of {impl.name!r} has no matching "
+                f"declaration in type {self.model.type_name(tid)!r}")
+        arg_tids = self.model.arg_types(did)
+        info = self.code_analyzer.analyze_impl(impl, tid, arg_tids)
+        cid = self.model.ids.code()
+        result.code_ids[did] = cid
+        self.session.add(Atom("Code", (cid, impl.source_text, did)))
+        self.session.modify(additions=info.facts(cid))
+        return cid
+
+    # -- Appendix A components -------------------------------------------------------
+
+    def _require_namespaces(self, construct: str) -> None:
+        if not self.model.db.is_base("SubSchema"):
+            raise AnalyzerError(
+                f"{construct} requires the 'namespaces' feature; create the "
+                f"model with features=(..., 'namespaces')")
+
+    def _translate_var(self, schema_def: ast.SchemaDef, sid: Id,
+                       var_def: ast.VarDef, result: TranslationResult) -> None:
+        self._require_namespaces("schema variables")
+        domain = self.resolve_type(var_def.domain, schema_def.name, result)
+        self.session.add(Atom("SchemaVar", (sid, var_def.name, domain)))
+
+    def _translate_subschema(self, sid: Id,
+                             clause: ast.SubschemaClause) -> None:
+        self._require_namespaces("subschema clauses")
+        child = self.model.schema_id(clause.name)
+        if child is None:
+            raise NameResolutionError(
+                f"subschema {clause.name!r} is not a defined schema")
+        self.session.add(Atom("SubSchema", (sid, child)))
+        for rename in clause.renames:
+            self.session.add(Atom("Rename", (sid, rename.kind,
+                                             rename.old_name,
+                                             rename.new_name, child)))
+
+    def _translate_import(self, sid: Id, clause: ast.ImportClause) -> None:
+        self._require_namespaces("import clauses")
+        from repro.analyzer.namespaces import resolve_schema_path
+        imported = resolve_schema_path(self.model, clause.path, sid)
+        self.session.add(Atom("ImportRel", (sid, imported)))
+        for rename in clause.renames:
+            self.session.add(Atom("Rename", (sid, rename.kind,
+                                             rename.old_name,
+                                             rename.new_name, imported)))
+
+    def _translate_public(self, sid: Id, kind: str, name: str) -> None:
+        self._require_namespaces("public clauses")
+        self.session.add(Atom("PublicComp", (sid, kind or "type", name)))
+
+    # -- fashion (§4.1) -----------------------------------------------------------------
+
+    def translate_fashion(self, fashion_def: ast.FashionDef,
+                          result: Optional[TranslationResult] = None) -> None:
+        """Translate a fashion clause into FashionType/Attr/Decl facts."""
+        result = result or TranslationResult()
+        subject = self.resolve_type(fashion_def.subject, None, result)
+        target = self.resolve_type(fashion_def.target, None, result)
+        self.session.add(Atom("FashionType", (subject, target)))
+        for attr_def in fashion_def.attributes:
+            self.session.add(Atom("FashionAttr", (
+                target, attr_def.name, subject,
+                attr_def.read_text, attr_def.write_text,
+            )))
+        for op_def in fashion_def.operations:
+            did = self.model.decl_id(target, op_def.name)
+            if did is None:
+                raise AnalyzerError(
+                    f"fashion imitates operation {op_def.name!r} which is "
+                    f"not visible at the target type")
+            self.session.add(Atom("FashionDecl", (did, subject,
+                                                  op_def.source_text)))
+
+    # -- name resolution -------------------------------------------------------------------
+
+    def resolve_type(self, ref: ast.TypeRef, current_schema: Optional[str],
+                     result: TranslationResult) -> Id:
+        """Resolve a type reference to a type id.
+
+        Resolution order: explicit ``@Schema`` qualifier, the current
+        source unit (so forward references work), built-in sorts, the
+        current schema's extension, then — with the namespaces feature —
+        visible imported/subschema components.
+        """
+        if ref.schema is not None:
+            tid = result.type_ids.get((ref.schema, ref.name))
+            if tid is not None:
+                return tid
+            sid = self.model.schema_id(ref.schema)
+            if sid is None:
+                raise NameResolutionError(
+                    f"unknown schema {ref.schema!r} in {ref!r}")
+            tid = self.model.type_id(ref.name, sid)
+            if tid is None:
+                raise NameResolutionError(
+                    f"type {ref.name!r} not found in schema {ref.schema!r}")
+            return tid
+        if current_schema is not None:
+            tid = result.type_ids.get((current_schema, ref.name))
+            if tid is not None:
+                return tid
+        builtin = builtin_type(ref.name)
+        if builtin is not None:
+            return builtin
+        if current_schema is not None:
+            sid = result.schema_ids.get(current_schema) \
+                or self.model.schema_id(current_schema)
+            if sid is not None:
+                tid = self.model.type_id(ref.name, sid)
+                if tid is not None:
+                    return tid
+                if self.model.db.is_base("SubSchema"):
+                    from repro.analyzer.namespaces import resolve_visible_type
+                    tid = resolve_visible_type(self.model, sid, ref.name)
+                    if tid is not None:
+                        return tid
+        raise NameResolutionError(
+            f"cannot resolve type {ref!r}"
+            + (f" in schema {current_schema!r}" if current_schema else ""))

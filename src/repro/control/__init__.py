@@ -1,0 +1,37 @@
+"""The Consistency Control component (Figure 1).
+
+All changes to the Database Model are enclosed between BES (begin of
+evolution session) and EES (end of evolution session); at EES the
+Consistency Control checks consistency, reports violations in detail,
+generates repairs on request (with explanations gathered from the
+Analyzer and the Runtime System), and executes the chosen repair or
+rolls the session back.
+"""
+
+from repro.control.session import (
+    EvolutionSession,
+    ExplainedRepair,
+    SessionReport,
+)
+from repro.control.protocol import (
+    ProtocolResult,
+    ProtocolStep,
+    RepairChooser,
+    SchemaEvolutionProtocol,
+    always_rollback,
+    choose_first,
+    prefer_conversion,
+)
+
+__all__ = [
+    "EvolutionSession",
+    "ExplainedRepair",
+    "ProtocolResult",
+    "ProtocolStep",
+    "RepairChooser",
+    "SchemaEvolutionProtocol",
+    "SessionReport",
+    "always_rollback",
+    "choose_first",
+    "prefer_conversion",
+]

@@ -1,0 +1,165 @@
+"""The nine-step schema evolution session protocol of §3.5.
+
+1. The user starts a schema evolution session (BES).
+2. The user proposes change(s) and suggests ending the session.
+3. The Analyzer extracts the necessary extension changes.
+4. The Consistency Control performs a consistency check (EES).
+5. No violation: the session ends successfully.
+6. Violations: the Consistency Control derives repairs on request.
+7. It asks the Analyzer and the Runtime System to explain each repair.
+8. It presents the explained repairs and the user chooses one — undoing
+   the evolution session is always among the options.
+9. The chosen repair is executed and the session ends.
+
+The interactive "user" of steps 6–8 is a :class:`RepairChooser`
+callback, making the protocol fully scriptable (and testable).  Repairs
+may themselves introduce violations, so steps 4–9 loop (bounded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SessionError
+from repro.datalog.checker import Violation
+from repro.control.session import EvolutionSession, ExplainedRepair, SessionReport
+
+#: Sentinel a chooser returns to roll the whole session back (step 8).
+ROLLBACK = "rollback"
+
+#: A chooser receives the violation and its explained repairs and returns
+#: either an index into the repairs, the ROLLBACK sentinel, or a tuple
+#: ``(index, inputs)`` supplying values for repair placeholders.
+ChooserResult = Union[int, str, Tuple[int, Dict[str, object]]]
+RepairChooser = Callable[[Violation, List[ExplainedRepair]], ChooserResult]
+
+
+def choose_first(violation: Violation,
+                 repairs: List[ExplainedRepair]) -> ChooserResult:
+    """A chooser that always takes the first proposed repair."""
+    if not repairs:
+        return ROLLBACK
+    return 0
+
+
+def always_rollback(violation: Violation,
+                    repairs: List[ExplainedRepair]) -> ChooserResult:
+    """A chooser that always undoes the evolution session."""
+    return ROLLBACK
+
+
+def prefer_conversion(violation: Violation,
+                      repairs: List[ExplainedRepair]) -> ChooserResult:
+    """A chooser preferring conclusion-validating repairs (conversions).
+
+    This is Zicari's O2 policy: cure schema/object inconsistencies by
+    converting the instances rather than undoing the schema change.
+    """
+    for index, explained in enumerate(repairs):
+        if explained.repair.kind == "validate-conclusion":
+            return index
+    return choose_first(violation, repairs)
+
+
+@dataclass
+class ProtocolStep:
+    """A record of one protocol step, for inspection and display."""
+
+    step: int
+    description: str
+
+
+@dataclass
+class ProtocolResult:
+    """The outcome of a full protocol run."""
+
+    outcome: str  # "consistent" | "repaired" | "rolled-back" | "gave-up"
+    rounds: int
+    final_report: Optional[SessionReport]
+    transcript: List[ProtocolStep] = field(default_factory=list)
+    chosen_repairs: List[ExplainedRepair] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome in ("consistent", "repaired")
+
+    def describe(self) -> str:
+        lines = [f"protocol outcome: {self.outcome} "
+                 f"after {self.rounds} round(s)"]
+        lines.extend(f"  [{step.step}] {step.description}"
+                     for step in self.transcript)
+        return "\n".join(lines)
+
+
+class SchemaEvolutionProtocol:
+    """Drives one evolution session through the paper's nine steps."""
+
+    def __init__(self, session: EvolutionSession,
+                 chooser: RepairChooser = choose_first,
+                 max_rounds: int = 8) -> None:
+        self.session = session
+        self.chooser = chooser
+        self.max_rounds = max_rounds
+
+    def run(self,
+            changes: Optional[Callable[[EvolutionSession], None]] = None
+            ) -> ProtocolResult:
+        """Execute steps 2–9.  *changes* performs the user's proposed
+        modifications (step 2/3); pass None when they were already applied
+        to the session."""
+        transcript: List[ProtocolStep] = []
+        chosen: List[ExplainedRepair] = []
+        transcript.append(ProtocolStep(1, "schema evolution session started"))
+        if changes is not None:
+            changes(self.session)
+            transcript.append(ProtocolStep(2, "user changes applied"))
+        transcript.append(ProtocolStep(
+            3, "Analyzer extracted base-predicate changes"))
+        for round_number in range(1, self.max_rounds + 1):
+            report = self.session.check()
+            transcript.append(ProtocolStep(
+                4, f"consistency check: {len(report.violations)} violation(s)"))
+            if report.consistent:
+                self.session.commit(require_consistent=True)
+                transcript.append(ProtocolStep(
+                    5, "no violation detected — session ended successfully"))
+                outcome = "consistent" if not chosen else "repaired"
+                return ProtocolResult(outcome=outcome, rounds=round_number,
+                                      final_report=report,
+                                      transcript=transcript,
+                                      chosen_repairs=chosen)
+            violation = report.violations[0]
+            repairs = self.session.repairs(violation)
+            transcript.append(ProtocolStep(
+                6, f"derived {len(repairs)} repair(s) for "
+                   f"{violation.constraint.name}"))
+            transcript.append(ProtocolStep(
+                7, "explanations gathered from Analyzer and Runtime System"))
+            choice = self.chooser(violation, repairs)
+            inputs: Dict[str, object] = {}
+            if isinstance(choice, tuple):
+                choice, inputs = choice
+            if choice == ROLLBACK:
+                self.session.rollback()
+                transcript.append(ProtocolStep(
+                    8, "user chose to undo the evolution session"))
+                return ProtocolResult(outcome="rolled-back",
+                                      rounds=round_number,
+                                      final_report=report,
+                                      transcript=transcript,
+                                      chosen_repairs=chosen)
+            if not isinstance(choice, int) or not 0 <= choice < len(repairs):
+                raise SessionError(
+                    f"repair chooser returned invalid choice {choice!r}")
+            selected = repairs[choice]
+            transcript.append(ProtocolStep(
+                8, f"user chose repair {selected.repair.display_action!r}"))
+            self.session.apply_repair(selected.repair, inputs)
+            chosen.append(selected)
+            transcript.append(ProtocolStep(
+                9, "repair executed; re-checking"))
+        report = self.session.check()
+        return ProtocolResult(outcome="gave-up", rounds=self.max_rounds,
+                              final_report=report, transcript=transcript,
+                              chosen_repairs=chosen)

@@ -1,0 +1,252 @@
+"""Evolution sessions: BES … EES with deferred consistency checking.
+
+The paper decouples schema evolution operations from schema consistency:
+"consistency checking is deferred until the end of a schema evolution
+session".  :class:`EvolutionSession` implements this:
+
+* ``modify`` applies +/- changes to the base-predicate extensions
+  immediately (so later operations in the same session see them), while
+  recording the net delta;
+* ``check`` (EES) runs the consistency check — incrementally against the
+  net delta by default, or the naive full check on request;
+* on violations, ``repairs`` generates the repair alternatives with
+  explanations ordered from the registered explainers (the Analyzer and
+  the Runtime System, protocol step 7);
+* ``apply_repair`` executes a chosen repair inside the session;
+* ``rollback`` restores the extensions exactly as they were at BES;
+* ``commit`` closes the session.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import (
+    SessionAlreadyActiveError,
+    SessionClosedError,
+    InconsistentSchemaError,
+)
+from repro.datalog.checker import CheckReport, Violation, snapshot_derived
+from repro.datalog.repair import NewConstant, Repair, RepairAction
+from repro.datalog.terms import Atom
+from repro.gom.model import GomDatabase
+
+#: An explainer maps one repair action to a human explanation (or None
+#: when the action is outside its competence).
+Explainer = Callable[[RepairAction], Optional[str]]
+
+
+@dataclass(frozen=True)
+class ExplainedRepair:
+    """A repair together with the explanations of its actions."""
+
+    repair: Repair
+    explanations: Tuple[str, ...]
+
+    def describe(self) -> str:
+        lines = [repr(self.repair.display_action) + f"   ({self.repair.kind})"]
+        for action in self.repair.edb_actions:
+            if (action,) != (self.repair.display_action,):
+                lines.append(f"    executes as {action!r}")
+        for explanation in self.explanations:
+            lines.append(f"    // {explanation}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SessionReport:
+    """The result of an EES consistency check."""
+
+    report: CheckReport
+    net_additions: Tuple[Atom, ...]
+    net_deletions: Tuple[Atom, ...]
+
+    @property
+    def consistent(self) -> bool:
+        return self.report.consistent
+
+    @property
+    def violations(self) -> List[Violation]:
+        return self.report.violations
+
+    def describe(self) -> str:
+        delta = (f"delta: +{len(self.net_additions)} "
+                 f"-{len(self.net_deletions)} facts")
+        return f"{delta}\n{self.report.describe()}"
+
+
+class EvolutionSession:
+    """One BES … EES bracket over a :class:`GomDatabase`."""
+
+    def __init__(self, model: GomDatabase, check_mode: str = "delta") -> None:
+        if check_mode not in ("delta", "full"):
+            raise ValueError(f"check_mode must be 'delta' or 'full', "
+                             f"got {check_mode!r}")
+        active = getattr(model, "active_session", None)
+        if active is not None and active.active:
+            raise SessionAlreadyActiveError(
+                "an evolution session is already open on this model; "
+                "end it (commit / rollback) before starting another")
+        self.model = model
+        model.active_session = self
+        self.check_mode = check_mode
+        self._snapshot = model.db.edb.snapshot()
+        self._derived_before = (
+            snapshot_derived(model.db) if check_mode == "delta" else None
+        )
+        self._net: Dict[Atom, int] = {}
+        self._closed = False
+        self._explainers: List[Explainer] = []
+        self.began_at = time.perf_counter()
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return not self._closed
+
+    def _require_active(self) -> None:
+        if self._closed:
+            raise SessionClosedError("the evolution session has ended")
+
+    def register_explainer(self, explainer: Explainer) -> None:
+        """Register an Analyzer / Runtime System explanation hook."""
+        self._explainers.append(explainer)
+
+    # -- modifications -------------------------------------------------------------
+
+    def modify(self, additions: Iterable[Atom] = (),
+               deletions: Iterable[Atom] = ()) -> None:
+        """Apply +/- changes through the Consistency Control."""
+        self._require_active()
+        additions = list(additions)
+        deletions = list(deletions)
+        for fact in deletions:
+            if self.model.db.edb.contains(fact):
+                self._bump(fact, -1)
+        for fact in additions:
+            if not self.model.db.edb.contains(fact):
+                self._bump(fact, +1)
+        self.model.modify(additions, deletions)
+
+    def add(self, fact: Atom) -> None:
+        """Convenience: insert one fact."""
+        self.modify(additions=(fact,))
+
+    def remove(self, fact: Atom) -> None:
+        """Convenience: delete one fact."""
+        self.modify(deletions=(fact,))
+
+    def _bump(self, fact: Atom, direction: int) -> None:
+        value = self._net.get(fact, 0) + direction
+        if value == 0:
+            self._net.pop(fact, None)
+        else:
+            self._net[fact] = value
+
+    def net_delta(self) -> Tuple[Tuple[Atom, ...], Tuple[Atom, ...]]:
+        """The session's net (additions, deletions) so far."""
+        additions = tuple(sorted((fact for fact, sign in self._net.items()
+                                  if sign > 0), key=repr))
+        deletions = tuple(sorted((fact for fact, sign in self._net.items()
+                                  if sign < 0), key=repr))
+        return additions, deletions
+
+    # -- EES: checking ----------------------------------------------------------------
+
+    def check(self, mode: Optional[str] = None) -> SessionReport:
+        """Run the EES consistency check (does not close the session)."""
+        self._require_active()
+        mode = mode or self.check_mode
+        additions, deletions = self.net_delta()
+        if mode == "delta":
+            report = self.model.checker.check_delta(
+                additions, deletions, derived_before=self._derived_before)
+        else:
+            report = self.model.checker.check()
+        return SessionReport(report=report, net_additions=additions,
+                             net_deletions=deletions)
+
+    # -- repairs -------------------------------------------------------------------------
+
+    def repairs(self, violation: Violation) -> List[ExplainedRepair]:
+        """Generate all repairs for a violation, with explanations."""
+        self._require_active()
+        result: List[ExplainedRepair] = []
+        for repair in self.model.repairer.repairs(violation):
+            explanations: List[str] = []
+            for action in repair.edb_actions:
+                explanation = self.explain(action)
+                if explanation:
+                    explanations.append(explanation)
+            result.append(ExplainedRepair(repair=repair,
+                                          explanations=tuple(explanations)))
+        return result
+
+    def explain(self, action: RepairAction) -> Optional[str]:
+        """Ask the registered explainers what an action means (step 7)."""
+        for explainer in self._explainers:
+            explanation = explainer(action)
+            if explanation:
+                return explanation
+        return None
+
+    def apply_repair(self, repair: Repair,
+                     inputs: Optional[Dict[str, object]] = None) -> None:
+        """Execute a chosen repair inside the session.
+
+        *inputs* supplies values for :class:`NewConstant` placeholders,
+        keyed by their hint (e.g. the conversion routine's default value).
+        """
+        self._require_active()
+        additions: List[Atom] = []
+        deletions: List[Atom] = []
+        for action in repair.edb_actions:
+            fact = self._resolve_placeholders(action.fact, inputs or {})
+            if action.is_insertion:
+                additions.append(fact)
+            else:
+                deletions.append(fact)
+        self.modify(additions, deletions)
+
+    @staticmethod
+    def _resolve_placeholders(fact: Atom,
+                              inputs: Dict[str, object]) -> Atom:
+        resolved = []
+        for arg in fact.args:
+            if isinstance(arg, NewConstant):
+                if arg.hint not in inputs:
+                    raise InconsistentSchemaError([]) from ValueError(
+                        f"repair needs a value for placeholder {arg!r}")
+                resolved.append(inputs[arg.hint])
+            else:
+                resolved.append(arg)
+        return Atom(fact.pred, resolved)
+
+    # -- ending the session ------------------------------------------------------------------
+
+    def commit(self, require_consistent: bool = True,
+               mode: Optional[str] = None) -> SessionReport:
+        """EES: check and close.  With *require_consistent* (the default),
+        violations raise :class:`InconsistentSchemaError` and the session
+        stays open so the caller can repair or roll back."""
+        report = self.check(mode)
+        if require_consistent and not report.consistent:
+            raise InconsistentSchemaError(report.violations)
+        self._closed = True
+        self.model.active_session = None
+        return report
+
+    def rollback(self) -> None:
+        """Undo the whole evolution session and close it."""
+        self._require_active()
+        self.model.db.edb.restore(self._snapshot)
+        # Invalidate every derived predicate the session may have touched.
+        touched = {fact.pred for fact in self._net}
+        if touched:
+            self.model.db.invalidate(touched)
+        self._net.clear()
+        self._closed = True
+        self.model.active_session = None

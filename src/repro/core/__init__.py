@@ -1,0 +1,65 @@
+"""The paper's primary contribution, under one roof.
+
+The core of Moerkotte & Zachmann's proposal is the *Consistency
+Control*: a deductive database holding the schema, declaratively stated
+consistency, deferred (incremental) checking at the end of evolution
+sessions, and automatic, explained repair generation — wrapped in the
+generic architecture of Figure 1.
+
+Implementation-wise these live in :mod:`repro.control` (sessions and
+the nine-step protocol), :mod:`repro.datalog` (checking and repairs),
+and :mod:`repro.gom` (the declarative schema model); this package
+re-exports the primary API so the contribution is addressable as
+``repro.core``.
+"""
+
+from repro.manager import SchemaManager
+from repro.control.session import (
+    EvolutionSession,
+    ExplainedRepair,
+    SessionReport,
+)
+from repro.control.protocol import (
+    ProtocolResult,
+    RepairChooser,
+    SchemaEvolutionProtocol,
+    always_rollback,
+    choose_first,
+    prefer_conversion,
+)
+from repro.datalog.checker import CheckReport, ConsistencyChecker, Violation
+from repro.datalog.constraints import Constraint
+from repro.datalog.parser import parse_constraint, parse_rule
+from repro.datalog.repair import Repair, RepairAction, RepairGenerator
+from repro.gom.model import (
+    FeatureModule,
+    GomDatabase,
+    available_features,
+    register_feature,
+)
+
+__all__ = [
+    "CheckReport",
+    "ConsistencyChecker",
+    "Constraint",
+    "EvolutionSession",
+    "ExplainedRepair",
+    "FeatureModule",
+    "GomDatabase",
+    "ProtocolResult",
+    "Repair",
+    "RepairAction",
+    "RepairChooser",
+    "RepairGenerator",
+    "SchemaEvolutionProtocol",
+    "SchemaManager",
+    "SessionReport",
+    "Violation",
+    "always_rollback",
+    "available_features",
+    "choose_first",
+    "parse_constraint",
+    "parse_rule",
+    "prefer_conversion",
+    "register_feature",
+]

@@ -1,0 +1,65 @@
+"""A deductive database substrate: stratified Datalog with constraints.
+
+This package is the foundation the paper builds on: schema information is
+stored as extensions of base predicates (EDB), auxiliary notions are defined
+by rules (IDB), and schema consistency is a set of declaratively stated
+constraints (CDB).  The package provides:
+
+* :mod:`repro.datalog.terms` — variables, atoms, literals, substitutions;
+* :mod:`repro.datalog.facts` — the indexed EDB fact store;
+* :mod:`repro.datalog.rules` — rules, programs, stratification;
+* :mod:`repro.datalog.engine` — semi-naive bottom-up evaluation with
+  provenance recording;
+* :mod:`repro.datalog.constraints` — range-restricted FOL constraints;
+* :mod:`repro.datalog.checker` — full and incremental consistency checking;
+* :mod:`repro.datalog.repair` — automatic repair generation from violations
+  (after Moerkotte & Lockemann, TODS 1991);
+* :mod:`repro.datalog.parser` — a textual syntax for facts, rules, and
+  constraints so consistency can be *specified*, not programmed.
+"""
+
+from repro.datalog.terms import Atom, Literal, Substitution, Variable
+from repro.datalog.builtins import Comparison
+from repro.datalog.facts import FactStore, PredicateDecl
+from repro.datalog.rules import Program, Rule, stratify
+from repro.datalog.engine import DeductiveDatabase
+from repro.datalog.constraints import (
+    Conclusion,
+    Constraint,
+    Disjunct,
+    EqualityConclusion,
+    ExistenceConclusion,
+    FalseConclusion,
+)
+from repro.datalog.checker import CheckReport, ConsistencyChecker, Violation
+from repro.datalog.repair import Repair, RepairAction, RepairGenerator
+from repro.datalog.parser import parse_constraint, parse_program, parse_rule
+
+__all__ = [
+    "Atom",
+    "CheckReport",
+    "Comparison",
+    "Conclusion",
+    "ConsistencyChecker",
+    "Constraint",
+    "DeductiveDatabase",
+    "Disjunct",
+    "EqualityConclusion",
+    "ExistenceConclusion",
+    "FactStore",
+    "FalseConclusion",
+    "Literal",
+    "PredicateDecl",
+    "Program",
+    "Repair",
+    "RepairAction",
+    "RepairGenerator",
+    "Rule",
+    "Substitution",
+    "Variable",
+    "Violation",
+    "parse_constraint",
+    "parse_program",
+    "parse_rule",
+    "stratify",
+]

@@ -1,0 +1,90 @@
+"""Builtin comparison predicates usable in rule bodies and premises.
+
+The paper's constraints use equality and inequality between terms (for
+uniqueness constraints such as ``Y1 = Y2 ==> X1 = X2``).  A
+:class:`Comparison` is evaluated, never stored: once both sides are bound
+by the surrounding positive literals, it simply tests the Python values.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple
+
+from repro.datalog.terms import Substitution, Term, Variable, substitute_term
+
+
+_OPERATORS: Dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """A builtin comparison, e.g. ``X = Y`` or ``N1 != N2``."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def variables(self) -> Iterator[Variable]:
+        if isinstance(self.left, Variable):
+            yield self.left
+        if isinstance(self.right, Variable):
+            yield self.right
+
+    def substitute(self, theta: Substitution) -> "Comparison":
+        return Comparison(
+            self.op,
+            substitute_term(self.left, theta),
+            substitute_term(self.right, theta),
+        )
+
+    def is_ground(self) -> bool:
+        return not isinstance(self.left, Variable) and not isinstance(
+            self.right, Variable
+        )
+
+    def holds(self, theta: Substitution | None = None) -> bool:
+        """Evaluate the comparison under *theta*.
+
+        Raises :class:`ValueError` when either side is still unbound —
+        range restriction should make that impossible for well-formed
+        rules and constraints.
+        """
+        left = substitute_term(self.left, theta) if theta else self.left
+        right = substitute_term(self.right, theta) if theta else self.right
+        if isinstance(left, Variable) or isinstance(right, Variable):
+            raise ValueError(f"comparison {self!r} evaluated with unbound side")
+        try:
+            return _OPERATORS[self.op](left, right)
+        except TypeError:
+            # Values of incomparable kinds (e.g. an Id vs an int) are
+            # simply unequal; ordering comparisons on them fail.
+            if self.op == "=":
+                return False
+            if self.op == "!=":
+                return True
+            raise
+
+    def negate(self) -> "Comparison":
+        """Return the complementary comparison (``=`` <-> ``!=``, etc.)."""
+        complement = {"=": "!=", "!=": "=", "<": ">=", ">=": "<",
+                      "<=": ">", ">": "<="}
+        return Comparison(complement[self.op], self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+BodyItem = Tuple  # a rule-body element is a Literal or a Comparison

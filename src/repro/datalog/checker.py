@@ -1,0 +1,392 @@
+"""Full and incremental consistency checking.
+
+The *Consistency Control* defers checking to the end of an evolution
+session (EES).  Two strategies are provided:
+
+* :meth:`ConsistencyChecker.check` — the naive baseline: enumerate every
+  premise instantiation of every constraint;
+* :meth:`ConsistencyChecker.check_delta` — the efficient check in the
+  spirit of Moerkotte & Rösch: only constraint instantiations that can be
+  *newly violated* by a given update are enumerated, by seeding premise
+  evaluation with the update's added/deleted facts (including derived
+  deltas obtained from predicate-level view maintenance).
+
+``check_delta`` is complete relative to a consistent pre-update state: if
+the database satisfied all constraints before the update, it reports
+exactly the violations present afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.builtins import Comparison
+from repro.datalog.constraints import (
+    Conclusion,
+    Constraint,
+    EqualityConclusion,
+    ExistenceConclusion,
+    FalseConclusion,
+)
+from repro.datalog.engine import DeductiveDatabase
+from repro.datalog.terms import Atom, Literal, Substitution, Variable, match, unify
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One falsifying instantiation of one constraint."""
+
+    constraint: Constraint
+    theta: Tuple[Tuple[Variable, object], ...]
+    premise_facts: Tuple[Atom, ...]
+    absent_facts: Tuple[Atom, ...] = ()
+
+    @property
+    def substitution(self) -> Substitution:
+        return dict(self.theta)
+
+    def describe(self) -> str:
+        """A detailed description, as the paper demands (no "stupid yes/no")."""
+        bindings = ", ".join(f"{var.name}={value}" for var, value in self.theta)
+        lines = [
+            f"violated constraint: {self.constraint.name}",
+        ]
+        if self.constraint.doc:
+            lines.append(f"  meaning: {self.constraint.doc}")
+        lines.append(f"  witness: {bindings}")
+        if self.premise_facts:
+            facts = ", ".join(repr(f) for f in self.premise_facts)
+            lines.append(f"  matched facts: {facts}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        bindings = ", ".join(f"{var.name}={value}" for var, value in self.theta)
+        return f"Violation({self.constraint.name}; {bindings})"
+
+
+@dataclass
+class CheckReport:
+    """Result of one consistency check."""
+
+    violations: List[Violation]
+    constraints_checked: int
+    elapsed_seconds: float
+    mode: str  # "full" or "delta"
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+    def by_constraint(self) -> Dict[str, List[Violation]]:
+        grouped: Dict[str, List[Violation]] = {}
+        for violation in self.violations:
+            grouped.setdefault(violation.constraint.name, []).append(violation)
+        return grouped
+
+    def describe(self) -> str:
+        if self.consistent:
+            return (f"consistent ({self.constraints_checked} constraints, "
+                    f"{self.mode} check, {self.elapsed_seconds * 1000:.2f} ms)")
+        lines = [f"{len(self.violations)} violation(s) "
+                 f"({self.mode} check, {self.elapsed_seconds * 1000:.2f} ms):"]
+        for violation in self.violations:
+            lines.append(violation.describe())
+        return "\n".join(lines)
+
+
+def _violation_key(constraint: Constraint,
+                   theta: Substitution) -> Tuple:
+    items = tuple(sorted(
+        ((var.name, theta[var]) for var in theta),
+        key=lambda item: item[0],
+    ))
+    return (constraint.name, items)
+
+
+class ConsistencyChecker:
+    """Checks a set of constraints against a deductive database."""
+
+    def __init__(self, database: DeductiveDatabase,
+                 constraints: Iterable[Constraint] = ()) -> None:
+        self.database = database
+        self._constraints: List[Constraint] = []
+        self._by_name: Dict[str, Constraint] = {}
+        for constraint in constraints:
+            self.add_constraint(constraint)
+
+    # -- constraint registry ---------------------------------------------------
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        if constraint.name in self._by_name:
+            raise ValueError(f"constraint {constraint.name} already registered")
+        self._by_name[constraint.name] = constraint
+        self._constraints.append(constraint)
+
+    def remove_constraint(self, name: str) -> Constraint:
+        constraint = self._by_name.pop(name)
+        self._constraints.remove(constraint)
+        return constraint
+
+    def constraint(self, name: str) -> Constraint:
+        return self._by_name[name]
+
+    def constraints(self) -> List[Constraint]:
+        return list(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    # -- full check --------------------------------------------------------------
+
+    def check(self, constraints: Optional[Sequence[Constraint]] = None
+              ) -> CheckReport:
+        """Naive full check: enumerate every premise instantiation."""
+        start = time.perf_counter()
+        targets = list(constraints) if constraints is not None \
+            else self._constraints
+        violations: List[Violation] = []
+        seen: Set[Tuple] = set()
+        for constraint in targets:
+            for violation in self._check_constraint(constraint):
+                key = _violation_key(constraint, violation.substitution)
+                if key not in seen:
+                    seen.add(key)
+                    violations.append(violation)
+        elapsed = time.perf_counter() - start
+        return CheckReport(violations=violations,
+                           constraints_checked=len(targets),
+                           elapsed_seconds=elapsed, mode="full")
+
+    def _check_constraint(self, constraint: Constraint,
+                          seed: Optional[Substitution] = None
+                          ) -> Iterator[Violation]:
+        for theta in self.database.query(constraint.premise, seed):
+            if not self._conclusion_holds(constraint.conclusion, theta):
+                yield self._make_violation(constraint, theta)
+
+    def _conclusion_holds(self, conclusion: Conclusion,
+                          theta: Substitution) -> bool:
+        if isinstance(conclusion, FalseConclusion):
+            return False
+        if isinstance(conclusion, EqualityConclusion):
+            return conclusion.holds(theta)
+        if isinstance(conclusion, ExistenceConclusion):
+            for disjunct in conclusion.disjuncts:
+                if self.database.holds(disjunct.body(), theta):
+                    return True
+            return False
+        raise TypeError(f"unknown conclusion type {type(conclusion).__name__}")
+
+    def _make_violation(self, constraint: Constraint,
+                        theta: Substitution) -> Violation:
+        relevant_vars = constraint.premise_variables()
+        trimmed = tuple(sorted(
+            ((var, theta[var]) for var in theta if var in relevant_vars),
+            key=lambda item: item[0].name,
+        ))
+        premise_facts = tuple(
+            literal.atom.substitute(theta)
+            for literal in constraint.positive_premise_literals()
+        )
+        absent = tuple(
+            literal.atom.substitute(theta)
+            for literal in constraint.negative_premise_literals()
+        )
+        return Violation(constraint=constraint, theta=trimmed,
+                         premise_facts=premise_facts, absent_facts=absent)
+
+    # -- incremental check ---------------------------------------------------------
+
+    def check_delta(self, additions: Iterable[Atom],
+                    deletions: Iterable[Atom],
+                    derived_before: Optional[Dict[str, Set[Tuple[object, ...]]]]
+                    = None) -> CheckReport:
+        """Check only instantiations that the given update can have violated.
+
+        The update must already be applied to the database; *additions* /
+        *deletions* describe it.  Sound and complete relative to a
+        consistent pre-update state.  *derived_before* — produced by
+        :func:`snapshot_derived` before the update — provides exact
+        derived-predicate deltas; without it the checker falls back to a
+        sound over-approximation.
+        """
+        start = time.perf_counter()
+        additions = list(additions)
+        deletions = list(deletions)
+        base_added = {f.pred for f in additions}
+        base_deleted = {f.pred for f in deletions}
+        may_grow, may_shrink = self._polarity_closure(base_added, base_deleted)
+
+        added_facts: Dict[str, List[Atom]] = {}
+        deleted_facts: Dict[str, List[Atom]] = {}
+        for fact in additions:
+            added_facts.setdefault(fact.pred, []).append(fact)
+        for fact in deletions:
+            deleted_facts.setdefault(fact.pred, []).append(fact)
+        self._extend_with_derived_deltas(may_grow, may_shrink,
+                                         added_facts, deleted_facts,
+                                         derived_before)
+
+        violations: List[Violation] = []
+        seen: Set[Tuple] = set()
+        checked = 0
+        for constraint in self._constraints:
+            relevant = self._seeded_checks(constraint, may_grow, may_shrink,
+                                           added_facts, deleted_facts)
+            for violation in relevant:
+                key = _violation_key(constraint, violation.substitution)
+                if key not in seen:
+                    seen.add(key)
+                    violations.append(violation)
+            checked += 1
+        elapsed = time.perf_counter() - start
+        return CheckReport(violations=violations, constraints_checked=checked,
+                           elapsed_seconds=elapsed, mode="delta")
+
+    def _polarity_closure(self, base_added: Set[str], base_deleted: Set[str]
+                          ) -> Tuple[Set[str], Set[str]]:
+        """Compute which predicates may have grown / shrunk.
+
+        Base predicates grow/shrink exactly as the delta says.  For derived
+        predicates the polarity propagates through rules: a head may grow
+        when a positive body predicate may grow or a negated one may
+        shrink, and vice versa.
+        """
+        may_grow = set(base_added)
+        may_shrink = set(base_deleted)
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.database.program:
+                head = rule.head.pred
+                grow = head in may_grow
+                shrink = head in may_shrink
+                for element in rule.body:
+                    if not isinstance(element, Literal):
+                        continue
+                    if element.positive:
+                        grow = grow or element.pred in may_grow
+                        shrink = shrink or element.pred in may_shrink
+                    else:
+                        grow = grow or element.pred in may_shrink
+                        shrink = shrink or element.pred in may_grow
+                if grow and head not in may_grow:
+                    may_grow.add(head)
+                    changed = True
+                if shrink and head not in may_shrink:
+                    may_shrink.add(head)
+                    changed = True
+        return may_grow, may_shrink
+
+    def _extend_with_derived_deltas(self, may_grow: Set[str],
+                                    may_shrink: Set[str],
+                                    added_facts: Dict[str, List[Atom]],
+                                    deleted_facts: Dict[str, List[Atom]],
+                                    derived_before: Optional[
+                                        Dict[str, Set[Tuple[object, ...]]]]
+                                    ) -> None:
+        """Obtain concrete derived deltas for affected derived predicates.
+
+        With a *derived_before* snapshot the delta is exact (diff of the
+        affected predicate's extension).  Without one, grown predicates
+        are over-approximated by their full current extension, and shrunk
+        predicates force a full recheck of the constraints reading them
+        (marked with the ``<pred>!full`` sentinel consumed by
+        :meth:`_seeded_checks`) — sound in both cases.
+        """
+        for pred in sorted(may_grow | may_shrink):
+            if not self.database.is_derived(pred):
+                continue
+            if derived_before is not None and pred in derived_before:
+                after = {fact.args for fact in self.database.facts(pred)}
+                before = derived_before[pred]
+                for args in after - before:
+                    added_facts.setdefault(pred, []).append(Atom(pred, args))
+                for args in before - after:
+                    deleted_facts.setdefault(pred, []).append(Atom(pred, args))
+            else:
+                if pred in may_grow:
+                    added_facts.setdefault(pred, []).extend(
+                        self.database.facts(pred))
+                # Shrunk derived facts are gone; without a snapshot the
+                # conclusion-side recheck must fall back to a full pass
+                # over the constraint, handled in _seeded_checks.
+                if pred in may_shrink:
+                    deleted_facts.setdefault(pred, [])
+                    deleted_facts[pred + "!full"] = []
+
+    def _seeded_checks(self, constraint: Constraint, may_grow: Set[str],
+                       may_shrink: Set[str],
+                       added_facts: Dict[str, List[Atom]],
+                       deleted_facts: Dict[str, List[Atom]]
+                       ) -> Iterator[Violation]:
+        """Yield violations of *constraint* creatable by the delta."""
+        needs_full = False
+        for pred in constraint.predicates():
+            if f"{pred}!full" in deleted_facts:
+                needs_full = True
+        if needs_full:
+            yield from self._check_constraint(constraint)
+            return
+
+        emitted: Set[Tuple] = set()
+
+        def emit(violation: Violation) -> Iterator[Violation]:
+            key = _violation_key(constraint, violation.substitution)
+            if key not in emitted:
+                emitted.add(key)
+                yield violation
+
+        # 1. New premise matches through grown positive literals.
+        for literal in constraint.positive_premise_literals():
+            for fact in added_facts.get(literal.pred, ()):
+                seed = match(literal.atom, fact)
+                if seed is None:
+                    continue
+                for violation in self._check_constraint(constraint, seed):
+                    yield from emit(violation)
+        # 2. New premise matches through shrunk negated literals.
+        for literal in constraint.negative_premise_literals():
+            for fact in deleted_facts.get(literal.pred, ()):
+                seed = match(literal.atom, fact)
+                if seed is None:
+                    continue
+                for violation in self._check_constraint(constraint, seed):
+                    yield from emit(violation)
+        # 3. Conclusion support removed: premise instantiations whose
+        #    existence conclusion may have used a deleted fact.
+        if isinstance(constraint.conclusion, ExistenceConclusion):
+            universal = constraint.universal_variables()
+            for disjunct in constraint.conclusion.disjuncts:
+                for atom in disjunct.atoms:
+                    for fact in deleted_facts.get(atom.pred, ()):
+                        seed_full = unify(atom, fact)
+                        if seed_full is None:
+                            continue
+                        seed = {
+                            var: value
+                            for var, value in seed_full.items()
+                            if var in universal
+                        }
+                        for violation in self._check_constraint(
+                                constraint, seed):
+                            yield from emit(violation)
+
+
+def snapshot_derived(database: DeductiveDatabase,
+                     preds: Optional[Iterable[str]] = None
+                     ) -> Dict[str, Set[Tuple[object, ...]]]:
+    """Snapshot derived extensions for later exact delta computation.
+
+    The session layer calls this at BES (begin of evolution session) and
+    hands the result to :meth:`ConsistencyChecker.check_delta` at EES.
+    """
+    if preds is None:
+        preds = [p for p in database.program.derived_predicates()]
+    return {
+        pred: {fact.args for fact in database.facts(pred)}
+        for pred in preds
+        if database.is_derived(pred)
+    }

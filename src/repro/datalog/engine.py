@@ -1,0 +1,357 @@
+"""Bottom-up evaluation: the deductive database itself.
+
+:class:`DeductiveDatabase` combines the EDB (:class:`FactStore`), the IDB
+(:class:`Program`), and a materialized store of derived facts with full
+provenance.  Evaluation is stratified semi-naive; within one stratum the
+engine iterates to a *derivation* fixpoint so the provenance index is
+complete (every derivation of every derived fact is recorded), which is
+what makes support-based incremental maintenance and repair generation
+exact.
+
+Incremental maintenance is predicate-level: a base-fact delta invalidates
+exactly the derived predicates that transitively depend on the changed
+base predicates; those — and only those — are re-evaluated.  For the GOM
+schema base this means, e.g., that object-base updates (``PhRep``/``Slot``)
+recompute nothing, and an ``Attr`` update recomputes only ``Attr_i``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import UnknownPredicateError
+from repro.datalog.builtins import Comparison
+from repro.datalog.facts import FactStore, PredicateDecl
+from repro.datalog.provenance import Derivation, DerivationTree, ProvenanceIndex
+from repro.datalog.rules import BodyElement, Program, Rule, stratify
+from repro.datalog.terms import Atom, Literal, Substitution, match
+
+
+class DeductiveDatabase:
+    """EDB + IDB + materialized derived facts with provenance."""
+
+    def __init__(self, decls: Iterable[PredicateDecl] = (),
+                 rules: Iterable[Rule] = ()) -> None:
+        self.edb = FactStore()
+        self.program = Program()
+        self._derived_store = FactStore()
+        self.provenance = ProvenanceIndex()
+        self._strata: List[Set[str]] = []
+        self._fresh: Set[str] = set()  # derived preds with current extension
+        for decl in decls:
+            self.declare(decl)
+        for rule in rules:
+            self.add_rule(rule)
+
+    # -- declarations and rules ---------------------------------------------
+
+    def declare(self, decl: PredicateDecl) -> None:
+        """Declare a base predicate."""
+        self.edb.declare(decl)
+
+    def add_rule(self, rule: Rule) -> None:
+        """Add an IDB rule; the head predicate becomes derived."""
+        self.program.add(rule)
+        head = rule.head
+        if not self._derived_store.is_declared(head.pred):
+            argnames = tuple(f"a{i}" for i in range(head.arity))
+            self._derived_store.declare(
+                PredicateDecl(head.pred, argnames, derived=True)
+            )
+        self._strata = stratify(self.program)
+        self._fresh.clear()
+
+    def add_rules(self, rules: Iterable[Rule]) -> None:
+        for rule in rules:
+            self.add_rule(rule)
+
+    def is_derived(self, pred: str) -> bool:
+        return self._derived_store.is_declared(pred)
+
+    def is_base(self, pred: str) -> bool:
+        return self.edb.is_declared(pred)
+
+    def is_declared(self, pred: str) -> bool:
+        return self.is_base(pred) or self.is_derived(pred)
+
+    def decl(self, pred: str) -> PredicateDecl:
+        if self.edb.is_declared(pred):
+            return self.edb.decl(pred)
+        return self._derived_store.decl(pred)
+
+    # -- EDB updates ----------------------------------------------------------
+
+    def add_fact(self, fact: Atom) -> bool:
+        """Insert a base fact, invalidating dependent derived predicates."""
+        added = self.edb.add(fact)
+        if added:
+            self._invalidate({fact.pred})
+        return added
+
+    def remove_fact(self, fact: Atom) -> bool:
+        """Delete a base fact, invalidating dependent derived predicates."""
+        removed = self.edb.remove(fact)
+        if removed:
+            self._invalidate({fact.pred})
+        return removed
+
+    def apply_delta(self, additions: Iterable[Atom] = (),
+                    deletions: Iterable[Atom] = ()) -> Tuple[int, int]:
+        """Apply a set of insertions and deletions; returns effective counts."""
+        changed_preds: Set[str] = set()
+        added = removed = 0
+        for fact in deletions:
+            if self.edb.remove(fact):
+                removed += 1
+                changed_preds.add(fact.pred)
+        for fact in additions:
+            if self.edb.add(fact):
+                added += 1
+                changed_preds.add(fact.pred)
+        if changed_preds:
+            self._invalidate(changed_preds)
+        return added, removed
+
+    def _invalidate(self, base_preds: Set[str]) -> None:
+        affected = self.program.affected_by(base_preds)
+        self._fresh -= affected
+
+    def invalidate(self, base_preds: Iterable[str]) -> None:
+        """Mark derived predicates depending on *base_preds* stale.
+
+        Needed after out-of-band extension changes such as a session
+        rollback restoring an EDB snapshot.
+        """
+        self._invalidate(set(base_preds))
+
+    # -- queries --------------------------------------------------------------
+
+    def contains(self, fact: Atom) -> bool:
+        """Is *fact* true (base or derived)?"""
+        if self.edb.is_declared(fact.pred):
+            return self.edb.contains(fact)
+        self._ensure_fresh(fact.pred)
+        return self._derived_store.contains(fact)
+
+    def facts(self, pred: str) -> Iterator[Atom]:
+        """Yield every true fact of *pred* (base or derived)."""
+        if self.edb.is_declared(pred):
+            yield from self.edb.facts(pred)
+            return
+        self._ensure_fresh(pred)
+        yield from self._derived_store.facts(pred)
+
+    def matching(self, pattern: Atom) -> Iterator[Atom]:
+        """Yield true facts matching *pattern* (base or derived)."""
+        if self.edb.is_declared(pattern.pred):
+            yield from self.edb.matching(pattern)
+            return
+        self._ensure_fresh(pattern.pred)
+        yield from self._derived_store.matching(pattern)
+
+    def count(self, pred: str) -> int:
+        if self.edb.is_declared(pred):
+            return self.edb.count(pred)
+        self._ensure_fresh(pred)
+        return self._derived_store.count(pred)
+
+    def derivations(self, fact: Atom):
+        """All recorded derivations of a derived fact."""
+        self._ensure_fresh(fact.pred)
+        return self.provenance.derivations(fact)
+
+    def derivation_tree(self, fact: Atom) -> DerivationTree:
+        self._ensure_fresh(fact.pred)
+        return self.provenance.tree(fact, self.is_derived)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def materialize(self, force: bool = False) -> None:
+        """(Re)compute every stale derived predicate, stratum by stratum."""
+        if force:
+            self._fresh.clear()
+        stale = self._derived_store.predicates()
+        stale = [p for p in stale if p not in self._fresh]
+        if not stale:
+            return
+        self._recompute(set(stale))
+
+    def _ensure_fresh(self, pred: str) -> None:
+        if not self._derived_store.is_declared(pred):
+            raise UnknownPredicateError(f"unknown predicate {pred}")
+        if pred in self._fresh:
+            return
+        # Recompute this predicate together with every stale predicate it
+        # depends on; dependencies that are fresh are reused as-is.
+        needed = {
+            p for p in self.program.depends_on(pred)
+            if self._derived_store.is_declared(p) and p not in self._fresh
+        }
+        self._recompute(needed)
+
+    def _recompute(self, preds: Set[str]) -> None:
+        """Re-evaluate the derived predicates in *preds*, lowest strata first.
+
+        Predicates not in *preds* keep their current extension (they are
+        fresh by construction of the callers).
+        """
+        for pred in preds:
+            for fact in list(self._derived_store.facts(pred)):
+                self.provenance.drop_fact(fact)
+            self._derived_store.clear(pred)
+        for stratum in self._strata:
+            todo = stratum & preds
+            if not todo:
+                continue
+            rules = self.program.rules_defining(sorted(todo))
+            # Mark the stratum fresh *before* saturating: recursive rules
+            # legitimately read their own (in-progress) extension, and
+            # saturation iterates to the fixpoint regardless.
+            self._fresh.update(todo)
+            self._saturate(rules)
+
+    def _saturate(self, rules: Sequence[Rule]) -> None:
+        """Iterate *rules* to a derivation fixpoint (complete provenance).
+
+        Semi-naive: after a full first round, later rounds only evaluate
+        rule instantiations seeded by a fact derived in the previous
+        round.  Every new derivation must use at least one such fact in a
+        recursive body position (otherwise it would have been found
+        earlier), so provenance stays complete while the work per round
+        is proportional to the delta, not to the whole extension.
+        """
+        stratum_preds = {rule.head.pred for rule in rules}
+        delta: Set[Atom] = set()
+        for rule in rules:
+            # Buffer before recording: evaluation reads the stores that
+            # recording mutates.
+            for derivation in list(self._instantiations(rule)):
+                if self.provenance.record(derivation):
+                    if self._derived_store.add(derivation.fact):
+                        delta.add(derivation.fact)
+        while delta:
+            new_delta: Set[Atom] = set()
+            for rule in rules:
+                for position, element in enumerate(rule.body):
+                    if not (isinstance(element, Literal)
+                            and element.positive):
+                        continue
+                    if element.pred not in stratum_preds:
+                        continue
+                    for fact in delta:
+                        if fact.pred != element.pred:
+                            continue
+                        seed = match(element.atom, fact)
+                        if seed is None:
+                            continue
+                        for derivation in list(self._extend(
+                                rule, rule.body, seed, [], [])):
+                            if self.provenance.record(derivation):
+                                if self._derived_store.add(
+                                        derivation.fact):
+                                    new_delta.add(derivation.fact)
+            delta = new_delta
+
+    def _instantiations(self, rule: Rule) -> Iterator[Derivation]:
+        """Yield every ground derivation of *rule* against current facts."""
+        yield from self._extend(rule, rule.body, {}, [], [])
+
+    def _extend(self, rule: Rule, remaining: Sequence[BodyElement],
+                theta: Substitution, pos: List[Atom],
+                neg: List[Atom]) -> Iterator[Derivation]:
+        if not remaining:
+            head = rule.head.substitute(theta)
+            yield Derivation(
+                fact=head,
+                rule_name=rule.name,
+                positive_supports=tuple(pos),
+                negative_supports=tuple(neg),
+            )
+            return
+        element, rest = remaining[0], remaining[1:]
+        if isinstance(element, Comparison):
+            bound = element.substitute(theta)
+            if bound.is_ground():
+                if bound.holds():
+                    yield from self._extend(rule, rest, theta, pos, neg)
+                return
+            # An `X = t` equality with one side bound acts as a binding.
+            if bound.op == "=":
+                from repro.datalog.terms import Variable
+                left_is_var = isinstance(bound.left, Variable)
+                right_is_var = isinstance(bound.right, Variable)
+                if left_is_var != right_is_var:
+                    var = bound.left if left_is_var else bound.right
+                    value = bound.right if left_is_var else bound.left
+                    extended = dict(theta)
+                    extended[var] = value
+                    yield from self._extend(rule, rest, extended, pos, neg)
+                    return
+            raise ValueError(
+                f"comparison {element!r} in rule {rule.name} has unbound side"
+            )
+        atom = element.atom.substitute(theta)
+        if element.positive:
+            for fact in self.matching(atom):
+                extended = match(atom, fact, theta)
+                if extended is None:
+                    continue
+                yield from self._extend(rule, rest, extended,
+                                        pos + [fact], neg)
+        else:
+            if not atom.is_ground():
+                raise ValueError(
+                    f"negated literal {atom!r} in rule {rule.name} not ground "
+                    f"at evaluation time"
+                )
+            if not self.contains(atom):
+                yield from self._extend(rule, rest, theta, pos, neg + [atom])
+
+    # -- convenience ------------------------------------------------------------
+
+    def query(self, body: Sequence[BodyElement],
+              theta: Optional[Substitution] = None) -> Iterator[Substitution]:
+        """Yield substitutions (over the body's variables) satisfying *body*."""
+        yield from self._query(tuple(body), dict(theta) if theta else {})
+
+    def _query(self, remaining: Tuple[BodyElement, ...],
+               theta: Substitution) -> Iterator[Substitution]:
+        if not remaining:
+            yield dict(theta)
+            return
+        element, rest = remaining[0], remaining[1:]
+        if isinstance(element, Comparison):
+            bound = element.substitute(theta)
+            if bound.is_ground():
+                if bound.holds():
+                    yield from self._query(rest, theta)
+                return
+            if bound.op == "=":
+                from repro.datalog.terms import Variable
+                left_is_var = isinstance(bound.left, Variable)
+                right_is_var = isinstance(bound.right, Variable)
+                if left_is_var != right_is_var:
+                    var = bound.left if left_is_var else bound.right
+                    value = bound.right if left_is_var else bound.left
+                    extended = dict(theta)
+                    extended[var] = value
+                    yield from self._query(rest, extended)
+                    return
+            raise ValueError(f"comparison {element!r} has unbound side")
+        atom = element.atom.substitute(theta)
+        if element.positive:
+            for fact in self.matching(atom):
+                extended = match(atom, fact, theta)
+                if extended is not None:
+                    yield from self._query(rest, extended)
+        else:
+            if not atom.is_ground():
+                raise ValueError(f"negated literal {atom!r} not ground")
+            if not self.contains(atom):
+                yield from self._query(rest, theta)
+
+    def holds(self, body: Sequence[BodyElement],
+              theta: Optional[Substitution] = None) -> bool:
+        """True when at least one substitution satisfies *body*."""
+        return next(iter(self.query(body, theta)), None) is not None

@@ -1,0 +1,260 @@
+"""The indexed EDB fact store.
+
+The *Schema Base* and the *Object Base Model* of the paper are extensions
+of base predicates.  :class:`FactStore` keeps one :class:`Relation` per
+declared predicate, each with hash indexes per argument position so that
+pattern lookups used by the evaluation engine are sub-linear.
+
+Predicates are declared with a :class:`PredicateDecl` giving arity,
+argument names, key positions, and (optionally) referential-integrity
+targets — the GOM layer generates key and reference constraints from
+these declarations, mirroring the paper's remark that key and
+referential-integrity constraints "always have the same pattern".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import (
+    ArityError,
+    DuplicatePredicateError,
+    NotGroundError,
+    UnknownPredicateError,
+)
+from repro.datalog.terms import Atom, Variable
+
+
+@dataclass(frozen=True)
+class PredicateDecl:
+    """Declaration of a base or derived predicate.
+
+    ``key`` lists the argument positions forming the primary key (empty
+    means the whole tuple is the key).  ``references`` maps an argument
+    position to ``(predicate, position)`` it must reference, providing the
+    raw material for auto-generated referential-integrity constraints.
+    """
+
+    name: str
+    argnames: Tuple[str, ...]
+    key: Tuple[int, ...] = ()
+    references: Tuple[Tuple[int, str, int], ...] = ()
+    derived: bool = False
+    doc: str = ""
+
+    @property
+    def arity(self) -> int:
+        return len(self.argnames)
+
+    def __post_init__(self) -> None:
+        for position in self.key:
+            if not 0 <= position < self.arity:
+                raise ValueError(
+                    f"key position {position} out of range for {self.name}/{self.arity}"
+                )
+        for position, target, target_pos in self.references:
+            if not 0 <= position < self.arity:
+                raise ValueError(
+                    f"reference position {position} out of range for "
+                    f"{self.name}/{self.arity}"
+                )
+
+
+class Relation:
+    """The extension of one base predicate, with per-column hash indexes."""
+
+    def __init__(self, decl: PredicateDecl) -> None:
+        self.decl = decl
+        self._rows: Set[Tuple[object, ...]] = set()
+        self._indexes: List[Dict[object, Set[Tuple[object, ...]]]] = [
+            {} for _ in range(decl.arity)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: Tuple[object, ...]) -> bool:
+        return row in self._rows
+
+    def rows(self) -> Iterator[Tuple[object, ...]]:
+        return iter(self._rows)
+
+    def add(self, row: Tuple[object, ...]) -> bool:
+        """Insert a row; returns True when it was not already present."""
+        if len(row) != self.decl.arity:
+            raise ArityError(
+                f"{self.decl.name} expects {self.decl.arity} arguments, "
+                f"got {len(row)}"
+            )
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        for position, value in enumerate(row):
+            self._indexes[position].setdefault(value, set()).add(row)
+        return True
+
+    def remove(self, row: Tuple[object, ...]) -> bool:
+        """Delete a row; returns True when it was present."""
+        if row not in self._rows:
+            return False
+        self._rows.discard(row)
+        for position, value in enumerate(row):
+            bucket = self._indexes[position].get(value)
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del self._indexes[position][value]
+        return True
+
+    def lookup(self, pattern: Sequence[object]) -> Iterator[Tuple[object, ...]]:
+        """Yield rows matching *pattern*, where ``None``/Variable = wildcard.
+
+        Fully-bound patterns are a set-membership test; otherwise the
+        most selective bound column's index drives the scan.
+        """
+        best_bucket: Optional[Set[Tuple[object, ...]]] = None
+        bound: List[Tuple[int, object]] = []
+        for position, value in enumerate(pattern):
+            if value is None or isinstance(value, Variable):
+                continue
+            bound.append((position, value))
+        if len(bound) == self.decl.arity:
+            row = tuple(value for _position, value in bound)
+            if row in self._rows:
+                yield row
+            return
+        for position, value in bound:
+            bucket = self._indexes[position].get(value, set())
+            if best_bucket is None or len(bucket) < len(best_bucket):
+                best_bucket = bucket
+        if best_bucket is None:
+            candidates: Iterable[Tuple[object, ...]] = self._rows
+        else:
+            candidates = best_bucket
+        for row in candidates:
+            if all(row[position] == value for position, value in bound):
+                yield row
+
+    def clear(self) -> None:
+        self._rows.clear()
+        for index in self._indexes:
+            index.clear()
+
+
+class FactStore:
+    """A collection of relations — the EDB half of the deductive database."""
+
+    def __init__(self, decls: Iterable[PredicateDecl] = ()) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._decls: Dict[str, PredicateDecl] = {}
+        for decl in decls:
+            self.declare(decl)
+
+    # -- declarations -------------------------------------------------------
+
+    def declare(self, decl: PredicateDecl) -> None:
+        """Register a base predicate.  Re-declaring identically is a no-op."""
+        existing = self._decls.get(decl.name)
+        if existing is not None:
+            if existing == decl:
+                return
+            raise DuplicatePredicateError(
+                f"predicate {decl.name} already declared differently"
+            )
+        self._decls[decl.name] = decl
+        self._relations[decl.name] = Relation(decl)
+
+    def is_declared(self, name: str) -> bool:
+        return name in self._decls
+
+    def decl(self, name: str) -> PredicateDecl:
+        try:
+            return self._decls[name]
+        except KeyError:
+            raise UnknownPredicateError(f"unknown predicate {name}") from None
+
+    def decls(self) -> Iterator[PredicateDecl]:
+        return iter(self._decls.values())
+
+    def predicates(self) -> Iterator[str]:
+        return iter(self._decls)
+
+    # -- fact manipulation --------------------------------------------------
+
+    def _relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownPredicateError(f"unknown predicate {name}") from None
+
+    def add(self, fact: Atom) -> bool:
+        """Insert a ground atom.  Returns True when newly inserted."""
+        if not fact.is_ground():
+            raise NotGroundError(f"cannot store non-ground atom {fact!r}")
+        return self._relation(fact.pred).add(fact.args)
+
+    def remove(self, fact: Atom) -> bool:
+        """Delete a ground atom.  Returns True when it was present."""
+        if not fact.is_ground():
+            raise NotGroundError(f"cannot delete non-ground atom {fact!r}")
+        return self._relation(fact.pred).remove(fact.args)
+
+    def contains(self, fact: Atom) -> bool:
+        if not fact.is_ground():
+            raise NotGroundError(f"containment of non-ground atom {fact!r}")
+        return fact.args in self._relation(fact.pred)
+
+    def count(self, pred: str) -> int:
+        return len(self._relation(pred))
+
+    def total_facts(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())
+
+    def facts(self, pred: str) -> Iterator[Atom]:
+        """Yield every fact of one predicate."""
+        relation = self._relation(pred)
+        for row in relation.rows():
+            yield Atom(pred, row)
+
+    def all_facts(self) -> Iterator[Atom]:
+        for pred in self._relations:
+            yield from self.facts(pred)
+
+    def matching(self, pattern: Atom) -> Iterator[Atom]:
+        """Yield facts matching *pattern* (variables act as wildcards)."""
+        relation = self._relation(pattern.pred)
+        # Repeated variables in the pattern constrain matches, so check
+        # them after the index lookup.
+        positions_by_var: Dict[Variable, List[int]] = {}
+        for position, arg in enumerate(pattern.args):
+            if isinstance(arg, Variable):
+                positions_by_var.setdefault(arg, []).append(position)
+        repeated = [ps for ps in positions_by_var.values() if len(ps) > 1]
+        for row in relation.lookup(pattern.args):
+            if repeated:
+                ok = all(
+                    len({row[p] for p in positions}) == 1 for positions in repeated
+                )
+                if not ok:
+                    continue
+            yield Atom(pattern.pred, row)
+
+    def clear(self, pred: Optional[str] = None) -> None:
+        """Remove all facts of one predicate, or of every predicate."""
+        if pred is None:
+            for relation in self._relations.values():
+                relation.clear()
+        else:
+            self._relation(pred).clear()
+
+    def snapshot(self) -> Dict[str, Set[Tuple[object, ...]]]:
+        """A deep copy of all extensions, used for session rollback."""
+        return {name: set(rel.rows()) for name, rel in self._relations.items()}
+
+    def restore(self, snapshot: Dict[str, Set[Tuple[object, ...]]]) -> None:
+        """Restore extensions saved by :meth:`snapshot`."""
+        for name, relation in self._relations.items():
+            relation.clear()
+            for row in snapshot.get(name, ()):
+                relation.add(row)

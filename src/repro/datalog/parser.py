@@ -1,0 +1,347 @@
+"""Textual syntax for facts, rules, and constraints.
+
+The paper's central flexibility claim is that consistency is *specified*,
+not programmed: adding versioning and masking to the schema manager was a
+"simple keyboard exercise" of feeding new base predicates, rules, and
+constraints into the consistency control.  This module provides that
+keyboard: the GOM layer states its rules and constraints as text.
+
+Grammar (informal)::
+
+    program     := (rule | constraint | fact)*
+    rule        := atom ":-" body "."
+    fact        := atom "."
+    body        := body_elem ("," body_elem)*
+    body_elem   := "not" atom | atom | comparison
+    constraint  := "constraint" NAME [":" category] ":"
+                       body "==>" conclusion "."
+    conclusion  := "FALSE"
+                 | comparison ("&" comparison)*        -- uniqueness
+                 | disjunct ("|" disjunct)*            -- existence
+    disjunct    := ["exists" varlist ":"] conj
+    conj        := (atom | comparison) ("&" (atom | comparison))*
+    comparison  := term OP term        with OP in = != < <= > >=
+    term        := VARIABLE | NUMBER | STRING | symbol | "$" NAME
+
+Variables start with an upper-case letter (or ``_``); lower-case bare
+identifiers are symbolic string constants; ``$name`` interpolates a Python
+value from the ``bindings`` mapping (used for identifier constants such as
+the root type ``ANY``).  ``%`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import DatalogSyntaxError
+from repro.datalog.builtins import Comparison
+from repro.datalog.constraints import (
+    Conclusion,
+    Constraint,
+    Disjunct,
+    EqualityConclusion,
+    ExistenceConclusion,
+    FalseConclusion,
+)
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Atom, Literal, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>%[^\n]*)
+  | (?P<implies>==>)
+  | (?P<if>:-)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(),.&|:])
+  | (?P<dollar>\$[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(source):
+        matched = _TOKEN_RE.match(source, position)
+        if matched is None:
+            column = position - line_start + 1
+            raise DatalogSyntaxError(
+                f"unexpected character {source[position]!r}", line, column
+            )
+        kind = matched.lastgroup or ""
+        text = matched.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, text, line, position - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rfind("\n") + 1
+        position = matched.end()
+    tokens.append(_Token("eof", "", line, position - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str,
+                 bindings: Optional[Dict[str, object]] = None) -> None:
+        self._tokens = _tokenize(source)
+        self._position = 0
+        self._bindings = bindings or {}
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._position]
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise DatalogSyntaxError(
+                f"expected {wanted!r}, found {token.text!r}",
+                token.line, token.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    def at_end(self) -> bool:
+        return self._peek().kind == "eof"
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_program(self) -> Tuple[List[Rule], List[Constraint], List[Atom]]:
+        rules: List[Rule] = []
+        constraints: List[Constraint] = []
+        facts: List[Atom] = []
+        while not self.at_end():
+            if self._peek().kind == "ident" and self._peek().text == "constraint":
+                constraints.append(self._parse_constraint())
+                continue
+            atom = self._parse_atom()
+            if self._accept("if"):
+                body = self._parse_body()
+                self._expect("punct", ".")
+                rules.append(Rule(atom, body))
+            else:
+                self._expect("punct", ".")
+                facts.append(atom)
+        return rules, constraints, facts
+
+    def parse_single_rule(self) -> Rule:
+        head = self._parse_atom()
+        self._expect("if")
+        body = self._parse_body()
+        self._expect("punct", ".")
+        if not self.at_end():
+            token = self._peek()
+            raise DatalogSyntaxError("trailing input after rule",
+                                     token.line, token.column)
+        return Rule(head, body)
+
+    def parse_single_constraint(self) -> Constraint:
+        constraint = self._parse_constraint()
+        if not self.at_end():
+            token = self._peek()
+            raise DatalogSyntaxError("trailing input after constraint",
+                                     token.line, token.column)
+        return constraint
+
+    def _parse_constraint(self) -> Constraint:
+        self._expect("ident", "constraint")
+        name = self._expect("ident").text
+        category = ""
+        if self._accept("punct", ":"):
+            # either a category tag or directly the premise; a category is
+            # a lone identifier followed by another ':'
+            token = self._peek()
+            lookahead = self._tokens[self._position + 1]
+            if token.kind == "ident" and lookahead.kind == "punct" \
+                    and lookahead.text == ":":
+                category = self._advance().text
+                self._expect("punct", ":")
+        premise = self._parse_body()
+        self._expect("implies")
+        conclusion = self._parse_conclusion()
+        self._expect("punct", ".")
+        return Constraint(name=name, premise=premise, conclusion=conclusion,
+                          category=category)
+
+    def _parse_body(self) -> List[Union[Literal, Comparison]]:
+        elements: List[Union[Literal, Comparison]] = [self._parse_body_element()]
+        while self._accept("punct", ",") or self._accept("punct", "&"):
+            elements.append(self._parse_body_element())
+        return elements
+
+    def _parse_body_element(self) -> Union[Literal, Comparison]:
+        if self._peek().kind == "ident" and self._peek().text == "not":
+            self._advance()
+            return Literal(self._parse_atom(), positive=False)
+        return self._parse_atom_or_comparison()
+
+    def _parse_atom_or_comparison(self) -> Union[Literal, Comparison]:
+        token = self._peek()
+        if token.kind == "ident":
+            lookahead = self._tokens[self._position + 1]
+            if lookahead.kind == "punct" and lookahead.text == "(":
+                return Literal(self._parse_atom())
+        left = self._parse_term()
+        op = self._expect("op").text
+        right = self._parse_term()
+        return Comparison(op, left, right)
+
+    def _parse_atom(self) -> Atom:
+        name = self._expect("ident").text
+        self._expect("punct", "(")
+        args: List[object] = []
+        if not self._accept("punct", ")"):
+            args.append(self._parse_term())
+            while self._accept("punct", ","):
+                args.append(self._parse_term())
+            self._expect("punct", ")")
+        return Atom(name, args)
+
+    def _parse_term(self) -> object:
+        token = self._peek()
+        if token.kind == "ident":
+            self._advance()
+            if token.text[0].isupper() or token.text[0] == "_":
+                return Variable(token.text)
+            return token.text  # symbolic constant
+        if token.kind == "number":
+            self._advance()
+            if "." in token.text:
+                return float(token.text)
+            return int(token.text)
+        if token.kind == "string":
+            self._advance()
+            return token.text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+        if token.kind == "dollar":
+            self._advance()
+            name = token.text[1:]
+            if name not in self._bindings:
+                raise DatalogSyntaxError(
+                    f"no binding supplied for ${name}", token.line, token.column
+                )
+            return self._bindings[name]
+        raise DatalogSyntaxError(f"expected a term, found {token.text!r}",
+                                 token.line, token.column)
+
+    def _parse_conclusion(self) -> Conclusion:
+        token = self._peek()
+        if token.kind == "ident" and token.text == "FALSE":
+            self._advance()
+            return FalseConclusion()
+        disjuncts: List[Disjunct] = [self._parse_disjunct()]
+        while self._accept("punct", "|"):
+            disjuncts.append(self._parse_disjunct())
+        # A conclusion consisting solely of comparisons in a single
+        # disjunct is a uniqueness (equality) conclusion.
+        only = disjuncts[0]
+        if len(disjuncts) == 1 and not only.atoms and not only.exist_vars:
+            return EqualityConclusion(only.comparisons)
+        return ExistenceConclusion(tuple(disjuncts))
+
+    def _parse_disjunct(self) -> Disjunct:
+        exist_vars: List[Variable] = []
+        token = self._peek()
+        if token.kind == "ident" and token.text == "exists":
+            self._advance()
+            exist_vars.append(self._parse_variable())
+            while self._accept("punct", ","):
+                exist_vars.append(self._parse_variable())
+            self._expect("punct", ":")
+        atoms: List[Atom] = []
+        comparisons: List[Comparison] = []
+        element = self._parse_atom_or_comparison()
+        self._collect(element, atoms, comparisons)
+        while self._accept("punct", "&"):
+            element = self._parse_atom_or_comparison()
+            self._collect(element, atoms, comparisons)
+        return Disjunct(atoms=tuple(atoms), comparisons=tuple(comparisons),
+                        exist_vars=tuple(exist_vars))
+
+    @staticmethod
+    def _collect(element: Union[Literal, Comparison], atoms: List[Atom],
+                 comparisons: List[Comparison]) -> None:
+        if isinstance(element, Comparison):
+            comparisons.append(element)
+        elif element.positive:
+            atoms.append(element.atom)
+        else:
+            raise DatalogSyntaxError("negation is not allowed in conclusions")
+
+    def _parse_variable(self) -> Variable:
+        token = self._expect("ident")
+        if not (token.text[0].isupper() or token.text[0] == "_"):
+            raise DatalogSyntaxError(
+                f"expected a variable, found constant {token.text!r}",
+                token.line, token.column,
+            )
+        return Variable(token.text)
+
+
+def parse_program(source: str,
+                  bindings: Optional[Dict[str, object]] = None
+                  ) -> Tuple[List[Rule], List[Constraint], List[Atom]]:
+    """Parse a mixed program of rules, constraints, and facts."""
+    return _Parser(source, bindings).parse_program()
+
+
+def parse_rule(source: str,
+               bindings: Optional[Dict[str, object]] = None) -> Rule:
+    """Parse exactly one rule."""
+    return _Parser(source, bindings).parse_single_rule()
+
+
+def parse_rules(source: str,
+                bindings: Optional[Dict[str, object]] = None) -> List[Rule]:
+    """Parse a program that must consist of rules only."""
+    rules, constraints, facts = parse_program(source, bindings)
+    if constraints or facts:
+        raise DatalogSyntaxError("expected rules only")
+    return rules
+
+
+def parse_constraint(source: str,
+                     bindings: Optional[Dict[str, object]] = None
+                     ) -> Constraint:
+    """Parse exactly one constraint."""
+    return _Parser(source, bindings).parse_single_constraint()
+
+
+def parse_constraints(source: str,
+                      bindings: Optional[Dict[str, object]] = None
+                      ) -> List[Constraint]:
+    """Parse a program that must consist of constraints only."""
+    rules, constraints, facts = parse_program(source, bindings)
+    if rules or facts:
+        raise DatalogSyntaxError("expected constraints only")
+    return constraints

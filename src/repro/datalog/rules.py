@@ -1,0 +1,239 @@
+"""Rules (IDB), programs, and stratification.
+
+A :class:`Rule` is a Horn clause with optional negated body literals and
+builtin comparisons, e.g. the paper's
+
+    Decl_i(X, Y11, Z, Y12) :- SubTypRel_t(Y11, Y21),
+                              Decl(X, Y21, Z, Y12),
+                              not Refined(X, Y11).
+
+Negation must be *stratified*: the predicate dependency graph may not
+contain a cycle through a negative edge.  :func:`stratify` computes the
+strata used by the bottom-up engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple, Union
+
+from repro.errors import RangeRestrictionError, StratificationError
+from repro.datalog.builtins import Comparison
+from repro.datalog.terms import Atom, Literal, Variable
+
+BodyElement = Union[Literal, Comparison]
+
+
+def check_range_restricted(head: Atom, body: Sequence[BodyElement],
+                           what: str = "rule") -> None:
+    """Ensure every head / negated / comparison variable is bound positively.
+
+    Range restriction ("safety") is the property the paper demands so that
+    every stated notion of consistency remains decidable.
+    """
+    positive_vars: Set[Variable] = set()
+    for element in body:
+        if isinstance(element, Literal) and element.positive:
+            positive_vars.update(element.variables())
+    # Equality comparisons propagate bindings: with `Y = X` and X bound,
+    # Y is bound too (and `Y = 3` binds Y outright).  Iterate to fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for element in body:
+            if not (isinstance(element, Comparison) and element.op == "="):
+                continue
+            left_bound = (not isinstance(element.left, Variable)
+                          or element.left in positive_vars)
+            right_bound = (not isinstance(element.right, Variable)
+                           or element.right in positive_vars)
+            if left_bound and not right_bound:
+                positive_vars.add(element.right)
+                changed = True
+            elif right_bound and not left_bound:
+                positive_vars.add(element.left)
+                changed = True
+    unsafe: List[Variable] = []
+    for var in head.variables():
+        if var not in positive_vars:
+            unsafe.append(var)
+    for element in body:
+        if isinstance(element, Literal) and not element.positive:
+            for var in element.variables():
+                if var not in positive_vars:
+                    unsafe.append(var)
+        elif isinstance(element, Comparison):
+            for var in element.variables():
+                if var not in positive_vars:
+                    unsafe.append(var)
+    if unsafe:
+        names = ", ".join(sorted({v.name for v in unsafe}))
+        raise RangeRestrictionError(
+            f"{what} with head {head!r} is not range restricted: "
+            f"unsafe variable(s) {names}"
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Datalog rule ``head :- body``."""
+
+    head: Atom
+    body: Tuple[BodyElement, ...]
+    name: str = ""
+
+    def __init__(self, head: Atom, body: Iterable[BodyElement],
+                 name: str = "") -> None:
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "name", name or head.pred)
+        check_range_restricted(self.head, self.body)
+
+    def positive_literals(self) -> Iterator[Literal]:
+        for element in self.body:
+            if isinstance(element, Literal) and element.positive:
+                yield element
+
+    def negative_literals(self) -> Iterator[Literal]:
+        for element in self.body:
+            if isinstance(element, Literal) and not element.positive:
+                yield element
+
+    def comparisons(self) -> Iterator[Comparison]:
+        for element in self.body:
+            if isinstance(element, Comparison):
+                yield element
+
+    def body_predicates(self) -> Set[str]:
+        return {
+            element.pred
+            for element in self.body
+            if isinstance(element, Literal)
+        }
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(element) for element in self.body)
+        return f"{self.head!r} :- {body}."
+
+
+class Program:
+    """An ordered collection of rules with a predicate dependency graph."""
+
+    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+        self._rules: List[Rule] = []
+        self._by_head: Dict[str, List[Rule]] = {}
+        self._names: set = set()
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: Rule) -> None:
+        # Rule names key provenance records; two rules for one head must
+        # not share a name or their derivations would collapse.
+        if rule.name in self._names:
+            suffix = 2
+            while f"{rule.name}#{suffix}" in self._names:
+                suffix += 1
+            object.__setattr__(rule, "name", f"{rule.name}#{suffix}")
+        self._names.add(rule.name)
+        self._rules.append(rule)
+        self._by_head.setdefault(rule.head.pred, []).append(rule)
+
+    def extend(self, rules: Iterable[Rule]) -> None:
+        for rule in rules:
+            self.add(rule)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def rules_for(self, pred: str) -> List[Rule]:
+        return list(self._by_head.get(pred, ()))
+
+    def derived_predicates(self) -> Set[str]:
+        return set(self._by_head)
+
+    def rules_defining(self, preds: Iterable[str]) -> List[Rule]:
+        result: List[Rule] = []
+        for pred in preds:
+            result.extend(self._by_head.get(pred, ()))
+        return result
+
+    def dependency_edges(self) -> Iterator[Tuple[str, str, bool]]:
+        """Yield ``(head, body_pred, is_negative)`` dependency edges."""
+        for rule in self._rules:
+            for element in rule.body:
+                if isinstance(element, Literal):
+                    yield rule.head.pred, element.pred, not element.positive
+
+    def depends_on(self, pred: str) -> Set[str]:
+        """All predicates (base or derived) the derivation of *pred* reads,
+        including *pred* itself."""
+        seen: Set[str] = set()
+        frontier = [pred]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for rule in self._by_head.get(current, ()):
+                for body_pred in rule.body_predicates():
+                    if body_pred not in seen:
+                        frontier.append(body_pred)
+        return seen
+
+    def affected_by(self, base_preds: Iterable[str]) -> Set[str]:
+        """All derived predicates whose extension may change when any of
+        *base_preds* changes (transitively, through rule bodies)."""
+        targets = set(base_preds)
+        changed = True
+        affected: Set[str] = set()
+        while changed:
+            changed = False
+            for rule in self._rules:
+                if rule.head.pred in affected:
+                    continue
+                if rule.body_predicates() & (targets | affected):
+                    affected.add(rule.head.pred)
+                    changed = True
+        return affected
+
+
+def stratify(program: Program) -> List[Set[str]]:
+    """Partition the derived predicates of *program* into strata.
+
+    Returns a list of predicate sets; predicates in stratum *i* may be
+    evaluated once all strata ``< i`` are complete.  Raises
+    :class:`StratificationError` when negation occurs inside a recursive
+    cycle.  Base predicates (no defining rules) are not listed.
+    """
+    derived = program.derived_predicates()
+    # stratum number per derived predicate, computed by iterating the
+    # standard constraints:  head >= body (positive), head > body (negative)
+    stratum: Dict[str, int] = {pred: 0 for pred in derived}
+    max_rounds = len(derived) + 1
+    for _round in range(max_rounds + 1):
+        changed = False
+        for head, body_pred, negative in program.dependency_edges():
+            if body_pred not in derived:
+                continue
+            required = stratum[body_pred] + (1 if negative else 0)
+            if stratum[head] < required:
+                stratum[head] = required
+                if stratum[head] > len(derived):
+                    raise StratificationError(
+                        f"program is not stratifiable: negation cycle "
+                        f"through {head}"
+                    )
+                changed = True
+        if not changed:
+            break
+    else:
+        raise StratificationError("program is not stratifiable")
+    if not derived:
+        return []
+    layers: List[Set[str]] = [set() for _ in range(max(stratum.values()) + 1)]
+    for pred, layer in stratum.items():
+        layers[layer].add(pred)
+    return [layer for layer in layers if layer]

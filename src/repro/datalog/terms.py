@@ -1,0 +1,203 @@
+"""Terms, atoms, literals, and substitutions for the Datalog substrate.
+
+A *term* is either a :class:`Variable` or a constant.  Constants are plain
+hashable Python values — strings, numbers, or the opaque identifier objects
+the GOM layer uses (``tid_1``, ``did_3``, …).  An :class:`Atom` applies a
+predicate name to a tuple of terms; a ground atom (no variables) is a *fact*.
+A :class:`Literal` is an atom with a sign, as used in rule bodies and
+constraint premises.
+
+Substitutions are plain ``dict`` objects mapping :class:`Variable` to terms;
+the helpers here apply, compose, match, and unify them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A logic variable.  Named with a leading capital by convention."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Term = Union[Variable, object]
+Substitution = Dict[Variable, object]
+
+
+def is_variable(term: Term) -> bool:
+    """Return True when *term* is a logic variable."""
+    return isinstance(term, Variable)
+
+
+def is_ground_term(term: Term) -> bool:
+    """Return True when *term* is a constant (not a variable)."""
+    return not isinstance(term, Variable)
+
+
+def substitute_term(term: Term, theta: Substitution) -> Term:
+    """Apply substitution *theta* to a single term.
+
+    Bindings are followed transitively so that composed substitutions
+    behave as expected: with ``{X: Y, Y: 1}``, ``X`` resolves to ``1``.
+    """
+    seen = 0
+    while isinstance(term, Variable) and term in theta:
+        term = theta[term]
+        seen += 1
+        if seen > len(theta):  # defensive: a cyclic substitution
+            raise ValueError(f"cyclic substitution involving {term!r}")
+    return term
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """An application of a predicate to terms, e.g. ``Type(T, N, S)``."""
+
+    pred: str
+    args: Tuple[Term, ...]
+
+    def __init__(self, pred: str, args: Iterable[Term]) -> None:
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "args", tuple(args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def is_ground(self) -> bool:
+        """Return True when the atom contains no variables."""
+        return all(not isinstance(a, Variable) for a in self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield each variable occurrence (with repetitions) in order."""
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                yield arg
+
+    def substitute(self, theta: Substitution) -> "Atom":
+        """Return a copy of the atom with *theta* applied to every argument."""
+        return Atom(self.pred, tuple(substitute_term(a, theta) for a in self.args))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.pred}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A signed atom: positive (``P(...)``) or negated (``not P(...)``)."""
+
+    atom: Atom
+    positive: bool = True
+
+    @property
+    def pred(self) -> str:
+        return self.atom.pred
+
+    def negate(self) -> "Literal":
+        return Literal(self.atom, not self.positive)
+
+    def substitute(self, theta: Substitution) -> "Literal":
+        return Literal(self.atom.substitute(theta), self.positive)
+
+    def variables(self) -> Iterator[Variable]:
+        return self.atom.variables()
+
+    def __repr__(self) -> str:
+        if self.positive:
+            return repr(self.atom)
+        return f"not {self.atom!r}"
+
+
+def match(pattern: Atom, fact: Atom,
+          theta: Optional[Substitution] = None) -> Optional[Substitution]:
+    """One-way match of a *pattern* atom against a ground *fact*.
+
+    Returns an extension of *theta* binding the pattern's variables, or
+    ``None`` when the atoms do not match.  The input substitution is not
+    mutated.  Matching (rather than full unification) is all bottom-up
+    evaluation needs, since derived facts are always ground.
+    """
+    if pattern.pred != fact.pred or pattern.arity != fact.arity:
+        return None
+    result: Substitution = dict(theta) if theta else {}
+    for pattern_arg, fact_arg in zip(pattern.args, fact.args):
+        pattern_arg = substitute_term(pattern_arg, result)
+        if isinstance(pattern_arg, Variable):
+            result[pattern_arg] = fact_arg
+        elif pattern_arg != fact_arg:
+            return None
+    return result
+
+
+def unify(left: Atom, right: Atom,
+          theta: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Full two-way unification of two atoms (occurs check not needed:
+    terms are flat, so no variable can appear inside another term).
+
+    Used by the incremental checker and the repair generator, where both
+    sides may contain variables.  Returns an extending substitution or
+    ``None``.
+    """
+    if left.pred != right.pred or left.arity != right.arity:
+        return None
+    result: Substitution = dict(theta) if theta else {}
+    for left_arg, right_arg in zip(left.args, right.args):
+        left_arg = substitute_term(left_arg, result)
+        right_arg = substitute_term(right_arg, result)
+        if left_arg == right_arg:
+            continue
+        if isinstance(left_arg, Variable):
+            result[left_arg] = right_arg
+        elif isinstance(right_arg, Variable):
+            result[right_arg] = left_arg
+        else:
+            return None
+    return result
+
+
+def compose(outer: Substitution, inner: Substitution) -> Substitution:
+    """Compose substitutions: applying the result equals applying *inner*
+    then *outer*."""
+    result: Substitution = {
+        var: substitute_term(term, outer) for var, term in inner.items()
+    }
+    for var, term in outer.items():
+        result.setdefault(var, term)
+    return result
+
+
+def rename_apart(atoms: Iterable[Atom], taken: Iterable[Variable],
+                 suffix: str = "_r") -> Tuple[Tuple[Atom, ...], Substitution]:
+    """Rename the variables of *atoms* so they are disjoint from *taken*.
+
+    Returns the renamed atoms and the renaming substitution.  Used when a
+    rule body is spliced into a constraint premise during repair generation.
+    """
+    taken_names = {v.name for v in taken}
+    renaming: Substitution = {}
+    for atom in atoms:
+        for var in atom.variables():
+            if var in renaming or var.name not in taken_names:
+                continue
+            fresh_name = var.name + suffix
+            counter = 0
+            while fresh_name in taken_names:
+                counter += 1
+                fresh_name = f"{var.name}{suffix}{counter}"
+            taken_names.add(fresh_name)
+            renaming[var] = Variable(fresh_name)
+    return tuple(a.substitute(renaming) for a in atoms), renaming
+
+
+def format_fact(atom: Atom) -> str:
+    """Render a ground atom the way the paper writes facts."""
+    inner = ", ".join(str(a) for a in atom.args)
+    return f"{atom.pred}({inner})"

@@ -1,0 +1,34 @@
+"""The GOM schema model: base predicates, rules, and constraints.
+
+This package models the core of GOM (Kemper, Moerkotte, Walter, Zachmann,
+BTW 1991) exactly as Section 3 of the paper does, as *feature modules*
+contributed to a deductive database:
+
+* ``core`` — the schema base of §3.2/§3.3: ``Schema``, ``Type``, ``Attr``,
+  ``Decl``, ``ArgDecl``, ``Code``, ``SubTypRel``, ``DeclRefinement``,
+  ``CodeReqDecl``, ``CodeReqAttr`` with the uniqueness / existence /
+  inheritance / refinement constraints;
+* ``objectbase`` — the object-base model of §3.4: ``PhRep`` and ``Slot``
+  with the schema/object-consistency constraints;
+* ``versioning`` — §4.1: ``evolves_to_S`` / ``evolves_to_T`` with the DAG
+  and digestibility constraints;
+* ``fashion`` — §4.1: ``FashionType`` / ``FashionDecl`` / ``FashionAttr``
+  with the substitutability-completeness constraints;
+* ``single_inheritance`` — the §2.1 example of *changing* the consistency
+  definition (a project leader restraining inheritance).
+
+:class:`repro.gom.model.GomDatabase` assembles any combination of features
+into one deductive database + consistency checker, which is the paper's
+entire point: extending the schema manager is feeding more definitions in.
+"""
+
+from repro.gom.ids import Id, IdFactory
+from repro.gom.model import FeatureModule, GomDatabase, available_features
+
+__all__ = [
+    "FeatureModule",
+    "GomDatabase",
+    "Id",
+    "IdFactory",
+    "available_features",
+]

@@ -1,0 +1,65 @@
+"""Built-in sorts of GOM.
+
+The paper "implicitly assume[s] the existence of types for the built-in
+sorts — like integer, float, string and so on" and likewise "the implicit
+existence of physical representations of built-in sorts".  We make the
+assumption explicit: a well-known ``BUILTIN`` schema holds one type fact
+per sort (plus the unique root ``ANY``), and — when the object-base
+feature is enabled — one physical representation fact per sort.
+
+Figure-2-style renderings filter these out, exactly as the paper's tables
+do ("not containing the definitions for base types").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.gom.ids import ANY_TYPE, Id, builtin_phrep_id, builtin_type_id
+
+#: The well-known schema that owns built-in sorts and the root type.
+BUILTIN_SCHEMA = Id("sid", label="builtin")
+BUILTIN_SCHEMA_NAME = "Builtin"
+
+#: name -> (type id, Python types accepted as values of the sort)
+BUILTIN_SORTS: Dict[str, Tuple[Id, tuple]] = {
+    "int": (builtin_type_id("int"), (int,)),
+    "float": (builtin_type_id("float"), (float, int)),
+    "string": (builtin_type_id("string"), (str,)),
+    "bool": (builtin_type_id("bool"), (bool,)),
+    "date": (builtin_type_id("date"), (int,)),  # a date is a year count here
+    "void": (builtin_type_id("void"), (type(None),)),
+}
+
+#: name -> physical representation id of the sort (``clid_string`` …)
+BUILTIN_PHREPS: Dict[str, Id] = {
+    name: builtin_phrep_id(name) for name in BUILTIN_SORTS
+}
+
+
+def builtin_type(name: str) -> Optional[Id]:
+    """The type id of a built-in sort, or None for user types."""
+    if name == "ANY":
+        return ANY_TYPE
+    entry = BUILTIN_SORTS.get(name)
+    return entry[0] if entry else None
+
+
+def is_builtin_type_id(tid: Id) -> bool:
+    """True for the root type and the built-in sort types."""
+    return isinstance(tid, Id) and tid.label is not None
+
+
+def value_conforms(name: str, value: object) -> bool:
+    """Does a Python value conform to the built-in sort *name*?
+
+    ``bool`` is not accepted for ``int``/``float`` (Python's bool is an
+    int subclass, which would make ``True`` a valid age).
+    """
+    entry = BUILTIN_SORTS.get(name)
+    if entry is None:
+        return False
+    accepted = entry[1]
+    if isinstance(value, bool) and name != "bool":
+        return False
+    return isinstance(value, accepted)

@@ -1,0 +1,100 @@
+"""Schema-consistency constraints of §3.3, stated declaratively.
+
+Keys and referential-integrity constraints are *not* listed here — the
+paper skips them "due to their simplicity" and we generate them from the
+predicate declarations (see :mod:`repro.gom.model`).  Everything else of
+§3.3 appears below, in the paper's order.
+
+The contravariance (refinement) constraint is one large formula in the
+paper with a conjunction and nested universal quantifiers in its
+conclusion.  A conjunction in the conclusion of an implication splits
+into one constraint per conjunct, and a nested universal premise moves
+into the outer premise, so the single formula becomes the six
+``refine_*`` constraints below — logically equivalent, and each
+violation now pinpoints exactly which part of contravariance broke.
+"""
+
+from __future__ import annotations
+
+CORE_CONSTRAINTS = """
+% --- uniqueness (paper, 3.3): every type name at most once per schema --
+constraint type_name_unique: uniqueness:
+  Type(X1, Y1, Z) & Type(X2, Y2, Z) & Y1 = Y2 ==> X1 = X2.
+
+% footnote 7 relies on the uniqueness of user schema names
+constraint schema_name_unique: uniqueness:
+  Schema(X1, Y1) & Schema(X2, Y2) & Y1 = Y2 ==> X1 = X2.
+
+% --- existence (paper, 3.3): every declaration has implementing code ---
+constraint decl_has_code: existence:
+  Decl(D, Tc, O, Tt) ==> exists C1, C2: Code(C1, C2, D).
+
+% the paper's "1:1 relationship implements"
+constraint code_unique_per_decl: uniqueness:
+  Code(C1, B1, D) & Code(C2, B2, D) ==> C1 = C2.
+
+% the simple schema manager has no overloading (paper, footnote 2):
+% an operation name is declared at most once per type.  The
+% 'overloading' feature module retracts exactly this constraint.
+constraint op_name_unique_per_type: uniqueness:
+  Decl(D1, T, O, R1) & Decl(D2, T, O, R2) ==> D1 = D2.
+
+% --- code requirements: accessed attributes must be visible ------------
+constraint codereq_attr_visible: existence:
+  CodeReqAttr(C, T, A) ==> exists D: Attr_i(T, A, D).
+
+% --- subtype relationship (paper, 3.3) ----------------------------------
+constraint subtype_acyclic: denial:
+  SubTypRel_t(X, X) ==> FALSE.
+
+constraint subtype_rooted: existence:
+  Type(X, Y, Z) ==> X = $ANY | SubTypRel_t(X, $ANY).
+
+constraint refinement_acyclic: denial:
+  DeclRefinement_t(X, X) ==> FALSE.
+
+% --- multiple inheritance (paper, 3.3) -----------------------------------
+% any two inherited attributes with the same name have the same codomain
+constraint mi_attr_unique: inheritance:
+  Attr_i(T, A, D1) & Attr_i(T, A, D2) ==> D1 = D2.
+
+% two same-named operations inherited from different origins need a
+% common refinement
+constraint mi_op_refined: inheritance:
+  SubTypRel(T, T1) & SubTypRel(T, T2) & T1 != T2 &
+  Decl_i(D1, T1, O, Tt1) & Decl_i(D2, T2, O, Tt2) & D1 != D2
+  ==> exists D: DeclRefinement(D, D1) & DeclRefinement(D, D2).
+
+% --- refinement / contravariance (paper, 3.3), split as documented ------
+constraint refine_same_name: refinement:
+  DeclRefinement(D2, D1) & Decl(D1, Tc1, O1, Tt1) & Decl(D2, Tc2, O2, Tt2)
+  ==> O1 = O2.
+
+constraint refine_receiver_subtype: refinement:
+  DeclRefinement(D2, D1) & Decl(D1, Tc1, O1, Tt1) & Decl(D2, Tc2, O2, Tt2)
+  ==> SubTypRel_t(Tc2, Tc1).
+
+constraint refine_result_covariant: refinement:
+  DeclRefinement(D2, D1) & Decl(D1, Tc1, O1, Tt1) & Decl(D2, Tc2, O2, Tt2)
+  ==> Tt1 = Tt2 | SubTypRel_t(Tt2, Tt1).
+
+constraint refine_arg_contravariant: refinement:
+  DeclRefinement(D2, D1) & ArgDecl(D1, N, TA1) & ArgDecl(D2, N, TA2)
+  ==> TA1 = TA2 | SubTypRel_t(TA1, TA2).
+
+constraint refine_arg_count_lhs: refinement:
+  DeclRefinement(D2, D1) & ArgDecl(D1, N, TA1)
+  ==> exists TA2: ArgDecl(D2, N, TA2).
+
+constraint refine_arg_count_rhs: refinement:
+  DeclRefinement(D2, D1) & ArgDecl(D2, N, TA2)
+  ==> exists TA1: ArgDecl(D1, N, TA1).
+"""
+
+#: The §2.1 scenario: a project leader restrains multiple inheritance.
+#: Enabling the ``single_inheritance`` feature adds exactly this text —
+#: "changing the definition of consistency" is one declarative statement.
+SINGLE_INHERITANCE_CONSTRAINTS = """
+constraint single_inheritance: inheritance:
+  SubTypRel(X, Y1) & SubTypRel(X, Y2) ==> Y1 = Y2.
+"""

@@ -1,0 +1,25 @@
+"""Fashion (masking) constraints of §4.1.
+
+``FashionType(X, Y)`` makes instances of type version X substitutable for
+instances of type version Y.  The paper restricts **fashion** to schema
+evolution (the two types must be versions of one another) and demands
+*completeness*: every operation and every (inherited) attribute of Y must
+be imitated for X via ``FashionDecl`` / ``FashionAttr``.
+"""
+
+from __future__ import annotations
+
+FASHION_CONSTRAINTS = """
+% --- fashion is restricted to schema-evolution purposes (paper, 4.1) ----
+constraint fashion_only_versions: fashion:
+  FashionType(X, Y) ==> evolves_to_T(X, Y) | evolves_to_T(Y, X).
+
+% --- the complete behaviour of Y must be provided for X -----------------
+constraint fashion_decl_complete: fashion:
+  FashionType(X, Y) & Decl_i(Z, Y, U, V)
+  ==> exists W: FashionDecl(Z, X, W).
+
+constraint fashion_attr_complete: fashion:
+  FashionType(X, Y) & Attr_i(Y, Z, U)
+  ==> exists V1, V2: FashionAttr(Y, Z, X, V1, V2).
+"""

@@ -1,0 +1,40 @@
+"""Schema/object-consistency constraints of §3.4.
+
+These relate the *Schema Base* to the *Object Base Model* maintained by
+the runtime system.  The central one is the paper's constraint (*): every
+attribute — including inherited ones — of an instantiated type must have
+a slot in the physical representation, and the slot's values must be
+represented like the attribute's domain.  Violating (*) is what triggers
+the conversion machinery of §3.5 (experiment E4).
+
+Deviation note: the paper's second uniqueness formula literally states
+that an attribute *name* determines its slot globally, which its own
+example table contradicts (``name`` is slotted in both ``clid1`` and
+``clid3``).  Following the paper's prose — "the slots for each attribute
+for a given type must be unique" — ``slot_unique`` scopes uniqueness to
+one physical representation.
+"""
+
+from __future__ import annotations
+
+OBJECTBASE_CONSTRAINTS = """
+% --- only one physical representation per type (paper, 3.4) ------------
+constraint phrep_unique_per_type: uniqueness:
+  PhRep(C1, T) & PhRep(C2, T) ==> C1 = C2.
+
+% --- slots unique per representation and attribute (paper, 3.4; see
+%     module docstring for the scoping note) ----------------------------
+constraint slot_unique: uniqueness:
+  Slot(C, A, C1) & Slot(C, A, C2) ==> C1 = C2.
+
+% --- the paper's constraint (*): every (inherited) attribute of an
+%     instantiated type has a correctly-represented slot ----------------
+constraint slot_exists: existence:
+  Attr_i(T, A, TA) & PhRep(C, T)
+  ==> exists CA: Slot(C, A, CA) & PhRep(CA, TA).
+
+% --- the converse: slots only for attributes the type actually has ------
+%     (this is what makes attribute *deletion* a schema/object issue) ----
+constraint slot_has_attr: existence:
+  Slot(C, A, CA) & PhRep(C, T) ==> exists TA: Attr_i(T, A, TA).
+"""

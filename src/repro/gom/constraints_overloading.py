@@ -1,0 +1,36 @@
+"""The overloading extension — the paper's own example of a data-model
+change ("changes to the data model like allowing overloading are typical
+examples", §2.1).
+
+GOM's simple schema manager excludes overloading (footnote 2): core
+carries ``op_name_unique_per_type``.  Enabling the ``overloading``
+feature *retracts* that constraint and replaces it with a weaker one:
+two same-named declarations on one type must have distinguishable
+signatures (differ in arity or in some argument type), so that
+arity-based static resolution stays unambiguous.
+
+"Signatures differ" needs a universal ("at every position equal") in a
+premise, which range-restricted constraints do not allow directly — the
+standard move, used here, is an IDB helper ``DiffersAt`` computing the
+existential complement.
+"""
+
+from __future__ import annotations
+
+OVERLOADING_RULES = """
+% ArgAt(D, N): declaration D has an argument at position N.
+ArgAt(D, N) :- ArgDecl(D, N, T).
+
+% DiffersAt(D1, D2): the signatures differ at some position — either the
+% argument types disagree, or one declaration has an argument where the
+% other has none (differing arity).
+DiffersAt(D1, D2) :- ArgDecl(D1, N, T1), ArgDecl(D2, N, T2), T1 != T2.
+DiffersAt(D1, D2) :- ArgAt(D1, N), Decl(D2, T2, O2, R2), not ArgAt(D2, N).
+DiffersAt(D1, D2) :- ArgAt(D2, N), Decl(D1, T1, O1, R1), not ArgAt(D1, N).
+"""
+
+OVERLOADING_CONSTRAINTS = """
+constraint overload_signatures_differ: uniqueness:
+  Decl(D1, T, O, R1) & Decl(D2, T, O, R2) & D1 != D2
+  ==> DiffersAt(D1, D2).
+"""

@@ -1,0 +1,24 @@
+"""Versioning constraints of §4.1.
+
+The version graphs spanned by ``evolves_to_S`` / ``evolves_to_T`` must be
+DAGs, and type evolution must be *digestible*: types may evolve from each
+other only if their schemas do.  (Referential integrity is generated
+from the predicate declarations, as the paper notes it is "in the same
+fashion as the integrity constraints of section 3".)
+"""
+
+from __future__ import annotations
+
+VERSIONING_CONSTRAINTS = """
+% --- the version graphs form DAGs (paper, 4.1) --------------------------
+constraint schema_versions_acyclic: denial:
+  evolves_to_S_t(X, X) ==> FALSE.
+
+constraint type_versions_acyclic: denial:
+  evolves_to_T_t(X, X) ==> FALSE.
+
+% --- digestibility: types evolve only along schema evolution ------------
+constraint version_digestible: versioning:
+  Type(X1, Y1, Z1) & Type(X2, Y2, Z2) & evolves_to_T_t(X1, X2)
+  ==> evolves_to_S_t(Z1, Z2).
+"""

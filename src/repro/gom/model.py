@@ -1,0 +1,447 @@
+"""Assembling the schema manager's deductive database from features.
+
+This module realizes the paper's flexibility claim concretely: the GOM
+schema model is a set of *feature modules*, each contributing base
+predicates, rules, and constraints as declarative text.  Enabling the
+versioning and fashion extensions of §4.1 is literally registering two
+more modules — the paper's "simple keyboard exercise [that] can be
+performed within an hour".  Experiment E6 counts exactly what each module
+contributes.
+
+:class:`GomDatabase` wires a :class:`~repro.datalog.engine.DeductiveDatabase`
+with a :class:`~repro.datalog.checker.ConsistencyChecker` and a
+:class:`~repro.datalog.repair.RepairGenerator`, seeds the built-in sorts,
+and exposes the ``modify`` surface the Consistency Control builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import DuplicateFeatureError, UnknownFeatureError
+from repro.datalog.checker import CheckReport, ConsistencyChecker
+from repro.datalog.constraints import (
+    Constraint,
+    key_constraint,
+    reference_constraint,
+)
+from repro.datalog.engine import DeductiveDatabase
+from repro.datalog.facts import PredicateDecl
+from repro.datalog.parser import parse_program
+from repro.datalog.repair import RepairGenerator
+from repro.datalog.terms import Atom
+from repro.gom import builtins as gom_builtins
+from repro.gom.ids import ANY_TYPE, Id, IdFactory
+from repro.gom import predicates as preds
+from repro.gom import rulesets
+from repro.gom.constraints_core import (
+    CORE_CONSTRAINTS,
+    SINGLE_INHERITANCE_CONSTRAINTS,
+)
+from repro.gom.constraints_overloading import (
+    OVERLOADING_CONSTRAINTS,
+    OVERLOADING_RULES,
+)
+from repro.gom.constraints_fashion import FASHION_CONSTRAINTS
+from repro.gom.constraints_object import OBJECTBASE_CONSTRAINTS
+from repro.gom.constraints_versioning import VERSIONING_CONSTRAINTS
+
+
+@dataclass(frozen=True)
+class FeatureModule:
+    """One pluggable piece of the schema manager's data model.
+
+    ``removes_constraints`` lists constraint names the feature *retracts*
+    from the consistency definition — the paper's §2.1 contemplates not
+    only adding but changing the definition of consistency ("changes to
+    the data model like allowing overloading are typical examples"), and
+    allowing overloading means dropping a uniqueness constraint.
+    """
+
+    name: str
+    predicates: Tuple[PredicateDecl, ...] = ()
+    rules_text: str = ""
+    constraints_text: str = ""
+    removes_constraints: Tuple[str, ...] = ()
+    requires: Tuple[str, ...] = ()
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class FeatureContribution:
+    """What enabling one feature actually added (experiment E6)."""
+
+    feature: str
+    predicates: int
+    rules: int
+    constraints: int
+    generated_constraints: int  # auto-generated key / reference constraints
+    removed_constraints: int = 0
+
+    @property
+    def total_definitions(self) -> int:
+        return (self.predicates + self.rules + self.constraints
+                + self.generated_constraints + self.removed_constraints)
+
+
+_REGISTRY: Dict[str, FeatureModule] = {}
+
+
+def register_feature(feature: FeatureModule) -> None:
+    """Add a feature to the global registry (developer extension point)."""
+    if feature.name in _REGISTRY:
+        raise DuplicateFeatureError(f"feature {feature.name} already registered")
+    _REGISTRY[feature.name] = feature
+
+
+def available_features() -> List[str]:
+    """Names of all registered features."""
+    return sorted(_REGISTRY)
+
+
+def get_feature(name: str) -> FeatureModule:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownFeatureError(
+            f"unknown feature {name!r}; available: {', '.join(available_features())}"
+        ) from None
+
+
+register_feature(FeatureModule(
+    name="core",
+    predicates=preds.CORE_PREDICATES,
+    rules_text=rulesets.CORE_RULES,
+    constraints_text=CORE_CONSTRAINTS,
+    doc="the core GOM schema model of §3.2/§3.3",
+))
+register_feature(FeatureModule(
+    name="objectbase",
+    predicates=preds.OBJECTBASE_PREDICATES,
+    constraints_text=OBJECTBASE_CONSTRAINTS,
+    requires=("core",),
+    doc="the object-base model and schema/object consistency of §3.4",
+))
+register_feature(FeatureModule(
+    name="versioning",
+    predicates=preds.VERSIONING_PREDICATES,
+    rules_text=rulesets.VERSIONING_RULES,
+    constraints_text=VERSIONING_CONSTRAINTS,
+    requires=("core",),
+    doc="schema/type version graphs of §4.1",
+))
+register_feature(FeatureModule(
+    name="fashion",
+    predicates=preds.FASHION_PREDICATES,
+    constraints_text=FASHION_CONSTRAINTS,
+    requires=("core", "versioning"),
+    doc="masking via the fashion construct of §4.1",
+))
+register_feature(FeatureModule(
+    name="single_inheritance",
+    constraints_text=SINGLE_INHERITANCE_CONSTRAINTS,
+    requires=("core",),
+    doc="the §2.1 consistency redefinition: restrain to single inheritance",
+))
+register_feature(FeatureModule(
+    name="overloading",
+    rules_text=OVERLOADING_RULES,
+    constraints_text=OVERLOADING_CONSTRAINTS,
+    removes_constraints=("op_name_unique_per_type",),
+    requires=("core",),
+    doc="the §2.1 data-model change example: allow operator overloading",
+))
+
+DEFAULT_FEATURES: Tuple[str, ...] = ("core", "objectbase")
+
+
+class GomDatabase:
+    """The Database Model of Figure 1: schema base + object-base model.
+
+    All extension changes go through :meth:`modify`; the Analyzer and the
+    Runtime System never touch relations directly.
+    """
+
+    def __init__(self, features: Sequence[str] = DEFAULT_FEATURES,
+                 generate_keys: bool = True,
+                 generate_references: bool = True) -> None:
+        self.ids = IdFactory()
+        self.db = DeductiveDatabase()
+        self.checker = ConsistencyChecker(self.db)
+        self.repairer = RepairGenerator(self.db)
+        self.contributions: List[FeatureContribution] = []
+        self._enabled: List[str] = []
+        self._generate_keys = generate_keys
+        self._generate_references = generate_references
+        for name in self._resolve(features):
+            self.enable(name)
+        self._install_builtins()
+
+    # -- feature management -----------------------------------------------------
+
+    @staticmethod
+    def _resolve(features: Sequence[str]) -> List[str]:
+        """Order features so requirements come first."""
+        ordered: List[str] = []
+        seen: Set[str] = set()
+
+        def visit(name: str, trail: Tuple[str, ...]) -> None:
+            if name in seen:
+                return
+            if name in trail:
+                raise UnknownFeatureError(
+                    f"cyclic feature requirement through {name}")
+            feature = get_feature(name)
+            for requirement in feature.requires:
+                visit(requirement, trail + (name,))
+            seen.add(name)
+            ordered.append(name)
+
+        for name in features:
+            visit(name, ())
+        return ordered
+
+    @property
+    def features(self) -> Tuple[str, ...]:
+        return tuple(self._enabled)
+
+    def enable(self, name: str) -> FeatureContribution:
+        """Enable one feature: declare its predicates, feed its rules and
+        constraints into the consistency control."""
+        if name in self._enabled:
+            for contribution in self.contributions:
+                if contribution.feature == name:
+                    return contribution
+        feature = get_feature(name)
+        for requirement in feature.requires:
+            if requirement not in self._enabled:
+                self.enable(requirement)
+        bindings = {"ANY": ANY_TYPE}
+        for decl in feature.predicates:
+            self.db.declare(decl)
+        rules, inline_constraints, facts = parse_program(
+            feature.rules_text, bindings) if feature.rules_text else ([], [], [])
+        if facts:
+            raise UnknownFeatureError(
+                f"feature {name} rules text contains facts")
+        for rule in rules:
+            self.db.add_rule(rule)
+        constraint_count = 0
+        if feature.constraints_text:
+            more_rules, constraints, facts = parse_program(
+                feature.constraints_text, bindings)
+            if more_rules or facts:
+                raise UnknownFeatureError(
+                    f"feature {name} constraint text contains rules or facts")
+            for constraint in constraints:
+                self.checker.add_constraint(self._tag(constraint, name))
+                constraint_count += 1
+        for constraint in inline_constraints:
+            self.checker.add_constraint(self._tag(constraint, name))
+            constraint_count += 1
+        removed = 0
+        for constraint_name in feature.removes_constraints:
+            self.checker.remove_constraint(constraint_name)
+            removed += 1
+        generated = self._generate_structural_constraints(feature)
+        contribution = FeatureContribution(
+            feature=name,
+            predicates=len(feature.predicates),
+            rules=len(rules),
+            constraints=constraint_count,
+            generated_constraints=generated,
+            removed_constraints=removed,
+        )
+        self.contributions.append(contribution)
+        self._enabled.append(name)
+        return contribution
+
+    @staticmethod
+    def _tag(constraint: Constraint, feature: str) -> Constraint:
+        return Constraint(
+            name=constraint.name, premise=constraint.premise,
+            conclusion=constraint.conclusion, doc=constraint.doc,
+            category=constraint.category, source=feature,
+        )
+
+    def _generate_structural_constraints(self, feature: FeatureModule) -> int:
+        """Mechanically generate key and referential-integrity constraints
+        from the predicate declarations — the constraints the paper skips
+        "due to their simplicity"."""
+        generated = 0
+        for decl in feature.predicates:
+            if self._generate_keys and decl.key \
+                    and 0 < len(decl.key) < decl.arity:
+                self.checker.add_constraint(
+                    key_constraint(decl.name, decl.argnames, decl.key,
+                                   source=feature.name))
+                generated += 1
+            if self._generate_references:
+                for position, target, target_position in decl.references:
+                    target_decl = self.db.decl(target)
+                    self.checker.add_constraint(reference_constraint(
+                        decl.name, decl.argnames, position,
+                        target, target_decl.argnames, target_position,
+                        source=feature.name))
+                    generated += 1
+        return generated
+
+    # -- built-in sorts -----------------------------------------------------------
+
+    def _install_builtins(self) -> None:
+        """Seed the well-known BUILTIN schema, the root type ANY, the
+        built-in sorts, and (with the object base enabled) their physical
+        representations."""
+        self.db.add_fact(Atom("Schema", (gom_builtins.BUILTIN_SCHEMA,
+                                         gom_builtins.BUILTIN_SCHEMA_NAME)))
+        self.db.add_fact(Atom("Type", (ANY_TYPE, "ANY",
+                                       gom_builtins.BUILTIN_SCHEMA)))
+        for name, (tid, _pytypes) in gom_builtins.BUILTIN_SORTS.items():
+            self.db.add_fact(Atom("Type", (tid, name,
+                                           gom_builtins.BUILTIN_SCHEMA)))
+        if "objectbase" in self._enabled:
+            for name, clid in gom_builtins.BUILTIN_PHREPS.items():
+                tid = gom_builtins.BUILTIN_SORTS[name][0]
+                self.db.add_fact(Atom("PhRep", (clid, tid)))
+                # Built-in sorts are atomic: their representation has no
+                # slots, so constraint (*) holds vacuously for them.
+
+    # -- modify surface (used by the Consistency Control) ---------------------------
+
+    def modify(self, additions: Iterable[Atom] = (),
+               deletions: Iterable[Atom] = ()) -> Tuple[int, int]:
+        """Apply +/- changes to the base-predicate extensions."""
+        return self.db.apply_delta(additions, deletions)
+
+    def check(self) -> CheckReport:
+        """Full consistency check over all enabled constraints."""
+        return self.checker.check()
+
+    # -- lookup helpers shared by Analyzer and Runtime ------------------------------
+
+    def schema_id(self, name: str) -> Optional[Id]:
+        for fact in self.db.matching(Atom("Schema", (None, name))):
+            return fact.args[0]
+        return None
+
+    def type_id(self, name: str, schema: Optional[Id] = None) -> Optional[Id]:
+        """Resolve a type name, optionally within one schema.
+
+        Built-in sort names resolve without a schema qualifier.
+        """
+        builtin = gom_builtins.builtin_type(name)
+        if builtin is not None:
+            return builtin
+        pattern = Atom("Type", (None, name, schema))
+        for fact in self.db.matching(pattern):
+            return fact.args[0]
+        return None
+
+    def type_name(self, tid: Id) -> Optional[str]:
+        for fact in self.db.matching(Atom("Type", (tid, None, None))):
+            return fact.args[1]
+        return None
+
+    def schema_of_type(self, tid: Id) -> Optional[Id]:
+        for fact in self.db.matching(Atom("Type", (tid, None, None))):
+            return fact.args[2]
+        return None
+
+    def attributes(self, tid: Id, inherited: bool = True) -> List[Tuple[str, Id]]:
+        """(name, domain) pairs of a type's attributes."""
+        pred = "Attr_i" if inherited else "Attr"
+        return sorted(
+            (fact.args[1], fact.args[2])
+            for fact in self.db.matching(Atom(pred, (tid, None, None)))
+        )
+
+    def declarations(self, tid: Id, inherited: bool = True
+                     ) -> List[Tuple[Id, str, Id]]:
+        """(declid, opname, result) triples visible at a type."""
+        pred = "Decl_i" if inherited else "Decl"
+        return sorted(
+            (fact.args[0], fact.args[2], fact.args[3])
+            for fact in self.db.matching(Atom(pred, (None, tid, None, None)))
+        )
+
+    def decl_id(self, tid: Id, opname: str,
+                inherited: bool = True) -> Optional[Id]:
+        pred = "Decl_i" if inherited else "Decl"
+        for fact in self.db.matching(Atom(pred, (None, tid, opname, None))):
+            return fact.args[0]
+        return None
+
+    def decl_candidates(self, tid: Id, opname: str,
+                        inherited: bool = True) -> List[Id]:
+        """All declarations of *opname* visible at *tid* (with the
+        ``overloading`` feature there can be several)."""
+        pred = "Decl_i" if inherited else "Decl"
+        return sorted(
+            fact.args[0]
+            for fact in self.db.matching(Atom(pred, (None, tid, opname,
+                                                     None)))
+        )
+
+    def resolve_operation(self, tid: Id, opname: str,
+                          nargs: Optional[int] = None) -> Optional[Id]:
+        """Resolve a call of *opname* on *tid*, arity-aware.
+
+        With a unique candidate the arity is not enforced here (the
+        interpreter checks it at invocation); with several (overloading)
+        the argument count selects the declaration.
+        """
+        candidates = self.decl_candidates(tid, opname)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        if nargs is None:
+            return candidates[0]
+        by_arity = [did for did in candidates
+                    if len(self.arg_types(did)) == nargs]
+        if len(by_arity) == 1:
+            return by_arity[0]
+        if by_arity:
+            return by_arity[0]  # ambiguous; deterministic first
+        return None
+
+    def arg_types(self, did: Id) -> List[Id]:
+        """Argument types of a declaration, in argument order."""
+        rows = sorted(
+            (fact.args[1], fact.args[2])
+            for fact in self.db.matching(Atom("ArgDecl", (did, None, None)))
+        )
+        return [tid for _number, tid in rows]
+
+    def code_for(self, did: Id) -> Optional[Tuple[Id, str]]:
+        """(code id, code text) implementing a declaration, if any."""
+        for fact in self.db.matching(Atom("Code", (None, None, did))):
+            return fact.args[0], fact.args[1]
+        return None
+
+    def supertypes(self, tid: Id, transitive: bool = False) -> List[Id]:
+        pred = "SubTypRel_t" if transitive else "SubTypRel"
+        return sorted(
+            fact.args[1] for fact in self.db.matching(Atom(pred, (tid, None)))
+        )
+
+    def is_subtype(self, sub: Id, sup: Id) -> bool:
+        """Reflexive-transitive subtype test."""
+        if sub == sup:
+            return True
+        return self.db.contains(Atom("SubTypRel_t", (sub, sup)))
+
+    def phrep_of(self, tid: Id) -> Optional[Id]:
+        for fact in self.db.matching(Atom("PhRep", (None, tid))):
+            return fact.args[0]
+        return None
+
+    def enum_values(self, tid: Id) -> List[str]:
+        return sorted(
+            fact.args[1]
+            for fact in self.db.matching(Atom("EnumValue", (tid, None)))
+        )
+
+    def is_enum(self, tid: Id) -> bool:
+        return bool(self.enum_values(tid))

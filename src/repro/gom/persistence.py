@@ -1,0 +1,126 @@
+"""Persistence of the Database Model (Appendix A.2).
+
+"A schema is always persistent, and with it, all its schema components."
+The deductive database *is* the schema manager's entire state, so
+persistence is serializing the base-predicate extensions (plus the id
+counters, so evolution continues seamlessly after a reload).  Rules and
+constraints are not stored: they come from the feature modules, i.e.
+from the schema manager's *definition*, not its data — the stored header
+records which features were enabled so the loader can re-assemble the
+identical manager.
+
+The format is a single JSON document, versioned, with every value
+tagged so ids, numbers, strings, and booleans round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import GomModelError
+from repro.datalog.terms import Atom
+from repro.gom.ids import Id, KINDS
+
+FORMAT_VERSION = 1
+
+
+def _encode_value(value: object) -> object:
+    if isinstance(value, Id):
+        if value.number is not None:
+            return {"$id": [value.kind, value.number]}
+        return {"$idname": [value.kind, value.label]}
+    if isinstance(value, bool) or isinstance(value, (int, float, str)):
+        return value
+    if value is None:
+        return None
+    raise GomModelError(
+        f"cannot persist value {value!r} of type {type(value).__name__}")
+
+
+def _decode_value(value: object) -> object:
+    if isinstance(value, dict):
+        if "$id" in value:
+            kind, number = value["$id"]
+            return Id(kind, number=number)
+        if "$idname" in value:
+            kind, label = value["$idname"]
+            return Id(kind, label=label)
+        raise GomModelError(f"unknown tagged value {value!r}")
+    return value
+
+
+def dump_model(model, stream: Optional[IO[str]] = None) -> str:
+    """Serialize a :class:`GomDatabase` to JSON text (and *stream*)."""
+    counters: Dict[str, int] = {}
+    for kind in KINDS:
+        # peek at the next value without consuming it: count issued ids
+        counter = model.ids._counters[kind]
+        import itertools
+        probe = next(counter)
+        counters[kind] = probe
+        model.ids._counters[kind] = itertools.chain([probe], counter)
+    facts: Dict[str, List[List[object]]] = {}
+    for pred in sorted(model.db.edb.predicates()):
+        rows = sorted(
+            ([_encode_value(cell) for cell in fact.args]
+             for fact in model.db.edb.facts(pred)),
+            key=repr,
+        )
+        if rows:
+            facts[pred] = rows
+    document = {
+        "format": FORMAT_VERSION,
+        "features": list(model.features),
+        "next_ids": counters,
+        "facts": facts,
+    }
+    text = json.dumps(document, indent=1, sort_keys=True)
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def load_model(source: Union[str, IO[str]]):
+    """Re-assemble a :class:`GomDatabase` from :func:`dump_model` output.
+
+    The manager is rebuilt from its feature list (rules and constraints
+    come from the feature registry), then the stored extensions replace
+    the fresh built-ins, and the id counters resume where they stopped.
+    """
+    from repro.gom.model import GomDatabase
+
+    text = source if isinstance(source, str) else source.read()
+    document = json.loads(text)
+    if document.get("format") != FORMAT_VERSION:
+        raise GomModelError(
+            f"unsupported persistence format {document.get('format')!r}")
+    model = GomDatabase(features=tuple(document["features"]))
+    model.db.edb.clear()
+    changed = set()
+    for pred, rows in document["facts"].items():
+        if not model.db.edb.is_declared(pred):
+            raise GomModelError(
+                f"stored predicate {pred!r} is not declared by features "
+                f"{document['features']}")
+        for row in rows:
+            model.db.edb.add(Atom(pred, [_decode_value(cell)
+                                         for cell in row]))
+        changed.add(pred)
+    model.db.invalidate(changed)
+    import itertools
+    for kind, next_number in document["next_ids"].items():
+        model.ids._counters[kind] = itertools.count(next_number)
+    return model
+
+
+def save_to_file(model, path: str) -> None:
+    """Persist a model to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        dump_model(model, handle)
+
+
+def load_from_file(path: str):
+    """Load a model from *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_model(handle)

@@ -1,0 +1,56 @@
+"""The IDB rules of the GOM schema model, stated in Datalog text.
+
+These are the paper's §3.3 rules, verbatim where possible:
+
+* ``SubTypRel_t`` / ``DeclRefinement_t`` — transitive closures;
+* ``Attr_i`` — attributes including inherited ones;
+* ``Decl_i`` — declarations including inherited-but-not-refined ones;
+* ``Refined`` — a declaration is refined at a type (or below it).
+
+One addition makes the paper's Figure 2 and its root constraint coexist:
+Figure 2's ``SubTypRel`` extension contains *only* the declared edge
+``(tid3, tid2)``, yet the root constraint demands every type reach
+``ANY``.  GOM therefore treats a type without a declared supertype as an
+implicit direct subtype of ``ANY``; the rule ``subtype_implicit_root``
+expresses this, so the base extension stays exactly as in Figure 2.
+"""
+
+from __future__ import annotations
+
+CORE_RULES = """
+% --- transitive closure of the subtype relationship (paper, 3.3) -------
+SubTypRel_t(X, Y) :- SubTypRel(X, Y).
+SubTypRel_t(X, Z) :- SubTypRel(X, Y), SubTypRel_t(Y, Z).
+
+% --- implicit root: a type with no declared supertype is below ANY -----
+HasSuper(X) :- SubTypRel(X, Y).
+SubTypRel_t(X, $ANY) :- Type(X, N, S), X != $ANY, not HasSuper(X).
+
+% --- transitive closure of the refinement relationship (paper, 3.3) ----
+DeclRefinement_t(X, Y) :- DeclRefinement(X, Y).
+DeclRefinement_t(X, Z) :- DeclRefinement(X, Y), DeclRefinement_t(Y, Z).
+
+% --- inherited attributes (paper, 3.3) ---------------------------------
+Attr_i(T, A, D) :- Attr(T, A, D).
+Attr_i(T1, A, D) :- SubTypRel_t(T1, T2), Attr(T2, A, D).
+
+% --- Refined(X, Y): declaration X has a refinement associated to type Y
+%     or one of its supertypes (paper, 3.3) -----------------------------
+Refined(X1, Y21) :- Decl(X1, Y11, Z1, Y12), DeclRefinement_t(X2, X1),
+                    Decl(X2, Y21, Z2, Y22).
+Refined(X1, Y)   :- Decl(X1, Y11, Z1, Y12), DeclRefinement_t(X2, X1),
+                    Decl(X2, Y21, Z2, Y22), SubTypRel_t(Y, Y21).
+
+% --- inherited declarations, respecting refinement (paper, 3.3) --------
+Decl_i(X, Y11, Z, Y12) :- Decl(X, Y11, Z, Y12).
+Decl_i(X, Y11, Z, Y12) :- SubTypRel_t(Y11, Y21), Decl(X, Y21, Z, Y12),
+                          not Refined(X, Y11).
+"""
+
+VERSIONING_RULES = """
+% --- transitive closures of the version graphs (paper, 4.1) ------------
+evolves_to_S_t(X, Y) :- evolves_to_S(X, Y).
+evolves_to_S_t(X, Z) :- evolves_to_S(X, Y), evolves_to_S_t(Y, Z).
+evolves_to_T_t(X, Y) :- evolves_to_T(X, Y).
+evolves_to_T_t(X, Z) :- evolves_to_T(X, Y), evolves_to_T_t(Y, Z).
+"""

@@ -1,0 +1,112 @@
+"""The :class:`SchemaManager` facade — the whole of Figure 1 in one object.
+
+Wires together the Database Model (:class:`GomDatabase`), the Analyzer,
+the Runtime System (with its conversion routines), and the Consistency
+Control protocol, registering both explainers on every session.
+
+    >>> manager = SchemaManager()
+    >>> manager.define('''
+    ... schema S is
+    ... type T is [ x: int; ] end type T;
+    ... end schema S;
+    ... ''')
+    >>> obj = manager.runtime.create_object("T", {"x": 1})
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.gom.model import DEFAULT_FEATURES, GomDatabase
+from repro.analyzer.analyzer import Analyzer
+from repro.analyzer.translator import TranslationResult
+from repro.control.protocol import (
+    ProtocolResult,
+    RepairChooser,
+    SchemaEvolutionProtocol,
+    choose_first,
+)
+from repro.control.session import EvolutionSession, SessionReport
+from repro.datalog.checker import CheckReport
+from repro.runtime.conversion import ConversionRoutines
+from repro.runtime.objects import RuntimeSystem
+
+# Importing the namespaces module registers the Appendix-A feature.
+import repro.analyzer.namespaces  # noqa: F401  (feature registration)
+
+
+class SchemaManager:
+    """A complete, customizable schema manager for GOM."""
+
+    def __init__(self, features: Sequence[str] = DEFAULT_FEATURES,
+                 record_dynamic_calls: bool = True,
+                 model: Optional[GomDatabase] = None) -> None:
+        self.model = model if model is not None \
+            else GomDatabase(features=features)
+        self.analyzer = Analyzer(self.model,
+                                 record_dynamic_calls=record_dynamic_calls)
+        self.runtime = RuntimeSystem(self.model)
+        self.conversions = ConversionRoutines(self.runtime)
+
+    # -- persistence (Appendix A.2: schemas are always persistent) -----------
+
+    def save(self, path: str) -> None:
+        """Persist the whole Database Model to *path* (JSON).
+
+        Stored objects are schema-level state only; runtime objects are
+        transient in this reproduction (their layouts — PhRep/Slot — are
+        persisted with the model).
+        """
+        from repro.gom.persistence import save_to_file
+        save_to_file(self.model, path)
+
+    @classmethod
+    def load(cls, path: str,
+             record_dynamic_calls: bool = True) -> "SchemaManager":
+        """Re-assemble a manager around a persisted Database Model."""
+        from repro.gom.persistence import load_from_file
+        return cls(model=load_from_file(path),
+                   record_dynamic_calls=record_dynamic_calls)
+
+    # -- sessions ---------------------------------------------------------------
+
+    def begin_session(self, check_mode: str = "delta") -> EvolutionSession:
+        """BES, with both the Analyzer and Runtime explainers registered."""
+        session = self.analyzer.begin_session(check_mode=check_mode)
+        session.register_explainer(self.runtime.explainer)
+        return session
+
+    # -- one-shot definition --------------------------------------------------------
+
+    def define(self, source: str, check_mode: str = "delta"
+               ) -> TranslationResult:
+        """Define schemas from source in one consistent evolution session.
+
+        Raises :class:`repro.errors.InconsistentSchemaError` (and rolls
+        back) when the result would be inconsistent.
+        """
+        session = self.begin_session(check_mode=check_mode)
+        try:
+            result = self.analyzer.define(session, source)
+            session.commit()
+        except Exception:
+            if session.active:
+                session.rollback()
+            raise
+        return result
+
+    # -- the evolution protocol --------------------------------------------------------
+
+    def evolve(self, changes: Callable[[EvolutionSession], None],
+               chooser: RepairChooser = choose_first,
+               check_mode: str = "delta") -> ProtocolResult:
+        """Run the nine-step schema evolution protocol of §3.5."""
+        session = self.begin_session(check_mode=check_mode)
+        protocol = SchemaEvolutionProtocol(session, chooser=chooser)
+        return protocol.run(changes)
+
+    # -- checking ------------------------------------------------------------------------
+
+    def check(self) -> CheckReport:
+        """A full consistency check of the current database model."""
+        return self.model.check()

@@ -1,0 +1,27 @@
+"""The Runtime System (Figure 1): object management and interpretation.
+
+Responsibilities, per the paper:
+
+* physical object representation — the store keeps the actual objects
+  and "correctly report[s] changes in the object's representation via
+  the modify operation" (``PhRep`` / ``Slot`` facts live in the object
+  base model and are maintained through evolution sessions);
+* interpreting the schema, "especially the method's source code" — the
+  interpreter evaluates ``Code`` facts with dynamic binding through the
+  refinement relationship;
+* performing cures like conversion (§3.5) and masking via **fashion**
+  (§4.1): an instance of an old type version is substitutable for the
+  new version, with attribute reads/writes and operation calls
+  redirected through the fashion code.
+"""
+
+from repro.runtime.objects import GomObject, RuntimeSystem
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.conversion import ConversionRoutines
+
+__all__ = [
+    "ConversionRoutines",
+    "GomObject",
+    "Interpreter",
+    "RuntimeSystem",
+]

@@ -1,0 +1,61 @@
+"""Runtime-side explanations of object-base-model changes (step 7).
+
+These are the crucial explanations of §3.5: deleting a ``PhRep`` fact
+"results in deleting all cars", and inserting a ``Slot`` fact "can be
+achieved by executing the conversion routines".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.datalog.repair import NewConstant, RepairAction
+from repro.gom.ids import Id
+from repro.gom.model import GomDatabase
+
+
+def runtime_explainer(model: GomDatabase, runtime=None
+                      ) -> Callable[[RepairAction], Optional[str]]:
+    """Build an explainer for object-base-model changes."""
+
+    def type_of_phrep(clid: object) -> str:
+        from repro.datalog.terms import Atom
+        if isinstance(clid, Id):
+            for fact in model.db.matching(Atom("PhRep", (clid, None))):
+                name = model.type_name(fact.args[1])
+                if name:
+                    return name
+        return str(clid)
+
+    def instance_count(clid: object) -> Optional[int]:
+        from repro.datalog.terms import Atom
+        if runtime is None or not isinstance(clid, Id):
+            return None
+        for fact in model.db.matching(Atom("PhRep", (clid, None))):
+            return len(runtime.objects_of(fact.args[1]))
+        return None
+
+    def explain(action: RepairAction) -> Optional[str]:
+        fact = action.fact
+        if fact.pred == "PhRep":
+            type_name = type_of_phrep(fact.args[0]) or str(fact.args[1])
+            if action.is_insertion:
+                return (f"asserts that instances of {type_name!r} exist "
+                        f"(requires creating at least one object)")
+            count = instance_count(fact.args[0])
+            suffix = f" ({count} object(s))" if count is not None else ""
+            return (f"deletes ALL instances of type {type_name!r}{suffix} — "
+                    f"the brute-force cure")
+        if fact.pred == "Slot":
+            owner = type_of_phrep(fact.args[0])
+            if action.is_insertion:
+                return (f"runs the conversion routine adding slot "
+                        f"{fact.args[1]!r} to every object of {owner!r}; "
+                        f"a value source (default, per-instance input, or "
+                        f"an operation on the old instances) must be "
+                        f"supplied")
+            return (f"runs the conversion routine removing slot "
+                    f"{fact.args[1]!r} from every object of {owner!r}")
+        return None
+
+    return explain

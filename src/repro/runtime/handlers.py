@@ -1,0 +1,116 @@
+"""ENCORE-style access handlers: masking as a runtime cure.
+
+The paper's introduction contrasts two cures for schema/object
+inconsistencies: Skarra & Zdonik's ENCORE uses "pre and post exception
+handler[s] to mask certain kinds of inconsistencies since conversion is
+too expensive", while Zicari's O2 converts immediately — and argues a
+flexible schema manager should "have both cures built into the system,
+and provide the possibility to choose among these and even more, to
+introduce new (not yet discovered) cures".
+
+:class:`HandlerRegistry` is the masking cure: per (type, attribute) read
+and write handlers intercept accesses for which an object has no stored
+value.  With ``materialize=True`` a read handler's result is written
+back — *lazy conversion*, a third cure combining both (each object pays
+the conversion cost on first touch only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.gom.ids import Id
+
+#: A read handler computes a value for one object's masked attribute.
+ReadHandler = Callable[[object], object]
+#: A write handler absorbs a write to a masked attribute.
+WriteHandler = Callable[[object, object], None]
+#: A call handler imitates one operation.
+CallHandler = Callable[[object, list], object]
+
+
+@dataclass
+class _ReadEntry:
+    handler: ReadHandler
+    materialize: bool
+
+
+class HandlerRegistry:
+    """Registered exception handlers, keyed by (type id, member name)."""
+
+    def __init__(self) -> None:
+        self._reads: Dict[Tuple[Id, str], _ReadEntry] = {}
+        self._writes: Dict[Tuple[Id, str], WriteHandler] = {}
+        self._calls: Dict[Tuple[Id, str], CallHandler] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register_read(self, tid: Id, attr: str, handler: ReadHandler,
+                      materialize: bool = False) -> None:
+        """Mask reads of *attr* on instances of *tid*.
+
+        With ``materialize=True`` the computed value is stored into the
+        object's slot on first access (lazy conversion).
+        """
+        self._reads[(tid, attr)] = _ReadEntry(handler=handler,
+                                              materialize=materialize)
+
+    def register_write(self, tid: Id, attr: str,
+                       handler: WriteHandler) -> None:
+        """Mask writes of *attr* on instances of *tid*."""
+        self._writes[(tid, attr)] = handler
+
+    def register_call(self, tid: Id, opname: str,
+                      handler: CallHandler) -> None:
+        """Imitate operation *opname* for instances of *tid*."""
+        self._calls[(tid, opname)] = handler
+
+    def unregister(self, tid: Id, name: str) -> None:
+        """Drop every handler for (tid, name)."""
+        self._reads.pop((tid, name), None)
+        self._writes.pop((tid, name), None)
+        self._calls.pop((tid, name), None)
+
+    def clear(self) -> None:
+        self._reads.clear()
+        self._writes.clear()
+        self._calls.clear()
+
+    def __len__(self) -> int:
+        return len(self._reads) + len(self._writes) + len(self._calls)
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def read(self, obj, attr: str) -> Tuple[bool, object]:
+        """Try to handle a read; returns (handled, value)."""
+        entry = self._reads.get((obj.tid, attr))
+        if entry is None:
+            return False, None
+        value = entry.handler(obj)
+        if entry.materialize:
+            obj.slots[attr] = value
+        return True, value
+
+    def write(self, obj, attr: str, value: object) -> bool:
+        """Try to handle a write; returns True when handled."""
+        handler = self._writes.get((obj.tid, attr))
+        if handler is None:
+            return False
+        handler(obj, value)
+        return True
+
+    def call(self, obj, opname: str, args: list) -> Tuple[bool, object]:
+        """Try to handle an operation call; returns (handled, result)."""
+        handler = self._calls.get((obj.tid, opname))
+        if handler is None:
+            return False, None
+        return True, handler(obj, list(args))
+
+    def handled_attrs(self, tid: Id) -> Dict[str, bool]:
+        """attr -> materializing? for every read handler on *tid*."""
+        return {
+            attr: entry.materialize
+            for (handler_tid, attr), entry in self._reads.items()
+            if handler_tid == tid
+        }

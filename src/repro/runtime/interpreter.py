@@ -1,0 +1,308 @@
+"""The interpreter for GOM operation bodies.
+
+The paper "assume[s] that the source code is interpreted by the runtime
+system".  :class:`Interpreter` evaluates the code AST of
+:mod:`repro.analyzer.ast_nodes` directly:
+
+* dynamic binding: a call resolves against the receiver's *runtime* type
+  through ``Decl_i`` — the rule set already respects refinement, so a
+  ``distance`` call on a City binds to City's refinement;
+* ``super.op(...)`` binds statically against the supertypes of the type
+  owning the currently executing declaration;
+* objects of *other type versions* fall back to **fashion**: a call not
+  visible at the receiver's type is looked up through ``FashionDecl``.
+
+Builtin helper functions (``sqrt``, ``date_from_age``, …) are a
+registry the embedding application may extend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InterpreterError, MethodLookupError
+from repro.datalog.terms import Atom
+from repro.gom.ids import Id
+from repro.analyzer import ast_nodes as ast
+from repro.analyzer.parser import parse_code_text
+
+#: The fixed "now" of the date helpers, for deterministic examples: the
+#: paper appeared in 1993.
+CURRENT_YEAR = 1993
+
+DEFAULT_FUNCTIONS: Dict[str, Callable] = {
+    "sqrt": lambda x: math.sqrt(x),
+    "abs": lambda x: abs(x),
+    "min": lambda a, b: min(a, b),
+    "max": lambda a, b: max(a, b),
+    "length": lambda s: len(s),
+    "concat": lambda a, b: a + b,
+    "current_year": lambda: CURRENT_YEAR,
+    "date_from_age": lambda age: CURRENT_YEAR - age,
+    "age_from_date": lambda year: CURRENT_YEAR - year,
+}
+
+
+class _Return(Exception):
+    """Internal control flow for ``return``."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+
+@dataclass
+class _Frame:
+    """One activation: the receiver, its static home type, and locals."""
+
+    self_obj: object  # a GomObject
+    home_type: Optional[Id]  # the type owning the running declaration
+    env: Dict[str, object]
+
+
+class Interpreter:
+    """Evaluates stored code texts against the object store."""
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+        self.functions: Dict[str, Callable] = dict(DEFAULT_FUNCTIONS)
+        self._code_cache: Dict[str, Tuple[str, Tuple[str, ...], ast.Block]] = {}
+
+    def register_function(self, name: str, func: Callable) -> None:
+        """Extend the builtin helper functions."""
+        self.functions[name] = func
+
+    # -- entry points -----------------------------------------------------------
+
+    def call(self, obj, opname: str, args: List[object]) -> object:
+        """Dynamically bound call of *opname* on *obj*.
+
+        Resolution is arity-aware so overloaded declarations (the
+        ``overloading`` feature) dispatch on argument count.
+        """
+        model = self.runtime.model
+        did = model.resolve_operation(obj.tid, opname, len(args))
+        if did is None:
+            handled, result = self.runtime.handlers.call(obj, opname, args)
+            if handled:
+                return result
+            return self._fashion_call(obj, opname, args)
+        code = model.code_for(did)
+        if code is None:
+            raise MethodLookupError(
+                f"operation {opname!r} of "
+                f"{model.type_name(obj.tid)!r} has no code")
+        home = self._decl_home(did)
+        return self.run_code(code[1], obj, args, home_type=home)
+
+    def _fashion_call(self, obj, opname: str, args: List[object]) -> object:
+        """Resolve a call through fashion substitutability (§4.1)."""
+        from repro.runtime.masking import fashion_decl_code
+        code_text = fashion_decl_code(self.runtime.model, obj.tid, opname)
+        if code_text is None:
+            raise MethodLookupError(
+                f"operation {opname!r} is not visible at type "
+                f"{self.runtime.model.type_name(obj.tid)!r} and no fashion "
+                f"imitates it")
+        return self.run_code(code_text, obj, args, home_type=obj.tid)
+
+    def call_super(self, frame: _Frame, opname: str,
+                   args: List[object]) -> object:
+        """Statically bound super call from within *frame*."""
+        model = self.runtime.model
+        if frame.home_type is None:
+            raise InterpreterError("super call outside an operation body")
+        for super_tid in model.supertypes(frame.home_type):
+            did = model.resolve_operation(super_tid, opname, len(args))
+            if did is not None:
+                code = model.code_for(did)
+                if code is None:
+                    raise MethodLookupError(
+                        f"super operation {opname!r} has no code")
+                home = self._decl_home(did)
+                return self.run_code(code[1], frame.self_obj, args,
+                                     home_type=home)
+        raise MethodLookupError(
+            f"no super operation {opname!r} above "
+            f"{model.type_name(frame.home_type)!r}")
+
+    def _decl_home(self, did: Id) -> Optional[Id]:
+        for fact in self.runtime.model.db.matching(
+                Atom("Decl", (did, None, None, None))):
+            return fact.args[1]
+        return None
+
+    def run_code(self, code_text: str, self_obj, args: Sequence[object],
+                 home_type: Optional[Id] = None) -> object:
+        """Execute stored canonical code text ``name(params) is <body>``."""
+        name, params, body = self._parse(code_text)
+        if len(params) != len(args):
+            raise InterpreterError(
+                f"operation {name!r} expects {len(params)} argument(s), "
+                f"got {len(args)}")
+        frame = _Frame(self_obj=self_obj,
+                       home_type=home_type if home_type is not None
+                       else getattr(self_obj, "tid", None),
+                       env=dict(zip(params, args)))
+        try:
+            self._exec_block(body, frame)
+        except _Return as result:
+            return result.value
+        return None
+
+    def run_accessor(self, code_text: str, self_obj,
+                     args: Sequence[object]) -> object:
+        """Execute a fashion read/write accessor body."""
+        return self.run_code(code_text, self_obj, args,
+                             home_type=getattr(self_obj, "tid", None))
+
+    def _parse(self, code_text: str):
+        cached = self._code_cache.get(code_text)
+        if cached is None:
+            cached = parse_code_text(code_text)
+            self._code_cache[code_text] = cached
+        return cached
+
+    # -- statements -----------------------------------------------------------------
+
+    def _exec_block(self, block: ast.Block, frame: _Frame) -> None:
+        for statement in block.statements:
+            self._exec_stmt(statement, frame)
+
+    def _exec_stmt(self, statement: ast.Stmt, frame: _Frame) -> None:
+        if isinstance(statement, ast.Block):
+            self._exec_block(statement, frame)
+        elif isinstance(statement, ast.Return):
+            value = (self._eval(statement.value, frame)
+                     if statement.value is not None else None)
+            raise _Return(value)
+        elif isinstance(statement, ast.Assign):
+            value = self._eval(statement.value, frame)
+            target = statement.target
+            if isinstance(target, ast.Name):
+                frame.env[target.name] = value
+            elif isinstance(target, ast.AttrAccess):
+                receiver = self._eval(target.receiver, frame)
+                obj = self._as_object(receiver)
+                self.runtime.set_attr(obj, target.attr, value)
+            else:
+                raise InterpreterError("invalid assignment target")
+        elif isinstance(statement, ast.If):
+            if self._truthy(self._eval(statement.condition, frame)):
+                self._exec_block(statement.then_block, frame)
+            elif statement.else_block is not None:
+                self._exec_block(statement.else_block, frame)
+        elif isinstance(statement, ast.ExprStmt):
+            self._eval(statement.expr, frame)
+        else:
+            raise InterpreterError(
+                f"unknown statement {type(statement).__name__}")
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, frame: _Frame) -> object:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.SelfRef):
+            return frame.self_obj
+        if isinstance(expr, ast.Name):
+            if expr.name in frame.env:
+                return frame.env[expr.name]
+            if self._is_enum_value(expr.name):
+                return expr.name
+            raise InterpreterError(f"unbound name {expr.name!r}")
+        if isinstance(expr, ast.AttrAccess):
+            receiver = self._eval(expr.receiver, frame)
+            obj = self._as_object(receiver)
+            return self.runtime.get_attr(obj, expr.attr)
+        if isinstance(expr, ast.MethodCall):
+            receiver = self._eval(expr.receiver, frame)
+            obj = self._as_object(receiver)
+            args = [self._eval(arg, frame) for arg in expr.args]
+            return self.call(obj, expr.op, args)
+        if isinstance(expr, ast.SuperCall):
+            args = [self._eval(arg, frame) for arg in expr.args]
+            return self.call_super(frame, expr.op, args)
+        if isinstance(expr, ast.FuncCall):
+            func = self.functions.get(expr.func)
+            if func is None:
+                raise InterpreterError(
+                    f"unknown builtin function {expr.func!r}")
+            args = [self._eval(arg, frame) for arg in expr.args]
+            return func(*args)
+        if isinstance(expr, ast.BinOp):
+            return self._binop(expr, frame)
+        if isinstance(expr, ast.UnaryOp):
+            value = self._eval(expr.operand, frame)
+            if expr.op == "-":
+                return -value  # type: ignore[operator]
+            if expr.op == "not":
+                return not self._truthy(value)
+            raise InterpreterError(f"unknown unary operator {expr.op!r}")
+        raise InterpreterError(f"unknown expression {type(expr).__name__}")
+
+    def _binop(self, expr: ast.BinOp, frame: _Frame) -> object:
+        if expr.op == "and":
+            return (self._truthy(self._eval(expr.left, frame))
+                    and self._truthy(self._eval(expr.right, frame)))
+        if expr.op == "or":
+            return (self._truthy(self._eval(expr.left, frame))
+                    or self._truthy(self._eval(expr.right, frame)))
+        left = self._eval(expr.left, frame)
+        right = self._eval(expr.right, frame)
+        if expr.op in ("==", "!="):
+            equal = self._identity(left) == self._identity(right)
+            return equal if expr.op == "==" else not equal
+        try:
+            if expr.op == "+":
+                return left + right  # type: ignore[operator]
+            if expr.op == "-":
+                return left - right  # type: ignore[operator]
+            if expr.op == "*":
+                return left * right  # type: ignore[operator]
+            if expr.op == "/":
+                return left / right  # type: ignore[operator]
+            if expr.op == "<":
+                return left < right  # type: ignore[operator]
+            if expr.op == "<=":
+                return left <= right  # type: ignore[operator]
+            if expr.op == ">":
+                return left > right  # type: ignore[operator]
+            if expr.op == ">=":
+                return left >= right  # type: ignore[operator]
+        except TypeError as error:
+            raise InterpreterError(
+                f"operator {expr.op!r} on incompatible values "
+                f"{left!r} and {right!r}") from error
+        raise InterpreterError(f"unknown operator {expr.op!r}")
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _as_object(self, value: object):
+        from repro.runtime.objects import GomObject
+        if isinstance(value, GomObject):
+            return value
+        if isinstance(value, Id) and value.kind == "oid":
+            return self.runtime.get(value)
+        raise InterpreterError(
+            f"value {value!r} is not an object (attribute access / call "
+            f"on a non-object)")
+
+    @staticmethod
+    def _identity(value: object) -> object:
+        from repro.runtime.objects import GomObject
+        if isinstance(value, GomObject):
+            return value.oid
+        return value
+
+    @staticmethod
+    def _truthy(value: object) -> bool:
+        if isinstance(value, bool):
+            return value
+        raise InterpreterError(
+            f"condition evaluated to non-boolean value {value!r}")
+
+    def _is_enum_value(self, name: str) -> bool:
+        return next(iter(self.runtime.model.db.matching(
+            Atom("EnumValue", (None, name)))), None) is not None

@@ -1,0 +1,68 @@
+"""Fashion lookups: masking attribute access and calls across versions.
+
+``FashionType(X, Y)`` makes instances of X substitutable for Y.  When an
+object of type X is asked for an attribute or operation it does not
+have, these helpers find the fashion code declared for some Y the object
+is substitutable for — "read and write accesses to the (not existing)
+birthday attribute are redirected to the specified code".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.datalog.terms import Atom
+from repro.gom.ids import Id
+from repro.gom.model import GomDatabase
+
+
+def fashion_targets(model: GomDatabase, tid: Id) -> List[Id]:
+    """Types instances of *tid* are fashion-substitutable for."""
+    if not model.db.is_base("FashionType"):
+        return []
+    return sorted(
+        fact.args[1]
+        for fact in model.db.matching(Atom("FashionType", (tid, None)))
+    )
+
+
+def fashion_attr_codes(model: GomDatabase, tid: Id,
+                       attr: str) -> Optional[Tuple[str, str]]:
+    """(read code, write code) masking *attr* for instances of *tid*."""
+    if not model.db.is_base("FashionAttr"):
+        return None
+    for target in fashion_targets(model, tid):
+        for fact in model.db.matching(
+                Atom("FashionAttr", (target, attr, tid, None, None))):
+            return fact.args[3], fact.args[4]
+    # The fashion may also be declared against the attribute's target
+    # type directly (first argument is the attribute's type, which may
+    # differ from the declared target for inherited attributes).
+    for fact in model.db.matching(
+            Atom("FashionAttr", (None, attr, tid, None, None))):
+        return fact.args[3], fact.args[4]
+    return None
+
+
+def fashion_decl_code(model: GomDatabase, tid: Id,
+                      opname: str) -> Optional[str]:
+    """The code imitating operation *opname* for instances of *tid*."""
+    if not model.db.is_base("FashionDecl"):
+        return None
+    for target in fashion_targets(model, tid):
+        did = model.decl_id(target, opname)
+        if did is None:
+            continue
+        for fact in model.db.matching(Atom("FashionDecl",
+                                           (did, tid, None))):
+            return fact.args[2]
+    return None
+
+
+def substitutable(model: GomDatabase, value_tid: Id, expected: Id) -> bool:
+    """Substitutability including both subtyping and fashion."""
+    if model.is_subtype(value_tid, expected):
+        return True
+    if not model.db.is_base("FashionType"):
+        return False
+    return model.db.contains(Atom("FashionType", (value_tid, expected)))

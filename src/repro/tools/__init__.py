@@ -1,0 +1,16 @@
+"""Tools: table rendering and effort accounting for the experiments."""
+
+from repro.tools.tables import (
+    comparison_table,
+    extension_rows,
+    figure2_report,
+)
+from repro.tools.loc import count_text_definitions, package_loc
+
+__all__ = [
+    "comparison_table",
+    "count_text_definitions",
+    "extension_rows",
+    "figure2_report",
+    "package_loc",
+]

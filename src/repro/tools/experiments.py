@@ -1,0 +1,228 @@
+"""Standalone experiment runner: regenerate the paper's artifacts.
+
+``python -m repro.tools.experiments [--out DIR] [only ...]`` runs each
+experiment once (single-shot timings, no pytest-benchmark needed) and
+writes the same style of report the benchmarks produce.  Useful for a
+quick reproduction pass; the benchmarks remain the calibrated source of
+timing numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.gom.builtins import builtin_type
+from repro.gom.model import GomDatabase
+from repro.manager import SchemaManager
+from repro.tools.loc import feature_effort_table
+from repro.tools.tables import comparison_table, extension_rows, figure2_report
+from repro.workloads.carschema import (
+    car_schema_ids,
+    define_car_schema,
+    dynamic_call_rows,
+    expected_figure2_extensions,
+    instantiate_paper_objects,
+    resolve_code_placeholders,
+)
+from repro.workloads.newcarschema import (
+    EVOLUTION_FEATURES,
+    evolve_car_schema,
+    evolve_person_schema,
+)
+from repro.workloads.synthetic import generate_schema, random_evolution
+
+
+def run_e1() -> str:
+    start = time.perf_counter()
+    manager = SchemaManager()
+    result = define_car_schema(manager)
+    elapsed = (time.perf_counter() - start) * 1000
+    expected = expected_figure2_extensions(result)
+    lines = [f"E1 — Figure 2 extensions (pipeline: {elapsed:.1f} ms)", ""]
+    matched = True
+    for pred in ("Schema", "Type", "Attr", "Decl", "ArgDecl", "SubTypRel",
+                 "DeclRefinement"):
+        measured = set(extension_rows(manager.model, pred))
+        matched = matched and measured == expected[pred]
+    lines.append(f"all rows match the paper: {'yes' if matched else 'NO'}")
+    lines.append("")
+    lines.append(figure2_report(manager.model))
+    return "\n".join(lines)
+
+
+def run_e2() -> str:
+    manager = SchemaManager(record_dynamic_calls=False)
+    result = define_car_schema(manager)
+    expected = expected_figure2_extensions(result)
+    paper_rows = resolve_code_placeholders(result, expected["CodeReqDecl"])
+    measured = set(extension_rows(manager.model, "CodeReqDecl"))
+    lines = ["E2 — CodeReq tables (paper analysis mode)", ""]
+    lines.append(comparison_table("CodeReqDecl", paper_rows, measured))
+    attr_expected = resolve_code_placeholders(result,
+                                              expected["CodeReqAttr"])
+    attr_measured = set(extension_rows(manager.model, "CodeReqAttr"))
+    lines.append(comparison_table("CodeReqAttr", attr_expected,
+                                  attr_measured))
+    return "\n".join(lines)
+
+
+def run_e3() -> str:
+    manager = SchemaManager()
+    define_car_schema(manager)
+    instantiate_paper_objects(manager)
+    check = manager.check()
+    lines = ["E3 — object-base model tables", ""]
+    lines.append(f"PhRep rows: {len(extension_rows(manager.model, 'PhRep'))}"
+                 f" (paper: 4)")
+    lines.append(f"Slot rows: {len(extension_rows(manager.model, 'Slot'))}"
+                 f" (paper: 10 + 2 inherited City slots)")
+    lines.append(f"consistency: {check.describe()}")
+    return "\n".join(lines)
+
+
+def run_e4() -> str:
+    manager = SchemaManager()
+    result = define_car_schema(manager)
+    instantiate_paper_objects(manager)
+    ids = car_schema_ids(result)
+    session = manager.begin_session()
+    prims = manager.analyzer.primitives(session)
+    prims.add_attribute(ids["tid4"], "fuelType", builtin_type("string"))
+    report = session.check()
+    lines = ["E4 — fuelType repairs", ""]
+    for index, explained in enumerate(
+            session.repairs(report.violations[0]), start=1):
+        lines.append(f"{index}. {explained.describe()}")
+    session.rollback()
+    return "\n".join(lines)
+
+
+def run_e5() -> str:
+    lines = ["E5 — incremental vs full check (single-shot)", ""]
+    for n_types in (50, 150):
+        manager = SchemaManager()
+        schema = generate_schema(manager, n_types, seed=n_types)
+        manager.model.db.materialize()
+        session = manager.begin_session()
+        random_evolution(schema, session, random.Random(1),
+                         "add_attribute")
+        start = time.perf_counter()
+        session.check("delta")
+        delta_ms = (time.perf_counter() - start) * 1000
+        start = time.perf_counter()
+        session.check("full")
+        full_ms = (time.perf_counter() - start) * 1000
+        session.rollback()
+        lines.append(f"  n={n_types:>4}: full {full_ms:>9.1f} ms, "
+                     f"delta {delta_ms:>7.2f} ms "
+                     f"({full_ms / max(delta_ms, 1e-9):.0f}x)")
+    return "\n".join(lines)
+
+
+def run_e6() -> str:
+    model = GomDatabase(features=("core", "objectbase", "versioning",
+                                  "fashion"))
+    return ("E6 — extension effort\n\n"
+            + feature_effort_table(model.contributions))
+
+
+def run_e7() -> str:
+    manager = SchemaManager(features=EVOLUTION_FEATURES)
+    define_car_schema(manager)
+    person = manager.runtime.create_object("Person",
+                                           {"name": "Ada", "age": 38})
+    evolve_person_schema(manager)
+    birthday = manager.runtime.get_attr(person, "birthday")
+    manager.runtime.set_attr(person, "birthday", 1950)
+    lines = ["E7 — Person fashion", "",
+             f"masked read of birthday: {birthday} (expect 1955)",
+             f"age after write-through of 1950: {person.slots['age']} "
+             f"(expect 43)",
+             f"consistency: {manager.check().consistent}"]
+    return "\n".join(lines)
+
+
+def run_e8() -> str:
+    manager = SchemaManager(features=EVOLUTION_FEATURES)
+    result = define_car_schema(manager)
+    objects = instantiate_paper_objects(manager)
+    created = evolve_car_schema(manager, result)
+    fuel = manager.runtime.call(objects["Car"], "fuel")
+    lines = ["E8 — seven-step evolution", "",
+             f"created: {sorted(created)}",
+             f"old car fuel() through the mask: {fuel} (expect leaded)",
+             f"consistency: {manager.check().consistent}"]
+    return "\n".join(lines)
+
+
+def run_e10() -> str:
+    source = """
+    schema D is
+    type A is end type A;
+    type B is end type B;
+    type C supertype A, B is end type C;
+    end schema D;
+    """
+    default = SchemaManager()
+    default.define(source)
+    strict = SchemaManager(features=("core", "objectbase",
+                                     "single_inheritance"))
+    session = strict.begin_session()
+    strict.analyzer.define(session, source)
+    verdict = session.check()
+    session.rollback()
+    lines = ["E10 — redefining consistency", "",
+             f"default: accepted = {default.check().consistent}",
+             f"single_inheritance: accepted = {verdict.consistent} "
+             f"(violations: "
+             f"{sorted({v.constraint.name for v in verdict.violations})})"]
+    return "\n".join(lines)
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "e1": run_e1, "e2": run_e2, "e3": run_e3, "e4": run_e4, "e5": run_e5,
+    "e6": run_e6, "e7": run_e7, "e8": run_e8, "e10": run_e10,
+}
+
+
+def run_experiments(names=None, out_dir: str = "",
+                    echo: Callable[[str], None] = print) -> List[str]:
+    """Run the selected experiments; returns the report texts."""
+    selected = list(names) if names else sorted(EXPERIMENTS)
+    reports = []
+    for name in selected:
+        if name not in EXPERIMENTS:
+            raise SystemExit(f"unknown experiment {name!r}; "
+                             f"available: {', '.join(sorted(EXPERIMENTS))}")
+        text = EXPERIMENTS[name]()
+        reports.append(text)
+        echo(text)
+        echo("")
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+            with open(os.path.join(out_dir, f"{name}.txt"), "w",
+                      encoding="utf-8") as handle:
+                handle.write(text + "\n")
+    return reports
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.experiments",
+        description="Regenerate the paper's artifacts (single-shot).")
+    parser.add_argument("only", nargs="*",
+                        help="experiment names (default: all), e.g. e1 e4")
+    parser.add_argument("--out", default="",
+                        help="directory to write report files into")
+    arguments = parser.parse_args(argv)
+    run_experiments(arguments.only or None, out_dir=arguments.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Rendering extensions as the paper's Figure-2-style tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.datalog.terms import Atom
+from repro.gom.builtins import BUILTIN_SCHEMA
+from repro.gom.ids import Id
+from repro.gom.model import GomDatabase
+
+
+def _is_builtin_row(pred: str, row: Tuple) -> bool:
+    """Rows about built-in sorts, which the paper's tables filter out."""
+    if pred == "Schema":
+        return row[0] == BUILTIN_SCHEMA
+    if pred == "Type":
+        return row[2] == BUILTIN_SCHEMA
+    if pred == "PhRep":
+        return isinstance(row[0], Id) and row[0].label is not None
+    return False
+
+
+def extension_rows(model: GomDatabase, pred: str,
+                   include_builtins: bool = False) -> List[Tuple]:
+    """The sorted extension of one predicate, builtins filtered like the
+    paper ("not containing the definitions for base types")."""
+    rows = [fact.args for fact in model.db.facts(pred)]
+    if not include_builtins:
+        rows = [row for row in rows if not _is_builtin_row(pred, row)]
+    return sorted(rows, key=lambda row: tuple(str(cell) for cell in row))
+
+
+def render_table(pred: str, rows: Sequence[Tuple]) -> str:
+    """Render rows with the predicate name in the first column, aligned."""
+    if not rows:
+        return f"{pred}   (empty)"
+    display = [[pred if index == 0 else ""] + [str(cell) for cell in row]
+               for index, row in enumerate(rows)]
+    widths = [max(len(line[column]) for line in display)
+              for column in range(len(display[0]))]
+    lines = []
+    for line in display:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(line, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def figure2_report(model: GomDatabase,
+                   preds: Sequence[str] = ("Schema", "Type", "Attr", "Decl",
+                                           "ArgDecl", "Code")) -> str:
+    """The Figure-2 block: stacked extension tables."""
+    blocks = []
+    for pred in preds:
+        rows = extension_rows(model, pred)
+        if pred == "Code":
+            # The paper prints code text as "…"; keep tables readable.
+            rows = [(row[0], "...", row[2]) for row in rows]
+        blocks.append(render_table(pred, rows))
+    return "\n".join(blocks)
+
+
+def comparison_table(title: str, paper_rows: Set[Tuple],
+                     measured_rows: Set[Tuple]) -> str:
+    """Paper-vs-measured comparison with match/extra/missing marking."""
+    lines = [f"== {title} =="]
+    all_rows = sorted(paper_rows | measured_rows,
+                      key=lambda row: tuple(str(cell) for cell in row))
+    for row in all_rows:
+        in_paper = row in paper_rows
+        in_measured = row in measured_rows
+        if in_paper and in_measured:
+            marker = "  ok   "
+        elif in_paper:
+            marker = "MISSING"
+        else:
+            marker = "EXTRA  "
+        cells = "  ".join(str(cell) for cell in row)
+        lines.append(f"  [{marker}] {cells}")
+    matched = len(paper_rows & measured_rows)
+    lines.append(f"  -- {matched}/{len(paper_rows)} paper rows matched, "
+                 f"{len(measured_rows - paper_rows)} extra")
+    return "\n".join(lines)

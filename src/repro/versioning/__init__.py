@@ -1,0 +1,5 @@
+"""Version-graph helpers over the §4.1 predicates."""
+
+from repro.versioning.versions import VersionGraph
+
+__all__ = ["VersionGraph"]

@@ -1,0 +1,89 @@
+"""Convenience queries over the schema/type version graphs (§4.1).
+
+The versioning *state* lives entirely in the deductive database
+(``evolves_to_S`` / ``evolves_to_T`` and their closures); this class is
+a thin query layer: predecessors, successors, lineages, and the
+fashion-substitutability view across versions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.datalog.terms import Atom
+from repro.gom.ids import Id
+from repro.gom.model import GomDatabase
+
+
+class VersionGraph:
+    """Read-only view of the version graphs of a model."""
+
+    def __init__(self, model: GomDatabase) -> None:
+        self.model = model
+
+    # -- type versions ----------------------------------------------------------
+
+    def type_successors(self, tid: Id, transitive: bool = False) -> List[Id]:
+        pred = "evolves_to_T_t" if transitive else "evolves_to_T"
+        return sorted(fact.args[1]
+                      for fact in self.model.db.matching(Atom(pred,
+                                                              (tid, None))))
+
+    def type_predecessors(self, tid: Id,
+                          transitive: bool = False) -> List[Id]:
+        pred = "evolves_to_T_t" if transitive else "evolves_to_T"
+        return sorted(fact.args[0]
+                      for fact in self.model.db.matching(Atom(pred,
+                                                              (None, tid))))
+
+    def type_lineage(self, tid: Id) -> List[Id]:
+        """All versions connected to *tid* (predecessors + successors),
+        including *tid*, oldest-first where the DAG admits it."""
+        versions: Set[Id] = {tid}
+        versions.update(self.type_predecessors(tid, transitive=True))
+        versions.update(self.type_successors(tid, transitive=True))
+        ordered = sorted(
+            versions,
+            key=lambda v: (len(self.type_predecessors(v, transitive=True)),
+                           repr(v)),
+        )
+        return ordered
+
+    def latest_type_versions(self, tid: Id) -> List[Id]:
+        """The sink versions of *tid*'s lineage (no further evolution)."""
+        return [version for version in self.type_lineage(tid)
+                if not self.type_successors(version)]
+
+    # -- schema versions -----------------------------------------------------------
+
+    def schema_successors(self, sid: Id,
+                          transitive: bool = False) -> List[Id]:
+        pred = "evolves_to_S_t" if transitive else "evolves_to_S"
+        return sorted(fact.args[1]
+                      for fact in self.model.db.matching(Atom(pred,
+                                                              (sid, None))))
+
+    def schema_predecessors(self, sid: Id,
+                            transitive: bool = False) -> List[Id]:
+        pred = "evolves_to_S_t" if transitive else "evolves_to_S"
+        return sorted(fact.args[0]
+                      for fact in self.model.db.matching(Atom(pred,
+                                                              (None, sid))))
+
+    # -- substitutability ---------------------------------------------------------------
+
+    def substitutable_for(self, tid: Id) -> List[Id]:
+        """Types whose instances may stand in for *tid* instances via
+        fashion (beyond subtyping)."""
+        if not self.model.db.is_base("FashionType"):
+            return []
+        return sorted(fact.args[0]
+                      for fact in self.model.db.matching(
+                          Atom("FashionType", (None, tid))))
+
+    def version_of_in_schema(self, tid: Id, sid: Id) -> Optional[Id]:
+        """The version of *tid*'s lineage that lives in schema *sid*."""
+        for version in self.type_lineage(tid):
+            if self.model.schema_of_type(version) == sid:
+                return version
+        return None

@@ -1,0 +1,24 @@
+"""Workloads: the paper's running examples and synthetic generators.
+
+* :mod:`repro.workloads.carschema` — §3's CarSchema with the expected
+  Figure-2 extensions;
+* :mod:`repro.workloads.newcarschema` — §4's NewCarSchema evolution
+  (PolluterCar / CatalystCar) and the Person@NewCarSchema fashion;
+* :mod:`repro.workloads.company` — Appendix A's CAD company hierarchy;
+* :mod:`repro.workloads.synthetic` — random schema generators for the
+  scaling benchmarks.
+"""
+
+from repro.workloads.carschema import (
+    CAR_SCHEMA_SOURCE,
+    define_car_schema,
+    expected_figure2_extensions,
+    instantiate_paper_objects,
+)
+
+__all__ = [
+    "CAR_SCHEMA_SOURCE",
+    "define_car_schema",
+    "expected_figure2_extensions",
+    "instantiate_paper_objects",
+]

@@ -1,0 +1,162 @@
+"""Appendix A's manufacturing-company schema hierarchy (Figure 3).
+
+Company ── CAD ── Geometry ── CSG / BoundaryRep / CSG2BoundRep
+        ├─ CAPP, CAM, Marketing          └─ FEM, Function, Technology
+
+Both ``CSG`` and ``BoundaryRep`` publish a type ``Cuboid`` (distinct
+name spaces); ``Geometry`` resolves the conflict by renaming them to
+``CSGCuboid`` / ``BRepCuboid``; ``CSG2BoundRep`` imports both schemas by
+absolute and relative schema paths.  Requires the ``namespaces``
+feature.
+"""
+
+from __future__ import annotations
+
+from repro.manager import SchemaManager
+from repro.analyzer.translator import TranslationResult
+
+COMPANY_FEATURES = ("core", "objectbase", "namespaces")
+
+#: Leaf schemas first — a subschema clause references a defined schema.
+COMPANY_SOURCE = """
+schema BoundaryRep is
+public Cuboid;
+interface
+  type Cuboid is
+    [ corner : Vertex; ]
+  end type Cuboid;
+implementation
+  type Surface is
+    [ boundary : Edge; ]
+  end type Surface;
+  type Edge is
+    [ head : Vertex;
+      tail : Vertex; ]
+  end type Edge;
+  type Vertex is
+    [ x : float;
+      y : float;
+      z : float; ]
+  end type Vertex;
+  var exampleCuboid : Cuboid;
+end schema BoundaryRep;
+
+schema CSG is
+public Cuboid;
+interface
+  type Cuboid is
+    [ width  : float;
+      height : float;
+      depth  : float; ]
+  end type Cuboid;
+implementation
+end schema CSG;
+
+schema Geometry is
+public CSGCuboid, BRepCuboid;
+interface
+  subschema CSG with
+    type Cuboid as CSGCuboid;
+  end subschema CSG;
+  subschema BoundaryRep with
+    type Cuboid as BRepCuboid;
+  end subschema BoundaryRep;
+end schema Geometry;
+
+schema FEM is
+implementation
+end schema FEM;
+
+schema Function is
+implementation
+end schema Function;
+
+schema Technology is
+implementation
+end schema Technology;
+
+schema CAD is
+interface
+  subschema Geometry;
+  subschema FEM;
+  subschema Function;
+  subschema Technology;
+end schema CAD;
+
+schema CAPP is
+public Schedule;
+interface
+  type Schedule is
+    [ station : string;
+      minutes : int; ]
+  end type Schedule;
+implementation
+end schema CAPP;
+
+schema CAM is
+implementation
+end schema CAM;
+
+schema Marketing is
+implementation
+end schema Marketing;
+
+schema Company is
+interface
+  subschema CAD;
+  subschema CAPP;
+  subschema CAM;
+  subschema Marketing;
+end schema Company;
+"""
+
+
+#: The conversion-tool schema of Appendix A.5.  The paper adds it to the
+#: *existing* hierarchy ("Additionally … it has to be defined as a
+#: subschema of Geometry by adding the appropriate subschema entry"), so
+#: :func:`add_csg2boundrep` runs it as a second evolution session.
+CSG2BOUNDREP_SOURCE = """
+schema CSG2BoundRep is
+public Converter;
+interface
+  type Converter is
+    [ tolerance : float; ]
+  end type Converter;
+implementation
+end schema CSG2BoundRep;
+"""
+
+
+def define_company(manager: SchemaManager) -> TranslationResult:
+    """Define the Appendix-A hierarchy (without the conversion tool)."""
+    return manager.define(COMPANY_SOURCE)
+
+
+def add_csg2boundrep(manager: SchemaManager) -> TranslationResult:
+    """Integrate the CSG→BoundaryRep tool (Appendix A.5).
+
+    Defines the schema, attaches it under Geometry, and imports CSG (by
+    absolute path) and BoundaryRep (by relative path) with the renamings
+    of the paper.
+    """
+    from repro.analyzer.namespaces import resolve_schema_path
+    session = manager.begin_session()
+    try:
+        result = manager.analyzer.define(session, CSG2BOUNDREP_SOURCE)
+        prims = manager.analyzer.primitives(session)
+        tool_sid = result.schema("CSG2BoundRep")
+        geometry = resolve_schema_path(manager.model, "/Company/CAD/Geometry")
+        prims.add_subschema(geometry, tool_sid)
+        csg = resolve_schema_path(manager.model, "/Company/CAD/Geometry/CSG")
+        brep = resolve_schema_path(manager.model, "../BoundaryRep",
+                                   current=tool_sid)
+        prims.add_import(tool_sid, csg)
+        prims.add_rename(tool_sid, "type", "Cuboid", "CSGCuboid", csg)
+        prims.add_import(tool_sid, brep)
+        prims.add_rename(tool_sid, "type", "Cuboid", "BRepCuboid", brep)
+        session.commit()
+    except Exception:
+        if session.active:
+            session.rollback()
+        raise
+    return result

@@ -1,0 +1,108 @@
+"""§4's evolution scenarios: NewCarSchema and the Person fashion.
+
+Two scenarios from the paper:
+
+* **§4.1 (developer flexibility)** — Person evolves: ``age : int`` is
+  replaced by ``birthday : date`` in ``Person@NewPersonSchema``; a
+  **fashion** declaration derives ``birthday`` from ``age`` (and back),
+  so old Person instances are substitutable for new ones.
+* **§4.2 (user flexibility)** — the CarSchema evolves into NewCarSchema:
+  the old ``Car`` becomes ``PolluterCar``, a fresh ``Car`` supertype is
+  introduced together with ``CatalystCar``, both variants carry
+  ``fuel : -> Fuel``, and old Car instances are masked as PolluterCar.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.gom.builtins import builtin_type
+from repro.gom.ids import Id
+from repro.manager import SchemaManager
+from repro.analyzer.translator import TranslationResult
+from repro.workloads.carschema import car_schema_ids
+
+#: Features the §4 scenarios need.
+EVOLUTION_FEATURES = ("core", "objectbase", "versioning", "fashion")
+
+NEW_PERSON_SCHEMA_SOURCE = """
+schema NewPersonSchema is
+
+type Person is
+  [ name     : string;
+    birthday : date; ]
+end type Person;
+
+end schema NewPersonSchema;
+"""
+
+#: The paper's fashion declaration (§4.1), with the elided derivations
+#: filled in: a birthday is derived from the age against the fixed
+#: current year, and vice versa.
+PERSON_FASHION_SOURCE = """
+fashion Person@CarSchema as Person@NewPersonSchema where
+  attr birthday : date
+    read is date_from_age(self.age)
+    write(v) is self.age := age_from_date(v);
+  attr name : string
+    read is self.name
+    write(v) is self.name := v;
+end fashion;
+"""
+
+
+def evolve_person_schema(manager: SchemaManager) -> TranslationResult:
+    """Run the §4.1 Person evolution in one session.
+
+    Defines NewPersonSchema, records the version edges, and installs the
+    fashion declaration.  Requires versioning + fashion features.
+    """
+    session = manager.begin_session()
+    try:
+        result = manager.analyzer.define(session, NEW_PERSON_SCHEMA_SOURCE)
+        prims = manager.analyzer.primitives(session)
+        old_sid = manager.model.schema_id("CarSchema")
+        new_sid = result.schema("NewPersonSchema")
+        old_person = manager.model.type_id("Person", old_sid)
+        new_person = result.type("NewPersonSchema", "Person")
+        prims.add_schema_version(old_sid, new_sid)
+        prims.add_type_version(old_person, new_person)
+        manager.analyzer.define(session, PERSON_FASHION_SOURCE)
+        session.commit()
+    except Exception:
+        if session.active:
+            session.rollback()
+        raise
+    return result
+
+
+def evolve_car_schema(manager: SchemaManager,
+                      car_result: TranslationResult) -> Dict[str, Id]:
+    """Run the §4.2 seven-step evolution via the complex operator.
+
+    Returns the created ids (NewCarSchema, Car, PolluterCar,
+    CatalystCar, Fuel).
+    """
+    ids = car_schema_ids(car_result)
+    session = manager.begin_session()
+    try:
+        created = manager.analyzer.apply_operator(
+            session, "introduce_subtype_partition",
+            old_tid=ids["tid4"],
+            new_schema_name="NewCarSchema",
+            evolved_variant="PolluterCar",
+            other_variants=("CatalystCar",),
+            discriminator_op="fuel",
+            discriminator_sort="Fuel",
+            discriminator_values=("leaded", "unleaded"),
+            variant_codes={
+                "PolluterCar": "fuel() is return leaded;",
+                "CatalystCar": "fuel() is return unleaded;",
+            },
+        )
+        session.commit()
+    except Exception:
+        if session.active:
+            session.rollback()
+        raise
+    return created

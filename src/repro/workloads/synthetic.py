@@ -1,0 +1,152 @@
+"""Synthetic schema generators for the scaling benchmarks (E5, E9).
+
+:func:`generate_schema` builds a consistent-by-construction schema of a
+given size: a forest-shaped subtype hierarchy (so no multiple-inheritance
+conflicts arise), attributes over built-in sorts and earlier types, and
+implemented operations.  :func:`random_evolution` applies one small,
+harmless evolution step — the unit of work whose EES check E5 measures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.gom.ids import Id
+from repro.manager import SchemaManager
+
+BUILTIN_DOMAINS = ("int", "float", "string")
+
+
+@dataclass
+class SyntheticSchema:
+    """Handles to a generated schema."""
+
+    manager: SchemaManager
+    sid: Id
+    type_ids: List[Id]
+    decl_ids: List[Id]
+
+
+def generate_schema(manager: SchemaManager, n_types: int,
+                    attrs_per_type: int = 3, ops_per_type: int = 1,
+                    subtype_fraction: float = 0.5,
+                    seed: int = 0, name: str = "Synthetic",
+                    check: bool = False) -> SyntheticSchema:
+    """Generate one consistent schema with *n_types* types.
+
+    With ``check=False`` (the default for benchmark setup) the session
+    commits without checking; generation is consistent by construction
+    and the benchmarks measure checking separately.
+    """
+    rng = random.Random(seed)
+    session = manager.begin_session(check_mode="full")
+    prims = manager.analyzer.primitives(session)
+    sid = prims.add_schema(name)
+    type_ids: List[Id] = []
+    decl_ids: List[Id] = []
+    for index in range(n_types):
+        supertypes: Tuple[Id, ...] = ()
+        if type_ids and rng.random() < subtype_fraction:
+            supertypes = (rng.choice(type_ids),)
+        tid = prims.add_type(sid, f"T{index}", supertypes=supertypes)
+        for attr_index in range(attrs_per_type):
+            if type_ids and rng.random() < 0.25:
+                domain = rng.choice(type_ids)
+            else:
+                domain = builtin_type(rng.choice(BUILTIN_DOMAINS))
+            prims.add_attribute(tid, f"a{index}_{attr_index}", domain)
+        for op_index in range(ops_per_type):
+            opname = f"op{index}_{op_index}"
+            did = prims.add_operation(
+                tid, opname, (), builtin_type("int"),
+                code_text=f"{opname}() is return {index};")
+            decl_ids.append(did)
+        type_ids.append(tid)
+    if check:
+        session.commit()
+    else:
+        # Benchmark setup: bypass EES (generation is consistent by
+        # construction); the measured phase performs its own checks.
+        session._closed = True
+    return SyntheticSchema(manager=manager, sid=sid, type_ids=type_ids,
+                           decl_ids=decl_ids)
+
+
+#: The kinds of single-step evolutions E5 measures, with weights.
+EVOLUTION_KINDS = (
+    "add_attribute",
+    "add_type",
+    "add_operation",
+    "rename_attribute",
+)
+
+
+def random_evolution(schema: SyntheticSchema, session, rng: random.Random,
+                     kind: Optional[str] = None) -> str:
+    """Apply one small evolution step inside *session*; returns its kind."""
+    manager = schema.manager
+    prims = manager.analyzer.primitives(session)
+    kind = kind or rng.choice(EVOLUTION_KINDS)
+    if kind == "add_attribute":
+        tid = rng.choice(schema.type_ids)
+        prims.add_attribute(tid, f"extra_{rng.randrange(10**9)}",
+                            builtin_type("int"))
+    elif kind == "add_type":
+        super_tid = rng.choice(schema.type_ids)
+        tid = prims.add_type(schema.sid, f"Extra{rng.randrange(10**9)}",
+                             supertypes=(super_tid,))
+        schema.type_ids.append(tid)
+    elif kind == "add_operation":
+        tid = rng.choice(schema.type_ids)
+        opname = f"extraop{rng.randrange(10**9)}"
+        prims.add_operation(tid, opname, (), builtin_type("int"),
+                            code_text=f"{opname}() is return 0;")
+    elif kind == "rename_attribute":
+        tid = rng.choice(schema.type_ids)
+        attrs = manager.model.attributes(tid, inherited=False)
+        if attrs:
+            name, _domain = attrs[0]
+            prims.rename_attribute(tid, name,
+                                   f"renamed_{rng.randrange(10**9)}")
+        else:
+            prims.add_attribute(tid, f"extra_{rng.randrange(10**9)}",
+                                builtin_type("int"))
+    else:
+        raise ValueError(f"unknown evolution kind {kind!r}")
+    return kind
+
+
+def seeded_violation(schema: SyntheticSchema, session,
+                     rng: random.Random, kind: str) -> None:
+    """Inject one inconsistency of the given kind (benchmark E9)."""
+    manager = schema.manager
+    prims = manager.analyzer.primitives(session)
+    if kind == "dangling_domain":
+        tid = rng.choice(schema.type_ids)
+        ghost = manager.model.ids.type()  # never declared
+        session.add(Atom("Attr", (tid, "dangling", ghost)))
+    elif kind == "duplicate_type_name":
+        tid = rng.choice(schema.type_ids)
+        name = manager.model.type_name(tid)
+        prims.add_type(schema.sid, name)
+    elif kind == "subtype_cycle":
+        tid_a, tid_b = rng.sample(schema.type_ids, 2)
+        prims.add_supertype(tid_a, tid_b)
+        prims.add_supertype(tid_b, tid_a)
+    elif kind == "missing_code":
+        tid = rng.choice(schema.type_ids)
+        prims.add_operation(tid, f"nocode{rng.randrange(10**9)}", (),
+                            builtin_type("int"))
+    elif kind == "bad_refinement":
+        tid = rng.choice(schema.type_ids)
+        did = rng.choice(schema.decl_ids)
+        opname = f"badref{rng.randrange(10**9)}"
+        prims.add_operation(tid, opname, (), builtin_type("string"),
+                            code_text=f'{opname}() is return "x";',
+                            refines=did)
+    else:
+        raise ValueError(f"unknown violation kind {kind!r}")

@@ -1,0 +1,177 @@
+"""Unit tests for code analysis (CodeReq* derivation, type inference)."""
+
+import pytest
+
+from repro.errors import AnalyzerError
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.gom.model import GomDatabase
+from repro.analyzer.codeanalysis import CodeAnalyzer
+from repro.analyzer.parser import parse_code_text
+
+INT = builtin_type("int")
+FLOAT = builtin_type("float")
+STRING = builtin_type("string")
+
+
+@pytest.fixture
+def setup():
+    """Location/City pair mirroring the paper, plus a Car-like user."""
+    model = GomDatabase(features=("core",))
+    ids = model.ids
+    sid = ids.schema()
+    location, city, car = ids.type(), ids.type(), ids.type()
+    did_loc, did_city = ids.decl(), ids.decl()
+    model.modify(additions=[
+        Atom("Schema", (sid, "S")),
+        Atom("Type", (location, "Location", sid)),
+        Atom("Type", (city, "City", sid)),
+        Atom("Type", (car, "Car", sid)),
+        Atom("SubTypRel", (city, location)),
+        Atom("Attr", (location, "longi", FLOAT)),
+        Atom("Attr", (location, "lati", FLOAT)),
+        Atom("Attr", (city, "name", STRING)),
+        Atom("Attr", (car, "location", city)),
+        Atom("Attr", (car, "milage", FLOAT)),
+        Atom("Decl", (did_loc, location, "distance", FLOAT)),
+        Atom("ArgDecl", (did_loc, 1, location)),
+        Atom("Decl", (did_city, city, "distance", FLOAT)),
+        Atom("ArgDecl", (did_city, 1, location)),
+        Atom("DeclRefinement", (did_city, did_loc)),
+    ])
+    return model, dict(sid=sid, location=location, city=city, car=car,
+                       did_loc=did_loc, did_city=did_city)
+
+
+def analyze(model, code, receiver, params, record_dynamic=True):
+    analyzer = CodeAnalyzer(model, record_dynamic_calls=record_dynamic)
+    name, param_names, body = parse_code_text(code)
+    return analyzer.analyze(body, receiver, dict(zip(param_names, params)))
+
+
+class TestAttributeRecording:
+    def test_own_attribute(self, setup):
+        model, ids = setup
+        info = analyze(model, "f() is return self.longi;",
+                       ids["location"], [])
+        assert info.accessed_attrs == {(ids["location"], "longi")}
+
+    def test_inherited_attribute_recorded_at_declaring_type(self, setup):
+        """City code touching longi records (Location, longi) — this is
+        how the paper's table attributes cid2's accesses."""
+        model, ids = setup
+        info = analyze(model, "f() is return self.longi;", ids["city"], [])
+        assert info.accessed_attrs == {(ids["location"], "longi")}
+
+    def test_own_shadowing_name(self, setup):
+        model, ids = setup
+        info = analyze(model, "f() is return self.name;", ids["city"], [])
+        assert info.accessed_attrs == {(ids["city"], "name")}
+
+    def test_parameter_attribute_access(self, setup):
+        model, ids = setup
+        info = analyze(model, "f(other) is return other.lati;",
+                       ids["city"], [ids["location"]])
+        assert info.accessed_attrs == {(ids["location"], "lati")}
+
+    def test_assignment_target_recorded(self, setup):
+        model, ids = setup
+        info = analyze(model, "f() is self.milage := 1.0;", ids["car"], [])
+        assert (ids["car"], "milage") in info.accessed_attrs
+
+    def test_unknown_attribute_recorded_at_receiver(self, setup):
+        """Unresolvable accesses still produce a fact so the constraint
+        codereq_attr_visible reports them at EES."""
+        model, ids = setup
+        info = analyze(model, "f() is return self.ghost;", ids["car"], [])
+        assert info.accessed_attrs == {(ids["car"], "ghost")}
+
+    def test_chained_access(self, setup):
+        model, ids = setup
+        info = analyze(model, "f() is return self.location.name;",
+                       ids["car"], [])
+        assert info.accessed_attrs == {(ids["car"], "location"),
+                                       (ids["city"], "name")}
+
+
+class TestCallRecording:
+    def test_dynamic_call_recorded_by_default(self, setup):
+        model, ids = setup
+        info = analyze(model,
+                       "f(other) is return self.location.distance(other);",
+                       ids["car"], [ids["location"]])
+        assert info.called_decls == {ids["did_city"]}
+
+    def test_dynamic_call_suppressed_in_paper_mode(self, setup):
+        model, ids = setup
+        info = analyze(model,
+                       "f(other) is return self.location.distance(other);",
+                       ids["car"], [ids["location"]],
+                       record_dynamic=False)
+        assert info.called_decls == set()
+
+    def test_super_call_always_recorded(self, setup):
+        model, ids = setup
+        info = analyze(model, "f(other) is return super.distance(other);",
+                       ids["city"], [ids["location"]],
+                       record_dynamic=False)
+        assert info.called_decls == {ids["did_loc"]}
+
+    def test_call_on_unknown_operation_raises(self, setup):
+        model, ids = setup
+        with pytest.raises(AnalyzerError):
+            analyze(model, "f() is return self.warp();", ids["car"], [])
+
+    def test_super_without_target_raises(self, setup):
+        model, ids = setup
+        with pytest.raises(AnalyzerError):
+            analyze(model, "f() is return super.distance(self);",
+                    ids["location"], [])
+
+
+class TestTypeInference:
+    def test_unknown_name_raises(self, setup):
+        model, ids = setup
+        with pytest.raises(AnalyzerError):
+            analyze(model, "f() is return mystery;", ids["car"], [])
+
+    def test_enum_value_resolves(self, setup):
+        model, ids = setup
+        fuel = model.ids.type()
+        model.modify(additions=[
+            Atom("Type", (fuel, "Fuel", ids["sid"])),
+            Atom("EnumValue", (fuel, "leaded")),
+        ])
+        info = analyze(model, "f() is return leaded;", ids["car"], [])
+        assert info.called_decls == set()
+
+    def test_unknown_builtin_function_raises(self, setup):
+        model, ids = setup
+        with pytest.raises(AnalyzerError):
+            analyze(model, "f() is return frobnicate(1);", ids["car"], [])
+
+    def test_local_variable_tracking(self, setup):
+        model, ids = setup
+        info = analyze(model, """f() is
+        begin
+          loc := self.location;
+          return loc.name;
+        end""", ids["car"], [])
+        assert (ids["city"], "name") in info.accessed_attrs
+
+    def test_param_count_mismatch(self, setup):
+        model, ids = setup
+        from repro.analyzer import ast_nodes as ast
+        analyzer = CodeAnalyzer(model)
+        impl = ast.OpImpl(name="f", params=("a",),
+                          body=ast.Block((ast.Return(ast.Literal(1)),)))
+        with pytest.raises(AnalyzerError):
+            analyzer.analyze_impl(impl, ids["car"], [])
+
+    def test_facts_deterministic_order(self, setup):
+        model, ids = setup
+        info = analyze(model, "f() is return self.longi + self.lati;",
+                       ids["city"], [])
+        cid = model.ids.code()
+        facts = info.facts(cid)
+        assert [f.args[2] for f in facts] == ["lati", "longi"]

@@ -1,0 +1,210 @@
+"""Unit tests for the primitive evolution operations."""
+
+import pytest
+
+from repro.errors import EvolutionError, InconsistentSchemaError
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.manager import SchemaManager
+
+INT = builtin_type("int")
+STRING = builtin_type("string")
+
+
+@pytest.fixture
+def setup():
+    manager = SchemaManager()
+    result = manager.define("""
+    schema S is
+    type T is
+      [ x : int; ]
+    operations
+      declare f : int -> int;
+    implementation
+      define f(a) is begin return self.x + a; end define;
+    end type T;
+    type U supertype T is
+    end type U;
+    end schema S;
+    """)
+    session = manager.begin_session()
+    prims = manager.analyzer.primitives(session)
+    return manager, result, session, prims
+
+
+class TestSchemaAndTypePrimitives:
+    def test_add_schema_and_type(self, setup):
+        manager, result, session, prims = setup
+        sid = prims.add_schema("S2")
+        tid = prims.add_type(sid, "New")
+        assert session.check().consistent
+        assert manager.model.type_id("New", sid) == tid
+
+    def test_add_type_with_supertype(self, setup):
+        manager, result, session, prims = setup
+        tid = prims.add_type(result.schema("S"), "V",
+                             supertypes=(result.type("S", "T"),))
+        assert manager.model.is_subtype(tid, result.type("S", "T"))
+
+    def test_delete_type_leaves_dangling_facts_for_ees(self, setup):
+        manager, result, session, prims = setup
+        prims.delete_type(result.type("S", "T"))
+        report = session.check()
+        assert not report.consistent  # U's SubTypRel, Attr domain, Decl…
+
+    def test_rename_type(self, setup):
+        manager, result, session, prims = setup
+        tid = result.type("S", "T")
+        prims.rename_type(tid, "Renamed")
+        assert manager.model.type_name(tid) == "Renamed"
+        assert session.check().consistent
+
+    def test_rename_unknown_type(self, setup):
+        manager, result, session, prims = setup
+        with pytest.raises(EvolutionError):
+            prims.rename_type(manager.model.ids.type(), "X")
+
+    def test_move_type(self, setup):
+        manager, result, session, prims = setup
+        sid2 = prims.add_schema("S2")
+        prims.move_type(result.type("S", "T"), sid2)
+        assert manager.model.schema_of_type(result.type("S", "T")) == sid2
+
+    def test_add_enum_sort(self, setup):
+        manager, result, session, prims = setup
+        tid = prims.add_enum_sort(result.schema("S"), "Color",
+                                  ("red", "green"))
+        assert manager.model.enum_values(tid) == ["green", "red"]
+
+
+class TestAttributePrimitives:
+    def test_add_and_delete_attribute(self, setup):
+        manager, result, session, prims = setup
+        tid = result.type("S", "T")
+        prims.add_attribute(tid, "y", STRING)
+        assert ("y", STRING) in manager.model.attributes(tid)
+        prims.delete_attribute(tid, "y")
+        assert ("y", STRING) not in manager.model.attributes(tid)
+
+    def test_delete_unknown_attribute(self, setup):
+        manager, result, session, prims = setup
+        with pytest.raises(EvolutionError):
+            prims.delete_attribute(result.type("S", "T"), "ghost")
+
+    def test_rename_attribute_breaks_code_until_ees(self, setup):
+        """Renaming leaves dangling CodeReqAttr facts — detected at EES,
+        exactly the decoupling the paper argues for."""
+        manager, result, session, prims = setup
+        prims.rename_attribute(result.type("S", "T"), "x", "x2")
+        report = session.check()
+        names = {v.constraint.name for v in report.violations}
+        assert "codereq_attr_visible" in names
+
+    def test_change_attribute_domain(self, setup):
+        manager, result, session, prims = setup
+        tid = result.type("S", "T")
+        prims.change_attribute_domain(tid, "x", STRING)
+        assert ("x", STRING) in manager.model.attributes(tid)
+
+
+class TestOperationPrimitives:
+    def test_add_operation_with_code(self, setup):
+        manager, result, session, prims = setup
+        tid = result.type("S", "T")
+        did = prims.add_operation(tid, "g", (INT,), INT,
+                                  code_text="g(a) is return a;")
+        assert manager.model.code_for(did) is not None
+        assert session.check().consistent
+
+    def test_add_operation_without_code_violates(self, setup):
+        manager, result, session, prims = setup
+        prims.add_operation(result.type("S", "T"), "g", (), INT)
+        names = {v.constraint.name for v in session.check().violations}
+        assert "decl_has_code" in names
+
+    def test_delete_operation_removes_args_and_code(self, setup):
+        manager, result, session, prims = setup
+        did = result.decl("S", "T", "f")
+        prims.delete_operation(did)
+        assert manager.model.code_for(did) is None
+        assert manager.model.arg_types(did) == []
+
+    def test_set_code_replaces_and_reanalyzes(self, setup):
+        manager, result, session, prims = setup
+        did = result.decl("S", "T", "f")
+        tid = result.type("S", "T")
+        prims.set_code(did, "f(a) is return a;")
+        code = manager.model.code_for(did)
+        assert "return a" in code[1]
+        # the old CodeReqAttr on x must be gone
+        reqs = list(manager.model.db.matching(
+            Atom("CodeReqAttr", (code[0], tid, "x"))))
+        assert reqs == []
+
+    def test_set_code_wrong_arity(self, setup):
+        manager, result, session, prims = setup
+        with pytest.raises(EvolutionError):
+            prims.set_code(result.decl("S", "T", "f"),
+                           "f(a, b) is return a;")
+
+    def test_add_argument_appends(self, setup):
+        manager, result, session, prims = setup
+        did = result.decl("S", "T", "f")
+        position = prims.add_argument(did, STRING)
+        assert position == 2
+        assert manager.model.arg_types(did) == [INT, STRING]
+
+    def test_add_argument_at_position_shifts(self, setup):
+        manager, result, session, prims = setup
+        did = result.decl("S", "T", "f")
+        prims.add_argument(did, STRING, position=1)
+        assert manager.model.arg_types(did) == [STRING, INT]
+
+    def test_remove_argument_shifts_back(self, setup):
+        manager, result, session, prims = setup
+        did = result.decl("S", "T", "f")
+        prims.add_argument(did, STRING)
+        prims.remove_argument(did, 1)
+        assert manager.model.arg_types(did) == [STRING]
+
+    def test_remove_argument_out_of_range(self, setup):
+        manager, result, session, prims = setup
+        with pytest.raises(EvolutionError):
+            prims.remove_argument(result.decl("S", "T", "f"), 5)
+
+
+class TestDecoupling:
+    def test_paper_argument_addition_scenario(self, setup):
+        """§2.1: adding an argument to a used operation cannot preserve
+        consistency on its own; EES reports, further primitives cure."""
+        manager, result, session, prims = setup
+        tid_u = result.type("S", "U")
+        did_f = result.decl("S", "T", "f")
+        # a refinement of f in U, consistent so far
+        did_g = prims.add_operation(tid_u, "f", (INT,), INT,
+                                    code_text="f(a) is return a;",
+                                    refines=did_f)
+        assert session.check().consistent
+        # now add an argument to the refined declaration only
+        prims.add_argument(did_f, STRING)
+        names = {v.constraint.name for v in session.check().violations}
+        assert "refine_arg_count_lhs" in names
+        # curing it: add the argument to the refinement too
+        prims.add_argument(did_g, STRING)
+        assert session.check().consistent
+
+    def test_commit_raises_and_stays_open_on_violation(self, setup):
+        manager, result, session, prims = setup
+        prims.add_operation(result.type("S", "T"), "nocode", (), INT)
+        with pytest.raises(InconsistentSchemaError):
+            session.commit()
+        assert session.active
+
+    def test_rollback_restores_everything(self, setup):
+        manager, result, session, prims = setup
+        before = manager.model.db.edb.snapshot()
+        prims.add_attribute(result.type("S", "T"), "tmp", INT)
+        prims.add_schema("Scratch")
+        session.rollback()
+        assert manager.model.db.edb.snapshot() == before
+        assert not session.active

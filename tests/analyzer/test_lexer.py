@@ -1,0 +1,72 @@
+"""Unit tests for the GOM DDL lexer."""
+
+import pytest
+
+from repro.errors import GomSyntaxError
+from repro.analyzer.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source) if token.kind != "eof"]
+
+
+class TestTokenization:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("type Person is")
+        assert tokens[0].kind == "keyword"
+        assert tokens[1].kind == "ident"
+        assert tokens[2].kind == "keyword"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5")
+        assert tokens[0].text == "1"
+        assert tokens[1].text == "2.5"
+        assert tokens[0].kind == tokens[1].kind == "number"
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind == "string"
+
+    def test_multichar_operators(self):
+        assert kinds(":= -> .. || == != <= >=") == [
+            "assign", "arrow", "dots", "dpipe", "op", "op", "op", "op",
+            "eof"]
+
+    def test_punctuation(self):
+        assert texts("[ ] ( ) , ; : . @ /") == \
+            ["[", "]", "(", ")", ",", ";", ":", ".", "@", "/"]
+
+    def test_line_comment_skipped(self):
+        assert texts("a !! comment here\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_offsets_slice_source(self):
+        source = "abc def"
+        tokens = tokenize(source)
+        assert source[tokens[1].offset:tokens[1].offset + 3] == "def"
+
+    def test_unexpected_character(self):
+        with pytest.raises(GomSyntaxError) as error:
+            tokenize("a § b")
+        assert error.value.line == 1
+
+    def test_eof_token_terminates(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_helper_predicates(self):
+        token = tokenize("type")[0]
+        assert token.is_keyword("type")
+        assert not token.is_keyword("schema")
+        punct = tokenize(";")[0]
+        assert punct.is_punct(";")

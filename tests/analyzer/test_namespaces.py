@@ -1,0 +1,204 @@
+"""Unit tests for Appendix A: hierarchy, visibility, paths, conflicts."""
+
+import pytest
+
+from repro.errors import NameConflictError, NameResolutionError
+from repro.datalog.terms import Atom
+from repro.manager import SchemaManager
+from repro.analyzer.namespaces import (
+    child_schema,
+    parent_schema,
+    resolve_schema_path,
+    resolve_visible_type,
+    root_schemas,
+    visible_components,
+)
+from repro.workloads.company import (
+    COMPANY_FEATURES,
+    add_csg2boundrep,
+    define_company,
+)
+
+
+@pytest.fixture(scope="module")
+def company():
+    manager = SchemaManager(features=COMPANY_FEATURES)
+    define_company(manager)
+    add_csg2boundrep(manager)
+    return manager
+
+
+class TestHierarchy:
+    def test_root_is_company(self, company):
+        roots = root_schemas(company.model)
+        names = {company.model.db.matching(Atom("Schema", (sid, None)))
+                 for sid in roots}
+        assert company.model.schema_id("Company") in roots
+
+    def test_parent_child(self, company):
+        cad = company.model.schema_id("CAD")
+        geometry = company.model.schema_id("Geometry")
+        assert parent_schema(company.model, geometry) == cad
+        assert child_schema(company.model, cad, "Geometry") == geometry
+        assert child_schema(company.model, cad, "Nope") is None
+
+    def test_consistency(self, company):
+        assert company.check().consistent
+
+
+class TestSchemaPaths:
+    def test_absolute_path(self, company):
+        csg = resolve_schema_path(company.model, "/Company/CAD/Geometry/CSG")
+        assert csg == company.model.schema_id("CSG")
+
+    def test_relative_path_from_subschema(self, company):
+        csg2 = company.model.schema_id("CSG2BoundRep")
+        brep = resolve_schema_path(company.model, "../BoundaryRep",
+                                   current=csg2)
+        assert brep == company.model.schema_id("BoundaryRep")
+
+    def test_double_dots_iterate(self, company):
+        brep = company.model.schema_id("BoundaryRep")
+        assert resolve_schema_path(company.model, "../..", current=brep) \
+            == company.model.schema_id("CAD")
+
+    def test_relative_subschema_path(self, company):
+        cad = company.model.schema_id("CAD")
+        assert resolve_schema_path(company.model, "Geometry/CSG",
+                                   current=cad) \
+            == company.model.schema_id("CSG")
+
+    def test_unknown_root(self, company):
+        with pytest.raises(NameResolutionError):
+            resolve_schema_path(company.model, "/Galaxy/Far")
+
+    def test_unknown_segment(self, company):
+        with pytest.raises(NameResolutionError):
+            resolve_schema_path(company.model, "/Company/Warp")
+
+    def test_dots_above_root(self, company):
+        root = company.model.schema_id("Company")
+        with pytest.raises(NameResolutionError):
+            resolve_schema_path(company.model, "..", current=root)
+
+    def test_relative_needs_current(self, company):
+        with pytest.raises(NameResolutionError):
+            resolve_schema_path(company.model, "CSG")
+
+
+class TestVisibility:
+    def test_renamed_cuboids_visible_at_geometry(self, company):
+        geometry = company.model.schema_id("Geometry")
+        names = {name for name, _origin, _orig
+                 in visible_components(company.model, geometry, "type")}
+        assert {"CSGCuboid", "BRepCuboid"} <= names
+        # The raw conflicting name is not visible post-rename.
+        assert "Cuboid" not in names
+
+    def test_hidden_types_not_exported(self, company):
+        """Surface/Edge/Vertex are implementation-only in BoundaryRep."""
+        geometry = company.model.schema_id("Geometry")
+        names = {name for name, _o, _n
+                 in visible_components(company.model, geometry, "type")}
+        assert "Surface" not in names and "Vertex" not in names
+
+    def test_own_types_visible_locally(self, company):
+        brep = company.model.schema_id("BoundaryRep")
+        names = {name for name, _o, _n
+                 in visible_components(company.model, brep, "type")}
+        assert {"Cuboid", "Surface", "Edge", "Vertex"} <= names
+
+    def test_import_renaming_visible_at_tool(self, company):
+        tool = company.model.schema_id("CSG2BoundRep")
+        entries = visible_components(company.model, tool, "type")
+        by_name = {name: origin for name, origin, _orig in entries}
+        assert by_name["CSGCuboid"] == company.model.schema_id("CSG")
+        assert by_name["BRepCuboid"] == \
+            company.model.schema_id("BoundaryRep")
+
+    def test_resolve_visible_type(self, company):
+        tool = company.model.schema_id("CSG2BoundRep")
+        tid = resolve_visible_type(company.model, tool, "CSGCuboid")
+        csg = company.model.schema_id("CSG")
+        assert company.model.schema_of_type(tid) == csg
+
+    def test_unrenamed_conflict_detected_at_resolution(self):
+        """Two unrenamed public Cuboids: resolution raises, exactly as
+        the paper says conflicts matter only when the name is *used*."""
+        manager = SchemaManager(features=COMPANY_FEATURES)
+        manager.define("""
+        schema A is
+        public Cuboid;
+        interface
+        type Cuboid is end type Cuboid;
+        end schema A;
+        schema B is
+        public Cuboid;
+        interface
+        type Cuboid is end type Cuboid;
+        end schema B;
+        schema Parent is
+        interface
+        subschema A;
+        subschema B;
+        end schema Parent;
+        """)
+        assert manager.check().consistent  # unused conflicts are fine
+        parent = manager.model.schema_id("Parent")
+        with pytest.raises(NameConflictError):
+            resolve_visible_type(manager.model, parent, "Cuboid")
+
+    def test_schema_var_visible(self, company):
+        brep = company.model.schema_id("BoundaryRep")
+        entries = visible_components(company.model, brep, "var")
+        assert [name for name, _o, _n in entries] == ["exampleCuboid"]
+
+
+class TestNamespaceConstraints:
+    def test_subschema_cycle_rejected(self):
+        manager = SchemaManager(features=COMPANY_FEATURES)
+        manager.define("""
+        schema A is end schema A;
+        schema B is end schema B;
+        """)
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        a, b = manager.model.schema_id("A"), manager.model.schema_id("B")
+        prims.add_subschema(a, b)
+        prims.add_subschema(b, a)
+        names = {v.constraint.name for v in session.check().violations}
+        assert "subschema_acyclic" in names
+
+    def test_two_parents_rejected(self):
+        manager = SchemaManager(features=COMPANY_FEATURES)
+        manager.define("""
+        schema A is end schema A;
+        schema B is end schema B;
+        schema C is end schema C;
+        """)
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        get = manager.model.schema_id
+        prims.add_subschema(get("A"), get("C"))
+        prims.add_subschema(get("B"), get("C"))
+        names = {v.constraint.name for v in session.check().violations}
+        assert "subschema_single_parent" in names
+
+    def test_public_must_exist(self):
+        manager = SchemaManager(features=COMPANY_FEATURES)
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        sid = prims.add_schema("Empty")
+        prims.add_public(sid, "type", "Ghost")
+        names = {v.constraint.name for v in session.check().violations}
+        assert "public_exists" in names
+
+    def test_rename_must_have_source(self):
+        manager = SchemaManager(features=COMPANY_FEATURES)
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        a = prims.add_schema("A")
+        b = prims.add_schema("B")
+        prims.add_rename(a, "type", "Ghost", "Renamed", b)
+        names = {v.constraint.name for v in session.check().violations}
+        assert "rename_source_provides" in names

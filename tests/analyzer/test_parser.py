@@ -1,0 +1,377 @@
+"""Unit tests for the GOM DDL parser."""
+
+import pytest
+
+from repro.errors import GomSyntaxError
+from repro.analyzer import ast_nodes as ast
+from repro.analyzer.parser import (
+    parse_code_text,
+    parse_expression,
+    parse_source,
+)
+
+
+def single_type(source):
+    unit = parse_source(source)
+    assert len(unit.schemas) == 1
+    components = unit.schemas[0].components()
+    types = [c for c in components if isinstance(c, ast.TypeDef)]
+    assert len(types) == 1
+    return types[0]
+
+
+class TestTypeFrames:
+    def test_attributes(self):
+        type_def = single_type("""
+        schema S is
+        type Person is
+          [ name : string;
+            age  : int; ]
+        end type Person;
+        end schema S;
+        """)
+        assert type_def.name == "Person"
+        assert [a.name for a in type_def.attributes] == ["name", "age"]
+        assert type_def.attributes[0].domain.name == "string"
+
+    def test_supertypes(self):
+        type_def = single_type("""
+        schema S is
+        type City supertype Location is
+        end type City;
+        end schema S;
+        """)
+        assert [s.name for s in type_def.supertypes] == ["Location"]
+
+    def test_multiple_supertypes(self):
+        type_def = single_type("""
+        schema S is
+        type D supertype A, B is end type D;
+        end schema S;
+        """)
+        assert len(type_def.supertypes) == 2
+
+    def test_mismatched_frame_name(self):
+        with pytest.raises(GomSyntaxError):
+            parse_source("""
+            schema S is
+            type A is end type B;
+            end schema S;
+            """)
+
+    def test_mismatched_schema_name(self):
+        with pytest.raises(GomSyntaxError):
+            parse_source("schema S is end schema T;")
+
+
+class TestOperationDeclarations:
+    def test_declare_form(self):
+        type_def = single_type("""
+        schema S is
+        type Car is
+        operations
+          declare changeLocation : Person, City -> float;
+        end type Car;
+        end schema S;
+        """)
+        decl = type_def.operations[0]
+        assert decl.name == "changeLocation"
+        assert [t.name for t in decl.arg_types] == ["Person", "City"]
+        assert decl.result_type.name == "float"
+        assert not decl.refines
+
+    def test_paper_double_pipe_form(self):
+        type_def = single_type("""
+        schema S is
+        type Location is
+        operations
+          distance : || Location -> float;
+        end type Location;
+        end schema S;
+        """)
+        decl = type_def.operations[0]
+        assert decl.name == "distance"
+        assert [t.name for t in decl.arg_types] == ["Location"]
+
+    def test_no_argument_operation(self):
+        type_def = single_type("""
+        schema S is
+        type T is
+        operations
+          declare fuel : -> Fuel;
+        end type T;
+        end schema S;
+        """)
+        assert type_def.operations[0].arg_types == ()
+
+    def test_refine_section(self):
+        type_def = single_type("""
+        schema S is
+        type City supertype Location is
+        refine
+          declare distance : Location -> float;
+        end type City;
+        end schema S;
+        """)
+        assert type_def.operations[0].refines
+
+
+class TestImplementations:
+    def test_block_body_with_fused_end(self):
+        type_def = single_type("""
+        schema S is
+        type T is
+        operations
+          declare f : -> int;
+        implementation
+          define f() is
+          begin
+            return 42;
+          end f;
+        end type T;
+        end schema S;
+        """)
+        impl = type_def.implementations[0]
+        assert impl.name == "f"
+        assert impl.params == ()
+        assert isinstance(impl.body.statements[0], ast.Return)
+
+    def test_single_statement_body(self):
+        type_def = single_type("""
+        schema S is
+        type T is
+        operations
+          declare fuel : -> Fuel;
+        implementation
+          define fuel is return leaded;
+        end type T;
+        end schema S;
+        """)
+        impl = type_def.implementations[0]
+        assert isinstance(impl.body.statements[0], ast.Return)
+
+    def test_source_text_roundtrips(self):
+        type_def = single_type("""
+        schema S is
+        type T is
+        operations
+          declare f : int -> int;
+        implementation
+          define f(x) is begin return x + 1; end define;
+        end type T;
+        end schema S;
+        """)
+        impl = type_def.implementations[0]
+        name, params, body = parse_code_text(impl.source_text)
+        assert name == "f"
+        assert params == ("x",)
+        assert isinstance(body.statements[0], ast.Return)
+
+    def test_wrong_closing_name(self):
+        with pytest.raises(GomSyntaxError):
+            parse_source("""
+            schema S is
+            type T is
+            operations
+              declare f : -> int;
+            implementation
+              define f() is begin return 1; end g;
+            end type T;
+            end schema S;
+            """)
+
+
+class TestStatementsAndExpressions:
+    def test_paper_change_location_body(self):
+        code = """changeLocation(driver, newLocation) is
+        begin
+          if (self.owner == driver)
+          begin
+            self.milage := self.milage + self.location.distance(newLocation);
+            self.location := newLocation;
+            return self.milage;
+          end
+          else return -1.0;
+        end"""
+        name, params, body = parse_code_text(code)
+        assert name == "changeLocation"
+        assert params == ("driver", "newLocation")
+        if_stmt = body.statements[0]
+        assert isinstance(if_stmt, ast.If)
+        assert isinstance(if_stmt.condition, ast.BinOp)
+        assert len(if_stmt.then_block.statements) == 3
+        assert isinstance(if_stmt.else_block.statements[0], ast.Return)
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == ast.BinOp("+", ast.Literal(1),
+                                 ast.BinOp("*", ast.Literal(2),
+                                           ast.Literal(3)))
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert isinstance(expr, ast.BinOp) and expr.op == "*"
+
+    def test_comparison_binds_loosest(self):
+        expr = parse_expression("a + 1 < b * 2")
+        assert expr.op == "<"
+
+    def test_boolean_operators(self):
+        expr = parse_expression("a and not b or c")
+        assert expr.op == "or"
+        assert expr.left.op == "and"
+        assert isinstance(expr.left.right, ast.UnaryOp)
+
+    def test_chained_attribute_access(self):
+        expr = parse_expression("self.location.distance(x)")
+        assert isinstance(expr, ast.MethodCall)
+        assert isinstance(expr.receiver, ast.AttrAccess)
+        assert isinstance(expr.receiver.receiver, ast.SelfRef)
+
+    def test_super_call(self):
+        expr = parse_expression("super.distance(other)")
+        assert isinstance(expr, ast.SuperCall)
+        assert expr.op == "distance"
+
+    def test_builtin_function_call(self):
+        expr = parse_expression("sqrt(x * x)")
+        assert isinstance(expr, ast.FuncCall)
+
+    def test_unary_minus(self):
+        expr = parse_expression("-1.0")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_literals(self):
+        assert parse_expression("true") == ast.Literal(True)
+        assert parse_expression('"s"') == ast.Literal("s")
+        assert parse_expression("2.5") == ast.Literal(2.5)
+
+
+class TestSortsAndVars:
+    def test_enum_sort(self):
+        unit = parse_source("""
+        schema S is
+        sort Fuel is enum (leaded, unleaded);
+        end schema S;
+        """)
+        sort = unit.schemas[0].components()[0]
+        assert isinstance(sort, ast.SortDef)
+        assert sort.values == ("leaded", "unleaded")
+
+    def test_schema_var(self):
+        unit = parse_source("""
+        schema S is
+        var exampleCuboid : Cuboid;
+        end schema S;
+        """)
+        var = unit.schemas[0].components()[0]
+        assert isinstance(var, ast.VarDef)
+        assert var.name == "exampleCuboid"
+
+
+class TestSchemaFrames:
+    def test_sections(self):
+        unit = parse_source("""
+        schema BoundaryRep is
+        public Cuboid;
+        interface
+          type Cuboid is end type Cuboid;
+        implementation
+          type Vertex is end type Vertex;
+        end schema BoundaryRep;
+        """)
+        schema = unit.schemas[0]
+        assert schema.public == (("", "Cuboid"),)
+        assert len(schema.interface) == 1
+        assert len(schema.implementation) == 1
+
+    def test_public_with_kinds(self):
+        unit = parse_source("""
+        schema S is
+        public type A, var v;
+        end schema S;
+        """)
+        assert unit.schemas[0].public == (("type", "A"), ("var", "v"))
+
+    def test_subschema_with_renaming(self):
+        unit = parse_source("""
+        schema Geometry is
+        interface
+          subschema CSG with
+            type Cuboid as CSGCuboid;
+          end subschema CSG;
+        end schema Geometry;
+        """)
+        clause = unit.schemas[0].components()[0]
+        assert isinstance(clause, ast.SubschemaClause)
+        assert clause.renames[0] == ast.RenameItem("type", "Cuboid",
+                                                   "CSGCuboid")
+
+    def test_plain_subschema(self):
+        unit = parse_source("""
+        schema Company is
+        interface
+          subschema CAD;
+        end schema Company;
+        """)
+        assert unit.schemas[0].components()[0].renames == ()
+
+    def test_import_absolute_path(self):
+        unit = parse_source("""
+        schema T is
+        interface
+          import /Company/CAD/Geometry/CSG with
+            type Cuboid as CSGCuboid;
+          end import;
+        end schema T;
+        """)
+        clause = unit.schemas[0].components()[0]
+        assert clause.path == "/Company/CAD/Geometry/CSG"
+
+    def test_import_relative_with_dots(self):
+        unit = parse_source("""
+        schema T is
+        interface
+          import ../../CAPP end import;
+        end schema T;
+        """)
+        assert unit.schemas[0].components()[0].path == "../../CAPP"
+
+
+class TestFashionClause:
+    def test_full_fashion(self):
+        unit = parse_source("""
+        fashion Person@CarSchema as Person@NewCarSchema where
+          attr birthday : date
+            read is date_from_age(self.age)
+            write(v) is self.age := age_from_date(v);
+          attr name : string
+            read is self.name
+            write(v) is self.name := v;
+          op greet() is begin return "hi"; end;
+        end fashion;
+        """)
+        fashion = unit.fashions[0]
+        assert fashion.subject == ast.TypeRef("Person", "CarSchema")
+        assert fashion.target == ast.TypeRef("Person", "NewCarSchema")
+        assert len(fashion.attributes) == 2
+        birthday = fashion.attributes[0]
+        assert birthday.write_param == "v"
+        assert isinstance(birthday.read_body.statements[0], ast.Return)
+        assert isinstance(birthday.write_body.statements[0], ast.Assign)
+        assert len(fashion.operations) == 1
+
+    def test_fashion_code_text_roundtrips(self):
+        unit = parse_source("""
+        fashion A@S1 as B@S2 where
+          attr x : int
+            read is self.y
+            write(v) is self.y := v;
+        end fashion;
+        """)
+        attr = unit.fashions[0].attributes[0]
+        name, params, body = parse_code_text(attr.read_text)
+        assert params == ()
+        name, params, body = parse_code_text(attr.write_text)
+        assert params == ("v",)
+        assert isinstance(body.statements[0], ast.Assign)

@@ -1,0 +1,85 @@
+"""Robustness: the front end never crashes with non-GomSyntaxError.
+
+Fuzzing property: for arbitrary text, the lexer/parser either succeeds
+or raises a positioned :class:`GomSyntaxError` — never an internal
+exception.  Plus a battery of targeted malformed inputs with the error
+location checked.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GomSyntaxError
+from repro.analyzer.lexer import tokenize
+from repro.analyzer.parser import parse_code_text, parse_source
+
+# Text made of GOM-ish fragments — likelier to reach deep parser states
+# than pure random unicode.
+fragments = st.sampled_from([
+    "schema", "type", "is", "end", ";", "[", "]", "(", ")", ":",
+    "operations", "declare", "->", "implementation", "define", "begin",
+    "return", "self", ".", "x", "Foo", "1", "1.5", '"s"', ",", "@",
+    "supertype", "refine", "fashion", "as", "where", "attr", "op",
+    "import", "/", "..", "with", "public", "var", "sort", "enum",
+])
+gomish_text = st.lists(fragments, max_size=30).map(" ".join)
+
+
+@given(gomish_text)
+@settings(max_examples=50, deadline=None)
+def test_parser_total_over_gomish_text(text):
+    try:
+        parse_source(text)
+    except GomSyntaxError:
+        pass  # the only acceptable failure
+
+
+@given(st.text(max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_lexer_total_over_arbitrary_text(text):
+    try:
+        tokenize(text)
+    except GomSyntaxError as error:
+        assert error.line is not None
+
+
+@given(gomish_text)
+@settings(max_examples=40, deadline=None)
+def test_code_parser_total(text):
+    try:
+        parse_code_text(text)
+    except GomSyntaxError:
+        pass
+
+
+class TestTargetedErrors:
+    @pytest.mark.parametrize("source,needle", [
+        ("schema S is end schema T;", "closed as"),
+        ("schema S is type T is [ x : ; ] end type T; end schema S;",
+         "identifier"),
+        ("schema S is type T is [ x int; ] end type T; end schema S;",
+         "':'"),
+        ("type T is end type T;", "schema"),
+        ("schema S is type T is operations declare f : int int; "
+         "end type T; end schema S;", "->"),
+        ("fashion A as B where attr x : int read is 1 end fashion;",
+         "write"),
+    ])
+    def test_malformed_inputs(self, source, needle):
+        with pytest.raises(GomSyntaxError) as error:
+            parse_source(source)
+        assert needle in str(error.value)
+
+    def test_error_line_is_accurate(self):
+        source = "schema S is\ntype T is\n[ x : ; ]\nend type T;\n" \
+                 "end schema S;"
+        with pytest.raises(GomSyntaxError) as error:
+            parse_source(source)
+        assert error.value.line == 3
+
+    def test_unterminated_block_comment_is_lexed_greedily(self):
+        # an unterminated /* swallows to EOF as the comment regex fails;
+        # the '/' becomes punctuation and the parse fails cleanly
+        with pytest.raises(GomSyntaxError):
+            parse_source("schema S is /* oops end schema S;")

@@ -1,0 +1,218 @@
+"""Unit tests for the AST → base-predicate translator."""
+
+import pytest
+
+from repro.errors import AnalyzerError, NameResolutionError
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.manager import SchemaManager
+
+
+@pytest.fixture
+def manager():
+    return SchemaManager()
+
+
+class TestBasicTranslation:
+    def test_schema_and_type_facts(self, manager):
+        result = manager.define("""
+        schema S is
+        type T is [ x : int; ] end type T;
+        end schema S;
+        """)
+        sid = result.schema("S")
+        tid = result.type("S", "T")
+        assert manager.model.db.contains(Atom("Schema", (sid, "S")))
+        assert manager.model.db.contains(Atom("Type", (tid, "T", sid)))
+        assert manager.model.db.contains(
+            Atom("Attr", (tid, "x", builtin_type("int"))))
+
+    def test_forward_reference_within_schema(self, manager):
+        result = manager.define("""
+        schema S is
+        type A is [ partner : B; ] end type A;
+        type B is [ partner : A; ] end type B;
+        end schema S;
+        """)
+        a, b = result.type("S", "A"), result.type("S", "B")
+        assert manager.model.db.contains(Atom("Attr", (a, "partner", b)))
+        assert manager.model.db.contains(Atom("Attr", (b, "partner", a)))
+
+    def test_cross_schema_reference_with_at(self, manager):
+        manager.define("""
+        schema Base is
+        type Thing is [ x : int; ] end type Thing;
+        end schema Base;
+        """)
+        result = manager.define("""
+        schema User is
+        type Holder is [ thing : Thing@Base; ] end type Holder;
+        end schema User;
+        """)
+        holder = result.type("User", "Holder")
+        thing = manager.model.type_id("Thing",
+                                      manager.model.schema_id("Base"))
+        assert manager.model.db.contains(Atom("Attr",
+                                              (holder, "thing", thing)))
+
+    def test_duplicate_schema_rejected(self, manager):
+        manager.define("schema S is end schema S;")
+        with pytest.raises(AnalyzerError):
+            manager.define("schema S is end schema S;")
+
+    def test_unknown_type_reference(self, manager):
+        with pytest.raises(NameResolutionError):
+            manager.define("""
+            schema S is
+            type T is [ x : Ghost; ] end type T;
+            end schema S;
+            """)
+
+    def test_enum_sort_translation(self, manager):
+        result = manager.define("""
+        schema S is
+        sort Fuel is enum (leaded, unleaded);
+        end schema S;
+        """)
+        fuel = result.type("S", "Fuel")
+        assert manager.model.enum_values(fuel) == ["leaded", "unleaded"]
+
+
+class TestOperationTranslation:
+    SOURCE = """
+    schema S is
+    type T is
+      [ x : int; ]
+    operations
+      declare bump : int -> int;
+    implementation
+      define bump(by) is begin return self.x + by; end define;
+    end type T;
+    end schema S;
+    """
+
+    def test_decl_args_code(self, manager):
+        result = manager.define(self.SOURCE)
+        tid = result.type("S", "T")
+        did = result.decl("S", "T", "bump")
+        assert manager.model.arg_types(did) == [builtin_type("int")]
+        code = manager.model.code_for(did)
+        assert code is not None
+        assert "bump(by)" in code[1]
+
+    def test_codereq_attr_derived(self, manager):
+        result = manager.define(self.SOURCE)
+        tid = result.type("S", "T")
+        did = result.decl("S", "T", "bump")
+        cid = result.code_ids[did]
+        assert manager.model.db.contains(Atom("CodeReqAttr",
+                                              (cid, tid, "x")))
+
+    def test_impl_without_decl_rejected(self, manager):
+        with pytest.raises(AnalyzerError):
+            manager.define("""
+            schema S is
+            type T is
+            implementation
+              define ghost() is begin return 1; end define;
+            end type T;
+            end schema S;
+            """)
+
+    def test_refinement_resolved_to_nearest_super_decl(self, manager):
+        result = manager.define("""
+        schema S is
+        type A is
+        operations
+          declare f : -> int;
+        implementation
+          define f() is begin return 1; end define;
+        end type A;
+        type B supertype A is
+        refine
+          declare f : -> int;
+        implementation
+          define f() is begin return 2; end define;
+        end type B;
+        end schema S;
+        """)
+        did_a = result.decl("S", "A", "f")
+        did_b = result.decl("S", "B", "f")
+        assert manager.model.db.contains(
+            Atom("DeclRefinement", (did_b, did_a)))
+
+    def test_refine_without_target_rejected(self, manager):
+        with pytest.raises(AnalyzerError):
+            manager.define("""
+            schema S is
+            type A is
+            refine
+              declare f : -> int;
+            implementation
+              define f() is begin return 1; end define;
+            end type A;
+            end schema S;
+            """)
+
+
+class TestNamespaceTranslation:
+    def test_vars_need_namespaces_feature(self, manager):
+        with pytest.raises(AnalyzerError):
+            manager.define("""
+            schema S is
+            type T is end type T;
+            var v : T;
+            end schema S;
+            """)
+
+    def test_vars_with_namespaces_feature(self):
+        manager = SchemaManager(features=("core", "objectbase",
+                                          "namespaces"))
+        result = manager.define("""
+        schema S is
+        type T is end type T;
+        var v : T;
+        end schema S;
+        """)
+        sid = result.schema("S")
+        tid = result.type("S", "T")
+        assert manager.model.db.contains(Atom("SchemaVar", (sid, "v", tid)))
+
+    def test_public_clause_recorded(self):
+        manager = SchemaManager(features=("core", "namespaces"))
+        result = manager.define("""
+        schema S is
+        public T;
+        interface
+        type T is end type T;
+        end schema S;
+        """)
+        sid = result.schema("S")
+        assert manager.model.db.contains(
+            Atom("PublicComp", (sid, "type", "T")))
+
+
+class TestSessionSemantics:
+    def test_define_rolls_back_on_inconsistency(self, manager):
+        from repro.errors import InconsistentSchemaError
+        before = manager.model.db.edb.snapshot()
+        with pytest.raises(InconsistentSchemaError):
+            manager.define("""
+            schema S is
+            type T is end type T;
+            type T is end type T;
+            end schema S;
+            """)
+        assert manager.model.db.edb.snapshot() == before
+
+    def test_ids_match_paper_numbering(self, manager):
+        """Fresh manager numbers ids in source order, matching Figure 2."""
+        result = manager.define("""
+        schema First is
+        type A is end type A;
+        type B is end type B;
+        end schema First;
+        """)
+        assert repr(result.schema("First")) == "sid_1"
+        assert repr(result.type("First", "A")) == "tid_1"
+        assert repr(result.type("First", "B")) == "tid_2"

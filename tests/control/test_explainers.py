@@ -1,0 +1,130 @@
+"""Unit tests for the Analyzer and Runtime explainers (protocol step 7)."""
+
+import pytest
+
+from repro.datalog.repair import RepairAction
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.manager import SchemaManager
+from repro.workloads.carschema import (
+    car_schema_ids,
+    define_car_schema,
+    instantiate_paper_objects,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    manager = SchemaManager()
+    result = define_car_schema(manager)
+    objects = instantiate_paper_objects(manager)
+    return manager, car_schema_ids(result), objects
+
+
+def analyzer_explains(manager, action):
+    return manager.analyzer.explainer(action)
+
+
+def runtime_explains(manager, action):
+    return manager.runtime.explainer(action)
+
+
+class TestAnalyzerExplainer:
+    def test_attr_addition(self, world):
+        manager, ids, objects = world
+        action = RepairAction("+", Atom("Attr", (ids["tid4"], "color",
+                                                 builtin_type("string"))))
+        text = analyzer_explains(manager, action)
+        assert "color" in text and "Car" in text and "adds" in text
+
+    def test_attr_deletion_mentions_undo(self, world):
+        manager, ids, objects = world
+        action = RepairAction("-", Atom("Attr", (ids["tid4"], "milage",
+                                                 builtin_type("float"))))
+        text = analyzer_explains(manager, action)
+        assert "undoing the schema change" in text
+
+    def test_type_and_schema(self, world):
+        manager, ids, objects = world
+        assert "introduces type" in analyzer_explains(
+            manager, RepairAction("+", Atom("Type", (ids["tid4"], "X",
+                                                     ids["sid1"]))))
+        assert "deletes schema" in analyzer_explains(
+            manager, RepairAction("-", Atom("Schema", (ids["sid1"],
+                                                       "CarSchema"))))
+
+    def test_decl_and_refinement(self, world):
+        manager, ids, objects = world
+        text = analyzer_explains(
+            manager, RepairAction("-", Atom("DeclRefinement",
+                                            (ids["did2"], ids["did1"]))))
+        assert "distance" in text and "refinement" in text
+
+    def test_subtype_edge(self, world):
+        manager, ids, objects = world
+        text = analyzer_explains(
+            manager, RepairAction("+", Atom("SubTypRel",
+                                            (ids["tid3"], ids["tid1"]))))
+        assert "City" in text and "Person" in text
+
+    def test_bookkeeping_facts_silent(self, world):
+        manager, ids, objects = world
+        action = RepairAction("+", Atom("CodeReqAttr",
+                                        ("cid", ids["tid4"], "x")))
+        assert analyzer_explains(manager, action) is None
+
+    def test_object_base_facts_not_analyzer_business(self, world):
+        manager, ids, objects = world
+        clid = manager.model.phrep_of(ids["tid4"])
+        action = RepairAction("-", Atom("PhRep", (clid, ids["tid4"])))
+        assert analyzer_explains(manager, action) is None
+
+
+class TestRuntimeExplainer:
+    def test_phrep_deletion_counts_instances(self, world):
+        manager, ids, objects = world
+        clid = manager.model.phrep_of(ids["tid4"])
+        text = runtime_explains(
+            manager, RepairAction("-", Atom("PhRep", (clid, ids["tid4"]))))
+        assert "ALL instances" in text
+        assert "1 object(s)" in text
+
+    def test_slot_insertion_mentions_conversion(self, world):
+        manager, ids, objects = world
+        clid = manager.model.phrep_of(ids["tid4"])
+        text = runtime_explains(
+            manager, RepairAction("+", Atom("Slot", (clid, "color",
+                                                     clid))))
+        assert "conversion routine" in text
+        assert "value source" in text
+
+    def test_slot_deletion(self, world):
+        manager, ids, objects = world
+        clid = manager.model.phrep_of(ids["tid4"])
+        text = runtime_explains(
+            manager, RepairAction("-", Atom("Slot", (clid, "milage",
+                                                     clid))))
+        assert "removing slot" in text
+
+    def test_schema_facts_not_runtime_business(self, world):
+        manager, ids, objects = world
+        action = RepairAction("+", Atom("Attr", (ids["tid4"], "x",
+                                                 builtin_type("int"))))
+        assert runtime_explains(manager, action) is None
+
+
+class TestExplainerChaining:
+    def test_session_asks_in_order(self, world):
+        """The session consults Analyzer then Runtime — together they
+        cover schema-base and object-base changes."""
+        manager, ids, objects = world
+        session = manager.begin_session()
+        clid = manager.model.phrep_of(ids["tid4"])
+        schema_action = RepairAction("-", Atom("Attr",
+                                               (ids["tid4"], "milage",
+                                                builtin_type("float"))))
+        object_action = RepairAction("-", Atom("PhRep",
+                                               (clid, ids["tid4"])))
+        assert "undoing" in session.explain(schema_action)
+        assert "ALL instances" in session.explain(object_action)
+        session.rollback()

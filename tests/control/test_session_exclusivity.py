@@ -1,0 +1,60 @@
+"""The BES/EES bracket is exclusive: one open session per model."""
+
+import pytest
+
+from repro.errors import SessionAlreadyActiveError
+from repro.manager import SchemaManager
+
+
+@pytest.fixture
+def manager():
+    manager = SchemaManager()
+    manager.define("schema S is type T is [ x : int; ] end type T; "
+                   "end schema S;")
+    return manager
+
+
+class TestExclusivity:
+    def test_second_session_rejected_while_open(self, manager):
+        session = manager.begin_session()
+        with pytest.raises(SessionAlreadyActiveError):
+            manager.begin_session()
+        session.rollback()
+
+    def test_new_session_allowed_after_commit(self, manager):
+        manager.begin_session().commit()
+        second = manager.begin_session()
+        assert second.active
+        second.rollback()
+
+    def test_new_session_allowed_after_rollback(self, manager):
+        manager.begin_session().rollback()
+        assert manager.begin_session().active
+
+    def test_runtime_joins_open_session(self, manager):
+        """Object creation inside an open session reports its PhRep/Slot
+        changes through that session — rolling back undoes them."""
+        session = manager.begin_session()
+        obj = manager.runtime.create_object("T", {"x": 1})
+        tid = obj.tid
+        assert manager.model.phrep_of(tid) is not None
+        session.rollback()
+        assert manager.model.phrep_of(tid) is None
+
+    def test_runtime_opens_own_session_when_none_active(self, manager):
+        obj = manager.runtime.create_object("T", {"x": 1})
+        # the auto-session committed; a new session can open
+        session = manager.begin_session()
+        assert session.active
+        session.rollback()
+
+    def test_failed_define_frees_the_bracket(self, manager):
+        from repro.errors import InconsistentSchemaError
+        with pytest.raises(InconsistentSchemaError):
+            manager.define("""
+            schema B is
+            type U is end type U;
+            type U is end type U;
+            end schema B;
+            """)
+        assert manager.begin_session().active

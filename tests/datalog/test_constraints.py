@@ -1,0 +1,103 @@
+"""Unit tests for constraint construction and generation."""
+
+import pytest
+
+from repro.errors import ConstraintSyntaxError, RangeRestrictionError
+from repro.datalog.builtins import Comparison
+from repro.datalog.constraints import (
+    Constraint,
+    Disjunct,
+    EqualityConclusion,
+    ExistenceConclusion,
+    FalseConclusion,
+    key_constraint,
+    reference_constraint,
+)
+from repro.datalog.terms import Atom, Literal, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestConstraintValidation:
+    def test_empty_premise_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            Constraint("c", (), FalseConclusion())
+
+    def test_unbound_conclusion_variable_rejected(self):
+        with pytest.raises(RangeRestrictionError):
+            Constraint("c", (Literal(Atom("p", (X,))),),
+                       EqualityConclusion((Comparison("=", X, Y),)))
+
+    def test_existential_variables_not_required_bound(self):
+        Constraint("c", (Literal(Atom("p", (X,))),),
+                   ExistenceConclusion((
+                       Disjunct(atoms=(Atom("q", (X, Y)),),
+                                exist_vars=(Y,)),
+                   )))
+
+    def test_universal_variables(self):
+        constraint = Constraint(
+            "c", (Literal(Atom("p", (X, Y))),),
+            ExistenceConclusion((
+                Disjunct(atoms=(Atom("q", (X, Z)),), exist_vars=(Z,)),
+            )))
+        assert constraint.universal_variables() == {X}
+
+    def test_predicates_includes_conclusion(self):
+        constraint = Constraint(
+            "c", (Literal(Atom("p", (X,))),),
+            ExistenceConclusion((Disjunct(atoms=(Atom("q", (X,)),)),)))
+        assert constraint.predicates() == {"p", "q"}
+        assert constraint.conclusion_predicates() == {"q"}
+
+    def test_empty_disjunct_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            Disjunct()
+
+    def test_empty_conclusions_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            EqualityConclusion(())
+        with pytest.raises(ConstraintSyntaxError):
+            ExistenceConclusion(())
+
+
+class TestKeyConstraint:
+    def test_shape(self):
+        constraint = key_constraint("Type", ("tid", "name", "sid"), (0,))
+        assert constraint.name == "key_Type"
+        assert len(constraint.premise) == 2
+        assert isinstance(constraint.conclusion, EqualityConclusion)
+        # two non-key columns -> two equalities
+        assert len(constraint.conclusion.comparisons) == 2
+
+    def test_composite_key(self):
+        constraint = key_constraint("Attr", ("tid", "name", "dom"), (0, 1))
+        assert len(constraint.conclusion.comparisons) == 1
+
+    def test_full_tuple_key_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            key_constraint("p", ("a",), (0,))
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            key_constraint("p", ("a", "b"), ())
+
+
+class TestReferenceConstraint:
+    def test_shape(self):
+        constraint = reference_constraint(
+            "Type", ("tid", "name", "sid"), 2, "Schema", ("sid", "name"), 0)
+        assert constraint.name == "ref_Type_sid_Schema"
+        conclusion = constraint.conclusion
+        assert isinstance(conclusion, ExistenceConclusion)
+        disjunct = conclusion.disjuncts[0]
+        assert disjunct.atoms[0].pred == "Schema"
+        # the non-referenced target column is existentially quantified
+        assert len(disjunct.exist_vars) == 1
+
+    def test_shared_variable_links_columns(self):
+        constraint = reference_constraint(
+            "Attr", ("tid", "name", "dom"), 0, "Type", ("tid", "n", "s"), 0)
+        premise_var = constraint.premise[0].atom.args[0]
+        target_var = constraint.conclusion.disjuncts[0].atoms[0].args[0]
+        assert premise_var == target_var

@@ -1,0 +1,195 @@
+"""Unit tests for the bottom-up evaluation engine with provenance."""
+
+import pytest
+
+from repro.datalog.engine import DeductiveDatabase
+from repro.datalog.facts import PredicateDecl
+from repro.datalog.parser import parse_rules
+from repro.datalog.terms import Atom, Literal, Variable
+from repro.datalog.builtins import Comparison
+
+X, Y = Variable("X"), Variable("Y")
+
+TC_RULES = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+"""
+
+
+@pytest.fixture
+def tc_db():
+    db = DeductiveDatabase([PredicateDecl("edge", ("src", "dst"))])
+    db.add_rules(parse_rules(TC_RULES))
+    for pair in [("a", "b"), ("b", "c"), ("c", "d")]:
+        db.add_fact(Atom("edge", pair))
+    return db
+
+
+class TestMaterialization:
+    def test_transitive_closure(self, tc_db):
+        closure = {fact.args for fact in tc_db.facts("tc")}
+        assert closure == {("a", "b"), ("a", "c"), ("a", "d"),
+                           ("b", "c"), ("b", "d"), ("c", "d")}
+
+    def test_contains_derived(self, tc_db):
+        assert tc_db.contains(Atom("tc", ("a", "d")))
+        assert not tc_db.contains(Atom("tc", ("d", "a")))
+
+    def test_matching_derived(self, tc_db):
+        matches = {f.args for f in tc_db.matching(Atom("tc", ("a", X)))}
+        assert matches == {("a", "b"), ("a", "c"), ("a", "d")}
+
+    def test_count_derived(self, tc_db):
+        assert tc_db.count("tc") == 6
+
+    def test_self_loop(self):
+        db = DeductiveDatabase([PredicateDecl("edge", ("s", "d"))])
+        db.add_rules(parse_rules(TC_RULES))
+        db.add_fact(Atom("edge", ("a", "a")))
+        assert db.contains(Atom("tc", ("a", "a")))
+
+    def test_cycle_closure(self):
+        db = DeductiveDatabase([PredicateDecl("edge", ("s", "d"))])
+        db.add_rules(parse_rules(TC_RULES))
+        db.add_fact(Atom("edge", ("a", "b")))
+        db.add_fact(Atom("edge", ("b", "a")))
+        closure = {fact.args for fact in db.facts("tc")}
+        assert closure == {("a", "b"), ("b", "a"), ("a", "a"), ("b", "b")}
+
+
+class TestNegation:
+    def make_db(self):
+        db = DeductiveDatabase([
+            PredicateDecl("node", ("n",)),
+            PredicateDecl("edge", ("s", "d")),
+        ])
+        db.add_rules(parse_rules("""
+        hassucc(X) :- edge(X, Y).
+        sink(X) :- node(X), not hassucc(X).
+        """))
+        for node in "abc":
+            db.add_fact(Atom("node", (node,)))
+        db.add_fact(Atom("edge", ("a", "b")))
+        db.add_fact(Atom("edge", ("b", "c")))
+        return db
+
+    def test_stratified_negation(self):
+        db = self.make_db()
+        assert {f.args for f in db.facts("sink")} == {("c",)}
+
+    def test_negation_updates_after_delta(self):
+        db = self.make_db()
+        db.add_fact(Atom("edge", ("c", "a")))
+        assert {f.args for f in db.facts("sink")} == set()
+
+
+class TestComparisons:
+    def test_comparison_filters(self):
+        db = DeductiveDatabase([PredicateDecl("n", ("v",))])
+        db.add_rules(parse_rules("big(X) :- n(X), X > 10."))
+        for value in (5, 15, 25):
+            db.add_fact(Atom("n", (value,)))
+        assert {f.args for f in db.facts("big")} == {(15,), (25,)}
+
+    def test_equality_binding(self):
+        db = DeductiveDatabase([PredicateDecl("n", ("v",))])
+        db.add_rules(parse_rules("pair(X, Y) :- n(X), Y = X."))
+        db.add_fact(Atom("n", (1,)))
+        assert {f.args for f in db.facts("pair")} == {(1, 1)}
+
+
+class TestProvenance:
+    def test_single_derivation_leaf(self, tc_db):
+        derivations = tc_db.derivations(Atom("tc", ("a", "b")))
+        assert len(derivations) == 1
+        assert derivations[0].positive_supports == (Atom("edge",
+                                                         ("a", "b")),)
+
+    def test_recursive_derivation_supports(self, tc_db):
+        derivations = tc_db.derivations(Atom("tc", ("a", "d")))
+        assert len(derivations) == 1
+        supports = derivations[0].positive_supports
+        assert Atom("edge", ("a", "b")) in supports
+        assert Atom("tc", ("b", "d")) in supports
+
+    def test_multiple_derivations_recorded(self):
+        db = DeductiveDatabase([PredicateDecl("e", ("s", "d"))])
+        db.add_rules(parse_rules("""
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- e(Y, X).
+        """))
+        db.add_fact(Atom("e", ("a", "a")))
+        assert len(db.derivations(Atom("p", ("a", "a")))) == 2
+
+    def test_negative_supports_recorded(self):
+        db = DeductiveDatabase([
+            PredicateDecl("node", ("n",)),
+            PredicateDecl("mark", ("n",)),
+        ])
+        db.add_rules(parse_rules("clean(X) :- node(X), not mark(X)."))
+        db.add_fact(Atom("node", ("a",)))
+        derivations = db.derivations(Atom("clean", ("a",)))
+        assert derivations[0].negative_supports == (Atom("mark", ("a",)),)
+
+    def test_derivation_tree_renders(self, tc_db):
+        tree = tc_db.derivation_tree(Atom("tc", ("a", "c")))
+        rendered = tree.render()
+        assert "edge" in rendered and "[EDB]" in rendered
+
+
+class TestIncrementalMaintenance:
+    def test_addition_updates_closure(self, tc_db):
+        tc_db.add_fact(Atom("edge", ("d", "e")))
+        assert tc_db.contains(Atom("tc", ("a", "e")))
+
+    def test_deletion_updates_closure(self, tc_db):
+        list(tc_db.facts("tc"))  # force materialization
+        tc_db.remove_fact(Atom("edge", ("b", "c")))
+        assert not tc_db.contains(Atom("tc", ("a", "d")))
+        assert tc_db.contains(Atom("tc", ("a", "b")))
+
+    def test_unrelated_predicate_not_invalidated(self):
+        db = DeductiveDatabase([
+            PredicateDecl("e", ("s", "d")),
+            PredicateDecl("other", ("x",)),
+        ])
+        db.add_rules(parse_rules("p(X, Y) :- e(X, Y)."))
+        db.add_fact(Atom("e", ("a", "b")))
+        list(db.facts("p"))
+        assert "p" in db._fresh
+        db.add_fact(Atom("other", ("z",)))
+        assert "p" in db._fresh  # still fresh: p does not read other
+
+    def test_apply_delta_counts(self, tc_db):
+        added, removed = tc_db.apply_delta(
+            additions=[Atom("edge", ("x", "y")), Atom("edge", ("a", "b"))],
+            deletions=[Atom("edge", ("c", "d")), Atom("edge", ("q", "q"))])
+        assert added == 1  # ("a","b") already present
+        assert removed == 1  # ("q","q") never present
+
+
+class TestQuery:
+    def test_query_bindings(self, tc_db):
+        results = list(tc_db.query([Literal(Atom("edge", (X, Y)))]))
+        assert len(results) == 3
+
+    def test_query_with_seed(self, tc_db):
+        results = list(tc_db.query([Literal(Atom("tc", (X, Y)))], {X: "b"}))
+        assert {theta[Y] for theta in results} == {"c", "d"}
+
+    def test_query_with_negation(self, tc_db):
+        body = [Literal(Atom("edge", (X, Y))),
+                Literal(Atom("tc", (Y, X)), positive=False)]
+        assert len(list(tc_db.query(body))) == 3
+
+    def test_query_comparison(self, tc_db):
+        body = [Literal(Atom("edge", (X, Y))), Comparison("!=", X, "a")]
+        assert len(list(tc_db.query(body))) == 2
+
+    def test_holds(self, tc_db):
+        assert tc_db.holds([Literal(Atom("tc", ("a", "d")))])
+        assert not tc_db.holds([Literal(Atom("tc", ("d", "a")))])
+
+    def test_unbound_negation_raises(self, tc_db):
+        with pytest.raises(ValueError):
+            list(tc_db.query([Literal(Atom("edge", (X, Y)), positive=False)]))

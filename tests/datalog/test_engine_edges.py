@@ -1,0 +1,115 @@
+"""Edge-case coverage for the engine and fact store."""
+
+import pytest
+
+from repro.errors import UnknownPredicateError
+from repro.datalog.engine import DeductiveDatabase
+from repro.datalog.facts import FactStore, PredicateDecl
+from repro.datalog.parser import parse_rules
+from repro.datalog.terms import Atom, Literal, Variable
+
+X = Variable("X")
+
+
+class TestEngineDeclarations:
+    def test_decl_lookup_for_base_and_derived(self):
+        db = DeductiveDatabase([PredicateDecl("e", ("s", "d"))])
+        db.add_rules(parse_rules("p(X) :- e(X, X)."))
+        assert db.decl("e").name == "e"
+        assert db.decl("p").derived
+        with pytest.raises(UnknownPredicateError):
+            db.decl("nope")
+
+    def test_is_declared(self):
+        db = DeductiveDatabase([PredicateDecl("e", ("s", "d"))])
+        db.add_rules(parse_rules("p(X) :- e(X, X)."))
+        assert db.is_declared("e") and db.is_declared("p")
+        assert not db.is_declared("q")
+
+    def test_unknown_derived_query_raises(self):
+        db = DeductiveDatabase([PredicateDecl("e", ("s", "d"))])
+        with pytest.raises(UnknownPredicateError):
+            list(db.facts("ghost"))
+
+    def test_head_constant_rules(self):
+        db = DeductiveDatabase([PredicateDecl("n", ("v",))])
+        db.add_rules(parse_rules('tagged(special, X) :- n(X).'))
+        db.add_fact(Atom("n", (1,)))
+        assert db.contains(Atom("tagged", ("special", 1)))
+
+    def test_force_materialize(self):
+        db = DeductiveDatabase([PredicateDecl("e", ("s", "d"))])
+        db.add_rules(parse_rules("p(X) :- e(X, X)."))
+        db.add_fact(Atom("e", (1, 1)))
+        db.materialize()
+        assert db.count("p") == 1
+        db.materialize(force=True)
+        assert db.count("p") == 1
+        assert len(db.derivations(Atom("p", (1,)))) == 1
+
+    def test_rule_added_after_facts(self):
+        db = DeductiveDatabase([PredicateDecl("e", ("s", "d"))])
+        db.add_fact(Atom("e", (1, 2)))
+        db.add_rules(parse_rules("p(X) :- e(X, Y)."))
+        assert db.contains(Atom("p", (1,)))
+
+    def test_two_strata_with_recursion_above_negation(self):
+        db = DeductiveDatabase([PredicateDecl("edge", ("s", "d")),
+                                PredicateDecl("bad", ("n",))])
+        db.add_rules(parse_rules("""
+        ok(X) :- edge(X, Y), not bad(X).
+        reach(X, Y) :- edge(X, Y), ok(X).
+        reach(X, Z) :- reach(X, Y), reach(Y, Z).
+        """))
+        for pair in [("a", "b"), ("b", "c"), ("c", "d")]:
+            db.add_fact(Atom("edge", pair))
+        db.add_fact(Atom("bad", ("b",)))
+        assert db.contains(Atom("reach", ("a", "b")))
+        assert not db.contains(Atom("reach", ("a", "c")))  # b is bad
+        assert db.contains(Atom("reach", ("c", "d")))
+
+
+class TestFactStoreEdges:
+    def test_decls_iteration(self):
+        store = FactStore([PredicateDecl("a", ("x",)),
+                           PredicateDecl("b", ("y",))])
+        assert sorted(decl.name for decl in store.decls()) == ["a", "b"]
+        assert sorted(store.predicates()) == ["a", "b"]
+
+    def test_all_facts(self):
+        store = FactStore([PredicateDecl("a", ("x",)),
+                           PredicateDecl("b", ("y",))])
+        store.add(Atom("a", (1,)))
+        store.add(Atom("b", (2,)))
+        assert len(list(store.all_facts())) == 2
+
+    def test_contains_non_ground_raises(self):
+        from repro.errors import NotGroundError
+        store = FactStore([PredicateDecl("a", ("x",))])
+        with pytest.raises(NotGroundError):
+            store.contains(Atom("a", (X,)))
+
+    def test_restore_with_missing_predicate_in_snapshot(self):
+        store = FactStore([PredicateDecl("a", ("x",))])
+        store.add(Atom("a", (1,)))
+        store.restore({})
+        assert store.count("a") == 0
+
+
+class TestQuerySemantics:
+    def test_query_yields_independent_dicts(self):
+        db = DeductiveDatabase([PredicateDecl("e", ("s", "d"))])
+        db.add_fact(Atom("e", (1, 2)))
+        db.add_fact(Atom("e", (3, 4)))
+        results = list(db.query([Literal(Atom("e", (X, Variable("Y"))))]))
+        results[0][X] = "mutated"
+        assert results[1][X] != "mutated"
+
+    def test_query_conjunction_join(self):
+        db = DeductiveDatabase([PredicateDecl("e", ("s", "d"))])
+        for pair in [(1, 2), (2, 3), (3, 4)]:
+            db.add_fact(Atom("e", pair))
+        y, z = Variable("Y"), Variable("Z")
+        body = [Literal(Atom("e", (X, y))), Literal(Atom("e", (y, z)))]
+        joins = {(theta[X], theta[y], theta[z]) for theta in db.query(body)}
+        assert joins == {(1, 2, 3), (2, 3, 4)}

@@ -1,0 +1,152 @@
+"""Unit tests for the Datalog / constraint text syntax."""
+
+import pytest
+
+from repro.errors import DatalogSyntaxError
+from repro.datalog.builtins import Comparison
+from repro.datalog.constraints import (
+    EqualityConclusion,
+    ExistenceConclusion,
+    FalseConclusion,
+)
+from repro.datalog.parser import (
+    parse_constraint,
+    parse_constraints,
+    parse_program,
+    parse_rule,
+    parse_rules,
+)
+from repro.datalog.terms import Atom, Literal, Variable
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestRuleParsing:
+    def test_simple_rule(self):
+        rule = parse_rule("p(X) :- q(X).")
+        assert rule.head == Atom("p", (X,))
+        assert rule.body == (Literal(Atom("q", (X,))),)
+
+    def test_negation(self):
+        rule = parse_rule("p(X) :- q(X), not r(X).")
+        assert not rule.body[1].positive
+
+    def test_comparison_in_body(self):
+        rule = parse_rule("p(X) :- q(X), X != 3.")
+        assert isinstance(rule.body[1], Comparison)
+        assert rule.body[1].op == "!="
+
+    def test_lowercase_ident_is_constant(self):
+        rule = parse_rule("p(X) :- q(X, foo).")
+        assert rule.body[0].atom.args[1] == "foo"
+
+    def test_string_and_number_constants(self):
+        rule = parse_rule('p(X) :- q(X, "hello", 3, 2.5).')
+        assert rule.body[0].atom.args[1:] == ("hello", 3, 2.5)
+
+    def test_negative_number(self):
+        rule = parse_rule("p(X) :- q(X, -4).")
+        assert rule.body[0].atom.args[1] == -4
+
+    def test_dollar_binding(self):
+        sentinel = object()
+        rule = parse_rule("p(X) :- q(X, $root).", bindings={"root": sentinel})
+        assert rule.body[0].atom.args[1] is sentinel
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("p(X) :- q(X, $nope).")
+
+    def test_missing_period_raises(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("p(X) :- q(X)")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("p(X) :- q(X). extra")
+
+    def test_comment_skipped(self):
+        rules = parse_rules("% comment line\np(X) :- q(X).")
+        assert len(rules) == 1
+
+
+class TestProgramParsing:
+    def test_mixed_program(self):
+        rules, constraints, facts = parse_program("""
+        % facts, rules, and constraints together
+        edge(a, b).
+        tc(X, Y) :- edge(X, Y).
+        constraint acyc: tc(X, X) ==> FALSE.
+        """)
+        assert len(rules) == 1
+        assert len(constraints) == 1
+        assert facts == [Atom("edge", ("a", "b"))]
+
+    def test_parse_rules_rejects_facts(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rules("edge(a, b).")
+
+    def test_parse_constraints_rejects_rules(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_constraints("p(X) :- q(X).")
+
+
+class TestConstraintParsing:
+    def test_denial(self):
+        constraint = parse_constraint("constraint c: p(X, X) ==> FALSE.")
+        assert isinstance(constraint.conclusion, FalseConclusion)
+        assert constraint.name == "c"
+
+    def test_category_tag(self):
+        constraint = parse_constraint(
+            "constraint c: uniqueness: p(X, Y) ==> X = Y.")
+        assert constraint.category == "uniqueness"
+
+    def test_equality_conclusion(self):
+        constraint = parse_constraint(
+            "constraint c: p(X1, Y1) & p(X2, Y2) & Y1 = Y2 ==> X1 = X2.")
+        assert isinstance(constraint.conclusion, EqualityConclusion)
+        assert len(constraint.premise) == 3
+
+    def test_existence_with_existentials(self):
+        constraint = parse_constraint(
+            "constraint c: p(X) ==> exists Y, Z: q(X, Y) & r(Y, Z).")
+        conclusion = constraint.conclusion
+        assert isinstance(conclusion, ExistenceConclusion)
+        disjunct = conclusion.disjuncts[0]
+        assert len(disjunct.exist_vars) == 2
+        assert len(disjunct.atoms) == 2
+
+    def test_disjunctive_conclusion(self):
+        constraint = parse_constraint(
+            "constraint c: p(X, Y) ==> X = Y | q(X, Y).")
+        conclusion = constraint.conclusion
+        assert isinstance(conclusion, ExistenceConclusion)
+        assert len(conclusion.disjuncts) == 2
+
+    def test_ampersand_and_comma_both_conjoin(self):
+        left = parse_constraint("constraint c: p(X) & q(X) ==> FALSE.")
+        right = parse_constraint("constraint c: p(X), q(X) ==> FALSE.")
+        assert left.premise == right.premise
+
+    def test_negation_in_premise(self):
+        constraint = parse_constraint(
+            "constraint c: p(X) & not q(X) ==> FALSE.")
+        assert not constraint.premise[1].positive
+
+    def test_negation_in_conclusion_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_constraint("constraint c: p(X) ==> not q(X).")
+
+    def test_unused_existential_rejected(self):
+        from repro.errors import DatalogError
+        with pytest.raises(DatalogError):
+            parse_constraint("constraint c: p(X) ==> exists Y: q(X, X).")
+
+    def test_error_carries_location(self):
+        try:
+            parse_constraint("constraint c:\n  p(X ==> FALSE.")
+        except DatalogSyntaxError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")

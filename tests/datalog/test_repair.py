@@ -1,0 +1,191 @@
+"""Unit tests for the derivation-tree-based repair generator."""
+
+import pytest
+
+from repro.datalog.checker import ConsistencyChecker
+from repro.datalog.engine import DeductiveDatabase
+from repro.datalog.facts import PredicateDecl
+from repro.datalog.parser import parse_constraints, parse_rules
+from repro.datalog.repair import NewConstant, Repair, RepairAction, RepairGenerator
+from repro.datalog.terms import Atom
+
+
+def build(constraint_text, rules_text="", decls=(), facts=()):
+    db = DeductiveDatabase([PredicateDecl(*decl) for decl in decls])
+    if rules_text:
+        db.add_rules(parse_rules(rules_text))
+    for fact in facts:
+        db.add_fact(fact)
+    checker = ConsistencyChecker(db, parse_constraints(constraint_text))
+    return db, checker, RepairGenerator(db)
+
+
+class TestRepairAction:
+    def test_sign_validation(self):
+        with pytest.raises(ValueError):
+            RepairAction("*", Atom("p", (1,)))
+
+    def test_requires_user_input(self):
+        plain = RepairAction("+", Atom("p", (1,)))
+        placeholder = RepairAction("+", Atom("p", (NewConstant("v"),)))
+        assert not plain.requires_user_input()
+        assert placeholder.requires_user_input()
+
+
+class TestDenialRepairs:
+    def test_base_premise_deletions(self):
+        db, checker, generator = build(
+            "constraint no_pq: p(X) & q(X) ==> FALSE.",
+            decls=[("p", ("a",)), ("q", ("a",))],
+            facts=[Atom("p", (1,)), Atom("q", (1,))])
+        violation = checker.check().violations[0]
+        repairs = generator.repairs(violation)
+        actions = {r.display_action for r in repairs}
+        assert actions == {RepairAction("-", Atom("p", (1,))),
+                           RepairAction("-", Atom("q", (1,)))}
+        assert all(r.kind == "invalidate-premise" for r in repairs)
+
+    def test_negated_premise_insertion(self):
+        db, checker, generator = build(
+            "constraint covered: p(X) & not q(X) ==> FALSE.",
+            decls=[("p", ("a",)), ("q", ("a",))],
+            facts=[Atom("p", (1,))])
+        violation = checker.check().violations[0]
+        repairs = generator.repairs(violation)
+        signs = {(r.display_action.sign, r.display_action.fact.pred)
+                 for r in repairs}
+        assert ("-", "p") in signs
+        assert ("+", "q") in signs
+
+
+class TestDerivedPremiseRepairs:
+    def test_cut_through_single_derivation(self):
+        db, checker, generator = build(
+            "constraint acyc: tc(X, X) ==> FALSE.",
+            rules_text="""
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Z) :- edge(X, Y), tc(Y, Z).
+            """,
+            decls=[("edge", ("s", "d"))],
+            facts=[Atom("edge", ("a", "b")), Atom("edge", ("b", "a"))])
+        violation = checker.check().violations[0]
+        repairs = generator.repairs(violation)
+        # each edge of the cycle is an alternative cut
+        edb = {r.edb_actions for r in repairs}
+        assert (RepairAction("-", Atom("edge", ("a", "b"))),) in edb
+        assert (RepairAction("-", Atom("edge", ("b", "a"))),) in edb
+        # the display action stays at the intensional level
+        assert all(r.display_action.fact.pred == "tc" for r in repairs)
+
+    def test_applying_cut_restores_consistency(self):
+        db, checker, generator = build(
+            "constraint acyc: tc(X, X) ==> FALSE.",
+            rules_text="""
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Z) :- edge(X, Y), tc(Y, Z).
+            """,
+            decls=[("edge", ("s", "d"))],
+            facts=[Atom("edge", ("a", "b")), Atom("edge", ("b", "c")),
+                   Atom("edge", ("c", "a"))])
+        violations = checker.check().violations
+        repair = generator.repairs(violations[0])[0]
+        for action in repair.edb_actions:
+            assert not action.is_insertion
+            db.remove_fact(action.fact)
+        assert checker.check().consistent
+
+    def test_multiple_derivations_need_hitting_set(self):
+        # p derived two ways; killing it must cut both.
+        db, checker, generator = build(
+            "constraint no_p: p(X) ==> FALSE.",
+            rules_text="""
+            p(X) :- a(X).
+            p(X) :- b(X).
+            """,
+            decls=[("a", ("x",)), ("b", ("x",))],
+            facts=[Atom("a", (1,)), Atom("b", (1,))])
+        violation = checker.check().violations[0]
+        repairs = generator.repairs(violation)
+        assert len(repairs) == 1
+        assert set(repairs[0].edb_actions) == {
+            RepairAction("-", Atom("a", (1,))),
+            RepairAction("-", Atom("b", (1,))),
+        }
+
+
+class TestConclusionRepairs:
+    def test_insertion_binding_from_existing_facts(self):
+        # the paper's (*) pattern: exists CA: Slot(C,A,CA) & PhRep(CA,TA)
+        db, checker, generator = build(
+            "constraint star: attr(T, A, TA) & rep(C, T) ==> "
+            "exists CA: slot(C, A, CA) & rep(CA, TA).",
+            decls=[("attr", ("t", "a", "ta")), ("rep", ("c", "t")),
+                   ("slot", ("c", "a", "v"))],
+            facts=[Atom("attr", ("car", "fuel", "string")),
+                   Atom("rep", ("c4", "car")),
+                   Atom("rep", ("cs", "string"))])
+        violation = checker.check().violations[0]
+        repairs = generator.repairs(violation)
+        conclusion = [r for r in repairs if r.kind == "validate-conclusion"]
+        bound = [r for r in conclusion
+                 if r.edb_actions == (RepairAction(
+                     "+", Atom("slot", ("c4", "fuel", "cs"))),)]
+        assert bound, "expected the existential bound against rep(cs,string)"
+
+    def test_placeholder_when_no_binding_exists(self):
+        db, checker, generator = build(
+            "constraint needs_q: p(X) ==> exists Y: q(X, Y).",
+            decls=[("p", ("x",)), ("q", ("x", "y"))],
+            facts=[Atom("p", (1,))])
+        violation = checker.check().violations[0]
+        conclusion = [r for r in generator.repairs(violation)
+                      if r.kind == "validate-conclusion"]
+        assert conclusion
+        action = conclusion[0].edb_actions[0]
+        assert action.fact.pred == "q"
+        assert isinstance(action.fact.args[1], NewConstant)
+
+    def test_equality_conclusion_offers_only_deletions(self):
+        db, checker, generator = build(
+            "constraint uniq: p(X1, Y) & p(X2, Y) & X1 != X2 ==> X1 = X2.",
+            decls=[("p", ("x", "y"))],
+            facts=[Atom("p", (1, "k")), Atom("p", (2, "k"))])
+        violation = checker.check().violations[0]
+        repairs = generator.repairs(violation)
+        assert repairs
+        assert all(r.kind == "invalidate-premise" for r in repairs)
+        assert all(not a.is_insertion
+                   for r in repairs for a in r.edb_actions)
+
+    def test_derived_conclusion_expanded_to_base_insertions(self):
+        db, checker, generator = build(
+            "constraint reach: p(X) ==> connected(X).",
+            rules_text="connected(X) :- link(X, Y).",
+            decls=[("p", ("x",)), ("link", ("s", "d"))],
+            facts=[Atom("p", (1,))])
+        violation = checker.check().violations[0]
+        conclusion = [r for r in generator.repairs(violation)
+                      if r.kind == "validate-conclusion"]
+        assert conclusion
+        assert conclusion[0].edb_actions[0].fact.pred == "link"
+
+
+class TestRepairOrderingAndDedup:
+    def test_premise_repairs_come_first(self):
+        db, checker, generator = build(
+            "constraint c: p(X) ==> exists Y: q(X, Y).",
+            decls=[("p", ("x",)), ("q", ("x", "y"))],
+            facts=[Atom("p", (1,))])
+        violation = checker.check().violations[0]
+        repairs = generator.repairs(violation)
+        assert repairs[0].kind == "invalidate-premise"
+        assert repairs[-1].kind == "validate-conclusion"
+
+    def test_no_duplicate_repairs(self):
+        db, checker, generator = build(
+            "constraint c: p(X) & p(X) ==> FALSE.",
+            decls=[("p", ("x",))],
+            facts=[Atom("p", (1,))])
+        violation = checker.check().violations[0]
+        repairs = generator.repairs(violation)
+        assert len(repairs) == 1

@@ -1,0 +1,115 @@
+"""Property-based tests for repair generation on existence constraints."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.checker import ConsistencyChecker
+from repro.datalog.engine import DeductiveDatabase
+from repro.datalog.facts import PredicateDecl
+from repro.datalog.parser import parse_constraints, parse_rules
+from repro.datalog.repair import RepairGenerator
+from repro.datalog.terms import Atom
+
+ITEMS = list("pqrstu")
+WORKERS = list("wxyz")
+
+
+def build(assignments, items):
+    db = DeductiveDatabase([
+        PredicateDecl("item", ("i",)),
+        PredicateDecl("assigned", ("i", "w")),
+        PredicateDecl("worker", ("w",)),
+    ])
+    for worker in WORKERS:
+        db.add_fact(Atom("worker", (worker,)))
+    for item in items:
+        db.add_fact(Atom("item", (item,)))
+    for item, worker in assignments:
+        db.add_fact(Atom("assigned", (item, worker)))
+    checker = ConsistencyChecker(db, parse_constraints("""
+    constraint covered: item(X) ==> exists W: assigned(X, W) & worker(W).
+    """))
+    return db, checker, RepairGenerator(db)
+
+
+@given(st.lists(st.tuples(st.sampled_from(ITEMS),
+                          st.sampled_from(WORKERS)), max_size=8,
+                unique=True),
+       st.lists(st.sampled_from(ITEMS), min_size=1, max_size=6,
+                unique=True))
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_applied_repairs_fix_their_violation(assignments, items):
+    """Every generated repair, applied, removes the violation it was
+    generated for — for both premise- and conclusion-side repairs."""
+    db, checker, generator = build(assignments, items)
+    report = checker.check()
+    for violation in report.violations:
+        for repair in generator.repairs(violation):
+            if repair.requires_user_input():
+                continue
+            snapshot = db.edb.snapshot()
+            for action in repair.edb_actions:
+                if action.is_insertion:
+                    db.add_fact(action.fact)
+                else:
+                    db.remove_fact(action.fact)
+            remaining = {
+                (v.constraint.name, v.theta)
+                for v in checker.check().violations
+            }
+            key = (violation.constraint.name, violation.theta)
+            assert key not in remaining, (violation, repair)
+            db.edb.restore(snapshot)
+
+
+@given(st.lists(st.sampled_from(ITEMS), min_size=1, max_size=6,
+                unique=True))
+@settings(max_examples=30, deadline=None)
+def test_conclusion_repairs_bind_existentials_to_existing_facts(items):
+    """With workers present, the generator binds the existential to an
+    existing worker rather than inventing one (the paper's clid_string
+    binding)."""
+    db, checker, generator = build([], items)
+    report = checker.check()
+    assert len(report.violations) == len(items)
+    for violation in report.violations:
+        conclusion = [r for r in generator.repairs(violation)
+                      if r.kind == "validate-conclusion"
+                      and not r.requires_user_input()]
+        assert conclusion
+        for repair in conclusion:
+            for action in repair.edb_actions:
+                assert action.is_insertion
+                if action.fact.pred == "assigned":
+                    assert action.fact.args[1] in WORKERS
+
+
+@given(st.lists(st.tuples(st.sampled_from(ITEMS),
+                          st.sampled_from(WORKERS)), max_size=8,
+                unique=True),
+       st.lists(st.sampled_from(ITEMS), min_size=1, max_size=6,
+                unique=True))
+@settings(max_examples=30, deadline=None)
+def test_repairs_are_deterministic(assignments, items):
+    """Two runs over identical state produce identical repair lists."""
+    first_db, first_checker, first_generator = build(assignments, items)
+    second_db, second_checker, second_generator = build(assignments, items)
+    first_report = first_checker.check()
+    second_report = second_checker.check()
+    first_keys = sorted((v.constraint.name, v.theta)
+                        for v in first_report.violations)
+    second_keys = sorted((v.constraint.name, v.theta)
+                         for v in second_report.violations)
+    assert first_keys == second_keys
+    by_key = {(v.constraint.name, v.theta): v
+              for v in second_report.violations}
+    for violation in first_report.violations:
+        twin = by_key[(violation.constraint.name, violation.theta)]
+        first_repairs = [repr(r.edb_actions)
+                         for r in first_generator.repairs(violation)]
+        second_repairs = [repr(r.edb_actions)
+                          for r in second_generator.repairs(twin)]
+        assert first_repairs == second_repairs

@@ -1,0 +1,133 @@
+"""Unit tests for rules, range restriction, and stratification."""
+
+import pytest
+
+from repro.errors import RangeRestrictionError, StratificationError
+from repro.datalog.builtins import Comparison
+from repro.datalog.rules import Program, Rule, stratify
+from repro.datalog.terms import Atom, Literal, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def rule(head, *body):
+    return Rule(head, body)
+
+
+class TestRangeRestriction:
+    def test_safe_rule_accepted(self):
+        rule(Atom("p", (X,)), Literal(Atom("q", (X,))))
+
+    def test_unsafe_head_variable(self):
+        with pytest.raises(RangeRestrictionError):
+            rule(Atom("p", (X, Y)), Literal(Atom("q", (X,))))
+
+    def test_unsafe_negated_variable(self):
+        with pytest.raises(RangeRestrictionError):
+            rule(Atom("p", (X,)), Literal(Atom("q", (X,))),
+                 Literal(Atom("r", (Y,)), positive=False))
+
+    def test_safe_negated_variable(self):
+        rule(Atom("p", (X,)), Literal(Atom("q", (X, Y))),
+             Literal(Atom("r", (Y,)), positive=False))
+
+    def test_unsafe_comparison_variable(self):
+        with pytest.raises(RangeRestrictionError):
+            rule(Atom("p", (X,)), Literal(Atom("q", (X,))),
+                 Comparison("<", Y, 3))
+
+    def test_equality_comparison_with_constant_is_safe(self):
+        rule(Atom("p", (X,)), Literal(Atom("q", (X,))),
+             Comparison("=", X, 3))
+
+    def test_head_constant_allowed(self):
+        rule(Atom("p", ("c", X)), Literal(Atom("q", (X,))))
+
+
+class TestRuleAccessors:
+    def test_partitioning(self):
+        r = rule(Atom("p", (X,)), Literal(Atom("q", (X,))),
+                 Literal(Atom("r", (X,)), positive=False),
+                 Comparison("!=", X, 0))
+        assert [l.pred for l in r.positive_literals()] == ["q"]
+        assert [l.pred for l in r.negative_literals()] == ["r"]
+        assert len(list(r.comparisons())) == 1
+
+    def test_body_predicates(self):
+        r = rule(Atom("p", (X,)), Literal(Atom("q", (X,))),
+                 Literal(Atom("r", (X,)), positive=False))
+        assert r.body_predicates() == {"q", "r"}
+
+    def test_default_name_is_head_pred(self):
+        assert rule(Atom("p", (X,)), Literal(Atom("q", (X,)))).name == "p"
+
+
+class TestProgram:
+    def make_program(self):
+        return Program([
+            rule(Atom("tc", (X, Y)), Literal(Atom("edge", (X, Y)))),
+            rule(Atom("tc", (X, Z)), Literal(Atom("edge", (X, Y))),
+                 Literal(Atom("tc", (Y, Z)))),
+            rule(Atom("iso", (X,)), Literal(Atom("node", (X,))),
+                 Literal(Atom("tc", (X, X)), positive=False)),
+        ])
+
+    def test_rules_for(self):
+        program = self.make_program()
+        assert len(program.rules_for("tc")) == 2
+        assert program.rules_for("nope") == []
+
+    def test_derived_predicates(self):
+        assert self.make_program().derived_predicates() == {"tc", "iso"}
+
+    def test_depends_on_includes_transitive(self):
+        program = self.make_program()
+        assert program.depends_on("iso") == {"iso", "node", "tc", "edge"}
+
+    def test_affected_by(self):
+        program = self.make_program()
+        assert program.affected_by({"edge"}) == {"tc", "iso"}
+        assert program.affected_by({"node"}) == {"iso"}
+        assert program.affected_by({"other"}) == set()
+
+
+class TestStratify:
+    def test_positive_recursion_single_stratum(self):
+        program = Program([
+            rule(Atom("tc", (X, Y)), Literal(Atom("edge", (X, Y)))),
+            rule(Atom("tc", (X, Z)), Literal(Atom("edge", (X, Y))),
+                 Literal(Atom("tc", (Y, Z)))),
+        ])
+        assert stratify(program) == [{"tc"}]
+
+    def test_negation_pushes_to_higher_stratum(self):
+        program = Program([
+            rule(Atom("a", (X,)), Literal(Atom("base", (X,)))),
+            rule(Atom("b", (X,)), Literal(Atom("base", (X,))),
+                 Literal(Atom("a", (X,)), positive=False)),
+        ])
+        strata = stratify(program)
+        assert strata == [{"a"}, {"b"}]
+
+    def test_unstratifiable_negation_cycle(self):
+        program = Program([
+            rule(Atom("a", (X,)), Literal(Atom("base", (X,))),
+                 Literal(Atom("b", (X,)), positive=False)),
+            rule(Atom("b", (X,)), Literal(Atom("base", (X,))),
+                 Literal(Atom("a", (X,)), positive=False)),
+        ])
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_empty_program(self):
+        assert stratify(Program()) == []
+
+    def test_three_strata(self):
+        program = Program([
+            rule(Atom("a", (X,)), Literal(Atom("base", (X,)))),
+            rule(Atom("b", (X,)), Literal(Atom("base", (X,))),
+                 Literal(Atom("a", (X,)), positive=False)),
+            rule(Atom("c", (X,)), Literal(Atom("base", (X,))),
+                 Literal(Atom("b", (X,)), positive=False)),
+        ])
+        assert stratify(program) == [{"a"}, {"b"}, {"c"}]

@@ -1,0 +1,181 @@
+"""Unit tests for terms, atoms, literals, and substitutions."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Atom,
+    Literal,
+    Variable,
+    compose,
+    format_fact,
+    is_ground_term,
+    is_variable,
+    match,
+    rename_apart,
+    substitute_term,
+    unify,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == X
+
+    def test_distinct_names_differ(self):
+        assert X != Y
+
+    def test_hashable(self):
+        assert len({X, Variable("X"), Y}) == 2
+
+    def test_repr_is_name(self):
+        assert repr(X) == "X"
+
+    def test_is_variable(self):
+        assert is_variable(X)
+        assert not is_variable("x")
+
+    def test_is_ground_term(self):
+        assert is_ground_term(42)
+        assert not is_ground_term(X)
+
+
+class TestSubstituteTerm:
+    def test_constant_unchanged(self):
+        assert substitute_term(7, {X: 1}) == 7
+
+    def test_bound_variable(self):
+        assert substitute_term(X, {X: "a"}) == "a"
+
+    def test_unbound_variable_unchanged(self):
+        assert substitute_term(X, {Y: 1}) == X
+
+    def test_transitive_chain(self):
+        assert substitute_term(X, {X: Y, Y: 3}) == 3
+
+    def test_cyclic_substitution_raises(self):
+        with pytest.raises(ValueError):
+            substitute_term(X, {X: Y, Y: X})
+
+
+class TestAtom:
+    def test_args_become_tuple(self):
+        atom = Atom("p", [1, 2])
+        assert atom.args == (1, 2)
+
+    def test_arity(self):
+        assert Atom("p", (X, 1, 2)).arity == 3
+
+    def test_is_ground(self):
+        assert Atom("p", (1, "a")).is_ground()
+        assert not Atom("p", (1, X)).is_ground()
+
+    def test_variables_in_order_with_repeats(self):
+        atom = Atom("p", (X, 1, Y, X))
+        assert list(atom.variables()) == [X, Y, X]
+
+    def test_substitute(self):
+        atom = Atom("p", (X, Y, 3))
+        assert atom.substitute({X: 1}) == Atom("p", (1, Y, 3))
+
+    def test_equality_and_hash(self):
+        assert Atom("p", (1,)) == Atom("p", (1,))
+        assert len({Atom("p", (1,)), Atom("p", (1,))}) == 1
+
+    def test_format_fact(self):
+        assert format_fact(Atom("p", (1, "a"))) == "p(1, a)"
+
+
+class TestLiteral:
+    def test_default_positive(self):
+        assert Literal(Atom("p", ())).positive
+
+    def test_negate(self):
+        literal = Literal(Atom("p", (X,)))
+        assert not literal.negate().positive
+        assert literal.negate().negate() == literal
+
+    def test_pred_shortcut(self):
+        assert Literal(Atom("p", ())).pred == "p"
+
+    def test_repr_negated(self):
+        assert repr(Literal(Atom("p", ()), positive=False)).startswith("not ")
+
+
+class TestMatch:
+    def test_matches_and_binds(self):
+        theta = match(Atom("p", (X, Y)), Atom("p", (1, 2)))
+        assert theta == {X: 1, Y: 2}
+
+    def test_repeated_variable_consistent(self):
+        assert match(Atom("p", (X, X)), Atom("p", (1, 1))) == {X: 1}
+
+    def test_repeated_variable_inconsistent(self):
+        assert match(Atom("p", (X, X)), Atom("p", (1, 2))) is None
+
+    def test_constant_mismatch(self):
+        assert match(Atom("p", (1, X)), Atom("p", (2, 3))) is None
+
+    def test_predicate_mismatch(self):
+        assert match(Atom("p", (X,)), Atom("q", (1,))) is None
+
+    def test_arity_mismatch(self):
+        assert match(Atom("p", (X,)), Atom("p", (1, 2))) is None
+
+    def test_extends_existing_binding(self):
+        theta = match(Atom("p", (X, Y)), Atom("p", (1, 2)), {X: 1})
+        assert theta == {X: 1, Y: 2}
+
+    def test_conflicting_existing_binding(self):
+        assert match(Atom("p", (X,)), Atom("p", (1,)), {X: 2}) is None
+
+    def test_input_not_mutated(self):
+        theta = {X: 1}
+        match(Atom("p", (X, Y)), Atom("p", (1, 2)), theta)
+        assert theta == {X: 1}
+
+
+class TestUnify:
+    def test_variable_to_variable(self):
+        theta = unify(Atom("p", (X,)), Atom("p", (Y,)))
+        assert theta in ({X: Y}, {Y: X})
+
+    def test_both_sides_bind(self):
+        theta = unify(Atom("p", (X, 2)), Atom("p", (1, Y)))
+        assert theta == {X: 1, Y: 2}
+
+    def test_clash(self):
+        assert unify(Atom("p", (1,)), Atom("p", (2,))) is None
+
+    def test_transitive_conflict(self):
+        # X unifies with Y, then X=1 and Y=2 must clash.
+        assert unify(Atom("p", (X, X, Y)), Atom("p", (Y, 1, 2))) is None
+
+
+class TestCompose:
+    def test_inner_then_outer(self):
+        inner = {X: Y}
+        outer = {Y: 3}
+        composed = compose(outer, inner)
+        assert substitute_term(X, composed) == 3
+
+    def test_outer_entries_kept(self):
+        composed = compose({Y: 1}, {X: 2})
+        assert composed[Y] == 1
+        assert composed[X] == 2
+
+
+class TestRenameApart:
+    def test_renames_clashing_variables(self):
+        atoms = (Atom("p", (X, Y)),)
+        renamed, renaming = rename_apart(atoms, taken=[X])
+        assert X not in renamed[0].variables()
+        assert Y in renamed[0].variables()
+        assert X in renaming
+
+    def test_no_clash_no_rename(self):
+        atoms = (Atom("p", (Y,)),)
+        renamed, renaming = rename_apart(atoms, taken=[X])
+        assert renamed == atoms
+        assert renaming == {}

@@ -1,0 +1,341 @@
+"""Each §3.3 constraint, individually violated and detected."""
+
+import pytest
+
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.gom.ids import ANY_TYPE
+from repro.gom.model import GomDatabase
+
+INT = builtin_type("int")
+FLOAT = builtin_type("float")
+STRING = builtin_type("string")
+
+
+@pytest.fixture
+def model():
+    """A model with one schema, one implemented type, ready to perturb."""
+    model = GomDatabase(features=("core",))
+    ids = model.ids
+    sid, tid = ids.schema(), ids.type()
+    did, cid = ids.decl(), ids.code()
+    model.modify(additions=[
+        Atom("Schema", (sid, "S")),
+        Atom("Type", (tid, "T", sid)),
+        Atom("Attr", (tid, "x", INT)),
+        Atom("Decl", (did, tid, "op", INT)),
+        Atom("Code", (cid, "op() is return 1;", did)),
+    ])
+    assert model.check().consistent
+    model.handles = (sid, tid, did, cid)
+    return model
+
+
+def violated(model, *names):
+    report = model.check()
+    found = {v.constraint.name for v in report.violations}
+    for name in names:
+        assert name in found, f"{name} not in {found}"
+
+
+class TestUniqueness:
+    def test_type_name_unique(self, model):
+        sid, tid, did, cid = model.handles
+        other = model.ids.type()
+        model.modify(additions=[Atom("Type", (other, "T", sid))])
+        violated(model, "type_name_unique")
+
+    def test_same_name_in_other_schema_ok(self, model):
+        sid, tid, did, cid = model.handles
+        other_sid = model.ids.schema()
+        other = model.ids.type()
+        model.modify(additions=[
+            Atom("Schema", (other_sid, "S2")),
+            Atom("Type", (other, "T", other_sid)),
+        ])
+        assert model.check().consistent
+
+    def test_schema_name_unique(self, model):
+        other = model.ids.schema()
+        model.modify(additions=[Atom("Schema", (other, "S"))])
+        violated(model, "schema_name_unique")
+
+    def test_code_unique_per_decl(self, model):
+        sid, tid, did, cid = model.handles
+        other = model.ids.code()
+        model.modify(additions=[
+            Atom("Code", (other, "op() is return 2;", did))])
+        violated(model, "code_unique_per_decl")
+
+
+class TestExistence:
+    def test_decl_has_code(self, model):
+        sid, tid, did, cid = model.handles
+        lonely = model.ids.decl()
+        model.modify(additions=[Atom("Decl", (lonely, tid, "nocode", INT))])
+        violated(model, "decl_has_code")
+
+    def test_codereq_attr_visible(self, model):
+        sid, tid, did, cid = model.handles
+        model.modify(additions=[Atom("CodeReqAttr", (cid, tid, "ghost"))])
+        violated(model, "codereq_attr_visible")
+
+    def test_codereq_attr_inherited_is_fine(self, model):
+        sid, tid, did, cid = model.handles
+        sub = model.ids.type()
+        model.modify(additions=[
+            Atom("Type", (sub, "Sub", sid)),
+            Atom("SubTypRel", (sub, tid)),
+            Atom("CodeReqAttr", (cid, sub, "x")),  # x inherited from T
+        ])
+        assert model.check().consistent
+
+
+class TestReferentialIntegrity:
+    def test_attr_domain_must_exist(self, model):
+        sid, tid, did, cid = model.handles
+        ghost = model.ids.type()
+        model.modify(additions=[Atom("Attr", (tid, "bad", ghost))])
+        violated(model, "ref_Attr_domain_Type")
+
+    def test_type_schema_must_exist(self, model):
+        ghost_sid = model.ids.schema()
+        orphan = model.ids.type()
+        model.modify(additions=[Atom("Type", (orphan, "O", ghost_sid))])
+        violated(model, "ref_Type_schemaid_Schema")
+
+    def test_codereqdecl_target_must_exist(self, model):
+        sid, tid, did, cid = model.handles
+        ghost = model.ids.decl()
+        model.modify(additions=[Atom("CodeReqDecl", (cid, ghost))])
+        violated(model, "ref_CodeReqDecl_declid_Decl")
+
+    def test_dangling_subtype_edge(self, model):
+        sid, tid, did, cid = model.handles
+        ghost = model.ids.type()
+        model.modify(additions=[Atom("SubTypRel", (tid, ghost))])
+        violated(model, "ref_SubTypRel_supertype_Type")
+
+
+class TestSubtypeHierarchy:
+    def test_cycle_detected(self, model):
+        sid, tid, did, cid = model.handles
+        other = model.ids.type()
+        model.modify(additions=[
+            Atom("Type", (other, "U", sid)),
+            Atom("SubTypRel", (tid, other)),
+            Atom("SubTypRel", (other, tid)),
+        ])
+        violated(model, "subtype_acyclic", "subtype_rooted")
+
+    def test_self_cycle_detected(self, model):
+        sid, tid, did, cid = model.handles
+        model.modify(additions=[Atom("SubTypRel", (tid, tid))])
+        violated(model, "subtype_acyclic")
+
+    def test_implicit_root_makes_orphans_consistent(self, model):
+        # A type with no declared supertype reaches ANY implicitly —
+        # matching Figure 2, whose SubTypRel has only the declared edge.
+        sid, tid, did, cid = model.handles
+        assert model.db.contains(Atom("SubTypRel_t", (tid, ANY_TYPE)))
+        assert not model.db.contains(Atom("SubTypRel", (tid, ANY_TYPE)))
+
+
+class TestRefinementAcyclicity:
+    def test_refinement_cycle(self, model):
+        sid, tid, did, cid = model.handles
+        other_did = model.ids.decl()
+        other_cid = model.ids.code()
+        model.modify(additions=[
+            Atom("Decl", (other_did, tid, "op2", INT)),
+            Atom("Code", (other_cid, "op2() is return 1;", other_did)),
+            Atom("DeclRefinement", (did, other_did)),
+            Atom("DeclRefinement", (other_did, did)),
+        ])
+        violated(model, "refinement_acyclic")
+
+
+class TestMultipleInheritance:
+    def make_diamond(self, model, left_domain, right_domain):
+        sid, tid, did, cid = model.handles
+        left, right, bottom = (model.ids.type(), model.ids.type(),
+                               model.ids.type())
+        model.modify(additions=[
+            Atom("Type", (left, "L", sid)),
+            Atom("Type", (right, "R", sid)),
+            Atom("Type", (bottom, "B", sid)),
+            Atom("SubTypRel", (bottom, left)),
+            Atom("SubTypRel", (bottom, right)),
+            Atom("Attr", (left, "a", left_domain)),
+            Atom("Attr", (right, "a", right_domain)),
+        ])
+        return left, right, bottom
+
+    def test_conflicting_inherited_attrs(self, model):
+        self.make_diamond(model, INT, STRING)
+        violated(model, "mi_attr_unique")
+
+    def test_same_codomain_inherited_attrs_ok(self, model):
+        self.make_diamond(model, INT, INT)
+        report = model.check()
+        names = {v.constraint.name for v in report.violations}
+        assert "mi_attr_unique" not in names
+
+    def test_conflicting_inherited_ops_need_common_refinement(self, model):
+        sid, tid, did, cid = model.handles
+        left, right, bottom = self.make_diamond(model, INT, INT)
+        did_l, did_r = model.ids.decl(), model.ids.decl()
+        cid_l, cid_r = model.ids.code(), model.ids.code()
+        model.modify(additions=[
+            Atom("Decl", (did_l, left, "f", INT)),
+            Atom("Code", (cid_l, "f() is return 1;", did_l)),
+            Atom("Decl", (did_r, right, "f", INT)),
+            Atom("Code", (cid_r, "f() is return 2;", did_r)),
+        ])
+        violated(model, "mi_op_refined")
+        # Adding the common refinement at the bottom cures it.
+        did_b, cid_b = model.ids.decl(), model.ids.code()
+        model.modify(additions=[
+            Atom("Decl", (did_b, bottom, "f", INT)),
+            Atom("Code", (cid_b, "f() is return 3;", did_b)),
+            Atom("DeclRefinement", (did_b, did_l)),
+            Atom("DeclRefinement", (did_b, did_r)),
+        ])
+        names = {v.constraint.name for v in model.check().violations}
+        assert "mi_op_refined" not in names
+
+
+class TestRefinementContravariance:
+    def add_refinement(self, model, arg_super, arg_sub, result_super,
+                       result_sub, names=("op", "op")):
+        """A refinement pair with one argument; returns (did1, did2)."""
+        sid, tid, did, cid = model.handles
+        sup, sub = model.ids.type(), model.ids.type()
+        did1, did2 = model.ids.decl(), model.ids.decl()
+        cid1, cid2 = model.ids.code(), model.ids.code()
+        model.modify(additions=[
+            Atom("Type", (sup, "Sup", sid)),
+            Atom("Type", (sub, "Sub", sid)),
+            Atom("SubTypRel", (sub, sup)),
+            Atom("Decl", (did1, sup, names[0], result_super)),
+            Atom("ArgDecl", (did1, 1, arg_super)),
+            Atom("Code", (cid1, f"{names[0]}(a) is return 1;", did1)),
+            Atom("Decl", (did2, sub, names[1], result_sub)),
+            Atom("ArgDecl", (did2, 1, arg_sub)),
+            Atom("Code", (cid2, f"{names[1]}(a) is return 1;", did2)),
+            Atom("DeclRefinement", (did2, did1)),
+        ])
+        return sup, sub, did1, did2
+
+    def test_valid_refinement_ok(self, model):
+        self.add_refinement(model, INT, INT, INT, INT)
+        assert model.check().consistent
+
+    def test_name_mismatch(self, model):
+        self.add_refinement(model, INT, INT, INT, INT,
+                            names=("op", "other"))
+        violated(model, "refine_same_name")
+
+    def test_receiver_not_subtype(self, model):
+        sid, tid, did, cid = model.handles
+        other_did, other_cid = model.ids.decl(), model.ids.code()
+        model.modify(additions=[
+            Atom("Decl", (other_did, tid, "op9", INT)),
+            Atom("Code", (other_cid, "op9() is return 1;", other_did)),
+            Atom("DeclRefinement", (other_did, did)),  # same type, not sub
+        ])
+        violated(model, "refine_receiver_subtype")
+
+    def test_result_not_covariant(self, model):
+        self.add_refinement(model, INT, INT, INT, STRING)
+        violated(model, "refine_result_covariant")
+
+    def test_result_subtype_is_fine(self, model):
+        sid, tid, did, cid = model.handles
+        sup, sub, did1, did2 = self.add_refinement(model, INT, INT,
+                                                   INT, INT)
+        # replace the refining result with a subtype of the refined result
+        # by introducing results Sup / Sub.
+        did3, did4 = model.ids.decl(), model.ids.decl()
+        cid3, cid4 = model.ids.code(), model.ids.code()
+        model.modify(additions=[
+            Atom("Decl", (did3, sup, "mk", sup)),
+            Atom("Code", (cid3, "mk() is return 1;", did3)),
+            Atom("Decl", (did4, sub, "mk", sub)),
+            Atom("Code", (cid4, "mk() is return 1;", did4)),
+            Atom("DeclRefinement", (did4, did3)),
+        ])
+        names = {v.constraint.name for v in model.check().violations}
+        assert "refine_result_covariant" not in names
+
+    def test_argument_not_contravariant(self, model):
+        sid, tid, did, cid = model.handles
+        sup, sub = model.ids.type(), model.ids.type()
+        did1, did2 = model.ids.decl(), model.ids.decl()
+        cid1, cid2 = model.ids.code(), model.ids.code()
+        model.modify(additions=[
+            Atom("Type", (sup, "Sup", sid)),
+            Atom("Type", (sub, "Sub", sid)),
+            Atom("SubTypRel", (sub, sup)),
+            Atom("Decl", (did1, sup, "f", INT)),
+            Atom("ArgDecl", (did1, 1, sup)),
+            Atom("Code", (cid1, "f(a) is return 1;", did1)),
+            Atom("Decl", (did2, sub, "f", INT)),
+            # covariant (narrowing) argument: forbidden
+            Atom("ArgDecl", (did2, 1, sub)),
+            Atom("Code", (cid2, "f(a) is return 1;", did2)),
+            Atom("DeclRefinement", (did2, did1)),
+        ])
+        violated(model, "refine_arg_contravariant")
+
+    def test_argument_widening_allowed(self, model):
+        sid, tid, did, cid = model.handles
+        sup, sub = model.ids.type(), model.ids.type()
+        did1, did2 = model.ids.decl(), model.ids.decl()
+        cid1, cid2 = model.ids.code(), model.ids.code()
+        model.modify(additions=[
+            Atom("Type", (sup, "Sup", sid)),
+            Atom("Type", (sub, "Sub", sid)),
+            Atom("SubTypRel", (sub, sup)),
+            Atom("Decl", (did1, sup, "f", INT)),
+            Atom("ArgDecl", (did1, 1, sub)),
+            Atom("Code", (cid1, "f(a) is return 1;", did1)),
+            Atom("Decl", (did2, sub, "f", INT)),
+            Atom("ArgDecl", (did2, 1, sup)),  # contravariant widening: ok
+            Atom("Code", (cid2, "f(a) is return 1;", did2)),
+            Atom("DeclRefinement", (did2, did1)),
+        ])
+        names = {v.constraint.name for v in model.check().violations}
+        assert "refine_arg_contravariant" not in names
+
+    def test_argument_count_mismatch(self, model):
+        sup, sub, did1, did2 = self.add_refinement(model, INT, INT,
+                                                   INT, INT)
+        model.modify(additions=[Atom("ArgDecl", (did1, 2, INT))])
+        violated(model, "refine_arg_count_lhs")
+
+    def test_extra_argument_on_refinement(self, model):
+        sup, sub, did1, did2 = self.add_refinement(model, INT, INT,
+                                                   INT, INT)
+        model.modify(additions=[Atom("ArgDecl", (did2, 2, INT))])
+        violated(model, "refine_arg_count_rhs")
+
+
+class TestSingleInheritanceFeature:
+    def test_multiple_supertypes_rejected_only_with_feature(self):
+        for features, expect_violation in (
+                (("core",), False),
+                (("core", "single_inheritance"), True)):
+            model = GomDatabase(features=features)
+            sid = model.ids.schema()
+            a, b, c = model.ids.type(), model.ids.type(), model.ids.type()
+            model.modify(additions=[
+                Atom("Schema", (sid, "S")),
+                Atom("Type", (a, "A", sid)),
+                Atom("Type", (b, "B", sid)),
+                Atom("Type", (c, "C", sid)),
+                Atom("SubTypRel", (c, a)),
+                Atom("SubTypRel", (c, b)),
+            ])
+            names = {v.constraint.name for v in model.check().violations}
+            assert ("single_inheritance" in names) == expect_violation

@@ -1,0 +1,113 @@
+"""§3.4 schema/object-consistency constraints, individually."""
+
+import pytest
+
+from repro.datalog.terms import Atom
+from repro.gom.builtins import BUILTIN_PHREPS, builtin_type
+from repro.gom.model import GomDatabase
+
+INT = builtin_type("int")
+INT_REP = BUILTIN_PHREPS["int"]
+
+
+@pytest.fixture
+def model():
+    model = GomDatabase(features=("core", "objectbase"))
+    sid, tid = model.ids.schema(), model.ids.type()
+    clid = model.ids.phrep()
+    model.modify(additions=[
+        Atom("Schema", (sid, "S")),
+        Atom("Type", (tid, "T", sid)),
+        Atom("Attr", (tid, "x", INT)),
+        Atom("PhRep", (clid, tid)),
+        Atom("Slot", (clid, "x", INT_REP)),
+    ])
+    assert model.check().consistent
+    model.handles = (sid, tid, clid)
+    return model
+
+
+def names_of(model):
+    return {v.constraint.name for v in model.check().violations}
+
+
+class TestPhRepUniqueness:
+    def test_two_reps_for_one_type(self, model):
+        sid, tid, clid = model.handles
+        other = model.ids.phrep()
+        model.modify(additions=[
+            Atom("PhRep", (other, tid)),
+            Atom("Slot", (other, "x", INT_REP)),
+        ])
+        assert "phrep_unique_per_type" in names_of(model)
+
+    def test_phrep_type_must_exist(self, model):
+        ghost = model.ids.type()
+        orphan = model.ids.phrep()
+        model.modify(additions=[Atom("PhRep", (orphan, ghost))])
+        assert "ref_PhRep_typeid_Type" in names_of(model)
+
+
+class TestSlotUniqueness:
+    def test_two_slots_same_attr(self, model):
+        sid, tid, clid = model.handles
+        model.modify(additions=[
+            Atom("Slot", (clid, "x", BUILTIN_PHREPS["float"]))])
+        assert "slot_unique" in names_of(model)
+
+    def test_same_attr_name_in_two_reps_is_fine(self, model):
+        # The paper's own example has 'name' slots in clid1 AND clid3;
+        # uniqueness is scoped per representation (see module docs).
+        sid, tid, clid = model.handles
+        other_tid, other_clid = model.ids.type(), model.ids.phrep()
+        model.modify(additions=[
+            Atom("Type", (other_tid, "U", sid)),
+            Atom("Attr", (other_tid, "x", INT)),
+            Atom("PhRep", (other_clid, other_tid)),
+            Atom("Slot", (other_clid, "x", INT_REP)),
+        ])
+        assert model.check().consistent
+
+
+class TestSlotExists:
+    def test_missing_slot_for_new_attr(self, model):
+        """The paper's §3.5 scenario in miniature."""
+        sid, tid, clid = model.handles
+        model.modify(additions=[
+            Atom("Attr", (tid, "fuelType", builtin_type("string")))])
+        assert "slot_exists" in names_of(model)
+
+    def test_missing_slot_for_inherited_attr(self, model):
+        sid, tid, clid = model.handles
+        sub, sub_clid = model.ids.type(), model.ids.phrep()
+        model.modify(additions=[
+            Atom("Type", (sub, "Sub", sid)),
+            Atom("SubTypRel", (sub, tid)),
+            Atom("PhRep", (sub_clid, sub)),
+            # no Slot for the inherited attribute x!
+        ])
+        assert "slot_exists" in names_of(model)
+
+    def test_uninstantiated_type_needs_no_slots(self, model):
+        sid, tid, clid = model.handles
+        lonely = model.ids.type()
+        model.modify(additions=[
+            Atom("Type", (lonely, "Lonely", sid)),
+            Atom("Attr", (lonely, "y", INT)),
+        ])
+        assert model.check().consistent
+
+    def test_slot_value_rep_must_match_domain(self, model):
+        sid, tid, clid = model.handles
+        model.modify(
+            additions=[Atom("Attr", (tid, "y", INT)),
+                       Atom("Slot", (clid, "y",
+                                     BUILTIN_PHREPS["string"]))])
+        assert "slot_exists" in names_of(model)
+
+
+class TestSlotHasAttr:
+    def test_orphan_slot_after_attr_deletion(self, model):
+        sid, tid, clid = model.handles
+        model.modify(deletions=[Atom("Attr", (tid, "x", INT))])
+        assert "slot_has_attr" in names_of(model)

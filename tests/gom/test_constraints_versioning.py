@@ -1,0 +1,158 @@
+"""§4.1 versioning and fashion constraints, individually."""
+
+import pytest
+
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.gom.model import GomDatabase
+
+INT = builtin_type("int")
+
+
+@pytest.fixture
+def model():
+    model = GomDatabase(features=("core", "versioning", "fashion"))
+    sid1, sid2 = model.ids.schema(), model.ids.schema()
+    t1, t2 = model.ids.type(), model.ids.type()
+    model.modify(additions=[
+        Atom("Schema", (sid1, "V1")),
+        Atom("Schema", (sid2, "V2")),
+        Atom("Type", (t1, "T", sid1)),
+        Atom("Type", (t2, "T", sid2)),
+        Atom("evolves_to_S", (sid1, sid2)),
+        Atom("evolves_to_T", (t1, t2)),
+    ])
+    assert model.check().consistent
+    model.handles = (sid1, sid2, t1, t2)
+    return model
+
+
+def names_of(model):
+    return {v.constraint.name for v in model.check().violations}
+
+
+class TestVersionGraphs:
+    def test_schema_version_cycle(self, model):
+        sid1, sid2, t1, t2 = model.handles
+        model.modify(additions=[Atom("evolves_to_S", (sid2, sid1))])
+        assert "schema_versions_acyclic" in names_of(model)
+
+    def test_type_version_cycle(self, model):
+        sid1, sid2, t1, t2 = model.handles
+        model.modify(additions=[Atom("evolves_to_T", (t2, t1))])
+        assert "type_versions_acyclic" in names_of(model)
+
+    def test_transitive_cycle_detected(self, model):
+        sid1, sid2, t1, t2 = model.handles
+        sid3 = model.ids.schema()
+        model.modify(additions=[
+            Atom("Schema", (sid3, "V3")),
+            Atom("evolves_to_S", (sid2, sid3)),
+            Atom("evolves_to_S", (sid3, sid1)),
+        ])
+        assert "schema_versions_acyclic" in names_of(model)
+
+    def test_digestibility(self, model):
+        """Types may evolve only if their schemas do."""
+        sid1, sid2, t1, t2 = model.handles
+        sid3 = model.ids.schema()
+        t3 = model.ids.type()
+        model.modify(additions=[
+            Atom("Schema", (sid3, "Unrelated")),
+            Atom("Type", (t3, "U", sid3)),
+            Atom("evolves_to_T", (t2, t3)),  # but V2 !evolves_to V3
+        ])
+        assert "version_digestible" in names_of(model)
+
+    def test_digestibility_transitive(self, model):
+        sid1, sid2, t1, t2 = model.handles
+        # t1 -> t2 with V1 -> V2 holds; DAG with a branch stays fine.
+        sid3, t3 = model.ids.schema(), model.ids.type()
+        model.modify(additions=[
+            Atom("Schema", (sid3, "V3")),
+            Atom("Type", (t3, "T", sid3)),
+            Atom("evolves_to_S", (sid2, sid3)),
+            Atom("evolves_to_T", (t2, t3)),
+        ])
+        assert model.check().consistent
+
+    def test_version_edge_referential_integrity(self, model):
+        ghost = model.ids.type()
+        sid1, sid2, t1, t2 = model.handles
+        model.modify(additions=[Atom("evolves_to_T", (t2, ghost))])
+        assert "ref_evolves_to_T_newtype_Type" in names_of(model)
+
+
+class TestFashionConstraints:
+    def test_fashion_requires_version_edge(self, model):
+        sid1, sid2, t1, t2 = model.handles
+        stranger = model.ids.type()
+        model.modify(additions=[
+            Atom("Type", (stranger, "X", sid1)),
+            Atom("FashionType", (stranger, t2)),
+        ])
+        assert "fashion_only_versions" in names_of(model)
+
+    def test_fashion_along_version_edge_either_direction(self, model):
+        sid1, sid2, t1, t2 = model.handles
+        model.modify(additions=[Atom("FashionType", (t2, t1))])
+        names = names_of(model)
+        assert "fashion_only_versions" not in names
+
+    def test_fashion_attr_completeness(self, model):
+        sid1, sid2, t1, t2 = model.handles
+        model.modify(additions=[
+            Atom("Attr", (t2, "y", INT)),
+            Atom("FashionType", (t1, t2)),
+            # no FashionAttr for y!
+        ])
+        assert "fashion_attr_complete" in names_of(model)
+
+    def test_fashion_attr_completeness_satisfied(self, model):
+        sid1, sid2, t1, t2 = model.handles
+        model.modify(additions=[
+            Atom("Attr", (t2, "y", INT)),
+            Atom("FashionType", (t1, t2)),
+            Atom("FashionAttr", (t2, "y", t1, "y() is return 0;",
+                                 "y(v) is return;")),
+        ])
+        assert "fashion_attr_complete" not in names_of(model)
+
+    def test_fashion_decl_completeness(self, model):
+        sid1, sid2, t1, t2 = model.handles
+        did, cid = model.ids.decl(), model.ids.code()
+        model.modify(additions=[
+            Atom("Decl", (did, t2, "f", INT)),
+            Atom("Code", (cid, "f() is return 0;", did)),
+            Atom("FashionType", (t1, t2)),
+            # no FashionDecl for f!
+        ])
+        assert "fashion_decl_complete" in names_of(model)
+
+    def test_fashion_decl_completeness_covers_inherited(self, model):
+        sid1, sid2, t1, t2 = model.handles
+        sup = model.ids.type()
+        did, cid = model.ids.decl(), model.ids.code()
+        model.modify(additions=[
+            Atom("Type", (sup, "Sup", sid2)),
+            Atom("SubTypRel", (t2, sup)),
+            Atom("Decl", (did, sup, "g", INT)),
+            Atom("Code", (cid, "g() is return 0;", did)),
+            Atom("FashionType", (t1, t2)),
+        ])
+        # g is inherited by t2, so the fashion must imitate it too.
+        assert "fashion_decl_complete" in names_of(model)
+
+    def test_complete_fashion_is_consistent(self, model):
+        sid1, sid2, t1, t2 = model.handles
+        did, cid = model.ids.decl(), model.ids.code()
+        model.modify(additions=[
+            Atom("Attr", (t2, "y", INT)),
+            Atom("Decl", (did, t2, "f", INT)),
+            Atom("Code", (cid, "f() is return 0;", did)),
+            Atom("FashionType", (t1, t2)),
+            Atom("FashionAttr", (t2, "y", t1, "y() is return 0;",
+                                 "y(v) is return;")),
+            Atom("FashionDecl", (did, t1, "f() is return 0;")),
+        ])
+        assert model.check().consistent

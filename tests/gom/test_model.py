@@ -1,0 +1,169 @@
+"""Unit tests for the feature-module assembler (GomDatabase)."""
+
+import pytest
+
+from repro.errors import DuplicateFeatureError, UnknownFeatureError
+from repro.datalog.terms import Atom
+from repro.gom.builtins import BUILTIN_SCHEMA
+from repro.gom.ids import ANY_TYPE
+from repro.gom.model import (
+    FeatureModule,
+    GomDatabase,
+    available_features,
+    get_feature,
+    register_feature,
+)
+
+# Ensure the Appendix-A feature is registered.
+import repro.analyzer.namespaces  # noqa: F401
+
+
+class TestRegistry:
+    def test_available_features(self):
+        features = available_features()
+        for name in ("core", "objectbase", "versioning", "fashion",
+                     "single_inheritance", "namespaces"):
+            assert name in features
+
+    def test_unknown_feature(self):
+        with pytest.raises(UnknownFeatureError):
+            get_feature("warp_drive")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(DuplicateFeatureError):
+            register_feature(FeatureModule(name="core"))
+
+
+class TestAssembly:
+    def test_default_features(self):
+        model = GomDatabase()
+        assert model.features == ("core", "objectbase")
+
+    def test_requirements_pulled_in(self):
+        model = GomDatabase(features=("fashion",))
+        assert "core" in model.features
+        assert "versioning" in model.features
+        assert model.features.index("core") < model.features.index("fashion")
+
+    def test_contributions_counted(self):
+        model = GomDatabase(features=("core",))
+        contribution = model.contributions[0]
+        assert contribution.feature == "core"
+        assert contribution.predicates == 11
+        assert contribution.rules == 12
+        assert contribution.constraints == 17
+        assert contribution.generated_constraints > 0
+
+    def test_versioning_contribution_is_small(self):
+        model = GomDatabase(features=("core", "versioning", "fashion"))
+        by_name = {c.feature: c for c in model.contributions}
+        # §4.1: the extension is a handful of definitions, not a rewrite.
+        assert by_name["versioning"].total_definitions < 15
+        assert by_name["fashion"].total_definitions < 15
+
+    def test_enable_twice_is_idempotent(self):
+        model = GomDatabase(features=("core",))
+        first = model.enable("core")
+        assert first.feature == "core"
+        assert len([c for c in model.contributions
+                    if c.feature == "core"]) == 1
+
+    def test_constraints_tagged_with_source(self):
+        model = GomDatabase(features=("core",))
+        constraint = model.checker.constraint("type_name_unique")
+        assert constraint.source == "core"
+
+    def test_single_inheritance_feature(self):
+        model = GomDatabase(features=("core", "single_inheritance"))
+        names = {c.name for c in model.checker.constraints()}
+        assert "single_inheritance" in names
+
+
+class TestBuiltins:
+    def test_builtin_schema_and_root_present(self):
+        model = GomDatabase(features=("core",))
+        assert model.db.contains(Atom("Schema", (BUILTIN_SCHEMA, "Builtin")))
+        assert model.db.contains(Atom("Type", (ANY_TYPE, "ANY",
+                                               BUILTIN_SCHEMA)))
+
+    def test_builtin_sorts_have_types(self):
+        model = GomDatabase(features=("core",))
+        for name in ("int", "float", "string", "bool", "date"):
+            assert model.type_id(name) is not None
+
+    def test_builtin_phreps_with_objectbase(self):
+        model = GomDatabase(features=("core", "objectbase"))
+        assert model.phrep_of(model.type_id("string")) is not None
+
+    def test_no_phreps_without_objectbase(self):
+        model = GomDatabase(features=("core",))
+        assert not model.db.is_base("PhRep")
+
+    def test_fresh_model_is_consistent(self):
+        for features in (("core",), ("core", "objectbase"),
+                         ("core", "objectbase", "versioning", "fashion"),
+                         ("core", "namespaces")):
+            model = GomDatabase(features=features)
+            assert model.check().consistent, features
+
+
+class TestHelpers:
+    @pytest.fixture
+    def model(self):
+        model = GomDatabase(features=("core", "objectbase"))
+        sid = model.ids.schema()
+        tid = model.ids.type()
+        sub = model.ids.type()
+        model.modify(additions=[
+            Atom("Schema", (sid, "S")),
+            Atom("Type", (tid, "T", sid)),
+            Atom("Type", (sub, "Sub", sid)),
+            Atom("SubTypRel", (sub, tid)),
+            Atom("Attr", (tid, "x", model.type_id("int"))),
+        ])
+        return model, sid, tid, sub
+
+    def test_schema_id(self, model):
+        db, sid, tid, sub = model
+        assert db.schema_id("S") == sid
+        assert db.schema_id("nope") is None
+
+    def test_type_id_scoped(self, model):
+        db, sid, tid, sub = model
+        assert db.type_id("T", sid) == tid
+        assert db.type_id("T", db.ids.schema()) is None
+
+    def test_type_name_and_schema(self, model):
+        db, sid, tid, sub = model
+        assert db.type_name(tid) == "T"
+        assert db.schema_of_type(tid) == sid
+
+    def test_attributes_inherited(self, model):
+        db, sid, tid, sub = model
+        assert db.attributes(sub, inherited=False) == []
+        assert db.attributes(sub, inherited=True) == \
+            [("x", db.type_id("int"))]
+
+    def test_is_subtype_reflexive_transitive(self, model):
+        db, sid, tid, sub = model
+        assert db.is_subtype(sub, sub)
+        assert db.is_subtype(sub, tid)
+        assert db.is_subtype(sub, ANY_TYPE)
+        assert not db.is_subtype(tid, sub)
+
+    def test_supertypes(self, model):
+        db, sid, tid, sub = model
+        assert db.supertypes(sub) == [tid]
+        assert ANY_TYPE in db.supertypes(sub, transitive=True)
+
+    def test_enum_helpers(self, model):
+        db, sid, tid, sub = model
+        enum_tid = db.ids.type()
+        db.modify(additions=[
+            Atom("Type", (enum_tid, "Fuel", sid)),
+            Atom("EnumValue", (enum_tid, "leaded")),
+            Atom("EnumValue", (enum_tid, "unleaded")),
+        ])
+        assert db.is_enum(enum_tid)
+        assert db.enum_values(enum_tid) == ["leaded", "unleaded"]
+        assert not db.is_enum(tid)

@@ -1,0 +1,151 @@
+"""The overloading feature: §2.1's data-model-change example.
+
+Core forbids two same-named declarations per type (footnote 2: the
+simple schema manager has no overloading).  Enabling ``overloading``
+*retracts* that constraint and replaces it with
+``overload_signatures_differ``; calls then dispatch on arity.
+"""
+
+import pytest
+
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.gom.model import GomDatabase
+from repro.manager import SchemaManager
+
+INT = builtin_type("int")
+STRING = builtin_type("string")
+
+OVERLOAD_SOURCE = """
+schema Geometry is
+type Box is
+  [ width : float; ]
+operations
+  declare scale : float -> float;
+  declare scale : float, float -> float;
+implementation
+  define scale(f) is begin return self.width * f; end define;
+end type Box;
+end schema Geometry;
+"""
+
+
+class TestConstraintSwap:
+    def test_core_forbids_overloading(self):
+        model = GomDatabase(features=("core",))
+        sid, tid = model.ids.schema(), model.ids.type()
+        d1, d2 = model.ids.decl(), model.ids.decl()
+        c1, c2 = model.ids.code(), model.ids.code()
+        model.modify(additions=[
+            Atom("Schema", (sid, "S")),
+            Atom("Type", (tid, "T", sid)),
+            Atom("Decl", (d1, tid, "f", INT)),
+            Atom("Code", (c1, "f() is return 1;", d1)),
+            Atom("Decl", (d2, tid, "f", INT)),
+            Atom("ArgDecl", (d2, 1, INT)),
+            Atom("Code", (c2, "f(a) is return a;", d2)),
+        ])
+        names = {v.constraint.name for v in model.check().violations}
+        assert "op_name_unique_per_type" in names
+
+    def test_overloading_feature_retracts_and_replaces(self):
+        model = GomDatabase(features=("core", "overloading"))
+        names = {c.name for c in model.checker.constraints()}
+        assert "op_name_unique_per_type" not in names
+        assert "overload_signatures_differ" in names
+        contribution = [c for c in model.contributions
+                        if c.feature == "overloading"][0]
+        assert contribution.removed_constraints == 1
+
+    def test_distinguishable_signatures_accepted(self):
+        model = GomDatabase(features=("core", "overloading"))
+        sid, tid = model.ids.schema(), model.ids.type()
+        d1, d2 = model.ids.decl(), model.ids.decl()
+        c1, c2 = model.ids.code(), model.ids.code()
+        model.modify(additions=[
+            Atom("Schema", (sid, "S")),
+            Atom("Type", (tid, "T", sid)),
+            Atom("Decl", (d1, tid, "f", INT)),
+            Atom("Code", (c1, "f() is return 1;", d1)),
+            Atom("Decl", (d2, tid, "f", INT)),
+            Atom("ArgDecl", (d2, 1, INT)),
+            Atom("Code", (c2, "f(a) is return a;", d2)),
+        ])
+        assert model.check().consistent
+
+    def test_identical_signatures_rejected(self):
+        model = GomDatabase(features=("core", "overloading"))
+        sid, tid = model.ids.schema(), model.ids.type()
+        d1, d2 = model.ids.decl(), model.ids.decl()
+        c1, c2 = model.ids.code(), model.ids.code()
+        model.modify(additions=[
+            Atom("Schema", (sid, "S")),
+            Atom("Type", (tid, "T", sid)),
+            Atom("Decl", (d1, tid, "f", INT)),
+            Atom("ArgDecl", (d1, 1, INT)),
+            Atom("Code", (c1, "f(a) is return 1;", d1)),
+            Atom("Decl", (d2, tid, "f", INT)),
+            Atom("ArgDecl", (d2, 1, INT)),
+            Atom("Code", (c2, "f(a) is return a;", d2)),
+        ])
+        names = {v.constraint.name for v in model.check().violations}
+        assert "overload_signatures_differ" in names
+
+    def test_same_arity_different_types_accepted(self):
+        model = GomDatabase(features=("core", "overloading"))
+        sid, tid = model.ids.schema(), model.ids.type()
+        d1, d2 = model.ids.decl(), model.ids.decl()
+        c1, c2 = model.ids.code(), model.ids.code()
+        model.modify(additions=[
+            Atom("Schema", (sid, "S")),
+            Atom("Type", (tid, "T", sid)),
+            Atom("Decl", (d1, tid, "f", INT)),
+            Atom("ArgDecl", (d1, 1, INT)),
+            Atom("Code", (c1, "f(a) is return 1;", d1)),
+            Atom("Decl", (d2, tid, "f", INT)),
+            Atom("ArgDecl", (d2, 1, STRING)),
+            Atom("Code", (c2, "f(a) is return 2;", d2)),
+        ])
+        assert model.check().consistent
+
+
+class TestArityDispatch:
+    @pytest.fixture
+    def manager(self):
+        manager = SchemaManager(features=("core", "objectbase",
+                                          "overloading"))
+        session = manager.begin_session()
+        result = manager.analyzer.define(session, OVERLOAD_SOURCE)
+        prims = manager.analyzer.primitives(session)
+        box = result.type("Geometry", "Box")
+        # the two-argument overload, added via primitives
+        two_arg = [did for did in manager.model.decl_candidates(box,
+                                                                "scale")
+                   if len(manager.model.arg_types(did)) == 2][0]
+        prims.set_code(two_arg,
+                       "scale(f, g) is begin return self.width * f * g; "
+                       "end")
+        session.commit()
+        return manager, box
+
+    def test_candidates_listed(self, manager):
+        mgr, box = manager
+        assert len(mgr.model.decl_candidates(box, "scale")) == 2
+
+    def test_resolution_by_arity(self, manager):
+        mgr, box = manager
+        one = mgr.model.resolve_operation(box, "scale", 1)
+        two = mgr.model.resolve_operation(box, "scale", 2)
+        assert one != two
+        assert len(mgr.model.arg_types(one)) == 1
+        assert len(mgr.model.arg_types(two)) == 2
+
+    def test_interpreter_dispatches_on_arity(self, manager):
+        mgr, box = manager
+        obj = mgr.runtime.create_object("Box", {"width": 10.0})
+        assert mgr.runtime.call(obj, "scale", [2.0]) == 20.0
+        assert mgr.runtime.call(obj, "scale", [2.0, 3.0]) == 60.0
+
+    def test_schema_remains_consistent(self, manager):
+        mgr, box = manager
+        assert mgr.check().consistent

@@ -1,0 +1,111 @@
+"""Property-based tests at the GOM level."""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.manager import SchemaManager
+
+INT = builtin_type("int")
+
+# Random subtype edges over a fixed set of type names.
+N_TYPES = 6
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, N_TYPES - 1), st.integers(0, N_TYPES - 1)),
+    max_size=10, unique=True)
+
+
+def build_hierarchy(edges):
+    manager = SchemaManager(features=("core",))
+    session = manager.begin_session(check_mode="full")
+    prims = manager.analyzer.primitives(session)
+    sid = prims.add_schema("S")
+    tids = [prims.add_type(sid, f"T{index}") for index in range(N_TYPES)]
+    for sub, sup in edges:
+        prims.add_supertype(tids[sub], tids[sup])
+    return manager, session, tids
+
+
+@given(edges_strategy)
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_hierarchy_acyclicity_matches_networkx(edges):
+    manager, session, tids = build_hierarchy(edges)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(N_TYPES))
+    graph.add_edges_from(edges)
+    report = session.check()
+    cyclic_names = {v.constraint.name for v in report.violations} \
+        & {"subtype_acyclic", "subtype_rooted"}
+    assert bool(cyclic_names) == (not nx.is_directed_acyclic_graph(graph))
+    session.rollback()
+
+
+@given(edges_strategy)
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_subtype_transitive_closure_matches_networkx(edges):
+    manager, session, tids = build_hierarchy(edges)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(N_TYPES))
+    graph.add_edges_from(edges)
+    for source in range(N_TYPES):
+        for target in range(N_TYPES):
+            if source == target:
+                continue
+            expected = nx.has_path(graph, source, target) \
+                and source != target
+            actual = manager.model.db.contains(
+                Atom("SubTypRel_t", (tids[source], tids[target])))
+            assert actual == expected, (source, target, edges)
+    session.rollback()
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1,
+                max_size=4, unique=True),
+       st.integers(0, 2))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_describe_parse_roundtrip(attr_names, n_extra_types):
+    """A schema rendered by describe_schema re-parses into an equivalent
+    structure (attribute/supertype round-trip)."""
+    manager = SchemaManager()
+    session = manager.begin_session()
+    prims = manager.analyzer.primitives(session)
+    sid = prims.add_schema("Original")
+    base = prims.add_type(sid, "Base")
+    for name in attr_names:
+        prims.add_attribute(base, name, INT)
+    for index in range(n_extra_types):
+        prims.add_type(sid, f"Extra{index}", supertypes=(base,))
+    session.commit()
+
+    rendered = manager.analyzer.describe_schema("Original")
+    rendered = rendered.replace("schema Original is", "schema Copy is")
+    rendered = rendered.replace("end schema Original;", "end schema Copy;")
+    other = SchemaManager()
+    other.define(rendered)
+
+    copy_sid = other.model.schema_id("Copy")
+    assert other.analyzer.types_in("Copy") == \
+        manager.analyzer.types_in("Original")
+    original_base = manager.model.type_id("Base", sid)
+    copied_base = other.model.type_id("Base", copy_sid)
+    assert ([name for name, _d in other.model.attributes(copied_base)]
+            == [name for name, _d in manager.model.attributes(
+                original_base)])
+    for index in range(n_extra_types):
+        copied = other.model.type_id(f"Extra{index}", copy_sid)
+        assert other.model.supertypes(copied) == [copied_base]
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_generated_schemas_always_consistent(seed):
+    from repro.workloads.synthetic import generate_schema
+    manager = SchemaManager()
+    generate_schema(manager, 8, seed=seed)
+    assert manager.check().consistent

@@ -1,0 +1,154 @@
+"""Repair generation on GOM constraints beyond the fuelType example."""
+
+import pytest
+
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.manager import SchemaManager
+
+INT = builtin_type("int")
+
+
+@pytest.fixture
+def manager():
+    manager = SchemaManager()
+    manager.define("""
+    schema S is
+    type A is [ x : int; ] end type A;
+    type B supertype A is end type B;
+    end schema S;
+    """)
+    return manager
+
+
+def tids(manager):
+    sid = manager.model.schema_id("S")
+    return (manager.model.type_id("A", sid),
+            manager.model.type_id("B", sid), sid)
+
+
+class TestRootednessRepairs:
+    def test_dangling_supertype_offers_edge_insertion(self, manager):
+        """A type whose supertype chain dangles violates rootedness; the
+        conclusion-validating repair inserts SubTypRel(T, ANY), found by
+        expanding the SubTypRel_t rules."""
+        from repro.gom.ids import ANY_TYPE
+        a_tid, b_tid, sid = tids(manager)
+        session = manager.begin_session()
+        ghost = manager.model.ids.type()
+        session.add(Atom("SubTypRel", (a_tid, ghost)))
+        report = session.check()
+        rooted = [v for v in report.violations
+                  if v.constraint.name == "subtype_rooted"]
+        assert rooted  # both A and its subtype B lost their root
+        # Repair-then-recheck, as the protocol does (curing A's
+        # rootedness may transitively cure its subtypes').
+        for _round in range(4):
+            rooted = [v for v in session.check().violations
+                      if v.constraint.name == "subtype_rooted"]
+            if not rooted:
+                break
+            repairs = session.repairs(rooted[0])
+            inserting_edge = [
+                er for er in repairs
+                if er.repair.kind == "validate-conclusion"
+                and er.repair.edb_actions[0].fact.pred == "SubTypRel"
+                and er.repair.edb_actions[0].fact.args[1] == ANY_TYPE
+            ]
+            assert inserting_edge, rooted[0]
+            session.apply_repair(inserting_edge[0].repair)
+        # Rootedness is cured (the dangling reference stays reported).
+        names = {v.constraint.name for v in session.check().violations}
+        assert "subtype_rooted" not in names
+        assert "ref_SubTypRel_supertype_Type" in names
+        session.rollback()
+
+
+class TestCodeRepairs:
+    def test_missing_code_repair_offers_code_insertion(self, manager):
+        a_tid, b_tid, sid = tids(manager)
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        prims.add_operation(a_tid, "nocode", (), INT)
+        violation = session.check().violations[0]
+        repairs = session.repairs(violation)
+        kinds = {er.repair.kind for er in repairs}
+        assert kinds == {"invalidate-premise", "validate-conclusion"}
+        conclusion = [er for er in repairs
+                      if er.repair.kind == "validate-conclusion"][0]
+        assert conclusion.repair.edb_actions[0].fact.pred == "Code"
+        assert conclusion.repair.requires_user_input()  # code text needed
+        session.rollback()
+
+    def test_dangling_codereq_repair(self, manager):
+        """Deleting an operation leaves callers dangling; the repairs
+        offer dropping the CodeReq fact or 'recreating' the decl."""
+        a_tid, b_tid, sid = tids(manager)
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        did = prims.add_operation(a_tid, "helper", (), INT,
+                                  code_text="helper() is return 1;")
+        prims.add_operation(
+            b_tid, "caller", (), INT,
+            code_text="caller() is return self.helper();")
+        assert session.check().consistent
+        prims.delete_operation(did)
+        report = session.check()
+        names = {v.constraint.name for v in report.violations}
+        assert "ref_CodeReqDecl_declid_Decl" in names
+        violation = [v for v in report.violations
+                     if v.constraint.name == "ref_CodeReqDecl_declid_Decl"
+                     ][0]
+        repairs = session.repairs(violation)
+        premise = [er for er in repairs
+                   if er.repair.kind == "invalidate-premise"][0]
+        assert premise.repair.edb_actions[0].fact.pred == "CodeReqDecl"
+        session.apply_repair(premise.repair)
+        # Dropping the bookkeeping fact resolves the reference violation
+        # (the stale call would now surface at interpretation time).
+        names = {v.constraint.name for v in session.check().violations}
+        assert "ref_CodeReqDecl_declid_Decl" not in names
+        session.rollback()
+
+
+class TestUniquenessRepairs:
+    def test_duplicate_type_name_offers_both_deletions(self, manager):
+        a_tid, b_tid, sid = tids(manager)
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        duplicate = prims.add_type(sid, "A")
+        report = session.check()
+        violation = [v for v in report.violations
+                     if v.constraint.name == "type_name_unique"][0]
+        repairs = session.repairs(violation)
+        deleted = {er.repair.edb_actions[0].fact.args[0]
+                   for er in repairs}
+        assert deleted == {a_tid, duplicate}
+        session.rollback()
+
+    def test_mi_conflict_repair_via_common_refinement(self, manager):
+        """The mi_op_refined conclusion suggests inserting the two
+        DeclRefinement facts for a common refinement."""
+        a_tid, b_tid, sid = tids(manager)
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        left = prims.add_type(sid, "Left")
+        right = prims.add_type(sid, "Right")
+        bottom = prims.add_type(sid, "Bottom",
+                                supertypes=(left, right))
+        did_l = prims.add_operation(left, "f", (), INT,
+                                    code_text="f() is return 1;")
+        did_r = prims.add_operation(right, "f", (), INT,
+                                    code_text="f() is return 2;")
+        report = session.check()
+        violation = [v for v in report.violations
+                     if v.constraint.name == "mi_op_refined"][0]
+        repairs = session.repairs(violation)
+        conclusion = [er for er in repairs
+                      if er.repair.kind == "validate-conclusion"]
+        assert conclusion
+        facts = {action.fact.pred
+                 for er in conclusion
+                 for action in er.repair.edb_actions}
+        assert "DeclRefinement" in facts
+        session.rollback()

@@ -1,0 +1,138 @@
+"""Integration: the flexibility claims (experiments E6 and E10).
+
+E6 — the §4.1 extension is "feeding some additional definitions into the
+consistency control": enabling versioning+fashion adds a handful of
+declarative definitions and touches no existing module.
+
+E10 — §2.1's "changing the definition of consistency": restraining to
+single inheritance is one constraint, swapped in and out.
+"""
+
+import pytest
+
+from repro.datalog.terms import Atom
+from repro.gom.model import GomDatabase
+from repro.manager import SchemaManager
+from repro.tools.loc import count_text_definitions, feature_effort_table
+from repro.workloads.carschema import define_car_schema
+
+
+class TestExtensionEffort:
+    def test_extension_is_additive(self):
+        """Base constraints are untouched by enabling the extension."""
+        base = GomDatabase(features=("core", "objectbase"))
+        extended = GomDatabase(features=("core", "objectbase",
+                                         "versioning", "fashion"))
+        base_names = {c.name for c in base.checker.constraints()}
+        extended_names = {c.name for c in extended.checker.constraints()}
+        assert base_names <= extended_names
+        for name in base_names:
+            assert repr(base.checker.constraint(name)) == \
+                repr(extended.checker.constraint(name))
+
+    def test_extension_definition_counts(self):
+        extended = GomDatabase(features=("core", "objectbase",
+                                         "versioning", "fashion"))
+        by_name = {c.feature: c for c in extended.contributions}
+        base_total = (by_name["core"].total_definitions
+                      + by_name["objectbase"].total_definitions)
+        extension_total = (by_name["versioning"].total_definitions
+                           + by_name["fashion"].total_definitions)
+        # the extension is a small fraction of the system — the paper's
+        # "simple keyboard exercise"
+        assert extension_total < base_total / 2
+
+    def test_effort_table_renders(self):
+        extended = GomDatabase(features=("core", "versioning"))
+        table = feature_effort_table(extended.contributions)
+        assert "versioning" in table
+
+    def test_count_text_definitions(self):
+        from repro.gom.constraints_versioning import VERSIONING_CONSTRAINTS
+        lines, definitions = count_text_definitions(VERSIONING_CONSTRAINTS)
+        assert definitions == 3
+        assert lines >= definitions
+
+    def test_old_behaviour_unchanged_by_extension(self):
+        """The CarSchema pipeline gives identical extensions with and
+        without the extension enabled."""
+        plain = SchemaManager()
+        extended = SchemaManager(features=("core", "objectbase",
+                                           "versioning", "fashion"))
+        define_car_schema(plain)
+        define_car_schema(extended)
+        for pred in ("Type", "Attr", "Decl", "SubTypRel"):
+            assert ({f.args for f in plain.model.db.facts(pred)} ==
+                    {f.args for f in extended.model.db.facts(pred)})
+
+
+class TestConsistencyRedefinition:
+    SOURCE = """
+    schema S is
+    type A is end type A;
+    type B is end type B;
+    type C supertype A, B is end type C;
+    end schema S;
+    """
+
+    def test_multiple_inheritance_accepted_by_default(self):
+        manager = SchemaManager()
+        manager.define(self.SOURCE)
+        assert manager.check().consistent
+
+    def test_rejected_under_single_inheritance(self):
+        from repro.errors import InconsistentSchemaError
+        manager = SchemaManager(features=("core", "objectbase",
+                                          "single_inheritance"))
+        with pytest.raises(InconsistentSchemaError) as error:
+            manager.define(self.SOURCE)
+        names = {v.constraint.name for v in error.value.violations}
+        assert names == {"single_inheritance"}
+
+    def test_redefinition_at_runtime(self):
+        """The project leader changes their mind mid-flight: the
+        constraint can be added to a live checker and is enforced from
+        the next session on."""
+        manager = SchemaManager()
+        manager.define(self.SOURCE)
+        from repro.datalog.parser import parse_constraint
+        from repro.gom.constraints_core import (
+            SINGLE_INHERITANCE_CONSTRAINTS,
+        )
+        constraint = parse_constraint(
+            SINGLE_INHERITANCE_CONSTRAINTS.replace("% ", ""))
+        manager.model.checker.add_constraint(constraint)
+        report = manager.check()
+        assert not report.consistent
+        assert {v.constraint.name for v in report.violations} == \
+            {"single_inheritance"}
+        # ... and can be dropped again
+        manager.model.checker.remove_constraint("single_inheritance")
+        assert manager.check().consistent
+
+
+class TestUserDefinedFeatureModule:
+    def test_registering_a_new_feature(self):
+        """A downstream user adds their own notion of consistency — here,
+        a naming convention — as a feature module."""
+        from repro.gom.model import FeatureModule, register_feature
+
+        feature = FeatureModule(
+            name="short_type_names_demo",
+            constraints_text="""
+            constraint attr_not_named_type: style:
+              Attr(T, A, D) & A = "type" ==> FALSE.
+            """,
+            requires=("core",),
+        )
+        register_feature(feature)
+        manager = SchemaManager(features=("core", "objectbase",
+                                          "short_type_names_demo"))
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        sid = prims.add_schema("S")
+        tid = prims.add_type(sid, "T")
+        prims.add_attribute(tid, "type",
+                            manager.model.type_id("string"))
+        names = {v.constraint.name for v in session.check().violations}
+        assert "attr_not_named_type" in names

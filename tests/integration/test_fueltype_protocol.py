@@ -1,0 +1,153 @@
+"""Integration: the §3.5 fuelType scenario, end to end (experiment E4).
+
+Adding ``fuelType`` to Car violates constraint (*); the Consistency
+Control derives exactly the paper's three repairs; choosing the third
+(``+Slot``) triggers the conversion routine, which fills values via an
+operation on the old instances — the option the paper's example picks.
+"""
+
+import pytest
+
+from repro.datalog.terms import Atom
+from repro.gom.builtins import BUILTIN_PHREPS, builtin_type
+from repro.manager import SchemaManager
+from repro.workloads.carschema import (
+    car_schema_ids,
+    define_car_schema,
+    instantiate_paper_objects,
+)
+
+STRING = builtin_type("string")
+
+
+@pytest.fixture
+def world():
+    manager = SchemaManager()
+    result = define_car_schema(manager)
+    objects = instantiate_paper_objects(manager)
+    return manager, car_schema_ids(result), objects
+
+
+def open_fueltype_session(manager, ids):
+    session = manager.begin_session()
+    prims = manager.analyzer.primitives(session)
+    prims.add_attribute(ids["tid4"], "fuelType", STRING)
+    return session
+
+
+class TestViolationDetection:
+    def test_star_constraint_violated(self, world):
+        manager, ids, objects = world
+        session = open_fueltype_session(manager, ids)
+        report = session.check()
+        assert len(report.violations) == 1
+        violation = report.violations[0]
+        assert violation.constraint.name == "slot_exists"
+        theta = violation.substitution
+        values = set(theta.values())
+        assert ids["tid4"] in values
+        assert "fuelType" in values
+
+    def test_incremental_check_finds_it(self, world):
+        manager, ids, objects = world
+        session = open_fueltype_session(manager, ids)
+        assert not session.check("delta").consistent
+        assert not session.check("full").consistent
+
+
+class TestPaperRepairs:
+    def test_exactly_the_papers_three_repairs_lead(self, world):
+        manager, ids, objects = world
+        session = open_fueltype_session(manager, ids)
+        violation = session.check().violations[0]
+        repairs = session.repairs(violation)
+        leading = [er.repair for er in repairs[:3]]
+        car_rep = manager.model.phrep_of(ids["tid4"])
+        # 1. -Attr_i(tid4, fuelType, tid_string) — undo the schema change
+        assert repr(leading[0].display_action) == \
+            f"-Attr_i({ids['tid4']}, 'fuelType', tid_string)"
+        assert leading[0].edb_actions[0].fact.pred == "Attr"
+        # 2. -PhRep(clid4, tid4) — delete all cars
+        assert leading[1].display_action.fact == Atom("PhRep",
+                                                      (car_rep, ids["tid4"]))
+        assert leading[1].display_action.sign == "-"
+        # 3. +Slot(clid4, fuelType, clid_string) — convert
+        assert leading[2].display_action.fact == Atom(
+            "Slot", (car_rep, "fuelType", BUILTIN_PHREPS["string"]))
+        assert leading[2].display_action.sign == "+"
+
+    def test_explanations_match_paper_semantics(self, world):
+        manager, ids, objects = world
+        session = open_fueltype_session(manager, ids)
+        violation = session.check().violations[0]
+        repairs = session.repairs(violation)
+        texts = ["\n".join(er.explanations) for er in repairs[:3]]
+        assert "undoing the schema change" in texts[0]
+        assert "deletes ALL instances" in texts[1]
+        assert "conversion routine" in texts[2]
+
+
+class TestRepairExecution:
+    def test_repair1_undoes_the_change(self, world):
+        manager, ids, objects = world
+        session = open_fueltype_session(manager, ids)
+        violation = session.check().violations[0]
+        session.apply_repair(session.repairs(violation)[0].repair)
+        assert session.check().consistent
+        session.commit()
+        attrs = dict(manager.model.attributes(ids["tid4"]))
+        assert "fuelType" not in attrs
+
+    def test_repair2_means_deleting_all_cars(self, world):
+        manager, ids, objects = world
+        session = open_fueltype_session(manager, ids)
+        violation = session.check().violations[0]
+        repair2 = session.repairs(violation)[1].repair
+        # execute the cure through the runtime, then the model catches up
+        manager.conversions.delete_all_instances(ids["tid4"],
+                                                 session=session)
+        assert session.check().consistent
+        session.commit()
+        assert manager.runtime.objects_of(ids["tid4"]) == []
+
+    def test_repair3_conversion_with_operation_source(self, world):
+        manager, ids, objects = world
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        # the paper: "an operation is provided that selects the fuel
+        # types depending on the car" — here: by maximum speed.
+        prims.add_operation(
+            ids["tid4"], "selectFuelType", (), STRING,
+            code_text='selectFuelType() is begin'
+                      ' if (self.maxspeed > 150.0)'
+                      ' begin return "unleaded"; end'
+                      ' else begin return "leaded"; end end')
+        prims.add_attribute(ids["tid4"], "fuelType", STRING)
+        violation = session.check().violations[0]
+        repairs = session.repairs(violation)
+        slot_repair = next(er.repair for er in repairs
+                           if er.repair.kind == "validate-conclusion"
+                           and not er.repair.requires_user_input())
+        session.apply_repair(slot_repair)
+        manager.conversions.fill_new_slots(
+            ids["tid4"],
+            {"fuelType": lambda car: manager.runtime.call(
+                car, "selectFuelType")},
+            session=session)
+        assert session.check().consistent
+        session.commit()
+        assert objects["Car"].slots["fuelType"] == "unleaded"
+
+    def test_full_protocol_with_conversion_chooser(self, world):
+        from repro.control.protocol import prefer_conversion
+        manager, ids, objects = world
+
+        def changes(session):
+            prims = manager.analyzer.primitives(session)
+            prims.add_attribute(ids["tid4"], "fuelType", STRING)
+
+        result = manager.evolve(changes, chooser=prefer_conversion)
+        assert result.succeeded
+        attrs = dict(manager.model.attributes(ids["tid4"]))
+        assert "fuelType" in attrs
+        assert manager.check().consistent

@@ -1,0 +1,114 @@
+"""Everything at once: all features on one manager, all workloads.
+
+The ultimate flexibility claim is that the pieces compose: namespaces,
+versioning, fashion, overloading, handlers, and the object base all
+active simultaneously, with the paper's workloads running side by side
+and one shared consistency definition over all of it.
+"""
+
+import pytest
+
+from repro.manager import SchemaManager
+from repro.workloads.carschema import (
+    define_car_schema,
+    instantiate_paper_objects,
+)
+from repro.workloads.company import COMPANY_SOURCE, add_csg2boundrep
+from repro.workloads.newcarschema import (
+    evolve_car_schema,
+    evolve_person_schema,
+)
+
+ALL_FEATURES = ("core", "objectbase", "versioning", "fashion",
+                "namespaces", "overloading")
+
+
+@pytest.fixture(scope="module")
+def world():
+    manager = SchemaManager(features=ALL_FEATURES)
+    car_result = define_car_schema(manager)
+    objects = instantiate_paper_objects(manager)
+    manager.define(COMPANY_SOURCE)
+    add_csg2boundrep(manager)
+    evolve_person_schema(manager)
+    created = evolve_car_schema(manager, car_result)
+    return manager, car_result, objects, created
+
+
+class TestComposition:
+    def test_globally_consistent(self, world):
+        manager, car_result, objects, created = world
+        report = manager.check()
+        assert report.consistent, report.describe()
+
+    def test_constraint_count_is_the_sum_of_features(self, world):
+        manager, car_result, objects, created = world
+        # core(17+23) - overloading removal(1) + overloading(1)
+        # + objectbase(4+5) + versioning(3+4) + fashion(3+8)
+        # + namespaces(5 + generated)
+        assert len(manager.model.checker) > 70
+
+    def test_schemas_coexist(self, world):
+        manager, car_result, objects, created = world
+        schemas = manager.analyzer.schemas()
+        for name in ("CarSchema", "NewCarSchema", "NewPersonSchema",
+                     "Company", "Geometry", "CSG2BoundRep"):
+            assert name in schemas
+
+    def test_cross_workload_behaviour(self, world):
+        manager, car_result, objects, created = world
+        # paper §3 behaviour still works
+        person, car = objects["Person"], objects["Car"]
+        city = manager.runtime.create_object(
+            "City@CarSchema", {"longi": 0.0, "lati": 0.0, "name": "Z",
+                               "noOfInhabitants": 1})
+        assert manager.runtime.call(car, "changeLocation",
+                                    [person.oid, city.oid]) >= 0
+        # §4.1 masking works on the same objects
+        assert manager.runtime.get_attr(person, "birthday") == 1963
+        # §4.2 masking answers fuel on the pre-evolution car
+        assert manager.runtime.call(car, "fuel") == "leaded"
+
+    def test_overloading_coexists(self, world):
+        manager, car_result, objects, created = world
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        sid = manager.model.schema_id("CarSchema")
+        tid = manager.model.type_id("Person", sid)
+        int_tid = manager.model.type_id("int")
+        prims.add_operation(tid, "bump", (), int_tid,
+                            code_text="bump() is return self.age + 1;")
+        prims.add_operation(
+            tid, "bump", (int_tid,), int_tid,
+            code_text="bump(by) is return self.age + by;")
+        report = session.check()
+        assert report.consistent, report.describe()
+        session.commit()
+        person = objects["Person"]
+        base = person.slots["age"]
+        assert manager.runtime.call(person, "bump") == base + 1
+        assert manager.runtime.call(person, "bump", [10]) == base + 10
+
+    def test_persistence_of_the_whole_world(self, world, tmp_path):
+        manager, car_result, objects, created = world
+        path = str(tmp_path / "world.json")
+        manager.save(path)
+        reloaded = SchemaManager.load(path)
+        assert reloaded.check().consistent
+        assert sorted(reloaded.analyzer.schemas()) == \
+            sorted(manager.analyzer.schemas())
+        # fashion definitions survived: instantiate and mask again
+        person2 = reloaded.runtime.create_object(
+            "Person@CarSchema", {"name": "Re", "age": 20})
+        assert reloaded.runtime.get_attr(person2, "birthday") == 1973
+
+    def test_handlers_compose_with_fashion(self, world):
+        manager, car_result, objects, created = world
+        person = objects["Person"]
+        # a handler on a name fashion does NOT own wins first only for
+        # missing slots; fashion still handles 'birthday'
+        manager.runtime.handlers.register_read(
+            person.tid, "shoeSize", lambda obj: 42)
+        assert manager.runtime.get_attr(person, "shoeSize") == 42
+        assert manager.runtime.get_attr(person, "birthday") == 1963
+        manager.runtime.handlers.unregister(person.tid, "shoeSize")

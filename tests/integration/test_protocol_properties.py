@@ -1,0 +1,89 @@
+"""Property-based integration tests for the evolution protocol.
+
+Invariants:
+
+* the nine-step protocol with ``choose_first`` always terminates, and a
+  successful outcome leaves a fully consistent database;
+* a ``rolled-back`` outcome restores the pre-session extensions exactly;
+* whatever random evolution steps a session performs, ``rollback``
+  restores the snapshot byte for byte.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.manager import SchemaManager
+from repro.control.protocol import (
+    SchemaEvolutionProtocol,
+    always_rollback,
+    choose_first,
+)
+from repro.workloads.synthetic import (
+    EVOLUTION_KINDS,
+    generate_schema,
+    random_evolution,
+    seeded_violation,
+)
+
+VIOLATION_KINDS = ("dangling_domain", "duplicate_type_name",
+                   "subtype_cycle", "missing_code", "bad_refinement")
+
+
+def fresh_world(seed):
+    manager = SchemaManager()
+    schema = generate_schema(manager, 10, seed=seed)
+    return manager, schema
+
+
+@given(seed=st.integers(0, 10_000),
+       kinds=st.lists(st.sampled_from(VIOLATION_KINDS), min_size=1,
+                      max_size=3))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_protocol_terminates_consistently(seed, kinds):
+    manager, schema = fresh_world(seed)
+    session = manager.begin_session()
+    rng = random.Random(seed)
+    for kind in kinds:
+        seeded_violation(schema, session, rng, kind)
+    protocol = SchemaEvolutionProtocol(session, chooser=choose_first,
+                                       max_rounds=20)
+    result = protocol.run()
+    assert result.outcome in ("consistent", "repaired", "rolled-back",
+                              "gave-up")
+    if result.succeeded:
+        assert manager.check().consistent
+
+
+@given(seed=st.integers(0, 10_000),
+       kind=st.sampled_from(VIOLATION_KINDS))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_rollback_chooser_restores_state(seed, kind):
+    manager, schema = fresh_world(seed)
+    before = manager.model.db.edb.snapshot()
+    session = manager.begin_session()
+    seeded_violation(schema, session, random.Random(seed), kind)
+    protocol = SchemaEvolutionProtocol(session, chooser=always_rollback)
+    result = protocol.run()
+    assert result.outcome == "rolled-back"
+    assert manager.model.db.edb.snapshot() == before
+
+
+@given(seed=st.integers(0, 10_000),
+       steps=st.lists(st.sampled_from(EVOLUTION_KINDS), min_size=1,
+                      max_size=5))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_session_rollback_always_exact(seed, steps):
+    manager, schema = fresh_world(seed)
+    before = manager.model.db.edb.snapshot()
+    session = manager.begin_session()
+    rng = random.Random(seed)
+    for kind in steps:
+        random_evolution(schema, session, rng, kind)
+    session.rollback()
+    assert manager.model.db.edb.snapshot() == before
+    assert manager.check().consistent

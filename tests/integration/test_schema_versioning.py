@@ -1,0 +1,132 @@
+"""Integration: whole-schema versioning via derive_schema_version.
+
+Kim & Chou's mechanism ([16]), as §4.1 envisions incorporating it: a new
+schema version is *added*, the old one stays untouched, and objects of
+the old version remain valid because the old schema still describes
+them.
+"""
+
+import pytest
+
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.manager import SchemaManager
+from repro.versioning import VersionGraph
+from repro.workloads.carschema import (
+    car_schema_ids,
+    define_car_schema,
+    instantiate_paper_objects,
+)
+
+FEATURES = ("core", "objectbase", "versioning")
+
+
+@pytest.fixture
+def world():
+    manager = SchemaManager(features=FEATURES)
+    result = define_car_schema(manager)
+    objects = instantiate_paper_objects(manager)
+    session = manager.begin_session()
+    created = manager.analyzer.apply_operator(
+        session, "derive_schema_version",
+        old_sid=result.schema("CarSchema"),
+        new_name="CarSchemaV2")
+    session.commit()
+    return manager, result, objects, created
+
+
+class TestDerivedVersion:
+    def test_consistent(self, world):
+        manager, result, objects, created = world
+        assert manager.check().consistent
+
+    def test_every_type_copied_with_version_edge(self, world):
+        manager, result, objects, created = world
+        for name in ("Person", "Location", "City", "Car"):
+            old_tid = result.type("CarSchema", name)
+            new_tid = created[name]
+            assert new_tid != old_tid
+            assert manager.model.db.contains(
+                Atom("evolves_to_T", (old_tid, new_tid)))
+            assert manager.model.schema_of_type(new_tid) == \
+                created["CarSchemaV2"]
+
+    def test_intra_schema_references_remapped(self, world):
+        manager, result, objects, created = world
+        new_attrs = dict(manager.model.attributes(created["Car"],
+                                                  inherited=False))
+        assert new_attrs["owner"] == created["Person"]
+        assert new_attrs["location"] == created["City"]
+        assert new_attrs["maxspeed"] == builtin_type("float")
+
+    def test_subtype_and_refinement_copied(self, world):
+        manager, result, objects, created = world
+        assert manager.model.is_subtype(created["City"],
+                                        created["Location"])
+        new_city_distance = manager.model.decl_id(created["City"],
+                                                  "distance",
+                                                  inherited=False)
+        new_loc_distance = manager.model.decl_id(created["Location"],
+                                                 "distance",
+                                                 inherited=False)
+        assert manager.model.db.contains(
+            Atom("DeclRefinement", (new_city_distance, new_loc_distance)))
+
+    def test_old_version_untouched_and_objects_valid(self, world):
+        manager, result, objects, created = world
+        old_car = objects["Car"]
+        person = objects["Person"]
+        city2 = manager.runtime.create_object(
+            "City@CarSchema", {"longi": 1.0, "lati": 2.0, "name": "X",
+                               "noOfInhabitants": 5})
+        assert manager.runtime.call(old_car, "changeLocation",
+                                    [person.oid, city2.oid]) > 0
+
+    def test_new_version_is_independently_instantiable(self, world):
+        manager, result, objects, created = world
+        new_person = manager.runtime.create_object(
+            "Person@CarSchemaV2", {"name": "Neo", "age": 1})
+        assert new_person.tid == created["Person"]
+        assert manager.check().consistent
+
+    def test_new_version_code_interprets(self, world):
+        manager, result, objects, created = world
+        a = manager.runtime.create_object(
+            "Location@CarSchemaV2", {"longi": 0.0, "lati": 0.0})
+        b = manager.runtime.create_object(
+            "Location@CarSchemaV2", {"longi": 3.0, "lati": 4.0})
+        assert manager.runtime.call(a, "distance", [b.oid]) == 5.0
+
+    def test_version_graph_navigation(self, world):
+        manager, result, objects, created = world
+        graph = VersionGraph(manager.model)
+        old_sid = result.schema("CarSchema")
+        assert graph.schema_successors(old_sid) == \
+            [created["CarSchemaV2"]]
+        old_car = result.type("CarSchema", "Car")
+        assert graph.version_of_in_schema(
+            old_car, created["CarSchemaV2"]) == created["Car"]
+
+    def test_chained_versions(self, world):
+        manager, result, objects, created = world
+        session = manager.begin_session()
+        v3 = manager.analyzer.apply_operator(
+            session, "derive_schema_version",
+            old_sid=created["CarSchemaV2"], new_name="CarSchemaV3")
+        session.commit()
+        assert manager.check().consistent
+        graph = VersionGraph(manager.model)
+        lineage = graph.type_lineage(result.type("CarSchema", "Car"))
+        assert len(lineage) == 3
+
+    def test_digestibility_would_catch_missing_schema_edge(self, world):
+        """Dropping the evolves_to_S edge violates digestibility for
+        every copied type."""
+        manager, result, objects, created = world
+        session = manager.begin_session()
+        session.remove(Atom("evolves_to_S",
+                            (result.schema("CarSchema"),
+                             created["CarSchemaV2"])))
+        names = {v.constraint.name for v in session.check().violations}
+        assert "version_digestible" in names
+        session.rollback()

@@ -1,0 +1,141 @@
+"""Unit tests for conversion routines (§3.5 cures)."""
+
+import pytest
+
+from repro.errors import ConversionError
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.manager import SchemaManager
+from repro.workloads.carschema import (
+    car_schema_ids,
+    define_car_schema,
+    instantiate_paper_objects,
+)
+
+STRING = builtin_type("string")
+
+
+@pytest.fixture
+def world():
+    manager = SchemaManager()
+    result = define_car_schema(manager)
+    objects = instantiate_paper_objects(manager)
+    return manager, result, objects
+
+
+def add_fuel_type_attr(manager, result):
+    ids = car_schema_ids(result)
+    session = manager.begin_session()
+    prims = manager.analyzer.primitives(session)
+    prims.add_attribute(ids["tid4"], "fuelType", STRING)
+    return session, ids
+
+
+class TestAddSlot:
+    def test_default_value_conversion(self, world):
+        manager, result, objects = world
+        session, ids = add_fuel_type_attr(manager, result)
+        converted = manager.conversions.add_slot(
+            ids["tid4"], "fuelType", "leaded", session=session)
+        assert converted == 1
+        session.commit()
+        assert objects["Car"].slots["fuelType"] == "leaded"
+        assert manager.check().consistent
+
+    def test_per_object_callable(self, world):
+        manager, result, objects = world
+        session, ids = add_fuel_type_attr(manager, result)
+        manager.conversions.add_slot(
+            ids["tid4"], "fuelType",
+            lambda car: "unleaded" if car.slots["maxspeed"] > 150 else
+            "leaded",
+            session=session)
+        session.commit()
+        assert objects["Car"].slots["fuelType"] == "unleaded"
+
+    def test_operation_as_value_source(self, world):
+        """The paper's third option: an operation on the old instances."""
+        manager, result, objects = world
+        ids = car_schema_ids(result)
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        prims.add_operation(
+            ids["tid4"], "guessFuel", (), STRING,
+            code_text='guessFuel() is begin'
+                      ' if (self.maxspeed > 150.0)'
+                      ' begin return "unleaded"; end'
+                      ' else begin return "leaded"; end end')
+        prims.add_attribute(ids["tid4"], "fuelType", STRING)
+        manager.conversions.add_slot(ids["tid4"], "fuelType", "guessFuel",
+                                     session=session,
+                                     value_is_operation=True)
+        session.commit()
+        assert objects["Car"].slots["fuelType"] == "unleaded"
+        assert manager.check().consistent
+
+    def test_attr_must_exist_first(self, world):
+        manager, result, objects = world
+        ids = car_schema_ids(result)
+        with pytest.raises(ConversionError):
+            manager.conversions.add_slot(ids["tid4"], "ghost", "x")
+
+    def test_uninstantiated_type_has_nothing_to_convert(self, world):
+        manager, result, objects = world
+        ids = car_schema_ids(result)
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        lonely = prims.add_type(ids["sid1"], "Lonely")
+        prims.add_attribute(lonely, "x", STRING)
+        with pytest.raises(ConversionError):
+            manager.conversions.add_slot(lonely, "x", "v", session=session)
+        session.rollback()
+
+
+class TestDeleteSlot:
+    def test_delete_slot_and_values(self, world):
+        manager, result, objects = world
+        ids = car_schema_ids(result)
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        prims.delete_attribute(ids["tid4"], "maxspeed")
+        removed = manager.conversions.delete_slot(ids["tid4"], "maxspeed",
+                                                  session=session)
+        assert removed == 1
+        session.commit()
+        assert "maxspeed" not in objects["Car"].slots
+        assert manager.check().consistent
+
+    def test_delete_slot_of_uninstantiated_type(self, world):
+        manager, result, objects = world
+        ids = car_schema_ids(result)
+        ghost = manager.model.ids.type()
+        assert manager.conversions.delete_slot(ghost, "x") == 0
+
+
+class TestBruteForceCure:
+    def test_delete_all_instances(self, world):
+        manager, result, objects = world
+        ids = car_schema_ids(result)
+        count = manager.conversions.delete_all_instances(ids["tid4"])
+        assert count == 1
+        assert manager.model.phrep_of(ids["tid4"]) is None
+        assert manager.check().consistent
+
+    def test_fill_new_slots_after_repair(self, world):
+        manager, result, objects = world
+        session, ids = add_fuel_type_attr(manager, result)
+        # Apply the +Slot repair at the model level (as the protocol
+        # does), then ask the runtime to fill the values.
+        report = session.check()
+        assert not report.consistent
+        repairs = session.repairs(report.violations[0])
+        slot_repair = next(
+            er for er in repairs
+            if er.repair.kind == "validate-conclusion"
+            and not er.repair.requires_user_input())
+        session.apply_repair(slot_repair.repair)
+        filled = manager.conversions.fill_new_slots(
+            ids["tid4"], {"fuelType": "leaded"}, session=session)
+        assert filled == 1
+        session.commit()
+        assert objects["Car"].slots["fuelType"] == "leaded"

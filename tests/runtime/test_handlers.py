@@ -1,0 +1,143 @@
+"""ENCORE-style exception handlers: the masking cure (§1, [22])."""
+
+import pytest
+
+from repro.errors import MethodLookupError, UnknownSlotError
+from repro.gom.builtins import builtin_type
+from repro.manager import SchemaManager
+from repro.workloads.carschema import (
+    car_schema_ids,
+    define_car_schema,
+    instantiate_paper_objects,
+)
+
+STRING = builtin_type("string")
+
+
+@pytest.fixture
+def world():
+    manager = SchemaManager()
+    result = define_car_schema(manager)
+    objects = instantiate_paper_objects(manager)
+    return manager, car_schema_ids(result), objects
+
+
+def add_fueltype(manager, ids):
+    session = manager.begin_session()
+    prims = manager.analyzer.primitives(session)
+    prims.add_attribute(ids["tid4"], "fuelType", STRING)
+    return session
+
+
+class TestHandlerRegistry:
+    def test_read_handler_masks_missing_value(self, world):
+        manager, ids, objects = world
+        session = add_fueltype(manager, ids)
+        manager.conversions.mask_with_handler(
+            ids["tid4"], "fuelType", "leaded", session=session)
+        session.commit()
+        car = objects["Car"]
+        assert "fuelType" not in car.slots  # nothing converted
+        assert manager.runtime.get_attr(car, "fuelType") == "leaded"
+        assert "fuelType" not in car.slots  # pure masking: still lazy
+        assert manager.check().consistent
+
+    def test_materializing_handler_is_lazy_conversion(self, world):
+        manager, ids, objects = world
+        session = add_fueltype(manager, ids)
+        calls = []
+
+        def compute(car):
+            calls.append(car.oid)
+            return "unleaded" if car.slots["maxspeed"] > 150 else "leaded"
+
+        manager.conversions.mask_with_handler(
+            ids["tid4"], "fuelType", compute, materialize=True,
+            session=session)
+        session.commit()
+        car = objects["Car"]
+        assert manager.runtime.get_attr(car, "fuelType") == "unleaded"
+        assert car.slots["fuelType"] == "unleaded"  # written back
+        manager.runtime.get_attr(car, "fuelType")
+        assert calls == [car.oid]  # computed exactly once
+
+    def test_write_handler(self, world):
+        manager, ids, objects = world
+        person = objects["Person"]
+        log = []
+        manager.runtime.handlers.register_write(
+            ids["tid1"], "nickname",
+            lambda obj, value: log.append((obj.oid, value)))
+        manager.runtime.set_attr(person, "nickname", "Mimi")
+        assert log == [(person.oid, "Mimi")]
+
+    def test_call_handler_imitates_operation(self, world):
+        manager, ids, objects = world
+        car = objects["Car"]
+        manager.runtime.handlers.register_call(
+            ids["tid4"], "honk", lambda obj, args: "beep" * args[0])
+        assert manager.runtime.call(car, "honk", [2]) == "beepbeep"
+
+    def test_unregister(self, world):
+        manager, ids, objects = world
+        car = objects["Car"]
+        manager.runtime.handlers.register_read(ids["tid4"], "extra",
+                                               lambda obj: 1)
+        assert manager.runtime.get_attr(car, "extra") == 1
+        manager.runtime.handlers.unregister(ids["tid4"], "extra")
+        with pytest.raises(UnknownSlotError):
+            manager.runtime.get_attr(car, "extra")
+
+    def test_handlers_take_precedence_over_fashion_absence(self, world):
+        manager, ids, objects = world
+        with pytest.raises(MethodLookupError):
+            manager.runtime.call(objects["Car"], "warp")
+
+    def test_handled_attrs_listing(self, world):
+        manager, ids, objects = world
+        manager.runtime.handlers.register_read(ids["tid4"], "a",
+                                               lambda obj: 1)
+        manager.runtime.handlers.register_read(ids["tid4"], "b",
+                                               lambda obj: 2,
+                                               materialize=True)
+        assert manager.runtime.handlers.handled_attrs(ids["tid4"]) == \
+            {"a": False, "b": True}
+
+    def test_mask_requires_existing_attribute(self, world):
+        from repro.errors import ConversionError
+        manager, ids, objects = world
+        with pytest.raises(ConversionError):
+            manager.conversions.mask_with_handler(ids["tid4"], "ghost",
+                                                  "x")
+
+    def test_len_and_clear(self, world):
+        manager, ids, objects = world
+        registry = manager.runtime.handlers
+        registry.register_read(ids["tid4"], "a", lambda obj: 1)
+        registry.register_call(ids["tid4"], "f", lambda obj, args: 2)
+        assert len(registry) == 2
+        registry.clear()
+        assert len(registry) == 0
+
+
+class TestCureChoice:
+    """The paper's point: both cures built in, the user chooses."""
+
+    def test_masking_and_conversion_coexist(self, world):
+        manager, ids, objects = world
+        # fuelType: masked.  inspectedAt: converted eagerly.
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        prims.add_attribute(ids["tid4"], "fuelType", STRING)
+        prims.add_attribute(ids["tid4"], "inspectedAt",
+                            builtin_type("int"))
+        manager.conversions.mask_with_handler(
+            ids["tid4"], "fuelType", "leaded", session=session)
+        manager.conversions.add_slot(ids["tid4"], "inspectedAt", 1993,
+                                     session=session)
+        assert session.check().consistent
+        session.commit()
+        car = objects["Car"]
+        assert car.slots["inspectedAt"] == 1993       # converted
+        assert "fuelType" not in car.slots            # masked
+        assert manager.runtime.get_attr(car, "fuelType") == "leaded"

@@ -1,0 +1,195 @@
+"""Unit tests for the GOM code interpreter and dynamic binding."""
+
+import math
+
+import pytest
+
+from repro.errors import InterpreterError, MethodLookupError
+from repro.manager import SchemaManager
+from repro.workloads.carschema import (
+    define_car_schema,
+    instantiate_paper_objects,
+)
+
+
+@pytest.fixture
+def world():
+    manager = SchemaManager()
+    define_car_schema(manager)
+    objects = instantiate_paper_objects(manager)
+    return manager, objects
+
+
+class TestDispatch:
+    def test_location_distance(self, world):
+        manager, objects = world
+        a = manager.runtime.create_object("Location",
+                                          {"longi": 0.0, "lati": 0.0})
+        b = manager.runtime.create_object("Location",
+                                          {"longi": 3.0, "lati": 4.0})
+        assert manager.runtime.call(a, "distance", [b.oid]) == 5.0
+
+    def test_refinement_dispatch_on_city(self, world):
+        """A distance call on a City binds to City's refinement."""
+        manager, objects = world
+        city = objects["City"]
+        other = manager.runtime.create_object(
+            "Location", {"longi": city.slots["longi"],
+                         "lati": city.slots["lati"]})
+        result = manager.runtime.call(city, "distance", [other.oid])
+        assert result == 0.0
+
+    def test_super_call_inside_refinement(self, world):
+        """City's code delegates to Location's via super.distance."""
+        manager, objects = world
+        city = manager.runtime.create_object(
+            "City", {"longi": 0.0, "lati": 0.0, "name": "X",
+                     "noOfInhabitants": 1})
+        target = manager.runtime.create_object(
+            "Location", {"longi": 6.0, "lati": 8.0})
+        assert manager.runtime.call(city, "distance", [target.oid]) == 10.0
+
+    def test_change_location_owner_match(self, world):
+        manager, objects = world
+        car, person = objects["Car"], objects["Person"]
+        city2 = manager.runtime.create_object(
+            "City", {"longi": 9.0, "lati": 9.0, "name": "Y",
+                     "noOfInhabitants": 5})
+        before = car.slots["milage"]
+        result = manager.runtime.call(car, "changeLocation",
+                                      [person.oid, city2.oid])
+        assert result > before
+        assert car.slots["location"] == city2.oid
+        assert car.slots["milage"] == result
+
+    def test_change_location_owner_mismatch(self, world):
+        manager, objects = world
+        car = objects["Car"]
+        stranger = manager.runtime.create_object("Person",
+                                                 {"name": "Zed", "age": 9})
+        city2 = manager.runtime.create_object(
+            "City", {"longi": 9.0, "lati": 9.0, "name": "Y",
+                     "noOfInhabitants": 5})
+        old_location = car.slots["location"]
+        result = manager.runtime.call(car, "changeLocation",
+                                      [stranger.oid, city2.oid])
+        assert result == -1.0
+        assert car.slots["location"] == old_location
+
+    def test_unknown_operation(self, world):
+        manager, objects = world
+        with pytest.raises(MethodLookupError):
+            manager.runtime.call(objects["Person"], "fly")
+
+    def test_inherited_operation_on_subtype(self, world):
+        manager, objects = world
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        sid = manager.model.schema_id("CarSchema")
+        city_tid = manager.model.type_id("City", sid)
+        capital = prims.add_type(sid, "Capital", supertypes=(city_tid,))
+        session.commit()
+        cap = manager.runtime.create_object(
+            "Capital", {"longi": 0.0, "lati": 0.0, "name": "B",
+                        "noOfInhabitants": 1})
+        loc = manager.runtime.create_object("Location",
+                                            {"longi": 3.0, "lati": 4.0})
+        # Capital inherits City's refinement (name non-empty -> super path)
+        assert manager.runtime.call(cap, "distance", [loc.oid]) == 5.0
+
+
+class TestInterpreterSemantics:
+    def run(self, manager, code, obj, args=()):
+        return manager.runtime.interpreter.run_code(code, obj, list(args))
+
+    def test_arithmetic(self, world):
+        manager, objects = world
+        assert self.run(manager, "f() is return 2 + 3 * 4;",
+                        objects["Person"]) == 14
+
+    def test_division(self, world):
+        manager, objects = world
+        assert self.run(manager, "f() is return 7.0 / 2;",
+                        objects["Person"]) == 3.5
+
+    def test_comparisons_and_booleans(self, world):
+        manager, objects = world
+        assert self.run(manager, "f() is return 1 < 2 and not (3 <= 2);",
+                        objects["Person"]) is True
+
+    def test_if_else(self, world):
+        manager, objects = world
+        code = """f(x) is
+        begin
+          if (x > 0) begin return "pos"; end
+          else begin return "nonpos"; end
+        end"""
+        assert self.run(manager, code, objects["Person"], [5]) == "pos"
+        assert self.run(manager, code, objects["Person"], [-5]) == "nonpos"
+
+    def test_local_variables(self, world):
+        manager, objects = world
+        code = """f() is
+        begin
+          a := 10;
+          a := a + 5;
+          return a;
+        end"""
+        assert self.run(manager, code, objects["Person"]) == 15
+
+    def test_object_identity_equality(self, world):
+        manager, objects = world
+        person = objects["Person"]
+        assert self.run(manager, "f(p) is return self == p;",
+                        person, [person.oid]) is True
+        other = manager.runtime.create_object("Person",
+                                              {"name": "o", "age": 1})
+        assert self.run(manager, "f(p) is return self == p;",
+                        person, [other.oid]) is False
+
+    def test_builtin_functions(self, world):
+        manager, objects = world
+        assert self.run(manager, "f() is return sqrt(16.0);",
+                        objects["Person"]) == 4.0
+        assert self.run(manager, 'f() is return length("abc");',
+                        objects["Person"]) == 3
+
+    def test_registered_custom_function(self, world):
+        manager, objects = world
+        manager.runtime.interpreter.register_function(
+            "double", lambda x: 2 * x)
+        assert self.run(manager, "f() is return double(21);",
+                        objects["Person"]) == 42
+
+    def test_missing_return_yields_none(self, world):
+        manager, objects = world
+        assert self.run(manager, "f() is begin a := 1; end",
+                        objects["Person"]) is None
+
+    def test_wrong_argument_count(self, world):
+        manager, objects = world
+        with pytest.raises(InterpreterError):
+            self.run(manager, "f(a) is return a;", objects["Person"])
+
+    def test_non_boolean_condition_raises(self, world):
+        manager, objects = world
+        with pytest.raises(InterpreterError):
+            self.run(manager, "f() is begin if (1) begin return 1; end end",
+                     objects["Person"])
+
+    def test_attr_access_on_non_object(self, world):
+        manager, objects = world
+        with pytest.raises(InterpreterError):
+            self.run(manager, "f(a) is return a.x;", objects["Person"], [3])
+
+    def test_unbound_name(self, world):
+        manager, objects = world
+        with pytest.raises(InterpreterError):
+            self.run(manager, "f() is return nobody;", objects["Person"])
+
+    def test_code_cache_reuses_parse(self, world):
+        manager, objects = world
+        interpreter = manager.runtime.interpreter
+        code = "f() is return 1;"
+        self.run(manager, code, objects["Person"])
+        assert code in interpreter._code_cache

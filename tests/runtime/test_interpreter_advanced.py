@@ -1,0 +1,116 @@
+"""Advanced interpreter behaviour: recursion, deep chains, persistence."""
+
+import pytest
+
+from repro.manager import SchemaManager
+
+
+@pytest.fixture
+def manager():
+    manager = SchemaManager()
+    manager.define("""
+    schema Math is
+    type Calculator is
+      [ memory : int; ]
+    operations
+      declare factorial : int -> int;
+      declare fib : int -> int;
+      declare storeAndGet : int -> int;
+    implementation
+      define factorial(n) is
+      begin
+        if (n <= 1) begin return 1; end
+        else begin return n * self.factorial(n - 1); end
+      end define;
+      define fib(n) is
+      begin
+        if (n < 2) begin return n; end
+        else begin return self.fib(n - 1) + self.fib(n - 2); end
+      end define;
+      define storeAndGet(v) is
+      begin
+        self.memory := v;
+        return self.memory;
+      end define;
+    end type Calculator;
+    end schema Math;
+    """)
+    return manager
+
+
+class TestRecursion:
+    def test_factorial(self, manager):
+        calc = manager.runtime.create_object("Calculator", {"memory": 0})
+        assert manager.runtime.call(calc, "factorial", [6]) == 720
+
+    def test_fibonacci(self, manager):
+        calc = manager.runtime.create_object("Calculator", {"memory": 0})
+        assert manager.runtime.call(calc, "fib", [10]) == 55
+
+    def test_side_effects_through_self(self, manager):
+        calc = manager.runtime.create_object("Calculator", {"memory": 0})
+        assert manager.runtime.call(calc, "storeAndGet", [42]) == 42
+        assert calc.slots["memory"] == 42
+
+
+class TestMutualRecursionAcrossObjects:
+    def test_linked_list_sum(self, manager):
+        """A Nil/Cons list: recursion across objects with refinement
+        dispatch (GOM is strongly typed and has no nulls, so the empty
+        list is its own type)."""
+        manager.define("""
+        schema Lists is
+        type NodeBase is
+        operations
+          declare total : -> int;
+        implementation
+          define total() is begin return 0; end define;
+        end type NodeBase;
+        type Nil supertype NodeBase is
+        end type Nil;
+        type Cons supertype NodeBase is
+          [ value : int;
+            next  : NodeBase; ]
+        refine
+          declare total : -> int;
+        implementation
+          define total() is
+          begin
+            return self.value + self.next.total();
+          end define;
+        end type Cons;
+        end schema Lists;
+        """)
+        nil = manager.runtime.create_object("Nil", {})
+        tail = manager.runtime.create_object(
+            "Cons", {"value": 3, "next": nil.oid})
+        middle = manager.runtime.create_object(
+            "Cons", {"value": 2, "next": tail.oid})
+        head = manager.runtime.create_object(
+            "Cons", {"value": 1, "next": middle.oid})
+        assert manager.runtime.call(head, "total") == 6
+        assert manager.runtime.call(nil, "total") == 0
+        assert manager.check().consistent
+
+
+class TestManagerPersistenceApi:
+    def test_save_load_roundtrip(self, manager, tmp_path):
+        path = str(tmp_path / "math.json")
+        manager.save(path)
+        reloaded = SchemaManager.load(path)
+        assert reloaded.check().consistent
+        calc = reloaded.runtime.create_object("Calculator", {"memory": 0})
+        assert reloaded.runtime.call(calc, "factorial", [5]) == 120
+
+    def test_reloaded_manager_can_evolve(self, manager, tmp_path):
+        path = str(tmp_path / "math.json")
+        manager.save(path)
+        reloaded = SchemaManager.load(path)
+        session = reloaded.begin_session()
+        prims = reloaded.analyzer.primitives(session)
+        sid = reloaded.model.schema_id("Math")
+        tid = reloaded.model.type_id("Calculator", sid)
+        prims.add_attribute(tid, "label", reloaded.model.type_id("string"))
+        session.commit()
+        attrs = dict(reloaded.model.attributes(tid))
+        assert "label" in attrs

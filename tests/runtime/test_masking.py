@@ -1,0 +1,114 @@
+"""Unit tests for fashion-based masking (§4.1)."""
+
+import pytest
+
+from repro.errors import MethodLookupError, UnknownSlotError
+from repro.manager import SchemaManager
+from repro.runtime.masking import (
+    fashion_attr_codes,
+    fashion_decl_code,
+    fashion_targets,
+    substitutable,
+)
+from repro.workloads.carschema import define_car_schema
+from repro.workloads.newcarschema import (
+    EVOLUTION_FEATURES,
+    evolve_person_schema,
+)
+
+
+@pytest.fixture
+def world():
+    manager = SchemaManager(features=EVOLUTION_FEATURES)
+    define_car_schema(manager)
+    old_person = manager.runtime.create_object("Person",
+                                               {"name": "Ada", "age": 38})
+    evolve_person_schema(manager)
+    return manager, old_person
+
+
+class TestLookups:
+    def test_fashion_targets(self, world):
+        manager, old_person = world
+        new_person = manager.model.type_id(
+            "Person", manager.model.schema_id("NewPersonSchema"))
+        assert fashion_targets(manager.model, old_person.tid) == \
+            [new_person]
+
+    def test_attr_codes_found(self, world):
+        manager, old_person = world
+        codes = fashion_attr_codes(manager.model, old_person.tid,
+                                   "birthday")
+        assert codes is not None
+        read_code, write_code = codes
+        assert "date_from_age" in read_code
+
+    def test_attr_codes_missing(self, world):
+        manager, old_person = world
+        assert fashion_attr_codes(manager.model, old_person.tid,
+                                  "ghost") is None
+
+    def test_substitutable_via_fashion(self, world):
+        manager, old_person = world
+        new_person = manager.model.type_id(
+            "Person", manager.model.schema_id("NewPersonSchema"))
+        assert substitutable(manager.model, old_person.tid, new_person)
+        assert not substitutable(manager.model, new_person,
+                                 old_person.tid)
+
+
+class TestMaskedAccess:
+    def test_read_redirected(self, world):
+        manager, old_person = world
+        # CURRENT_YEAR (1993) - age (38) = 1955
+        assert manager.runtime.get_attr(old_person, "birthday") == 1955
+
+    def test_write_redirected(self, world):
+        manager, old_person = world
+        manager.runtime.set_attr(old_person, "birthday", 1960)
+        assert old_person.slots["age"] == 33
+
+    def test_identity_masked_attr(self, world):
+        manager, old_person = world
+        # 'name' is masked 1:1 onto the old attribute.
+        assert manager.runtime.get_attr(old_person, "name") == "Ada"
+        manager.runtime.set_attr(old_person, "name", "Grace")
+        assert old_person.slots["name"] == "Grace"
+
+    def test_unmasked_attr_still_fails(self, world):
+        manager, old_person = world
+        with pytest.raises(UnknownSlotError):
+            manager.runtime.get_attr(old_person, "shoeSize")
+
+    def test_new_instances_unaffected(self, world):
+        manager, old_person = world
+        new_person = manager.runtime.create_object(
+            "Person@NewPersonSchema", {"name": "Bo", "birthday": 2000})
+        assert manager.runtime.get_attr(new_person, "birthday") == 2000
+        with pytest.raises(UnknownSlotError):
+            manager.runtime.get_attr(new_person, "age")
+
+
+class TestMaskedCalls:
+    def test_fashion_decl_call(self, world):
+        manager, old_person = world
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        new_sid = manager.model.schema_id("NewPersonSchema")
+        new_person = manager.model.type_id("Person", new_sid)
+        did = prims.add_operation(
+            new_person, "greeting", (),
+            manager.model.type_id("string"),
+            code_text='greeting() is return "hello";')
+        prims.add_fashion_decl(did, old_person.tid,
+                               'greeting() is return "old-style hello";')
+        session.commit()
+        assert manager.runtime.call(old_person, "greeting") \
+            == "old-style hello"
+        assert fashion_decl_code(manager.model, old_person.tid,
+                                 "greeting") is not None
+
+    def test_unmasked_call_fails(self, world):
+        manager, old_person = world
+        with pytest.raises(MethodLookupError):
+            manager.runtime.call(old_person, "teleport")

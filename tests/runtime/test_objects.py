@@ -1,0 +1,184 @@
+"""Unit tests for the object store and object-base maintenance."""
+
+import pytest
+
+from repro.errors import (
+    GomTypeError,
+    RuntimeSystemError,
+    UnknownObjectError,
+    UnknownSlotError,
+)
+from repro.datalog.terms import Atom
+from repro.manager import SchemaManager
+
+
+@pytest.fixture
+def manager():
+    manager = SchemaManager()
+    manager.define("""
+    schema Zoo is
+    sort Diet is enum (herbivore, carnivore);
+    type Animal is
+      [ name : string;
+        legs : int; ]
+    end type Animal;
+    type Keeper is
+      [ name   : string;
+        animal : Animal; ]
+    end type Keeper;
+    end schema Zoo;
+    """)
+    return manager
+
+
+class TestObjectCreation:
+    def test_create_and_read(self, manager):
+        animal = manager.runtime.create_object("Animal",
+                                               {"name": "Rex", "legs": 4})
+        assert manager.runtime.get_attr(animal, "name") == "Rex"
+        assert manager.runtime.get_attr(animal, "legs") == 4
+
+    def test_phrep_created_on_first_instance(self, manager):
+        tid = manager.model.type_id("Animal",
+                                    manager.model.schema_id("Zoo"))
+        assert manager.model.phrep_of(tid) is None
+        manager.runtime.create_object("Animal", {"name": "a", "legs": 2})
+        clid = manager.model.phrep_of(tid)
+        assert clid is not None
+        slots = {fact.args[1]
+                 for fact in manager.model.db.matching(
+                     Atom("Slot", (clid, None, None)))}
+        assert slots == {"name", "legs"}
+
+    def test_second_instance_reuses_phrep(self, manager):
+        first = manager.runtime.create_object("Animal",
+                                              {"name": "a", "legs": 2})
+        tid = first.tid
+        clid = manager.model.phrep_of(tid)
+        manager.runtime.create_object("Animal", {"name": "b", "legs": 4})
+        assert manager.model.phrep_of(tid) == clid
+
+    def test_missing_attribute_rejected(self, manager):
+        with pytest.raises(GomTypeError):
+            manager.runtime.create_object("Animal", {"name": "x"})
+
+    def test_extra_attribute_rejected(self, manager):
+        with pytest.raises(GomTypeError):
+            manager.runtime.create_object(
+                "Animal", {"name": "x", "legs": 1, "wings": 2})
+
+    def test_type_mismatch_rejected(self, manager):
+        with pytest.raises(GomTypeError):
+            manager.runtime.create_object("Animal",
+                                          {"name": "x", "legs": "four"})
+
+    def test_bool_is_not_an_int(self, manager):
+        with pytest.raises(GomTypeError):
+            manager.runtime.create_object("Animal",
+                                          {"name": "x", "legs": True})
+
+    def test_object_valued_attribute(self, manager):
+        animal = manager.runtime.create_object("Animal",
+                                               {"name": "a", "legs": 4})
+        keeper = manager.runtime.create_object(
+            "Keeper", {"name": "kim", "animal": animal.oid})
+        assert manager.runtime.get_attr(keeper, "animal") == animal.oid
+
+    def test_object_attribute_wrong_type(self, manager):
+        keeper_animal = manager.runtime.create_object(
+            "Animal", {"name": "a", "legs": 4})
+        keeper = manager.runtime.create_object(
+            "Keeper", {"name": "kim", "animal": keeper_animal.oid})
+        with pytest.raises(GomTypeError):
+            manager.runtime.create_object(
+                "Keeper", {"name": "lee", "animal": keeper.oid})
+
+    def test_unknown_type(self, manager):
+        with pytest.raises(RuntimeSystemError):
+            manager.runtime.create_object("Ghost", {})
+
+    def test_type_at_schema_notation(self, manager):
+        animal = manager.runtime.create_object("Animal@Zoo",
+                                               {"name": "a", "legs": 4})
+        assert manager.model.type_name(animal.tid) == "Animal"
+
+    def test_object_base_consistent_after_creation(self, manager):
+        manager.runtime.create_object("Animal", {"name": "a", "legs": 4})
+        assert manager.check().consistent
+
+
+class TestEnumValues:
+    def test_enum_attribute(self, manager):
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        zoo = manager.model.schema_id("Zoo")
+        animal = manager.model.type_id("Animal", zoo)
+        diet = manager.model.type_id("Diet", zoo)
+        prims.add_attribute(animal, "diet", diet)
+        session.commit()
+        obj = manager.runtime.create_object(
+            "Animal", {"name": "a", "legs": 4, "diet": "carnivore"})
+        assert manager.runtime.get_attr(obj, "diet") == "carnivore"
+
+    def test_invalid_enum_value(self, manager):
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        zoo = manager.model.schema_id("Zoo")
+        prims.add_attribute(manager.model.type_id("Animal", zoo), "diet",
+                            manager.model.type_id("Diet", zoo))
+        session.commit()
+        with pytest.raises(GomTypeError):
+            manager.runtime.create_object(
+                "Animal", {"name": "a", "legs": 4, "diet": "omnivore"})
+
+
+class TestObjectDeletion:
+    def test_delete_object(self, manager):
+        animal = manager.runtime.create_object("Animal",
+                                               {"name": "a", "legs": 4})
+        manager.runtime.delete_object(animal.oid)
+        assert not manager.runtime.exists(animal.oid)
+        with pytest.raises(UnknownObjectError):
+            manager.runtime.get(animal.oid)
+
+    def test_last_instance_retracts_phrep(self, manager):
+        animal = manager.runtime.create_object("Animal",
+                                               {"name": "a", "legs": 4})
+        tid = animal.tid
+        manager.runtime.delete_object(animal.oid)
+        assert manager.model.phrep_of(tid) is None
+        assert manager.model.db.count("Slot") == 0
+
+    def test_phrep_stays_while_instances_remain(self, manager):
+        first = manager.runtime.create_object("Animal",
+                                              {"name": "a", "legs": 4})
+        manager.runtime.create_object("Animal", {"name": "b", "legs": 2})
+        manager.runtime.delete_object(first.oid)
+        assert manager.model.phrep_of(first.tid) is not None
+
+
+class TestAttributeAccess:
+    def test_set_attr_checks_type(self, manager):
+        animal = manager.runtime.create_object("Animal",
+                                               {"name": "a", "legs": 4})
+        with pytest.raises(GomTypeError):
+            manager.runtime.set_attr(animal, "legs", "many")
+
+    def test_unknown_slot(self, manager):
+        animal = manager.runtime.create_object("Animal",
+                                               {"name": "a", "legs": 4})
+        with pytest.raises(UnknownSlotError):
+            manager.runtime.get_attr(animal, "wings")
+
+    def test_objects_of_with_subtypes(self, manager):
+        session = manager.begin_session()
+        prims = manager.analyzer.primitives(session)
+        zoo = manager.model.schema_id("Zoo")
+        animal_tid = manager.model.type_id("Animal", zoo)
+        bird = prims.add_type(zoo, "Bird", supertypes=(animal_tid,))
+        session.commit()
+        manager.runtime.create_object("Animal", {"name": "a", "legs": 4})
+        manager.runtime.create_object(bird, {"name": "b", "legs": 2})
+        assert len(manager.runtime.objects_of(animal_tid)) == 1
+        assert len(manager.runtime.objects_of(
+            animal_tid, include_subtypes=True)) == 2

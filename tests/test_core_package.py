@@ -1,0 +1,25 @@
+"""The repro.core re-export surface (the paper's primary contribution)."""
+
+import repro.core as core
+
+
+def test_core_exports_resolve():
+    for name in core.__all__:
+        assert hasattr(core, name), name
+
+
+def test_core_is_usable_end_to_end():
+    manager = core.SchemaManager()
+    manager.define("schema S is type T is [ x : int; ] end type T; "
+                   "end schema S;")
+    session = manager.begin_session()
+    assert isinstance(session, core.EvolutionSession)
+    report = session.check()
+    assert isinstance(report, core.SessionReport)
+    session.rollback()
+
+
+def test_core_constraint_tools():
+    constraint = core.parse_constraint(
+        "constraint c: p(X, X) ==> FALSE.")
+    assert isinstance(constraint, core.Constraint)

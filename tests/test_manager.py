@@ -1,0 +1,144 @@
+"""Unit tests for the SchemaManager facade and the public API surface."""
+
+import pytest
+
+import repro
+from repro import SchemaManager
+from repro.errors import InconsistentSchemaError
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_available_features(self):
+        features = repro.available_features()
+        assert "core" in features and "fashion" in features
+
+
+class TestFacadeWiring:
+    def test_default_features(self):
+        manager = SchemaManager()
+        assert manager.model.features == ("core", "objectbase")
+
+    def test_sessions_have_both_explainers(self):
+        manager = SchemaManager()
+        session = manager.begin_session()
+        assert len(session._explainers) == 2
+
+    def test_define_commits_atomically(self):
+        manager = SchemaManager()
+        manager.define("schema A is end schema A;")
+        with pytest.raises(InconsistentSchemaError):
+            manager.define("""
+            schema B is
+            type T is end type T;
+            type T is end type T;
+            end schema B;
+            """)
+        # The failed definition rolled back completely: B is gone.
+        assert manager.analyzer.schemas() == ["A"]
+
+    def test_define_propagates_syntax_errors_with_rollback(self):
+        from repro.errors import GomSyntaxError
+        manager = SchemaManager()
+        before = manager.model.db.edb.snapshot()
+        with pytest.raises(GomSyntaxError):
+            manager.define("schema Broken is type ; end schema Broken;")
+        assert manager.model.db.edb.snapshot() == before
+
+    def test_evolve_returns_protocol_result(self):
+        manager = SchemaManager()
+        manager.define("schema S is type T is end type T; end schema S;")
+        result = manager.evolve(lambda session: None)
+        assert result.succeeded
+
+    def test_check_is_full_check(self):
+        manager = SchemaManager()
+        report = manager.check()
+        assert report.mode == "full"
+        assert report.consistent
+
+
+class TestAnalyzerRetrieval:
+    @pytest.fixture
+    def manager(self):
+        manager = SchemaManager()
+        manager.define("""
+        schema Shop is
+        type Item is
+          [ name  : string;
+            price : float; ]
+        operations
+          declare discounted : float -> float;
+        implementation
+          define discounted(pct) is
+          begin return self.price * (1.0 - pct); end define;
+        end type Item;
+        type Bundle supertype Item is
+        end type Bundle;
+        end schema Shop;
+        """)
+        return manager
+
+    def test_schemas_listing_excludes_builtin(self, manager):
+        assert manager.analyzer.schemas() == ["Shop"]
+
+    def test_types_in(self, manager):
+        assert manager.analyzer.types_in("Shop") == ["Bundle", "Item"]
+        assert manager.analyzer.types_in("Nowhere") == []
+
+    def test_describe_type_roundtrips_structure(self, manager):
+        tid = manager.model.type_id("Item", manager.model.schema_id("Shop"))
+        text = manager.analyzer.describe_type(tid)
+        assert "type Item is" in text
+        assert "name: string;" in text
+        assert "declare discounted: float -> float;" in text
+        assert text.endswith("end type Item;")
+
+    def test_describe_type_shows_supertypes(self, manager):
+        tid = manager.model.type_id("Bundle",
+                                    manager.model.schema_id("Shop"))
+        assert "supertype Item" in manager.analyzer.describe_type(tid)
+
+    def test_describe_schema(self, manager):
+        text = manager.analyzer.describe_schema("Shop")
+        assert text.startswith("schema Shop is")
+        assert "type Bundle" in text and "type Item" in text
+
+    def test_describe_unknown_schema(self, manager):
+        assert "unknown schema" in manager.analyzer.describe_schema("Nope")
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_are_repro_errors(self):
+        import repro.errors as errors
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_inconsistent_error_carries_violations(self):
+        manager = SchemaManager()
+        try:
+            manager.define("""
+            schema S is
+            type T is end type T;
+            type T is end type T;
+            end schema S;
+            """)
+        except InconsistentSchemaError as error:
+            assert error.violations
+            assert "violation" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected InconsistentSchemaError")
+
+    def test_syntax_errors_carry_positions(self):
+        from repro.errors import DatalogSyntaxError, GomSyntaxError
+        assert "line 3" in str(DatalogSyntaxError("bad", 3))
+        assert "column 7" in str(GomSyntaxError("bad", 2, 7))

@@ -1,0 +1,140 @@
+"""Unit tests for the tools package (tables, loc) and datalog pretty."""
+
+import os
+
+import pytest
+
+from repro.datalog.pretty import render_extension, render_rows
+from repro.manager import SchemaManager
+from repro.tools.loc import (
+    count_text_definitions,
+    feature_effort_table,
+    package_loc,
+)
+from repro.tools.tables import (
+    comparison_table,
+    extension_rows,
+    figure2_report,
+    render_table,
+)
+from repro.workloads.carschema import define_car_schema
+
+
+@pytest.fixture(scope="module")
+def world():
+    manager = SchemaManager()
+    result = define_car_schema(manager)
+    return manager, result
+
+
+class TestRenderTable:
+    def test_predicate_name_first_row_only(self, world):
+        manager, result = world
+        text = render_table("Type", extension_rows(manager.model, "Type"))
+        lines = text.splitlines()
+        assert lines[0].startswith("Type")
+        assert all(not line.startswith("Type") for line in lines[1:])
+
+    def test_columns_aligned(self, world):
+        manager, result = world
+        text = render_table("Attr", extension_rows(manager.model, "Attr"))
+        lines = text.splitlines()
+        # All tid_4 rows start their second column at the same offset.
+        offsets = {line.index("tid_") for line in lines if "tid_" in line}
+        assert len(offsets) >= 1
+
+    def test_empty_extension(self):
+        assert "empty" in render_table("Nothing", [])
+
+    def test_code_text_elided_in_figure2(self, world):
+        manager, result = world
+        report = figure2_report(manager.model)
+        assert "..." in report
+        assert "changeLocation(driver" not in report
+
+
+class TestExtensionRows:
+    def test_builtins_filtered_by_default(self, world):
+        manager, result = world
+        rows = extension_rows(manager.model, "Type")
+        names = {row[1] for row in rows}
+        assert "int" not in names and "ANY" not in names
+
+    def test_builtins_included_on_request(self, world):
+        manager, result = world
+        rows = extension_rows(manager.model, "Type", include_builtins=True)
+        names = {row[1] for row in rows}
+        assert "int" in names and "ANY" in names
+
+    def test_rows_sorted_deterministically(self, world):
+        manager, result = world
+        rows = extension_rows(manager.model, "Attr")
+        assert rows == sorted(rows, key=lambda row: tuple(str(c)
+                                                          for c in row))
+
+
+class TestComparisonTable:
+    def test_all_matched(self):
+        text = comparison_table("t", {(1, 2)}, {(1, 2)})
+        assert "1/1 paper rows matched, 0 extra" in text
+        assert "MISSING" not in text
+
+    def test_missing_row_flagged(self):
+        text = comparison_table("t", {(1, 2), (3, 4)}, {(1, 2)})
+        assert "MISSING" in text
+        assert "1/2 paper rows matched" in text
+
+    def test_extra_row_flagged(self):
+        text = comparison_table("t", {(1, 2)}, {(1, 2), (9, 9)})
+        assert "EXTRA" in text
+        assert "1 extra" in text
+
+
+class TestLocTools:
+    def test_count_text_definitions_skips_comments(self):
+        text = """
+        % a comment
+        p(X) :- q(X).
+
+        constraint c: p(X) ==> FALSE.
+        """
+        lines, definitions = count_text_definitions(text)
+        assert definitions == 2
+        assert lines == 2
+
+    def test_multiline_definition_counts_once(self):
+        text = "constraint c:\n  p(X)\n  ==> FALSE."
+        lines, definitions = count_text_definitions(text)
+        assert definitions == 1
+        assert lines == 3
+
+    def test_package_loc(self):
+        import repro
+        path = os.path.dirname(repro.__file__)
+        counts = package_loc(path)
+        assert "__init__.py" in counts
+        assert counts["__init__.py"] > 10
+        assert os.path.join("datalog", "engine.py") in counts
+
+    def test_feature_effort_table(self):
+        from repro.gom.model import GomDatabase
+        model = GomDatabase(features=("core", "overloading"))
+        table = feature_effort_table(model.contributions)
+        assert "overloading" in table
+        assert "core" in table
+
+
+class TestDatalogPretty:
+    def test_render_rows_alignment(self):
+        text = render_rows([("a", "long-cell"), ("bbbb", "x")])
+        lines = text.splitlines()
+        assert lines[0].index("long-cell") == lines[1].index("x")
+
+    def test_render_rows_empty(self):
+        assert render_rows([]) == "(empty)"
+
+    def test_render_extension(self, world):
+        manager, result = world
+        text = render_extension(manager.model.db, "SubTypRel")
+        assert "SubTypRel" in text
+        assert "tid_3" in text

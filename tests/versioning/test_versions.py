@@ -1,0 +1,96 @@
+"""Unit tests for the VersionGraph query layer."""
+
+import pytest
+
+from repro.datalog.terms import Atom
+from repro.gom.model import GomDatabase
+from repro.versioning import VersionGraph
+
+
+@pytest.fixture
+def world():
+    """A three-version chain with a branch: t1 -> t2 -> t3, t2 -> t4."""
+    model = GomDatabase(features=("core", "versioning", "fashion"))
+    sids = [model.ids.schema() for _ in range(4)]
+    tids = [model.ids.type() for _ in range(4)]
+    additions = []
+    for index, (sid, tid) in enumerate(zip(sids, tids), start=1):
+        additions.append(Atom("Schema", (sid, f"V{index}")))
+        additions.append(Atom("Type", (tid, "T", sid)))
+    for source, target in ((0, 1), (1, 2), (1, 3)):
+        additions.append(Atom("evolves_to_S", (sids[source],
+                                               sids[target])))
+        additions.append(Atom("evolves_to_T", (tids[source],
+                                               tids[target])))
+    model.modify(additions=additions)
+    assert model.check().consistent
+    return model, sids, tids
+
+
+class TestTypeVersionQueries:
+    def test_successors_direct_and_transitive(self, world):
+        model, sids, tids = world
+        graph = VersionGraph(model)
+        assert graph.type_successors(tids[0]) == [tids[1]]
+        assert set(graph.type_successors(tids[0], transitive=True)) == \
+            {tids[1], tids[2], tids[3]}
+
+    def test_predecessors(self, world):
+        model, sids, tids = world
+        graph = VersionGraph(model)
+        assert graph.type_predecessors(tids[2]) == [tids[1]]
+        assert set(graph.type_predecessors(tids[3], transitive=True)) == \
+            {tids[0], tids[1]}
+
+    def test_lineage_ordered_oldest_first(self, world):
+        model, sids, tids = world
+        graph = VersionGraph(model)
+        lineage = graph.type_lineage(tids[1])
+        assert lineage[0] == tids[0]
+        assert set(lineage) == set(tids)
+
+    def test_latest_versions_are_sinks(self, world):
+        model, sids, tids = world
+        graph = VersionGraph(model)
+        assert set(graph.latest_type_versions(tids[0])) == \
+            {tids[2], tids[3]}
+
+    def test_lineage_of_unversioned_type(self, world):
+        model, sids, tids = world
+        lonely = model.ids.type()
+        model.modify(additions=[Atom("Type", (lonely, "U", sids[0]))])
+        graph = VersionGraph(model)
+        assert graph.type_lineage(lonely) == [lonely]
+        assert graph.latest_type_versions(lonely) == [lonely]
+
+
+class TestSchemaVersionQueries:
+    def test_schema_successors(self, world):
+        model, sids, tids = world
+        graph = VersionGraph(model)
+        assert graph.schema_successors(sids[0]) == [sids[1]]
+        assert set(graph.schema_successors(sids[0], transitive=True)) == \
+            {sids[1], sids[2], sids[3]}
+
+    def test_schema_predecessors(self, world):
+        model, sids, tids = world
+        graph = VersionGraph(model)
+        assert graph.schema_predecessors(sids[1]) == [sids[0]]
+
+
+class TestSubstitutability:
+    def test_fashion_substitutables(self, world):
+        model, sids, tids = world
+        model.modify(additions=[Atom("FashionType", (tids[0], tids[1]))])
+        graph = VersionGraph(model)
+        assert graph.substitutable_for(tids[1]) == [tids[0]]
+        assert graph.substitutable_for(tids[0]) == []
+
+    def test_version_of_in_schema(self, world):
+        model, sids, tids = world
+        graph = VersionGraph(model)
+        assert graph.version_of_in_schema(tids[0], sids[2]) == tids[2]
+        assert graph.version_of_in_schema(tids[3], sids[0]) == tids[0]
+        other = model.ids.schema()
+        model.modify(additions=[Atom("Schema", (other, "Elsewhere"))])
+        assert graph.version_of_in_schema(tids[0], other) is None
