@@ -5,6 +5,7 @@ Each ``bench_e*.py`` file regenerates one of the paper's artifacts
 report under ``benchmarks/results/`` — the inputs to EXPERIMENTS.md.
 """
 
+import json
 import os
 
 import pytest
@@ -22,6 +23,27 @@ def write_report(name: str, text: str) -> str:
     return path
 
 
+def write_json(name: str, payload: dict) -> str:
+    """Persist one experiment's machine-readable results as JSON.
+
+    Written next to the ``.txt`` report so tooling (CI trend tracking,
+    EXPERIMENTS.md generation) can consume the numbers without parsing
+    the human-oriented table.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[json written to {path}]")
+    return path
+
+
 @pytest.fixture
 def report():
     return write_report
+
+
+@pytest.fixture
+def report_json():
+    return write_json

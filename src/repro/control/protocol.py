@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SessionError
 from repro.datalog.checker import Violation
+from repro.datalog.plan import EngineStats
 from repro.control.session import EvolutionSession, ExplainedRepair, SessionReport
 
 #: Sentinel a chooser returns to roll the whole session back (step 8).
@@ -79,6 +80,10 @@ class ProtocolResult:
     final_report: Optional[SessionReport]
     transcript: List[ProtocolStep] = field(default_factory=list)
     chosen_repairs: List[ExplainedRepair] = field(default_factory=list)
+    #: Engine statistics of the driven session (what the checks, repairs,
+    #: and re-checks actually cost).  None only for a "gave-up" run, whose
+    #: session is still open and still accumulating.
+    stats: Optional[EngineStats] = None
 
     @property
     def succeeded(self) -> bool:
@@ -128,7 +133,8 @@ class SchemaEvolutionProtocol:
                 return ProtocolResult(outcome=outcome, rounds=round_number,
                                       final_report=report,
                                       transcript=transcript,
-                                      chosen_repairs=chosen)
+                                      chosen_repairs=chosen,
+                                      stats=self.session.stats)
             violation = report.violations[0]
             repairs = self.session.repairs(violation)
             transcript.append(ProtocolStep(
@@ -148,7 +154,8 @@ class SchemaEvolutionProtocol:
                                       rounds=round_number,
                                       final_report=report,
                                       transcript=transcript,
-                                      chosen_repairs=chosen)
+                                      chosen_repairs=chosen,
+                                      stats=self.session.stats)
             if not isinstance(choice, int) or not 0 <= choice < len(repairs):
                 raise SessionError(
                     f"repair chooser returned invalid choice {choice!r}")

@@ -29,6 +29,7 @@ from repro.errors import (
     InconsistentSchemaError,
 )
 from repro.datalog.checker import CheckReport, Violation, snapshot_derived
+from repro.datalog.plan import EngineStats
 from repro.datalog.repair import NewConstant, Repair, RepairAction
 from repro.datalog.terms import Atom
 from repro.gom.model import GomDatabase
@@ -92,6 +93,9 @@ class EvolutionSession:
         self.model = model
         model.active_session = self
         self.check_mode = check_mode
+        #: Fresh instrumentation for this BES…EES bracket; every engine
+        #: evaluation inside the session is attributed to it.
+        self.stats: EngineStats = model.db.begin_stats()
         self._snapshot = model.db.edb.snapshot()
         self._derived_before = (
             snapshot_derived(model.db) if check_mode == "delta" else None
@@ -237,6 +241,7 @@ class EvolutionSession:
             raise InconsistentSchemaError(report.violations)
         self._closed = True
         self.model.active_session = None
+        self._publish_stats()
         return report
 
     def rollback(self) -> None:
@@ -250,3 +255,9 @@ class EvolutionSession:
         self._net.clear()
         self._closed = True
         self.model.active_session = None
+        self._publish_stats()
+
+    def _publish_stats(self) -> None:
+        """Freeze this session's counters and expose them on the model."""
+        self.stats.finish()
+        self.model.last_session_stats = self.stats

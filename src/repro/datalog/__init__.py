@@ -10,6 +10,8 @@ constraints (CDB).  The package provides:
 * :mod:`repro.datalog.rules` — rules, programs, stratification;
 * :mod:`repro.datalog.engine` — semi-naive bottom-up evaluation with
   provenance recording;
+* :mod:`repro.datalog.plan` — cost-based join planning, the indexed
+  join executor, and :class:`~repro.datalog.plan.EngineStats`;
 * :mod:`repro.datalog.constraints` — range-restricted FOL constraints;
 * :mod:`repro.datalog.checker` — full and incremental consistency checking;
 * :mod:`repro.datalog.repair` — automatic repair generation from violations
@@ -23,6 +25,7 @@ from repro.datalog.builtins import Comparison
 from repro.datalog.facts import FactStore, PredicateDecl
 from repro.datalog.rules import Program, Rule, stratify
 from repro.datalog.engine import DeductiveDatabase
+from repro.datalog.plan import EngineStats, JoinPlan, QueryPlanner
 from repro.datalog.constraints import (
     Conclusion,
     Constraint,
@@ -44,13 +47,16 @@ __all__ = [
     "Constraint",
     "DeductiveDatabase",
     "Disjunct",
+    "EngineStats",
     "EqualityConclusion",
     "ExistenceConclusion",
     "FactStore",
     "FalseConclusion",
+    "JoinPlan",
     "Literal",
     "PredicateDecl",
     "Program",
+    "QueryPlanner",
     "Repair",
     "RepairAction",
     "RepairGenerator",

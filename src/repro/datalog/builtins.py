@@ -25,6 +25,24 @@ _OPERATORS: Dict[str, Callable[[object, object], bool]] = {
 }
 
 
+def compare_values(op: str, left: object, right: object) -> bool:
+    """Apply one comparison operator to two ground values.
+
+    Shared by :meth:`Comparison.holds` and the compiled join-plan
+    executor so both agree on cross-kind semantics: values of
+    incomparable kinds (e.g. an Id vs an int) are simply unequal, while
+    ordering comparisons on them fail.
+    """
+    try:
+        return _OPERATORS[op](left, right)
+    except TypeError:
+        if op == "=":
+            return False
+        if op == "!=":
+            return True
+        raise
+
+
 @dataclass(frozen=True, slots=True)
 class Comparison:
     """A builtin comparison, e.g. ``X = Y`` or ``N1 != N2``."""
@@ -66,16 +84,7 @@ class Comparison:
         right = substitute_term(self.right, theta) if theta else self.right
         if isinstance(left, Variable) or isinstance(right, Variable):
             raise ValueError(f"comparison {self!r} evaluated with unbound side")
-        try:
-            return _OPERATORS[self.op](left, right)
-        except TypeError:
-            # Values of incomparable kinds (e.g. an Id vs an int) are
-            # simply unequal; ordering comparisons on them fail.
-            if self.op == "=":
-                return False
-            if self.op == "!=":
-                return True
-            raise
+        return compare_values(self.op, left, right)
 
     def negate(self) -> "Comparison":
         """Return the complementary comparison (``=`` <-> ``!=``, etc.)."""

@@ -123,10 +123,14 @@ class ConsistencyChecker:
             raise ValueError(f"constraint {constraint.name} already registered")
         self._by_name[constraint.name] = constraint
         self._constraints.append(constraint)
+        # Premises/conclusions are planned through the shared cache; a new
+        # constraint may reuse a body shape with different binding needs.
+        self.database.planner.invalidate()
 
     def remove_constraint(self, name: str) -> Constraint:
         constraint = self._by_name.pop(name)
         self._constraints.remove(constraint)
+        self.database.planner.invalidate()
         return constraint
 
     def constraint(self, name: str) -> Constraint:
@@ -144,16 +148,23 @@ class ConsistencyChecker:
               ) -> CheckReport:
         """Naive full check: enumerate every premise instantiation."""
         start = time.perf_counter()
+        stats = self.database.stats
+        stats.checks_run += 1
         targets = list(constraints) if constraints is not None \
             else self._constraints
         violations: List[Violation] = []
         seen: Set[Tuple] = set()
         for constraint in targets:
+            constraint_start = time.perf_counter()
             for violation in self._check_constraint(constraint):
                 key = _violation_key(constraint, violation.substitution)
                 if key not in seen:
                     seen.add(key)
                     violations.append(violation)
+            stats.record_constraint(
+                constraint.name, time.perf_counter() - constraint_start)
+        stats.constraints_checked += len(targets)
+        stats.violations_found += len(violations)
         elapsed = time.perf_counter() - start
         return CheckReport(violations=violations,
                            constraints_checked=len(targets),
@@ -229,10 +240,13 @@ class ConsistencyChecker:
                                          added_facts, deleted_facts,
                                          derived_before)
 
+        stats = self.database.stats
+        stats.checks_run += 1
         violations: List[Violation] = []
         seen: Set[Tuple] = set()
         checked = 0
         for constraint in self._constraints:
+            constraint_start = time.perf_counter()
             relevant = self._seeded_checks(constraint, may_grow, may_shrink,
                                            added_facts, deleted_facts)
             for violation in relevant:
@@ -240,7 +254,11 @@ class ConsistencyChecker:
                 if key not in seen:
                     seen.add(key)
                     violations.append(violation)
+            stats.record_constraint(
+                constraint.name, time.perf_counter() - constraint_start)
             checked += 1
+        stats.constraints_checked += checked
+        stats.violations_found += len(violations)
         elapsed = time.perf_counter() - start
         return CheckReport(violations=violations, constraints_checked=checked,
                            elapsed_seconds=elapsed, mode="delta")

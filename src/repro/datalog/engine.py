@@ -8,6 +8,14 @@ complete (every derivation of every derived fact is recorded), which is
 what makes support-based incremental maintenance and repair generation
 exact.
 
+Rule bodies, constraint premises, and ad-hoc queries all evaluate
+through compiled join plans (:mod:`repro.datalog.plan`): a shared
+:class:`~repro.datalog.plan.QueryPlanner` reorders each conjunction
+cost-based and drives per-position hash-index lookups instead of
+scan-and-match.  The planner's cache is invalidated whenever the rule
+set changes; :class:`~repro.datalog.plan.EngineStats` counts what every
+evaluation actually did.
+
 Incremental maintenance is predicate-level: a base-fact delta invalidates
 exactly the derived predicates that transitively depend on the changed
 base predicates; those — and only those — are re-evaluated.  For the GOM
@@ -22,7 +30,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.errors import UnknownPredicateError
 from repro.datalog.builtins import Comparison
-from repro.datalog.facts import FactStore, PredicateDecl
+from repro.datalog.facts import FactStore, PredicateDecl, Relation
+from repro.datalog.plan import EngineStats, QueryPlanner
 from repro.datalog.provenance import Derivation, DerivationTree, ProvenanceIndex
 from repro.datalog.rules import BodyElement, Program, Rule, stratify
 from repro.datalog.terms import Atom, Literal, Substitution, match
@@ -33,16 +42,33 @@ class DeductiveDatabase:
 
     def __init__(self, decls: Iterable[PredicateDecl] = (),
                  rules: Iterable[Rule] = ()) -> None:
-        self.edb = FactStore()
+        self.stats = EngineStats()
+        self.edb = FactStore(stats=self.stats)
         self.program = Program()
-        self._derived_store = FactStore()
+        self._derived_store = FactStore(stats=self.stats)
         self.provenance = ProvenanceIndex()
+        self.planner = QueryPlanner(self)
         self._strata: List[Set[str]] = []
         self._fresh: Set[str] = set()  # derived preds with current extension
         for decl in decls:
             self.declare(decl)
         for rule in rules:
             self.add_rule(rule)
+
+    # -- instrumentation ------------------------------------------------------
+
+    def begin_stats(self) -> EngineStats:
+        """Install (and return) a fresh instrumentation context.
+
+        Called at BES by the session layer; the previous
+        :class:`EngineStats` object keeps its final values, so older
+        references stay meaningful after the swap.
+        """
+        stats = EngineStats()
+        self.stats = stats
+        self.edb.set_stats(stats)
+        self._derived_store.set_stats(stats)
+        return stats
 
     # -- declarations and rules ---------------------------------------------
 
@@ -61,6 +87,7 @@ class DeductiveDatabase:
             )
         self._strata = stratify(self.program)
         self._fresh.clear()
+        self.planner.invalidate()
 
     def add_rules(self, rules: Iterable[Rule]) -> None:
         for rule in rules:
@@ -150,6 +177,17 @@ class DeductiveDatabase:
         self._ensure_fresh(pattern.pred)
         yield from self._derived_store.matching(pattern)
 
+    def relation(self, pred: str) -> Relation:
+        """The indexed relation backing *pred*, materialized if derived.
+
+        The row-level access path of the plan executor: one attribute
+        chase instead of per-fact Atom construction.
+        """
+        if self.edb.is_declared(pred):
+            return self.edb.relation(pred)
+        self._ensure_fresh(pred)
+        return self._derived_store.relation(pred)
+
     def count(self, pred: str) -> int:
         if self.edb.is_declared(pred):
             return self.edb.count(pred)
@@ -219,137 +257,72 @@ class DeductiveDatabase:
         round.  Every new derivation must use at least one such fact in a
         recursive body position (otherwise it would have been found
         earlier), so provenance stays complete while the work per round
-        is proportional to the delta, not to the whole extension.
+        is proportional to the delta, not to the whole extension.  Both
+        rounds run through compiled join plans; the delta rounds plan
+        with the seed literal's variables pre-bound, so every other body
+        literal joins through the indexes.
         """
         stratum_preds = {rule.head.pred for rule in rules}
         delta: Set[Atom] = set()
         for rule in rules:
+            plan = self.planner.plan(rule.body)
             # Buffer before recording: evaluation reads the stores that
             # recording mutates.
-            for derivation in list(self._instantiations(rule)):
+            for theta, pos, neg in list(plan.derivations(self)):
+                derivation = Derivation(
+                    fact=rule.head.substitute(theta),
+                    rule_name=rule.name,
+                    positive_supports=pos,
+                    negative_supports=neg,
+                )
                 if self.provenance.record(derivation):
                     if self._derived_store.add(derivation.fact):
                         delta.add(derivation.fact)
         while delta:
             new_delta: Set[Atom] = set()
             for rule in rules:
-                for position, element in enumerate(rule.body):
+                for element in rule.body:
                     if not (isinstance(element, Literal)
                             and element.positive):
                         continue
                     if element.pred not in stratum_preds:
                         continue
+                    seed_vars = frozenset(element.variables())
                     for fact in delta:
                         if fact.pred != element.pred:
                             continue
                         seed = match(element.atom, fact)
                         if seed is None:
                             continue
-                        for derivation in list(self._extend(
-                                rule, rule.body, seed, [], [])):
+                        plan = self.planner.plan(rule.body, seed_vars)
+                        for theta, pos, neg in list(
+                                plan.derivations(self, seed)):
+                            derivation = Derivation(
+                                fact=rule.head.substitute(theta),
+                                rule_name=rule.name,
+                                positive_supports=pos,
+                                negative_supports=neg,
+                            )
                             if self.provenance.record(derivation):
                                 if self._derived_store.add(
                                         derivation.fact):
                                     new_delta.add(derivation.fact)
             delta = new_delta
 
-    def _instantiations(self, rule: Rule) -> Iterator[Derivation]:
-        """Yield every ground derivation of *rule* against current facts."""
-        yield from self._extend(rule, rule.body, {}, [], [])
-
-    def _extend(self, rule: Rule, remaining: Sequence[BodyElement],
-                theta: Substitution, pos: List[Atom],
-                neg: List[Atom]) -> Iterator[Derivation]:
-        if not remaining:
-            head = rule.head.substitute(theta)
-            yield Derivation(
-                fact=head,
-                rule_name=rule.name,
-                positive_supports=tuple(pos),
-                negative_supports=tuple(neg),
-            )
-            return
-        element, rest = remaining[0], remaining[1:]
-        if isinstance(element, Comparison):
-            bound = element.substitute(theta)
-            if bound.is_ground():
-                if bound.holds():
-                    yield from self._extend(rule, rest, theta, pos, neg)
-                return
-            # An `X = t` equality with one side bound acts as a binding.
-            if bound.op == "=":
-                from repro.datalog.terms import Variable
-                left_is_var = isinstance(bound.left, Variable)
-                right_is_var = isinstance(bound.right, Variable)
-                if left_is_var != right_is_var:
-                    var = bound.left if left_is_var else bound.right
-                    value = bound.right if left_is_var else bound.left
-                    extended = dict(theta)
-                    extended[var] = value
-                    yield from self._extend(rule, rest, extended, pos, neg)
-                    return
-            raise ValueError(
-                f"comparison {element!r} in rule {rule.name} has unbound side"
-            )
-        atom = element.atom.substitute(theta)
-        if element.positive:
-            for fact in self.matching(atom):
-                extended = match(atom, fact, theta)
-                if extended is None:
-                    continue
-                yield from self._extend(rule, rest, extended,
-                                        pos + [fact], neg)
-        else:
-            if not atom.is_ground():
-                raise ValueError(
-                    f"negated literal {atom!r} in rule {rule.name} not ground "
-                    f"at evaluation time"
-                )
-            if not self.contains(atom):
-                yield from self._extend(rule, rest, theta, pos, neg + [atom])
-
     # -- convenience ------------------------------------------------------------
 
     def query(self, body: Sequence[BodyElement],
               theta: Optional[Substitution] = None) -> Iterator[Substitution]:
-        """Yield substitutions (over the body's variables) satisfying *body*."""
-        yield from self._query(tuple(body), dict(theta) if theta else {})
+        """Yield substitutions (over the body's variables) satisfying *body*.
 
-    def _query(self, remaining: Tuple[BodyElement, ...],
-               theta: Substitution) -> Iterator[Substitution]:
-        if not remaining:
-            yield dict(theta)
-            return
-        element, rest = remaining[0], remaining[1:]
-        if isinstance(element, Comparison):
-            bound = element.substitute(theta)
-            if bound.is_ground():
-                if bound.holds():
-                    yield from self._query(rest, theta)
-                return
-            if bound.op == "=":
-                from repro.datalog.terms import Variable
-                left_is_var = isinstance(bound.left, Variable)
-                right_is_var = isinstance(bound.right, Variable)
-                if left_is_var != right_is_var:
-                    var = bound.left if left_is_var else bound.right
-                    value = bound.right if left_is_var else bound.left
-                    extended = dict(theta)
-                    extended[var] = value
-                    yield from self._query(rest, extended)
-                    return
-            raise ValueError(f"comparison {element!r} has unbound side")
-        atom = element.atom.substitute(theta)
-        if element.positive:
-            for fact in self.matching(atom):
-                extended = match(atom, fact, theta)
-                if extended is not None:
-                    yield from self._query(rest, extended)
-        else:
-            if not atom.is_ground():
-                raise ValueError(f"negated literal {atom!r} not ground")
-            if not self.contains(atom):
-                yield from self._query(rest, theta)
+        Evaluation is plan-driven: the body is compiled (or fetched from
+        the shared plan cache) with the bindings of *theta* taken as
+        given, then executed against the relation indexes.
+        """
+        body = tuple(body)
+        theta = dict(theta) if theta else {}
+        plan = self.planner.plan_for(body, theta)
+        yield from plan.substitutions(self, theta)
 
     def holds(self, body: Sequence[BodyElement],
               theta: Optional[Substitution] = None) -> bool:

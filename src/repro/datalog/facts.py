@@ -23,6 +23,7 @@ from repro.errors import (
     NotGroundError,
     UnknownPredicateError,
 )
+from repro.datalog.plan import EngineStats
 from repro.datalog.terms import Atom, Variable
 
 
@@ -62,10 +63,16 @@ class PredicateDecl:
 
 
 class Relation:
-    """The extension of one base predicate, with per-column hash indexes."""
+    """The extension of one base predicate, with per-column hash indexes.
 
-    def __init__(self, decl: PredicateDecl) -> None:
+    ``stats`` points at the owning store's :class:`EngineStats` so index
+    usage is attributed to the active evaluation context (session).
+    """
+
+    def __init__(self, decl: PredicateDecl,
+                 stats: Optional[EngineStats] = None) -> None:
         self.decl = decl
+        self.stats = stats if stats is not None else EngineStats()
         self._rows: Set[Tuple[object, ...]] = set()
         self._indexes: List[Dict[object, Set[Tuple[object, ...]]]] = [
             {} for _ in range(decl.arity)
@@ -110,31 +117,47 @@ class Relation:
     def lookup(self, pattern: Sequence[object]) -> Iterator[Tuple[object, ...]]:
         """Yield rows matching *pattern*, where ``None``/Variable = wildcard.
 
-        Fully-bound patterns are a set-membership test; otherwise the
-        most selective bound column's index drives the scan.
+        Fully-bound patterns are a set-membership test.  With several
+        bound columns the per-position index buckets are intersected —
+        smallest bucket first, so the set intersection is proportional
+        to the most selective column — instead of scanning one bucket
+        and filtering.  A single bound column uses its bucket directly.
         """
-        best_bucket: Optional[Set[Tuple[object, ...]]] = None
+        stats = self.stats
         bound: List[Tuple[int, object]] = []
         for position, value in enumerate(pattern):
             if value is None or isinstance(value, Variable):
                 continue
             bound.append((position, value))
         if len(bound) == self.decl.arity:
+            stats.index_lookups += 1
             row = tuple(value for _position, value in bound)
             if row in self._rows:
+                stats.facts_scanned += 1
                 yield row
             return
+        if not bound:
+            stats.facts_scanned += len(self._rows)
+            yield from self._rows
+            return
+        buckets: List[Set[Tuple[object, ...]]] = []
         for position, value in bound:
-            bucket = self._indexes[position].get(value, set())
-            if best_bucket is None or len(bucket) < len(best_bucket):
-                best_bucket = bucket
-        if best_bucket is None:
-            candidates: Iterable[Tuple[object, ...]] = self._rows
-        else:
-            candidates = best_bucket
-        for row in candidates:
-            if all(row[position] == value for position, value in bound):
-                yield row
+            bucket = self._indexes[position].get(value)
+            if not bucket:
+                stats.index_lookups += 1
+                return  # one empty bucket: no row can match
+            buckets.append(bucket)
+        stats.index_lookups += 1
+        if len(buckets) == 1:
+            candidates: Iterable[Tuple[object, ...]] = buckets[0]
+            stats.facts_scanned += len(buckets[0])
+            yield from candidates
+            return
+        buckets.sort(key=len)
+        stats.index_intersections += 1
+        matched = buckets[0].intersection(*buckets[1:])
+        stats.facts_scanned += len(matched)
+        yield from matched
 
     def clear(self) -> None:
         self._rows.clear()
@@ -145,11 +168,19 @@ class Relation:
 class FactStore:
     """A collection of relations — the EDB half of the deductive database."""
 
-    def __init__(self, decls: Iterable[PredicateDecl] = ()) -> None:
+    def __init__(self, decls: Iterable[PredicateDecl] = (),
+                 stats: Optional[EngineStats] = None) -> None:
+        self.stats = stats if stats is not None else EngineStats()
         self._relations: Dict[str, Relation] = {}
         self._decls: Dict[str, PredicateDecl] = {}
         for decl in decls:
             self.declare(decl)
+
+    def set_stats(self, stats: EngineStats) -> None:
+        """Swap the instrumentation context (a new session began)."""
+        self.stats = stats
+        for relation in self._relations.values():
+            relation.stats = stats
 
     # -- declarations -------------------------------------------------------
 
@@ -163,7 +194,7 @@ class FactStore:
                 f"predicate {decl.name} already declared differently"
             )
         self._decls[decl.name] = decl
-        self._relations[decl.name] = Relation(decl)
+        self._relations[decl.name] = Relation(decl, self.stats)
 
     def is_declared(self, name: str) -> bool:
         return name in self._decls
@@ -187,6 +218,11 @@ class FactStore:
             return self._relations[name]
         except KeyError:
             raise UnknownPredicateError(f"unknown predicate {name}") from None
+
+    def relation(self, name: str) -> Relation:
+        """The :class:`Relation` backing one predicate (for plan
+        execution, which drives index lookups at the row level)."""
+        return self._relation(name)
 
     def add(self, fact: Atom) -> bool:
         """Insert a ground atom.  Returns True when newly inserted."""

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence
 
 from repro.datalog.engine import DeductiveDatabase
+from repro.datalog.plan import EngineStats
 from repro.datalog.terms import Atom
 
 
@@ -44,3 +45,30 @@ def render_extensions(database: DeductiveDatabase,
     """Render several extensions, stacked, in the given predicate order."""
     blocks = [render_extension(database, pred) for pred in preds]
     return "\n".join(block for block in blocks if block != "(empty)")
+
+
+def render_stats(stats: EngineStats, slowest: int = 5) -> str:
+    """Render one session's engine statistics as an aligned table.
+
+    Same information as :meth:`EngineStats.describe`, but in the
+    two-column layout of the other renderers, with the *slowest*
+    most expensive constraints appended.
+    """
+    rows: List[List[object]] = [
+        ["elapsed", f"{stats.elapsed_seconds * 1000:.2f} ms"],
+        ["facts scanned", stats.facts_scanned],
+        ["index lookups", stats.index_lookups],
+        ["index intersections", stats.index_intersections],
+        ["join tuples", stats.join_tuples],
+        ["negation checks", stats.negation_checks],
+        ["comparisons", stats.comparisons_evaluated],
+        ["plans compiled", stats.plans_compiled],
+        ["plan cache hits",
+         f"{stats.plan_cache_hits} ({stats.plan_cache_hit_rate:.0%})"],
+        ["checks run", stats.checks_run],
+        ["constraints checked", stats.constraints_checked],
+        ["violations found", stats.violations_found],
+    ]
+    for name, seconds in stats.slowest_constraints(slowest):
+        rows.append([f"constraint {name}", f"{seconds * 1000:.2f} ms"])
+    return render_rows(rows)

@@ -341,7 +341,14 @@ class RepairGenerator:
         variables — this is how existentials get bound, preferring real
         constants) or scheduled for insertion.  Unbound variables in
         scheduled insertions become :class:`NewConstant` placeholders.
+
+        The conjunction is reordered by the shared query planner before
+        the search: binding existentials through the most selective
+        conjunct first keeps the match-or-insert tree small.  Bodies the
+        planner cannot order (it assumes every positive conjunct can be
+        scanned) keep their written order.
         """
+        body = self.database.planner.order_conjunction(body, theta)
         solutions: List[Tuple[RepairAction, ...]] = []
         seen: Set[FrozenSet] = set()
 

@@ -73,6 +73,17 @@ class RepairGenerationError(DatalogError):
     """The repair generator could not produce repairs for a violation."""
 
 
+class PlanningError(DatalogError, ValueError):
+    """A conjunctive body cannot be compiled into a join plan.
+
+    Raised when no evaluation order can bind the variables of a negated
+    literal or builtin comparison — the planner's analogue of the
+    evaluation-time "unbound side" errors, surfaced at compile time.
+    Derives from :class:`ValueError` for backward compatibility with the
+    pre-planner engine, which raised ``ValueError`` lazily.
+    """
+
+
 # ---------------------------------------------------------------------------
 # GOM model
 # ---------------------------------------------------------------------------

@@ -171,6 +171,9 @@ class GomDatabase:
         self.checker = ConsistencyChecker(self.db)
         self.repairer = RepairGenerator(self.db)
         self.contributions: List[FeatureContribution] = []
+        #: Statistics of the most recently ended evolution session
+        #: (published by the Consistency Control at commit / rollback).
+        self.last_session_stats = None
         self._enabled: List[str] = []
         self._generate_keys = generate_keys
         self._generate_references = generate_references
@@ -255,6 +258,10 @@ class GomDatabase:
         )
         self.contributions.append(contribution)
         self._enabled.append(name)
+        # New predicates / rules / constraints change what bodies mean;
+        # drop every cached join plan (idempotent with the invalidations
+        # done by add_rule / add_constraint, explicit for late enables).
+        self.db.planner.invalidate()
         return contribution
 
     @staticmethod

@@ -28,6 +28,7 @@ from repro.control.protocol import (
 )
 from repro.control.session import EvolutionSession, SessionReport
 from repro.datalog.checker import CheckReport
+from repro.datalog.plan import EngineStats
 from repro.runtime.conversion import ConversionRoutines
 from repro.runtime.objects import RuntimeSystem
 
@@ -110,3 +111,17 @@ class SchemaManager:
     def check(self) -> CheckReport:
         """A full consistency check of the current database model."""
         return self.model.check()
+
+    # -- instrumentation -----------------------------------------------------------------
+
+    def last_session_stats(self) -> Optional[EngineStats]:
+        """Engine statistics of the most recently ended evolution session.
+
+        Counts what the deductive core actually did between BES and
+        commit / rollback: facts scanned, index lookups, join tuples,
+        plans compiled vs. reused, and per-constraint check time.  None
+        until a session has ended.  Render with
+        :func:`repro.datalog.pretty.render_stats` or inspect via
+        :meth:`EngineStats.as_dict`.
+        """
+        return self.model.last_session_stats

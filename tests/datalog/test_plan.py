@@ -1,0 +1,225 @@
+"""Unit tests for the join planner and its executor.
+
+Covers: cost-based literal reordering, filter scheduling (negations,
+comparisons, equality bindings), the plan cache (hits, cardinality
+signatures, invalidation), the instrumentation counters, and support
+ordering in plan-driven provenance.
+"""
+
+import pytest
+
+from repro.errors import PlanningError, UnknownPredicateError
+from repro.datalog.builtins import Comparison
+from repro.datalog.engine import DeductiveDatabase
+from repro.datalog.facts import PredicateDecl
+from repro.datalog.parser import parse_rules
+from repro.datalog.plan import EngineStats, compile_plan
+from repro.datalog.terms import Atom, Literal, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+@pytest.fixture
+def db():
+    db = DeductiveDatabase([
+        PredicateDecl("big", ("a", "b")),
+        PredicateDecl("small", ("a", "b")),
+        PredicateDecl("flag", ("a",)),
+    ])
+    for i in range(100):
+        db.add_fact(Atom("big", (i, i + 1)))
+    db.add_fact(Atom("small", (1, 2)))
+    db.add_fact(Atom("small", (3, 4)))
+    db.add_fact(Atom("flag", (1,)))
+    return db
+
+
+class TestOrdering:
+    def test_small_relation_scanned_first(self, db):
+        body = (Literal(Atom("big", (X, Y))), Literal(Atom("small", (Y, Z))))
+        plan = db.planner.plan(body)
+        assert plan.scheduled_order() == (1, 0)
+
+    def test_bound_literal_preferred(self, db):
+        # With X and Y bound, big(X, Y) is a membership probe (cost 1)
+        # and runs before the unkeyed two-row small scan.
+        W = Variable("W")
+        body = (Literal(Atom("big", (X, Y))), Literal(Atom("small", (Z, W))))
+        plan = db.planner.plan(body, {X, Y})
+        assert plan.scheduled_order() == (0, 1)
+
+    def test_negation_deferred_until_bound(self, db):
+        body = (
+            Literal(Atom("small", (X, Y)), positive=False),
+            Literal(Atom("big", (X, Y))),
+        )
+        plan = db.planner.plan(body)
+        assert plan.scheduled_order() == (1, 0)
+
+    def test_comparison_scheduled_when_bound(self, db):
+        body = (
+            Literal(Atom("small", (X, Y))),
+            Literal(Atom("big", (Y, Z))),
+            Comparison("<", X, Y),
+        )
+        plan = db.planner.plan(body)
+        order = plan.scheduled_order()
+        # The comparison (index 2) must come after small (0), which binds
+        # both of its variables, and before big (1) prunes nothing.
+        assert order.index(2) > order.index(0)
+
+    def test_explain_mentions_access_path(self, db):
+        body = (Literal(Atom("big", (X, Y))), Literal(Atom("small", (Y, Z))))
+        text = db.planner.plan(body).explain()
+        assert "scan" in text and "index[" in text
+
+
+class TestPlanningErrors:
+    def test_unbound_negation_rejected(self, db):
+        with pytest.raises(PlanningError):
+            compile_plan(db, (Literal(Atom("big", (X, Y)),
+                                      positive=False),))
+
+    def test_planning_error_is_value_error(self, db):
+        with pytest.raises(ValueError):
+            compile_plan(db, (Comparison("<", X, Y),))
+
+    def test_unknown_predicate_propagates(self, db):
+        with pytest.raises(UnknownPredicateError):
+            db.planner.plan((Literal(Atom("nope", (X,))),))
+
+    def test_order_conjunction_falls_back(self, db):
+        # Unplannable body: planner returns the written order untouched.
+        body = (Literal(Atom("big", (X, Y)), positive=False),)
+        assert db.planner.order_conjunction(body) == body
+
+
+class TestExecution:
+    def test_join_results_match_nested_loops(self, db):
+        body = (Literal(Atom("big", (X, Y))), Literal(Atom("small", (Y, Z))))
+        got = {(s[X], s[Y], s[Z]) for s in db.query(body)}
+        expected = {
+            (a, b, d)
+            for (a, b) in ((i, i + 1) for i in range(100))
+            for (c, d) in ((1, 2), (3, 4))
+            if b == c
+        }
+        assert got == expected
+
+    def test_equality_binding(self, db):
+        body = (Comparison("=", X, 1), Literal(Atom("flag", (X,))))
+        assert [s[X] for s in db.query(body)] == [1]
+
+    def test_negation_filters(self, db):
+        body = (
+            Literal(Atom("small", (X, Y))),
+            Literal(Atom("flag", (X,)), positive=False),
+        )
+        assert {s[X] for s in db.query(body)} == {3}
+
+    def test_seeded_query_uses_bindings(self, db):
+        body = (Literal(Atom("big", (X, Y))),)
+        results = list(db.query(body, {X: 5}))
+        assert results == [{X: 5, Y: 6}]
+
+    def test_repeated_variable_join(self, db):
+        db.add_fact(Atom("small", (7, 7)))
+        body = (Literal(Atom("small", (X, X))),)
+        assert [s[X] for s in db.query(body)] == [7]
+
+    def test_incomparable_kinds_are_unequal(self, db):
+        db.add_fact(Atom("small", ("s", 9)))
+        body = (Literal(Atom("small", (X, Y))), Comparison("=", X, 1))
+        assert {s[X] for s in db.query(body)} == {1}
+
+
+class TestPlanCache:
+    def test_cache_hit_on_repeated_body(self, db):
+        body = (Literal(Atom("big", (X, Y))),)
+        db.planner.plan(body)
+        hits_before = db.stats.plan_cache_hits
+        db.planner.plan(body)
+        assert db.stats.plan_cache_hits == hits_before + 1
+
+    def test_invalidated_on_add_rule(self, db):
+        db.planner.plan((Literal(Atom("big", (X, Y))),))
+        assert len(db.planner) > 0
+        db.add_rule(parse_rules("via(X, Z) :- big(X, Y), big(Y, Z).")[0])
+        assert len(db.planner) == 0
+
+    def test_recompiled_when_cardinality_grows(self, db):
+        body = (Literal(Atom("small", (X, Y))),)
+        db.planner.plan(body)
+        compiled_before = db.stats.plans_compiled
+        # Push the relation across a bit-length boundary (2 -> 100 rows):
+        # the signature changes, so the same body compiles a fresh plan.
+        for i in range(100):
+            db.add_fact(Atom("small", (100 + i, 200 + i)))
+        db.planner.plan(body)
+        assert db.stats.plans_compiled == compiled_before + 1
+
+    def test_distinct_bindings_distinct_plans(self, db):
+        body = (Literal(Atom("big", (X, Y))), Literal(Atom("small", (Y, Z))))
+        first = db.planner.plan(body)
+        second = db.planner.plan(body, {X})
+        assert first is not second
+        assert db.planner.plan(body) is first
+
+
+class TestStats:
+    def test_counters_move_during_query(self, db):
+        stats = db.begin_stats()
+        body = (
+            Literal(Atom("small", (X, Y))),
+            Literal(Atom("big", (Y, Z))),
+            Literal(Atom("flag", (Y,)), positive=False),
+        )
+        list(db.query(body))
+        assert stats.join_tuples > 0
+        assert stats.index_lookups > 0
+        assert stats.negation_checks > 0
+        assert stats.plans_compiled == 1
+
+    def test_begin_stats_swaps_context(self, db):
+        first = db.stats
+        second = db.begin_stats()
+        assert first is not second
+        list(db.query((Literal(Atom("flag", (X,))),)))
+        assert second.facts_scanned > 0
+        assert db.edb.stats is second
+
+    def test_describe_and_dict(self):
+        stats = EngineStats()
+        stats.record_constraint("c1", 0.5)
+        stats.record_constraint("c1", 0.25)
+        stats.finish()
+        assert stats.constraint_seconds["c1"] == 0.75
+        assert stats.slowest_constraints() == [("c1", 0.75)]
+        assert stats.as_dict()["constraint_seconds"] == {"c1": 0.75}
+        assert "plans compiled" in stats.describe()
+
+
+class TestProvenanceOrdering:
+    def test_supports_recorded_in_body_order(self, db):
+        # The plan evaluates small before big, but the recorded supports
+        # must follow the written body order so a derivation has one
+        # stable identity regardless of the seeding that found it.
+        db.add_rule(parse_rules(
+            "joined(X, Z) :- big(X, Y), small(Y, Z).")[0])
+        db.materialize()
+        fact = Atom("joined", (0, 2))
+        derivations = db.derivations(fact)
+        assert len(derivations) == 1
+        assert derivations[0].positive_supports == (
+            Atom("big", (0, 1)), Atom("small", (1, 2)))
+
+    def test_no_duplicate_derivations_after_delta(self, db):
+        db.add_rules(parse_rules(
+            "reach(X, Y) :- small(X, Y)."
+            "reach(X, Z) :- small(X, Y), reach(Y, Z)."))
+        db.add_fact(Atom("small", (2, 3)))
+        db.materialize()
+        for fact in db.facts("reach"):
+            derivations = db.derivations(fact)
+            keys = {d.key() for d in derivations}
+            assert len(keys) == len(derivations)
