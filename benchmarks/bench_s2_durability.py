@@ -1,0 +1,121 @@
+"""S2 — durability overhead and recovery throughput.
+
+Not a paper artifact: the paper assumes a persistent object base under
+its schema manager; this measures what our write-ahead evolution log
+costs per committed session and how fast recovery replays a history.
+
+Three numbers matter for the ROADMAP's production north star:
+
+* commit overhead — a logged session vs. the same session in memory
+  (one fsync per commit is the floor);
+* recovery time — replaying N committed sessions from a cold log;
+* checkpoint effect — recovery after a checkpoint is snapshot-load
+  only, independent of history length.
+"""
+
+import pytest
+
+from repro.manager import SchemaManager
+
+from conftest import write_json, write_report
+
+SESSIONS = (10, 40)
+
+
+def run_sessions(manager, count, prefix):
+    for index in range(count):
+        manager.define(f"""
+        schema {prefix}{index} is
+        type {prefix}T{index} is [ x: int; y: string; ] end type {prefix}T{index};
+        end schema {prefix}{index};
+        """)
+
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("n_sessions", SESSIONS)
+def test_s2_commit_overhead(benchmark, tmp_path, n_sessions):
+    benchmark.group = f"S2 logged commits n={n_sessions}"
+    state = {"round": 0}
+
+    def run():
+        directory = str(tmp_path / f"db{state['round']}")
+        state["round"] += 1
+        with SchemaManager.open(directory) as manager:
+            run_sessions(manager, n_sessions, "D")
+            return manager.last_session_stats().wal_fsyncs
+
+    fsyncs = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert fsyncs == 1  # exactly one fsync per committed session
+    _RESULTS[("durable", n_sessions)] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("n_sessions", SESSIONS)
+def test_s2_in_memory_baseline(benchmark, n_sessions):
+    benchmark.group = f"S2 in-memory baseline n={n_sessions}"
+
+    def run():
+        manager = SchemaManager()
+        run_sessions(manager, n_sessions, "M")
+        return manager.last_session_stats().wal_records
+
+    records = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert records == 0
+    _RESULTS[("memory", n_sessions)] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("n_sessions", SESSIONS)
+def test_s2_recovery_replay(benchmark, tmp_path, n_sessions):
+    benchmark.group = f"S2 recovery n={n_sessions}"
+    directory = str(tmp_path / "db")
+    with SchemaManager.open(directory) as manager:
+        run_sessions(manager, n_sessions, "R")
+
+    def run():
+        recovered = SchemaManager.open(directory)
+        report = recovered.recovery
+        recovered.close()
+        return report.sessions_replayed
+
+    replayed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert replayed == n_sessions
+    _RESULTS[("recover", n_sessions)] = benchmark.stats.stats.mean
+
+
+def test_s2_checkpoint_bounds_recovery(benchmark, tmp_path):
+    benchmark.group = "S2 recovery after checkpoint"
+    directory = str(tmp_path / "db")
+    with SchemaManager.open(directory) as manager:
+        run_sessions(manager, max(SESSIONS), "C")
+        manager.checkpoint()
+
+    def run():
+        recovered = SchemaManager.open(directory)
+        report = recovered.recovery
+        recovered.close()
+        return report
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.snapshot_loaded
+    assert report.sessions_replayed == 0
+    _RESULTS[("checkpointed", max(SESSIONS))] = benchmark.stats.stats.mean
+
+
+def test_s2_report(report, report_json):
+    if not _RESULTS:
+        pytest.skip("benchmarks did not run")
+    lines = ["S2 — durability overhead and recovery throughput", ""]
+    for (mode, size), seconds in sorted(_RESULTS.items()):
+        lines.append(f"  {mode:>13} n={size:<4} {seconds * 1000:9.2f} ms")
+    durable = _RESULTS.get(("durable", max(SESSIONS)))
+    memory = _RESULTS.get(("memory", max(SESSIONS)))
+    if durable and memory:
+        lines.append("")
+        lines.append(f"  log overhead: {durable / memory:.2f}x the "
+                     f"in-memory run at n={max(SESSIONS)}")
+    write_report("s2_durability", "\n".join(lines))
+    write_json("s2_durability", {
+        "results_ms": {f"{mode}_n{size}": seconds * 1000
+                       for (mode, size), seconds in _RESULTS.items()},
+    })

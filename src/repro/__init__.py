@@ -40,13 +40,19 @@ from repro.control.protocol import (
 from repro.control.session import EvolutionSession
 from repro.runtime.conversion import ConversionRoutines
 from repro.runtime.objects import GomObject, RuntimeSystem
+from repro.storage.faults import CrashPoint, FaultInjector
+from repro.storage.store import DurableStore, RecoveryReport
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Analyzer",
     "ConversionRoutines",
+    "CrashPoint",
+    "DurableStore",
     "EvolutionSession",
+    "FaultInjector",
+    "RecoveryReport",
     "FeatureModule",
     "GomDatabase",
     "GomObject",

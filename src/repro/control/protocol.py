@@ -147,6 +147,10 @@ class SchemaEvolutionProtocol:
             if isinstance(choice, tuple):
                 choice, inputs = choice
             if choice == ROLLBACK:
+                self.session.annotate(
+                    f"protocol: user chose to undo the session "
+                    f"(round {round_number}, "
+                    f"violated {violation.constraint.name})")
                 self.session.rollback()
                 transcript.append(ProtocolStep(
                     8, "user chose to undo the evolution session"))
@@ -162,6 +166,10 @@ class SchemaEvolutionProtocol:
             selected = repairs[choice]
             transcript.append(ProtocolStep(
                 8, f"user chose repair {selected.repair.display_action!r}"))
+            self.session.annotate(
+                f"protocol: repair {selected.repair.display_action!r} "
+                f"({selected.repair.kind}) chosen for "
+                f"{violation.constraint.name}")
             self.session.apply_repair(selected.repair, inputs)
             chosen.append(selected)
             transcript.append(ProtocolStep(

@@ -104,6 +104,12 @@ class EvolutionSession:
         self._closed = False
         self._explainers: List[Explainer] = []
         self.began_at = time.perf_counter()
+        #: Evolution-log session id when the model is durably backed
+        #: (the BES record is emitted here), None on in-memory models.
+        self.wal_id: Optional[int] = None
+        durability = getattr(model, "durability", None)
+        if durability is not None:
+            self.wal_id = durability.begin_session(check_mode)
 
     # -- state ------------------------------------------------------------------
 
@@ -118,6 +124,17 @@ class EvolutionSession:
     def register_explainer(self, explainer: Explainer) -> None:
         """Register an Analyzer / Runtime System explanation hook."""
         self._explainers.append(explainer)
+
+    def annotate(self, text: str) -> None:
+        """Add a free-form note to the durable session history.
+
+        Used by the evolution protocol to record its decisions (chosen
+        repairs, user-requested undo) so the log doubles as a replayable
+        history of *why* the schema changed, not just *what* changed.
+        A no-op on in-memory models.
+        """
+        if self.wal_id is not None:
+            self.model.durability.annotate(self.wal_id, text)
 
     # -- modifications -------------------------------------------------------------
 
@@ -134,6 +151,12 @@ class EvolutionSession:
             if not self.model.db.edb.contains(fact):
                 self._bump(fact, +1)
         self.model.modify(additions, deletions)
+        # Log after the in-memory apply succeeded, so op records mirror
+        # exactly the primitives that executed; the session only becomes
+        # durable at its (fsync'd) commit record anyway.
+        if self.wal_id is not None and (additions or deletions):
+            self.model.durability.log_operations(self.wal_id, additions,
+                                                 deletions)
 
     def add(self, fact: Atom) -> None:
         """Convenience: insert one fact."""
@@ -239,6 +262,11 @@ class EvolutionSession:
         report = self.check(mode)
         if require_consistent and not report.consistent:
             raise InconsistentSchemaError(report.violations)
+        # EES durability point: fsync the commit record before the
+        # session closes.  A crash here leaves the session uncommitted
+        # and recovery discards it whole — never a partial effect.
+        if self.wal_id is not None:
+            self.model.durability.commit_session(self.wal_id)
         self._closed = True
         self.model.active_session = None
         self._publish_stats()
@@ -253,6 +281,8 @@ class EvolutionSession:
         if touched:
             self.model.db.invalidate(touched)
         self._net.clear()
+        if self.wal_id is not None:
+            self.model.durability.rollback_session(self.wal_id)
         self._closed = True
         self.model.active_session = None
         self._publish_stats()

@@ -80,6 +80,14 @@ class EngineStats:
     checks_run: int = 0
     constraints_checked: int = 0
     violations_found: int = 0
+    # Durability counters (threaded in by repro.storage when the model
+    # is backed by an evolution log).
+    wal_records: int = 0
+    wal_bytes: int = 0
+    wal_fsyncs: int = 0
+    replay_sessions: int = 0
+    replay_records: int = 0
+    replay_seconds: float = 0.0
     constraint_seconds: Dict[str, float] = field(default_factory=dict)
     started_at: float = field(default_factory=time.perf_counter)
     finished_at: Optional[float] = None
@@ -129,6 +137,12 @@ class EngineStats:
             "checks_run": self.checks_run,
             "constraints_checked": self.constraints_checked,
             "violations_found": self.violations_found,
+            "wal_records": self.wal_records,
+            "wal_bytes": self.wal_bytes,
+            "wal_fsyncs": self.wal_fsyncs,
+            "replay_sessions": self.replay_sessions,
+            "replay_records": self.replay_records,
+            "replay_seconds": self.replay_seconds,
             "elapsed_seconds": self.elapsed_seconds,
             "constraint_seconds": dict(self.constraint_seconds),
         }
@@ -150,6 +164,14 @@ class EngineStats:
             f"({self.constraints_checked} constraint evaluations, "
             f"{self.violations_found} violations)",
         ]
+        if self.wal_records or self.wal_fsyncs:
+            lines.append(f"  evolution log:      {self.wal_records} "
+                         f"record(s), {self.wal_bytes} bytes, "
+                         f"{self.wal_fsyncs} fsync(s)")
+        if self.replay_sessions or self.replay_records:
+            lines.append(f"  recovery replay:    {self.replay_sessions} "
+                         f"session(s), {self.replay_records} record(s) in "
+                         f"{self.replay_seconds * 1000:.2f} ms")
         slowest = self.slowest_constraints(3)
         if slowest:
             worst = ", ".join(f"{name} {seconds * 1000:.2f} ms"

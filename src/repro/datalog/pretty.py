@@ -69,6 +69,14 @@ def render_stats(stats: EngineStats, slowest: int = 5) -> str:
         ["constraints checked", stats.constraints_checked],
         ["violations found", stats.violations_found],
     ]
+    if stats.wal_records or stats.wal_fsyncs:
+        rows.append(["wal records",
+                     f"{stats.wal_records} ({stats.wal_bytes} bytes)"])
+        rows.append(["wal fsyncs", stats.wal_fsyncs])
+    if stats.replay_sessions or stats.replay_records:
+        rows.append(["replayed sessions", stats.replay_sessions])
+        rows.append(["replayed records", stats.replay_records])
+        rows.append(["replay time", f"{stats.replay_seconds * 1000:.2f} ms"])
     for name, seconds in stats.slowest_constraints(slowest):
         rows.append([f"constraint {name}", f"{seconds * 1000:.2f} ms"])
     return render_rows(rows)

@@ -92,6 +92,35 @@ class IdFactory:
     def object(self) -> Id:
         return self.fresh("oid")
 
+    # -- persistence support ---------------------------------------------------
+
+    def next_numbers(self) -> Dict[str, int]:
+        """Peek the next number of every kind without consuming any.
+
+        Used by the persistence layer and the evolution log, whose
+        commit records carry the counter frontier so evolution resumes
+        seamlessly after a reload or a crash recovery.
+        """
+        numbers: Dict[str, int] = {}
+        for kind in KINDS:
+            counter = self._counters[kind]
+            probe = next(counter)
+            numbers[kind] = probe
+            self._counters[kind] = itertools.chain([probe], counter)
+        return numbers
+
+    def resume(self, kind: str, next_number: int) -> None:
+        """Restart a kind's counter so :meth:`fresh` yields *next_number*.
+
+        Counters only move forward: resuming below the current frontier
+        is ignored, so replaying several commit records in log order
+        never reuses an identifier.
+        """
+        if kind not in self._counters:
+            raise ValueError(f"unknown id kind {kind!r}")
+        current = next(self._counters[kind])
+        self._counters[kind] = itertools.count(max(current, next_number))
+
 
 def builtin_type_id(name: str) -> Id:
     """The well-known type id of a built-in sort, e.g. ``tid_string``."""

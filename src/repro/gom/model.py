@@ -174,6 +174,11 @@ class GomDatabase:
         #: Statistics of the most recently ended evolution session
         #: (published by the Consistency Control at commit / rollback).
         self.last_session_stats = None
+        #: The :class:`repro.storage.store.DurableStore` backing this
+        #: model, set by :meth:`SchemaManager.open`.  When present, the
+        #: Consistency Control emits evolution-log records at BES, at
+        #: every primitive modification, and at EES.
+        self.durability = None
         self._enabled: List[str] = []
         self._generate_keys = generate_keys
         self._generate_references = generate_references

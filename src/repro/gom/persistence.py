@@ -11,21 +11,30 @@ identical manager.
 
 The format is a single JSON document, versioned, with every value
 tagged so ids, numbers, strings, and booleans round-trip exactly.
+
+:func:`save_to_file` is atomic and durable: the document is written to a
+temporary file in the same directory, flushed, fsync'd, and renamed over
+the target with :func:`os.replace`, so a crash at any instant leaves
+either the old snapshot or the new one — never a torn JSON document.
+Every boundary is a named crash point for the fault-injection harness
+(see :mod:`repro.storage.faults`).
 """
 
 from __future__ import annotations
 
+import os
 import json
-from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
+from typing import Dict, IO, List, Optional, Union
 
 from repro.errors import GomModelError
 from repro.datalog.terms import Atom
-from repro.gom.ids import Id, KINDS
+from repro.gom.ids import Id
 
 FORMAT_VERSION = 1
 
 
-def _encode_value(value: object) -> object:
+def encode_value(value: object) -> object:
+    """Encode one fact argument as a JSON-safe tagged value."""
     if isinstance(value, Id):
         if value.number is not None:
             return {"$id": [value.kind, value.number]}
@@ -38,7 +47,8 @@ def _encode_value(value: object) -> object:
         f"cannot persist value {value!r} of type {type(value).__name__}")
 
 
-def _decode_value(value: object) -> object:
+def decode_value(value: object) -> object:
+    """Invert :func:`encode_value`."""
     if isinstance(value, dict):
         if "$id" in value:
             kind, number = value["$id"]
@@ -50,20 +60,28 @@ def _decode_value(value: object) -> object:
     return value
 
 
+# Backwards-compatible private aliases (pre-WAL callers).
+_encode_value = encode_value
+_decode_value = decode_value
+
+
+def encode_atom(fact: Atom) -> List[object]:
+    """Encode one ground fact as ``[pred, [args…]]`` (WAL record form)."""
+    return [fact.pred, [encode_value(cell) for cell in fact.args]]
+
+
+def decode_atom(payload: List[object]) -> Atom:
+    """Invert :func:`encode_atom`."""
+    pred, args = payload
+    return Atom(pred, [decode_value(cell) for cell in args])
+
+
 def dump_model(model, stream: Optional[IO[str]] = None) -> str:
     """Serialize a :class:`GomDatabase` to JSON text (and *stream*)."""
-    counters: Dict[str, int] = {}
-    for kind in KINDS:
-        # peek at the next value without consuming it: count issued ids
-        counter = model.ids._counters[kind]
-        import itertools
-        probe = next(counter)
-        counters[kind] = probe
-        model.ids._counters[kind] = itertools.chain([probe], counter)
     facts: Dict[str, List[List[object]]] = {}
     for pred in sorted(model.db.edb.predicates()):
         rows = sorted(
-            ([_encode_value(cell) for cell in fact.args]
+            ([encode_value(cell) for cell in fact.args]
              for fact in model.db.edb.facts(pred)),
             key=repr,
         )
@@ -72,7 +90,7 @@ def dump_model(model, stream: Optional[IO[str]] = None) -> str:
     document = {
         "format": FORMAT_VERSION,
         "features": list(model.features),
-        "next_ids": counters,
+        "next_ids": model.ids.next_numbers(),
         "facts": facts,
     }
     text = json.dumps(document, indent=1, sort_keys=True)
@@ -104,20 +122,75 @@ def load_model(source: Union[str, IO[str]]):
                 f"stored predicate {pred!r} is not declared by features "
                 f"{document['features']}")
         for row in rows:
-            model.db.edb.add(Atom(pred, [_decode_value(cell)
+            model.db.edb.add(Atom(pred, [decode_value(cell)
                                          for cell in row]))
         changed.add(pred)
     model.db.invalidate(changed)
-    import itertools
     for kind, next_number in document["next_ids"].items():
-        model.ids._counters[kind] = itertools.count(next_number)
+        model.ids.resume(kind, next_number)
     return model
 
 
-def save_to_file(model, path: str) -> None:
-    """Persist a model to *path*."""
-    with open(path, "w", encoding="utf-8") as handle:
-        dump_model(model, handle)
+def fsync_directory(path: str) -> None:
+    """Make a directory entry (a rename, a create) durable, best effort.
+
+    Not every platform lets a directory be opened for fsync; failure to
+    harden the *entry* never loses the file's *content*, so errors are
+    swallowed deliberately.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def save_to_file(model, path: str, injector=None, durable: bool = True) -> None:
+    """Persist a model to *path* atomically (temp file + ``os.replace``).
+
+    With *durable* (the default) the temporary file is fsync'd before
+    the rename and the directory entry afterwards, so the new snapshot
+    survives a power cut as a unit.  *injector* threads the fault seam
+    through every boundary; production callers leave it None.
+    """
+    from repro.storage.faults import CrashPoint, NO_FAULTS
+    if injector is None:
+        injector = NO_FAULTS
+    text = dump_model(model)
+    tmp_path = path + ".tmp"
+    injector.fire("snapshot.before_write")
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            injector.fire(
+                "snapshot.torn_write",
+                before_crash=lambda: (handle.write(text[:len(text) // 2]),
+                                      handle.flush()))
+            handle.write(text)
+            injector.fire("snapshot.after_write")
+            handle.flush()
+            if durable:
+                injector.fire("snapshot.before_fsync")
+                os.fsync(handle.fileno())
+        injector.fire("snapshot.before_replace")
+        os.replace(tmp_path, path)
+    except CrashPoint:
+        # A real crash cannot clean up, and recovery must cope with the
+        # leftover temp file, so injected crashes keep it for the tests.
+        raise
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    injector.fire("snapshot.after_replace")
+    if durable:
+        fsync_directory(os.path.dirname(os.path.abspath(path)))
 
 
 def load_from_file(path: str):

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+from repro.errors import SessionError
 from repro.gom.model import DEFAULT_FEATURES, GomDatabase
 from repro.analyzer.analyzer import Analyzer
 from repro.analyzer.translator import TranslationResult
@@ -48,6 +49,8 @@ class SchemaManager:
                                  record_dynamic_calls=record_dynamic_calls)
         self.runtime = RuntimeSystem(self.model)
         self.conversions = ConversionRoutines(self.runtime)
+        #: Durable backing (evolution log + snapshots), set by :meth:`open`.
+        self.store = None
 
     # -- persistence (Appendix A.2: schemas are always persistent) -----------
 
@@ -68,6 +71,73 @@ class SchemaManager:
         from repro.gom.persistence import load_from_file
         return cls(model=load_from_file(path),
                    record_dynamic_calls=record_dynamic_calls)
+
+    # -- durability (write-ahead evolution log + snapshots) -------------------
+
+    @classmethod
+    def open(cls, directory: str,
+             features: Optional[Sequence[str]] = None,
+             record_dynamic_calls: bool = True,
+             injector=None) -> "SchemaManager":
+        """Open (or create) a crash-safe manager rooted at *directory*.
+
+        The directory holds a snapshot plus a write-ahead evolution log;
+        opening recovers: the latest snapshot is loaded, torn log tails
+        are truncated, and every *committed* session since the snapshot
+        is replayed, so the result is exactly the committed-session
+        state.  Every subsequent evolution session is logged (one record
+        per primitive, an fsync'd commit record at EES), making session
+        atomicity hold across process crashes.
+
+        *features* only applies to a brand-new directory — an existing
+        snapshot knows its own.  *injector* threads a
+        :class:`repro.storage.faults.FaultInjector` through every
+        write/fsync/rename boundary (tests only).
+
+        Use as a context manager, and :meth:`checkpoint` periodically
+        to fold the log into a fresh snapshot::
+
+            with SchemaManager.open("/var/lib/gom") as manager:
+                manager.define(...)
+                manager.checkpoint()
+        """
+        from repro.storage.faults import NO_FAULTS
+        from repro.storage.store import DurableStore
+        store = DurableStore.open(
+            directory, features=features,
+            injector=NO_FAULTS if injector is None else injector)
+        manager = cls(model=store.model,
+                      record_dynamic_calls=record_dynamic_calls)
+        manager.store = store
+        return manager
+
+    @property
+    def recovery(self):
+        """The :class:`RecoveryReport` of :meth:`open` (None if not durable)."""
+        return self.store.recovery if self.store is not None else None
+
+    def checkpoint(self) -> None:
+        """Write an atomic snapshot and reset the evolution log.
+
+        Refused while an evolution session is open (the model would
+        contain uncommitted effects).
+        """
+        if self.store is None:
+            raise SessionError(
+                "checkpoint requires a durable manager; use "
+                "SchemaManager.open(directory)")
+        self.store.checkpoint()
+
+    def close(self) -> None:
+        """Flush and close the durable backing (no-op when in-memory)."""
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "SchemaManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- sessions ---------------------------------------------------------------
 

@@ -1,0 +1,253 @@
+"""The write-ahead evolution log: framed, checksummed, fsync'd records.
+
+The paper's Consistency Control makes the *evolution session* the atomic
+unit of schema change (BES … EES).  The log makes that atomicity
+durable: every session writes
+
+* one ``bes`` record when it opens,
+* one ``op`` record per primitive modification (the +/- base-predicate
+  delta, encoded with the persistence layer's tagged values), and
+* one ``commit`` record (EES, success — carries the id-counter frontier)
+  or one ``rollback`` record (EES, undo).
+
+Only the ``commit`` record is fsync'd: it is the durability point, and
+fsyncing it makes everything the session logged before it durable too
+(POSIX fsync flushes the whole file).  Recovery replays committed
+sessions in log order and ignores everything else, so a crash at any
+instant yields exactly the committed-session state.
+
+Record framing (little-endian):
+
+    +--------+--------+----------------------+
+    | length | crc32  | payload (JSON bytes) |
+    | 4 bytes| 4 bytes| *length* bytes       |
+    +--------+--------+----------------------+
+
+A torn tail — a half-written header, a short payload, or a checksum
+mismatch — marks the end of the valid prefix; :func:`read_log` reports
+it and :meth:`WriteAheadLog.open_for_append` truncates it away before
+appending anything new.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import GomModelError
+from repro.storage.faults import FaultInjector, NO_FAULTS
+
+_HEADER = struct.Struct("<II")
+
+#: Upper bound on one record's payload; anything larger in a header is
+#: treated as tail corruption, not as an instruction to allocate 4 GiB.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+#: Record types understood by recovery.
+RECORD_TYPES = ("bes", "op", "commit", "rollback", "note")
+
+
+class WalFormatError(GomModelError):
+    """A structurally impossible evolution log (not a torn tail)."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record with its position in the file."""
+
+    kind: str
+    payload: Dict[str, object]
+    offset: int      # byte offset of the frame header
+    end_offset: int  # byte offset just past the payload
+
+    @property
+    def session(self) -> Optional[int]:
+        value = self.payload.get("session")
+        return value if isinstance(value, int) else None
+
+
+@dataclass
+class LogScan:
+    """The result of reading a log file: the valid prefix, described."""
+
+    records: List[WalRecord] = field(default_factory=list)
+    valid_bytes: int = 0
+    torn_bytes: int = 0   # bytes past the valid prefix (0 = clean file)
+
+    @property
+    def torn(self) -> bool:
+        return self.torn_bytes > 0
+
+
+def encode_frame(payload: Dict[str, object]) -> bytes:
+    """Frame one record: header (length, crc32) + compact JSON payload."""
+    if payload.get("type") not in RECORD_TYPES:
+        raise WalFormatError(f"unknown record type {payload.get('type')!r}")
+    body = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def read_log(path: str) -> LogScan:
+    """Decode the valid prefix of the log at *path*.
+
+    Returns every intact record plus where the valid prefix ends; a
+    missing file is an empty (clean) log.  Corruption *at the tail* is
+    expected — it is what a crash mid-append leaves behind — and is
+    reported, not raised.
+    """
+    scan = LogScan()
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return scan
+    offset = 0
+    while offset < len(data):
+        header = data[offset:offset + _HEADER.size]
+        if len(header) < _HEADER.size:
+            break  # torn header
+        length, checksum = _HEADER.unpack(header)
+        if length > MAX_RECORD_BYTES:
+            break  # garbage length: treat as corruption
+        body = data[offset + _HEADER.size:offset + _HEADER.size + length]
+        if len(body) < length:
+            break  # torn payload
+        if zlib.crc32(body) != checksum:
+            break  # bit rot / torn rewrite
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if not isinstance(payload, dict) \
+                or payload.get("type") not in RECORD_TYPES:
+            break
+        end = offset + _HEADER.size + length
+        scan.records.append(WalRecord(kind=payload["type"], payload=payload,
+                                      offset=offset, end_offset=end))
+        offset = end
+    scan.valid_bytes = offset
+    scan.torn_bytes = len(data) - offset
+    return scan
+
+
+class WriteAheadLog:
+    """Appends framed records to one log file, crash point by crash point.
+
+    ``on_write(records, bytes, fsyncs)`` is the instrumentation seam the
+    store uses to thread counters into the active session's
+    :class:`~repro.datalog.plan.EngineStats`.
+    """
+
+    def __init__(self, path: str, injector: FaultInjector = NO_FAULTS,
+                 on_write: Optional[Callable[[int, int, int], None]] = None
+                 ) -> None:
+        self.path = path
+        self.injector = injector
+        self.on_write = on_write
+        self._handle = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def open_for_append(self) -> LogScan:
+        """Scan the log, truncate any torn tail, and open for appending."""
+        scan = read_log(self.path)
+        if scan.torn:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(scan.valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._handle = open(self.path, "ab")
+        return scan
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def reset(self) -> None:
+        """Empty the log (after a checkpoint made its contents redundant)."""
+        if self._handle is not None:
+            self._handle.close()
+        self._handle = open(self.path, "wb")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # -- appends ---------------------------------------------------------------
+
+    def append(self, payload: Dict[str, object], sync: bool = False) -> None:
+        """Append one record; with *sync*, make it (and the prefix) durable.
+
+        Crash points bracket every boundary; ``wal.torn_write`` writes
+        half the frame before dying, modelling a power cut mid-write.
+        """
+        if self._handle is None:
+            raise WalFormatError("the evolution log is not open")
+        frame = encode_frame(payload)
+        handle = self._handle
+        injector = self.injector
+        injector.fire("wal.before_write")
+        injector.fire("wal.torn_write",
+                      before_crash=lambda: (handle.write(frame[:max(
+                          1, len(frame) // 2)]), handle.flush()))
+        handle.write(frame)
+        injector.fire("wal.after_write")
+        handle.flush()
+        fsyncs = 0
+        if sync:
+            injector.fire("wal.before_fsync")
+            os.fsync(handle.fileno())
+            fsyncs = 1
+            injector.fire("wal.after_fsync")
+        if self.on_write is not None:
+            self.on_write(1, len(frame), fsyncs)
+
+    def sync(self) -> None:
+        """fsync the log without appending (used when closing cleanly)."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            if self.on_write is not None:
+                self.on_write(0, 0, 1)
+
+
+def committed_sessions(records: Iterable[WalRecord]) -> List[int]:
+    """The session ids with an intact ``commit`` record, in commit order."""
+    return [record.session for record in records
+            if record.kind == "commit" and record.session is not None]
+
+
+def group_operations(records: Iterable[WalRecord]
+                     ) -> List[Tuple[int, List[WalRecord], WalRecord]]:
+    """Triples ``(session, op records, commit record)`` in commit order.
+
+    Only sessions whose ``commit`` record survived intact appear —
+    rolled-back and in-flight sessions replay as nothing, which is
+    exactly the paper's session atomicity.  Sessions are strictly
+    sequential (the Consistency Control allows one open session per
+    model), but the grouping only relies on record order, so
+    interleaved histories would replay correctly too.
+    """
+    ops: Dict[int, List[WalRecord]] = {}
+    order: List[Tuple[int, List[WalRecord], WalRecord]] = []
+    for record in records:
+        session = record.session
+        if session is None:
+            continue
+        if record.kind == "bes":
+            ops[session] = []
+        elif record.kind == "op":
+            ops.setdefault(session, []).append(record)
+        elif record.kind == "commit":
+            order.append((session, ops.pop(session, []), record))
+        elif record.kind == "rollback":
+            ops.pop(session, None)
+    return order

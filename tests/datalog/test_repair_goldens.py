@@ -1,0 +1,128 @@
+"""Golden-file tests locking the repair generator's output.
+
+The repair proposals for three canonical violations — a dangling
+supertype, conflicting inherited attributes, and a fashion relationship
+outside the version graph — are rendered deterministically and compared
+byte-for-byte against ``tests/datalog/goldens/``.  Planner and engine
+refactors must not silently change what the Consistency Control offers
+the user at protocol step 8.
+
+Regenerate deliberately with::
+
+    REGEN_GOLDENS=1 python -m pytest tests/datalog/test_repair_goldens.py
+"""
+
+import os
+
+import pytest
+
+from repro.datalog.terms import Atom
+from repro.gom.ids import Id
+from repro.manager import SchemaManager
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+
+def render_violations(session, constraint_name):
+    """Render every violation of one constraint with all its repairs."""
+    violations = [violation for violation in session.check().violations
+                  if violation.constraint.name == constraint_name]
+    assert violations, f"scenario raised no {constraint_name} violation"
+    violations.sort(key=lambda violation: repr(violation.theta))
+    blocks = []
+    for violation in violations:
+        bindings = ", ".join(f"{var.name}={value!r}"
+                             for var, value in violation.theta)
+        lines = [f"violation: {violation.constraint.name}",
+                 f"  witness: {bindings}"]
+        for index, explained in enumerate(session.repairs(violation), 1):
+            repair = explained.repair
+            lines.append(f"  repair {index}: {repair.display_action!r}"
+                         f"   ({repair.kind})")
+            for action in repair.edb_actions:
+                if (action,) != (repair.display_action,):
+                    lines.append(f"    executes as {action!r}")
+            for explanation in explained.explanations:
+                lines.append(f"    // {explanation}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"
+
+
+def scenario_dangling_supertype():
+    """A subtype edge to a type id that does not exist: rootedness
+    breaks for the whole subtree below it."""
+    manager = SchemaManager()
+    manager.define("""
+    schema S is
+    type A is [ x: int; ] end type A;
+    type B supertype A is end type B;
+    end schema S;
+    """)
+    sid = manager.model.schema_id("S")
+    a_tid = manager.model.type_id("A", sid)
+    session = manager.begin_session()
+    session.add(Atom("SubTypRel", (a_tid, Id("tid", number=404))))
+    return session, "subtype_rooted"
+
+
+def scenario_inherited_attribute_conflict():
+    """Two supertypes hand the same attribute name down with different
+    codomains (the §3.3 multiple-inheritance conflict)."""
+    manager = SchemaManager()
+    session = manager.begin_session()
+    manager.analyzer.define(session, """
+    schema G is
+    type P1 is [ a: int; ] end type P1;
+    type P2 is [ a: string; ] end type P2;
+    type C supertype P1, P2 is end type C;
+    end schema G;
+    """)
+    return session, "mi_attr_unique"
+
+
+def scenario_fashion_conflict():
+    """FashionType between two types that are not versions of one
+    another — fashion is restricted to schema-evolution purposes."""
+    manager = SchemaManager(features=("core", "objectbase",
+                                      "versioning", "fashion"))
+    manager.define("""
+    schema F is
+    type X is [ x: int; ] end type X;
+    type Y is [ x: int; ] end type Y;
+    end schema F;
+    """)
+    sid = manager.model.schema_id("F")
+    x_tid = manager.model.type_id("X", sid)
+    y_tid = manager.model.type_id("Y", sid)
+    session = manager.begin_session()
+    session.add(Atom("FashionType", (x_tid, y_tid)))
+    return session, "fashion_only_versions"
+
+
+SCENARIOS = {
+    "dangling_supertype": scenario_dangling_supertype,
+    "inherited_attribute_conflict": scenario_inherited_attribute_conflict,
+    "fashion_conflict": scenario_fashion_conflict,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_repairs_match_golden(name):
+    session, constraint = SCENARIOS[name]()
+    try:
+        rendered = render_violations(session, constraint)
+    finally:
+        session.rollback()
+    path = os.path.join(GOLDEN_DIR, f"{name}.golden")
+    if os.environ.get("REGEN_GOLDENS"):
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        pytest.skip(f"regenerated {path}")
+    assert os.path.exists(path), (
+        f"golden file {path} missing; run with REGEN_GOLDENS=1")
+    with open(path, "r", encoding="utf-8") as handle:
+        expected = handle.read()
+    assert rendered == expected, (
+        f"repair output for {name!r} drifted from {path}; if the change "
+        f"is intentional, regenerate with REGEN_GOLDENS=1")

@@ -136,3 +136,73 @@ class TestErrors:
         relation.add((object(), "Z"))  # bypasses groundness by design
         with pytest.raises(GomModelError):
             dump_model(manager.model)
+
+
+class TestAtomicSave:
+    """save_to_file is temp-file + os.replace: a crash mid-write can
+    never leave a truncated JSON document under the target name."""
+
+    def build(self, names=("First",)):
+        manager = SchemaManager()
+        for name in names:
+            manager.define(f"""
+            schema {name} is
+            type {name}T is [ x: int; ] end type {name}T;
+            end schema {name};
+            """)
+        return manager
+
+    def test_crash_mid_write_preserves_old_snapshot(self, tmp_path):
+        from repro.storage.faults import CrashPoint, FaultInjector
+        path = str(tmp_path / "model.json")
+        original = self.build()
+        save_to_file(original.model, path)
+        evolved = self.build(("First", "Second"))
+        injector = FaultInjector().arm("snapshot.torn_write")
+        with pytest.raises(CrashPoint):
+            save_to_file(evolved.model, path, injector=injector)
+        # The target still holds the complete old document.
+        reloaded = load_from_file(path)
+        assert reloaded.db.edb.snapshot() == original.model.db.edb.snapshot()
+        # The torn draft sits in the temp file, never under the target.
+        import os
+        assert os.path.exists(path + ".tmp")
+
+    @pytest.mark.parametrize("point", [
+        "snapshot.before_write", "snapshot.after_write",
+        "snapshot.before_fsync", "snapshot.before_replace",
+    ])
+    def test_crash_before_replace_means_old_state(self, tmp_path, point):
+        from repro.storage.faults import CrashPoint, FaultInjector
+        path = str(tmp_path / "model.json")
+        original = self.build()
+        save_to_file(original.model, path)
+        evolved = self.build(("First", "Second"))
+        with pytest.raises(CrashPoint):
+            save_to_file(evolved.model, path,
+                         injector=FaultInjector().arm(point))
+        reloaded = load_from_file(path)
+        assert reloaded.db.edb.snapshot() == original.model.db.edb.snapshot()
+
+    def test_crash_after_replace_means_new_state(self, tmp_path):
+        from repro.storage.faults import CrashPoint, FaultInjector
+        path = str(tmp_path / "model.json")
+        original = self.build()
+        save_to_file(original.model, path)
+        evolved = self.build(("First", "Second"))
+        with pytest.raises(CrashPoint):
+            save_to_file(evolved.model, path,
+                         injector=FaultInjector().arm("snapshot.after_replace"))
+        reloaded = load_from_file(path)
+        assert reloaded.db.edb.snapshot() == evolved.model.db.edb.snapshot()
+
+    def test_plain_failure_cleans_up_temp_file(self, tmp_path):
+        import os
+        path = str(tmp_path / "model.json")
+        manager = self.build()
+        relation = manager.model.db.edb._relations["Schema"]
+        relation.add((object(), "Z"))  # unserializable: dump will fail
+        with pytest.raises(GomModelError):
+            save_to_file(manager.model, path)
+        assert not os.path.exists(path + ".tmp")
+        assert not os.path.exists(path)
