@@ -39,7 +39,7 @@ def test_e10_check_under_definition(benchmark, features, label):
     session.rollback()
 
 
-def test_e10_report(benchmark, report):
+def test_e10_report(benchmark, report, report_json):
     benchmark(lambda: None)
     if len(_RESULTS) < 2:
         pytest.skip("definition benchmarks did not run")
@@ -63,4 +63,17 @@ def test_e10_report(benchmark, report):
                  "one declarative statement, no module reimplemented -> "
                  + ("HOLDS" if flipped else "DOES NOT HOLD"))
     report("e10_redefine_consistency", "\n".join(lines))
+    report_json("e10_redefine_consistency", {
+        "experiment": "e10_redefine_consistency",
+        "claim": "one declarative constraint flips multiple inheritance "
+                 "from accepted to rejected",
+        "holds": flipped,
+        "default": {"constraints": default_n,
+                    "accepted": default_check.consistent,
+                    "check_ms": round(default_ms, 4)},
+        "single_inheritance": {"constraints": strict_n,
+                               "accepted": strict_check.consistent,
+                               "violating": sorted(strict_names),
+                               "check_ms": round(strict_ms, 4)},
+    })
     assert flipped

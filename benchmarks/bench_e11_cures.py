@@ -136,7 +136,7 @@ def test_e11_access_cost(benchmark, cured_worlds, kind):
     _RESULTS[f"access_{kind}"] = benchmark.stats.stats.mean
 
 
-def test_e11_report(benchmark, report):
+def test_e11_report(benchmark, report, report_json):
     benchmark(lambda: None)
     needed = {"cure_conversion", "cure_masking", "access_converted",
               "access_masked", "access_lazy"}
@@ -166,4 +166,19 @@ def test_e11_report(benchmark, report):
                  "schema manager must let the user choose (and define "
                  "new ones, like the lazy variant above).")
     report("e11_cures", "\n".join(lines))
+    report_json("e11_cures", {
+        "experiment": "e11_cures",
+        "claim": "no single best cure: masking cures cheaper, conversion "
+                 "accesses cheaper",
+        "holds": shape,
+        "objects": N_OBJECTS,
+        "cures": {
+            "conversion": {"cure_ms": round(cure_conv, 4),
+                           "scan_ms": round(acc_conv, 4)},
+            "masking": {"cure_ms": round(cure_mask, 4),
+                        "scan_ms": round(acc_mask, 4)},
+            "lazy": {"cure_ms": round(cure_mask, 4),
+                     "scan_ms": round(acc_lazy, 4)},
+        },
+    })
     assert shape

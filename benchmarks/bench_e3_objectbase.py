@@ -55,7 +55,7 @@ def paper_tables(manager, result):
     return phrep, slots_paper, inherited_extra
 
 
-def test_e3_objectbase_tables(benchmark, report):
+def test_e3_objectbase_tables(benchmark, report, report_json):
     manager, result, objects = benchmark(run_scenario)
     phrep_expected, slots_paper, inherited_extra = paper_tables(manager,
                                                                 result)
@@ -72,6 +72,21 @@ def test_e3_objectbase_tables(benchmark, report):
     blocks.append("")
     blocks.append(f"schema/object consistency: {check.describe()}")
     report("e3_objectbase", "\n".join(blocks))
-    assert phrep_measured == phrep_expected
-    assert slot_measured == slots_paper | inherited_extra
+    phrep_ok = phrep_measured == phrep_expected
+    slot_ok = slot_measured == slots_paper | inherited_extra
+    report_json("e3_objectbase", {
+        "experiment": "e3_objectbase",
+        "claim": "instantiation yields the paper's PhRep/Slot tables plus "
+                 "the two inherited City slots constraint (*) demands",
+        "holds": phrep_ok and slot_ok and check.consistent,
+        "scenario_ms": round(benchmark.stats.stats.mean * 1000, 4),
+        "phrep_rows": len(phrep_measured),
+        "phrep_match": phrep_ok,
+        "slot_rows": len(slot_measured),
+        "slot_match": slot_ok,
+        "inherited_extra_rows": len(inherited_extra),
+        "consistent": check.consistent,
+    })
+    assert phrep_ok
+    assert slot_ok
     assert check.consistent

@@ -40,7 +40,7 @@ def detect_and_repair(manager, ids):
     return reportobj, explained
 
 
-def test_e4_fueltype_repairs(benchmark, report):
+def test_e4_fueltype_repairs(benchmark, report, report_json):
     manager, ids, objects = setup_world()
     reportobj, explained = benchmark(detect_and_repair, manager, ids)
     blocks = ["E4 — §3.5: repairs for adding fuelType to Car", ""]
@@ -73,6 +73,17 @@ def test_e4_fueltype_repairs(benchmark, report):
     report("e4_repairs", "\n".join(blocks))
 
     leading = [entry.repair for entry in explained[:3]]
+    report_json("e4_repairs", {
+        "experiment": "e4_repairs",
+        "claim": "the three §3.5 repairs for adding fuelType are generated "
+                 "in the paper's order, and repair 3 executes end to end",
+        "holds": final.consistent,
+        "detect_and_repair_ms": round(benchmark.stats.stats.mean * 1000, 4),
+        "repairs_generated": len(explained),
+        "leading_repairs": [repr(entry.display_action) for entry in leading],
+        "converted_objects": converted,
+        "consistent_after_repair": final.consistent,
+    })
     assert repr(leading[0].display_action).startswith("-Attr_i(")
     assert leading[1].display_action.fact.pred == "PhRep"
     assert leading[2].display_action.fact.pred == "Slot"

@@ -25,7 +25,7 @@ def build_extended():
                                  "fashion"))
 
 
-def test_e6_extension_effort(benchmark, report):
+def test_e6_extension_effort(benchmark, report, report_json):
     extended = benchmark(build_extended)
     base = GomDatabase(features=("core", "objectbase"))
 
@@ -64,5 +64,19 @@ def test_e6_extension_effort(benchmark, report):
                  + ("HOLDS" if ext_total < base_total / 2 and untouched
                     else "DOES NOT HOLD"))
     report("e6_extension_effort", "\n".join(lines))
+    report_json("e6_extension_effort", {
+        "experiment": "e6_extension_effort",
+        "claim": "adding versioning + fashion is a small additive set of "
+                 "declarative definitions; base constraints untouched",
+        "holds": ext_total < base_total / 2 and untouched,
+        "assembly_ms": round(benchmark.stats.stats.mean * 1000, 4),
+        "base_definitions": base_total,
+        "extension_definitions": ext_total,
+        "extension_pct_of_base": round(100 * ext_total / base_total, 1),
+        "declarative_text": [
+            {"name": name, "lines": loc, "definitions": definitions}
+            for name, loc, definitions in text_stats],
+        "base_untouched": untouched,
+    })
     assert ext_total < base_total / 2
     assert untouched

@@ -57,7 +57,7 @@ def test_e7_masked_write(benchmark, world):
     _TIMINGS["masked_write"] = benchmark.stats.stats.mean
 
 
-def test_e7_report(benchmark, world, report):
+def test_e7_report(benchmark, world, report, report_json):
     manager, person = world
     benchmark(lambda: None)
     if "masked_read" not in _TIMINGS or "native_read" not in _TIMINGS:
@@ -82,4 +82,15 @@ def test_e7_report(benchmark, world, report):
                  "substitutable for the new one via fashion -> HOLDS"
                  if consistent else "-> DOES NOT HOLD")
     report("e7_fashion", "\n".join(lines))
+    report_json("e7_fashion", {
+        "experiment": "e7_fashion",
+        "claim": "old-version instances are substitutable via fashion at "
+                 "bounded masking cost",
+        "holds": consistent,
+        "native_read_us": round(native, 3),
+        "masked_read_us": round(masked, 3),
+        "masked_write_us": round(write, 3),
+        "masking_overhead_factor": round(masked / native, 2),
+        "consistent": consistent,
+    })
     assert consistent

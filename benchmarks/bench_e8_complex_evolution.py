@@ -24,7 +24,7 @@ def build_world():
     return manager, result, objects
 
 
-def test_e8_complex_evolution(benchmark, report):
+def test_e8_complex_evolution(benchmark, report, report_json):
     def scenario():
         manager, result, objects = build_world()
         created = evolve_car_schema(manager, result)
@@ -77,5 +77,16 @@ def test_e8_complex_evolution(benchmark, report):
                  + ("HOLDS" if all(ok for _d, ok in steps)
                     and behaviour and consistent else "DOES NOT HOLD"))
     report("e8_complex_evolution", "\n".join(lines))
+    report_json("e8_complex_evolution", {
+        "experiment": "e8_complex_evolution",
+        "claim": "the §4.2 seven-step evolution runs as one complex "
+                 "operator and the session is accepted",
+        "holds": all(ok for _d, ok in steps) and behaviour and consistent,
+        "session_ms": round(benchmark.stats.stats.mean * 1000, 4),
+        "steps": [{"description": description, "ok": ok}
+                  for description, ok in steps],
+        "masked_behaviour_ok": behaviour,
+        "consistent": consistent,
+    })
     assert all(ok for _description, ok in steps)
     assert behaviour and consistent

@@ -1,0 +1,93 @@
+"""Bench guard: fail CI when the maintained delta check regresses.
+
+Compares a fresh ``benchmarks/results/e5_incremental.json`` (produced by
+running ``bench_e5_incremental.py``) against the committed baseline in
+``benchmarks/baselines/e5_incremental.json``.  The guarded number is
+``delta_ms`` — the per-session cost of the maintenance-fed delta check,
+the quantity the incremental-view-maintenance work exists to keep small.
+
+A point regresses when its measured ``delta_ms`` exceeds the baseline by
+more than ``--max-regression`` (default 2.0x; generous because CI
+machines are slower and noisier than the machine that recorded the
+baseline, but a broken maintenance path shows up as a 5-20x jump, not
+2x).  Structural failures — missing files, missing sizes, ``holds``
+false — also fail the guard.
+
+Usage::
+
+    python benchmarks/bench_guard.py [--max-regression 2.0]
+        [--results benchmarks/results/e5_incremental.json]
+        [--baseline benchmarks/baselines/e5_incremental.json]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_RESULTS = os.path.join(HERE, "results", "e5_incremental.json")
+DEFAULT_BASELINE = os.path.join(HERE, "baselines", "e5_incremental.json")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as error:
+        raise SystemExit(f"bench-guard: cannot read {path}: {error}")
+    except ValueError as error:
+        raise SystemExit(f"bench-guard: invalid JSON in {path}: {error}")
+
+
+def check(results, baseline, max_regression):
+    """Return a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    if not results.get("holds", False):
+        failures.append("results report holds=false: the E5 shape claim "
+                        "(incremental wins, gap grows) no longer holds")
+    measured = {point["types"]: point for point in results.get("points", ())}
+    for base_point in baseline.get("points", ()):
+        types = base_point["types"]
+        point = measured.get(types)
+        if point is None:
+            failures.append(f"n={types}: missing from results")
+            continue
+        base_ms = base_point["delta_ms"]
+        got_ms = point["delta_ms"]
+        ratio = got_ms / base_ms if base_ms else float("inf")
+        verdict = "ok" if ratio <= max_regression else "REGRESSED"
+        print(f"  n={types:>4}: delta check {got_ms:.3f} ms vs baseline "
+              f"{base_ms:.3f} ms ({ratio:.2f}x, limit "
+              f"{max_regression:.1f}x) [{verdict}]")
+        if ratio > max_regression:
+            failures.append(f"n={types}: delta check {got_ms:.3f} ms is "
+                            f"{ratio:.2f}x the baseline {base_ms:.3f} ms "
+                            f"(limit {max_regression:.1f}x)")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", default=DEFAULT_RESULTS)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail when delta_ms exceeds baseline by more "
+                             "than this factor (default: 2.0)")
+    args = parser.parse_args(argv)
+
+    print(f"bench-guard: {args.results} vs {args.baseline}")
+    failures = check(load(args.results), load(args.baseline),
+                     args.max_regression)
+    if failures:
+        print("bench-guard: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("bench-guard: ok — maintained delta check within "
+          f"{args.max_regression:.1f}x of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

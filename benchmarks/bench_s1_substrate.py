@@ -54,7 +54,7 @@ def test_s1_materialization(benchmark, n_nodes):
 
 @pytest.mark.parametrize("n_nodes", SIZES)
 def test_s1_incremental_addition(benchmark, n_nodes):
-    """Adding one edge re-derives only the affected predicate."""
+    """One-edge add/remove round-trip under incremental maintenance."""
     db = chain_db(n_nodes)
     db.materialize()
     benchmark.group = f"S1 single-edge delta n={n_nodes}"
@@ -86,7 +86,7 @@ def test_s1_indexed_matching(benchmark):
     _RESULTS[("match", 200)] = benchmark.stats.stats.mean
 
 
-def test_s1_report(benchmark, report):
+def test_s1_report(benchmark, report, report_json):
     benchmark(lambda: None)
     if ("materialize", SIZES[0]) not in _RESULTS:
         pytest.skip("substrate benchmarks did not run")
@@ -100,11 +100,11 @@ def test_s1_report(benchmark, report):
     for n_nodes in SIZES:
         delta = _RESULTS.get(("delta", n_nodes))
         if delta is not None:
-            lines.append(f"recompute after one-edge change at n={n_nodes}: "
-                         f"{delta * 1000:.2f} ms   (invalidation is "
-                         f"predicate-level: the whole closure re-derives; "
-                         f"GOM's win comes from most deltas not touching "
-                         f"recursive predicates at all — see A2)")
+            lines.append(f"maintained one-edge change at n={n_nodes}: "
+                         f"{delta * 1000:.2f} ms   (incremental view "
+                         f"maintenance propagates the delta in place — "
+                         f"insertion via semi-naive rounds, deletion via "
+                         f"delete-and-rederive; see S3)")
     match = _RESULTS.get(("match", 200))
     if match is not None:
         lines.append(f"indexed pattern match over {200 * 199 // 2} "
@@ -113,3 +113,21 @@ def test_s1_report(benchmark, report):
                  "~50-80 µs per recorded derivation; the GOM workloads "
                  "are far shallower than these chains)")
     report("s1_substrate", "\n".join(lines))
+    points = []
+    for n_nodes in SIZES:
+        mat = _RESULTS.get(("materialize", n_nodes))
+        delta = _RESULTS.get(("delta", n_nodes))
+        points.append({
+            "nodes": n_nodes,
+            "closure_facts": n_nodes * (n_nodes - 1) // 2,
+            "materialize_ms": round(mat * 1000, 4) if mat else None,
+            "single_edge_delta_ms": round(delta * 1000, 4) if delta else None,
+        })
+    match = _RESULTS.get(("match", 200))
+    report_json("s1_substrate", {
+        "experiment": "s1_substrate",
+        "claim": "substrate costs: materialization with full provenance, "
+                 "single-edge maintenance, indexed matching",
+        "points": points,
+        "indexed_match_us": round(match * 1e6, 2) if match else None,
+    })

@@ -97,9 +97,18 @@ class EvolutionSession:
         #: evaluation inside the session is attributed to it.
         self.stats: EngineStats = model.db.begin_stats()
         self._snapshot = model.db.edb.snapshot()
-        self._derived_before = (
-            snapshot_derived(model.db) if check_mode == "delta" else None
-        )
+        # Exact derived deltas for the EES incremental check.  With the
+        # engine maintaining its views ("delta" maintenance), materialize
+        # once and let the engine account grown/shrunk sets as the
+        # session's changes propagate — no O(IDB) snapshot copy.  Only
+        # the recompute engine still pays for the BES snapshot.
+        self._derived_before = None
+        if check_mode == "delta":
+            if model.db.maintenance == "delta":
+                model.db.materialize()
+                model.db.reset_derived_delta()
+            else:
+                self._derived_before = snapshot_derived(model.db)
         self._net: Dict[Atom, int] = {}
         self._closed = False
         self._explainers: List[Explainer] = []
@@ -190,7 +199,8 @@ class EvolutionSession:
         additions, deletions = self.net_delta()
         if mode == "delta":
             report = self.model.checker.check_delta(
-                additions, deletions, derived_before=self._derived_before)
+                additions, deletions, derived_before=self._derived_before,
+                derived_delta=self.model.db.derived_delta())
         else:
             report = self.model.checker.check()
         return SessionReport(report=report, net_additions=additions,

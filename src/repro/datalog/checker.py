@@ -213,15 +213,23 @@ class ConsistencyChecker:
     def check_delta(self, additions: Iterable[Atom],
                     deletions: Iterable[Atom],
                     derived_before: Optional[Dict[str, Set[Tuple[object, ...]]]]
+                    = None,
+                    derived_delta: Optional[Dict[str, Tuple[Set[Atom],
+                                                            Set[Atom]]]]
                     = None) -> CheckReport:
         """Check only instantiations that the given update can have violated.
 
         The update must already be applied to the database; *additions* /
         *deletions* describe it.  Sound and complete relative to a
-        consistent pre-update state.  *derived_before* — produced by
-        :func:`snapshot_derived` before the update — provides exact
-        derived-predicate deltas; without it the checker falls back to a
-        sound over-approximation.
+        consistent pre-update state.  Exact derived-predicate deltas come
+        from one of two sources, preferred in order: *derived_delta* —
+        the per-predicate (grown, shrunk) sets accumulated by the
+        engine's view maintenance
+        (:meth:`~repro.datalog.engine.DeductiveDatabase.derived_delta`) —
+        or *derived_before*, a :func:`snapshot_derived` copy taken before
+        the update, diffed here at O(IDB) cost.  With neither, the
+        checker falls back to a sound but slow over-approximation, which
+        is counted in ``EngineStats.delta_fallbacks``.
         """
         start = time.perf_counter()
         additions = list(additions)
@@ -238,7 +246,7 @@ class ConsistencyChecker:
             deleted_facts.setdefault(fact.pred, []).append(fact)
         self._extend_with_derived_deltas(may_grow, may_shrink,
                                          added_facts, deleted_facts,
-                                         derived_before)
+                                         derived_before, derived_delta)
 
         stats = self.database.stats
         stats.checks_run += 1
@@ -303,21 +311,32 @@ class ConsistencyChecker:
                                     added_facts: Dict[str, List[Atom]],
                                     deleted_facts: Dict[str, List[Atom]],
                                     derived_before: Optional[
-                                        Dict[str, Set[Tuple[object, ...]]]]
+                                        Dict[str, Set[Tuple[object, ...]]]],
+                                    derived_delta: Optional[
+                                        Dict[str, Tuple[Set[Atom],
+                                                        Set[Atom]]]] = None
                                     ) -> None:
         """Obtain concrete derived deltas for affected derived predicates.
 
-        With a *derived_before* snapshot the delta is exact (diff of the
-        affected predicate's extension).  Without one, grown predicates
+        A maintained *derived_delta* is exact and free (the engine
+        already knows which derived facts grew/shrank); a
+        *derived_before* snapshot is exact but costs a diff of the
+        affected predicate's extension.  With neither, grown predicates
         are over-approximated by their full current extension, and shrunk
         predicates force a full recheck of the constraints reading them
         (marked with the ``<pred>!full`` sentinel consumed by
-        :meth:`_seeded_checks`) — sound in both cases.
+        :meth:`_seeded_checks`) — sound in all cases, but the last is the
+        slow path, so falling into it is counted.
         """
+        fallbacks = 0
         for pred in sorted(may_grow | may_shrink):
             if not self.database.is_derived(pred):
                 continue
-            if derived_before is not None and pred in derived_before:
+            if derived_delta is not None:
+                grown, shrunk = derived_delta.get(pred, ((), ()))
+                added_facts.setdefault(pred, []).extend(grown)
+                deleted_facts.setdefault(pred, []).extend(shrunk)
+            elif derived_before is not None and pred in derived_before:
                 after = {fact.args for fact in self.database.facts(pred)}
                 before = derived_before[pred]
                 for args in after - before:
@@ -325,6 +344,7 @@ class ConsistencyChecker:
                 for args in before - after:
                     deleted_facts.setdefault(pred, []).append(Atom(pred, args))
             else:
+                fallbacks += 1
                 if pred in may_grow:
                     added_facts.setdefault(pred, []).extend(
                         self.database.facts(pred))
@@ -334,6 +354,8 @@ class ConsistencyChecker:
                 if pred in may_shrink:
                     deleted_facts.setdefault(pred, [])
                     deleted_facts[pred + "!full"] = []
+        if fallbacks:
+            self.database.stats.delta_fallbacks += fallbacks
 
     def _seeded_checks(self, constraint: Constraint, may_grow: Set[str],
                        may_shrink: Set[str],

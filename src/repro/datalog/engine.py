@@ -16,16 +16,30 @@ scan-and-match.  The planner's cache is invalidated whenever the rule
 set changes; :class:`~repro.datalog.plan.EngineStats` counts what every
 evaluation actually did.
 
-Incremental maintenance is predicate-level: a base-fact delta invalidates
-exactly the derived predicates that transitively depend on the changed
-base predicates; those — and only those — are re-evaluated.  For the GOM
-schema base this means, e.g., that object-base updates (``PhRep``/``Slot``)
-recompute nothing, and an ``Attr`` update recomputes only ``Attr_i``.
+Incremental maintenance comes in two flavours, selected by the
+``maintenance=`` constructor flag:
+
+* ``"delta"`` (the default) — *view maintenance*: once the derived
+  predicates are materialized, a base-fact delta is propagated through
+  the strata in place.  Insertions run the semi-naive delta rounds
+  against the current extension; deletions over-delete through the
+  provenance support maps and re-derive survivors (DRed), including
+  flips through negated body literals at stratum boundaries.  The
+  engine accumulates exact per-predicate derived deltas per session
+  (:meth:`DeductiveDatabase.derived_delta`), which the incremental
+  checker consumes directly.
+* ``"recompute"`` — the predicate-level baseline: a base-fact delta
+  invalidates exactly the derived predicates that transitively depend
+  on the changed base predicates; those — and only those — are cleared
+  and re-saturated on next read.  Kept for A/B benchmarking and used
+  transparently while the extension is cold (e.g. bulk loads and WAL
+  replay), where lazy recompute beats eager propagation.
 """
 
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import UnknownPredicateError
@@ -41,7 +55,14 @@ class DeductiveDatabase:
     """EDB + IDB + materialized derived facts with provenance."""
 
     def __init__(self, decls: Iterable[PredicateDecl] = (),
-                 rules: Iterable[Rule] = ()) -> None:
+                 rules: Iterable[Rule] = (),
+                 maintenance: str = "delta") -> None:
+        if maintenance not in ("delta", "recompute"):
+            raise ValueError(f"maintenance must be 'delta' or 'recompute', "
+                             f"got {maintenance!r}")
+        #: Maintenance strategy for derived predicates; may be switched at
+        #: runtime (recovery replay temporarily forces "recompute").
+        self.maintenance = maintenance
         self.stats = EngineStats()
         self.edb = FactStore(stats=self.stats)
         self.program = Program()
@@ -50,6 +71,14 @@ class DeductiveDatabase:
         self.planner = QueryPlanner(self)
         self._strata: List[Set[str]] = []
         self._fresh: Set[str] = set()  # derived preds with current extension
+        # Exact per-predicate derived deltas accumulated since the last
+        # reset_derived_delta() — the session-scoped grown/shrunk sets the
+        # incremental checker consumes.  Tainted means "unknown": some
+        # change bypassed maintenance (stale predicate, rule change,
+        # rollback), so consumers must fall back to a sound approximation.
+        self._session_grown: Dict[str, Set[Atom]] = {}
+        self._session_shrunk: Dict[str, Set[Atom]] = {}
+        self._delta_tainted = True
         for decl in decls:
             self.declare(decl)
         for rule in rules:
@@ -87,6 +116,7 @@ class DeductiveDatabase:
             )
         self._strata = stratify(self.program)
         self._fresh.clear()
+        self._delta_tainted = True
         self.planner.invalidate()
 
     def add_rules(self, rules: Iterable[Rule]) -> None:
@@ -110,39 +140,62 @@ class DeductiveDatabase:
     # -- EDB updates ----------------------------------------------------------
 
     def add_fact(self, fact: Atom) -> bool:
-        """Insert a base fact, invalidating dependent derived predicates."""
+        """Insert a base fact, maintaining dependent derived predicates."""
         added = self.edb.add(fact)
         if added:
-            self._invalidate({fact.pred})
+            self._propagate({fact.pred: {fact}}, {})
         return added
 
     def remove_fact(self, fact: Atom) -> bool:
-        """Delete a base fact, invalidating dependent derived predicates."""
+        """Delete a base fact, maintaining dependent derived predicates."""
         removed = self.edb.remove(fact)
         if removed:
-            self._invalidate({fact.pred})
+            self._propagate({}, {fact.pred: {fact}})
         return removed
 
     def apply_delta(self, additions: Iterable[Atom] = (),
                     deletions: Iterable[Atom] = ()) -> Tuple[int, int]:
         """Apply a set of insertions and deletions; returns effective counts."""
-        changed_preds: Set[str] = set()
+        plus: Dict[str, Set[Atom]] = {}
+        minus: Dict[str, Set[Atom]] = {}
         added = removed = 0
         for fact in deletions:
             if self.edb.remove(fact):
                 removed += 1
-                changed_preds.add(fact.pred)
+                minus.setdefault(fact.pred, set()).add(fact)
         for fact in additions:
             if self.edb.add(fact):
                 added += 1
-                changed_preds.add(fact.pred)
-        if changed_preds:
-            self._invalidate(changed_preds)
+                plus.setdefault(fact.pred, set()).add(fact)
+        if plus or minus:
+            self._propagate(plus, minus)
         return added, removed
+
+    def _propagate(self, plus: Dict[str, Set[Atom]],
+                   minus: Dict[str, Set[Atom]]) -> None:
+        """Bring derived predicates up to date with an applied base delta.
+
+        In ``"delta"`` mode, and when every affected derived predicate is
+        currently materialized, the delta is propagated in place
+        (:meth:`_maintain`).  Otherwise — maintenance disabled, or the
+        extension is cold (bulk load, replay) — the affected predicates
+        are merely invalidated and lazily recomputed on next read, which
+        taints the session delta accounting.
+        """
+        changed = set(plus) | set(minus)
+        affected = self.program.affected_by(changed)
+        if not affected:
+            return
+        if self.maintenance != "delta" or not affected <= self._fresh:
+            self._invalidate(changed)
+            return
+        self._maintain(plus, minus, affected)
 
     def _invalidate(self, base_preds: Set[str]) -> None:
         affected = self.program.affected_by(base_preds)
-        self._fresh -= affected
+        if affected:
+            self._fresh -= affected
+            self._delta_tainted = True
 
     def invalidate(self, base_preds: Iterable[str]) -> None:
         """Mark derived predicates depending on *base_preds* stale.
@@ -151,6 +204,60 @@ class DeductiveDatabase:
         rollback restoring an EDB snapshot.
         """
         self._invalidate(set(base_preds))
+
+    # -- session-scoped derived deltas ---------------------------------------
+
+    def reset_derived_delta(self) -> None:
+        """Start exact derived-delta accounting from the current extension.
+
+        Called at BES after :meth:`materialize`; the accounting stays
+        exact only while every change flows through maintenance, so it is
+        tainted from the start if any derived predicate is still stale.
+        """
+        self._session_grown.clear()
+        self._session_shrunk.clear()
+        self._delta_tainted = any(
+            pred not in self._fresh
+            for pred in self._derived_store.predicates()
+        )
+
+    def derived_delta(self) -> Optional[Dict[str, Tuple[Set[Atom],
+                                                        Set[Atom]]]]:
+        """Exact per-predicate (grown, shrunk) sets since the last reset.
+
+        Returns None when the accounting is tainted — some change
+        bypassed maintenance — in which case callers must fall back to a
+        snapshot diff or a conservative over-approximation.  Predicates
+        absent from the mapping are unchanged.
+        """
+        if self._delta_tainted:
+            return None
+        return {
+            pred: (set(self._session_grown.get(pred, ())),
+                   set(self._session_shrunk.get(pred, ())))
+            for pred in set(self._session_grown) | set(self._session_shrunk)
+        }
+
+    def _accumulate_delta(self, pred: str, grown: Iterable[Atom] = (),
+                          shrunk: Iterable[Atom] = ()) -> None:
+        """Fold one predicate's net change into the session accounting.
+
+        A fact that shrinks after growing (or vice versa) within one
+        session cancels out, so the accumulated sets always describe the
+        net difference against the extension at the last reset.
+        """
+        grown_set = self._session_grown.setdefault(pred, set())
+        shrunk_set = self._session_shrunk.setdefault(pred, set())
+        for fact in grown:
+            if fact in shrunk_set:
+                shrunk_set.discard(fact)
+            else:
+                grown_set.add(fact)
+        for fact in shrunk:
+            if fact in grown_set:
+                grown_set.discard(fact)
+            else:
+                shrunk_set.add(fact)
 
     # -- queries --------------------------------------------------------------
 
@@ -234,9 +341,11 @@ class DeductiveDatabase:
         Predicates not in *preds* keep their current extension (they are
         fresh by construction of the callers).
         """
+        # Recomputed extensions are not delta-tracked: anything observed
+        # through this path is unknown to the session accounting.
+        self._delta_tainted = True
         for pred in preds:
-            for fact in list(self._derived_store.facts(pred)):
-                self.provenance.drop_fact(fact)
+            self.provenance.clear_predicate(pred)
             self._derived_store.clear(pred)
         for stratum in self._strata:
             todo = stratum & preds
@@ -278,7 +387,23 @@ class DeductiveDatabase:
                 if self.provenance.record(derivation):
                     if self._derived_store.add(derivation.fact):
                         delta.add(derivation.fact)
+        self._delta_rounds(rules, stratum_preds, delta)
+
+    def _delta_rounds(self, rules: Sequence[Rule], stratum_preds: Set[str],
+                      delta: Set[Atom]) -> Tuple[Set[Atom], int]:
+        """Semi-naive delta rounds: propagate *delta* to the fixpoint.
+
+        Each round evaluates only rule instantiations seeded by a fact
+        derived in the previous round, through plans with the seed
+        literal's variables pre-bound.  Returns every fact newly added
+        across the rounds and the number of rounds run.  Shared between
+        full saturation (where *delta* is the first round's harvest) and
+        insertion maintenance (where it is the seeded delta itself).
+        """
+        all_added: Set[Atom] = set()
+        rounds = 0
         while delta:
+            rounds += 1
             new_delta: Set[Atom] = set()
             for rule in rules:
                 for element in rule.body:
@@ -307,7 +432,182 @@ class DeductiveDatabase:
                                 if self._derived_store.add(
                                         derivation.fact):
                                     new_delta.add(derivation.fact)
+            all_added |= new_delta
             delta = new_delta
+        return all_added, rounds
+
+    # -- incremental view maintenance ----------------------------------------
+
+    def _maintain(self, plus: Dict[str, Set[Atom]],
+                  minus: Dict[str, Set[Atom]], affected: Set[str]) -> None:
+        """Propagate an applied base delta through the strata in place.
+
+        Per stratum, in order: (A) over-delete — every fact with a
+        derivation through a deleted support, or blocked by an added
+        negative support, is dropped, transitively within the stratum
+        (DRed's pessimistic phase); (B) re-derive — each over-deleted
+        fact is re-proved head-first against the surviving extension,
+        iterated so chains among re-derived facts settle and provenance
+        stays complete; (C) insert — semi-naive rounds seeded both by
+        added facts in positive body positions and by deleted facts in
+        negated positions (a removal can *enable* derivations through
+        negation at a stratum boundary).  The stratum's net change then
+        joins the delta seen by the strata above, and the session's
+        grown/shrunk accounting.
+
+        Precondition (checked by :meth:`_propagate`): every predicate in
+        *affected* is fresh, hence so is everything it depends on.
+        """
+        started = time.perf_counter()
+        stats = self.stats
+        delta_plus: Dict[str, Set[Atom]] = {p: set(s) for p, s in plus.items()}
+        delta_minus: Dict[str, Set[Atom]] = {p: set(s)
+                                             for p, s in minus.items()}
+        for stratum in self._strata:
+            todo = stratum & affected
+            if not todo:
+                continue
+            rules = self.program.rules_defining(sorted(todo))
+            deleted = self._overdelete(todo, delta_plus, delta_minus)
+            stats.maint_deleted += len(deleted)
+            rederived = self._rederive(rules, deleted) if deleted else set()
+            stats.maint_rederived += len(rederived)
+            inserted = self._insert_seeded(rules, todo, delta_plus,
+                                           delta_minus)
+            # Net the stratum: a fact both over-deleted (and not
+            # re-derived) and re-inserted kept its truth value; a fact
+            # inserted fresh grew; a deletion that stuck shrank.
+            for fact in deleted:
+                if fact in rederived or fact in inserted:
+                    continue
+                delta_minus.setdefault(fact.pred, set()).add(fact)
+            for fact in inserted:
+                if fact in deleted:
+                    continue
+                delta_plus.setdefault(fact.pred, set()).add(fact)
+        for pred, facts in delta_plus.items():
+            if facts and self.is_derived(pred):
+                self._accumulate_delta(pred, grown=facts)
+        for pred, facts in delta_minus.items():
+            if facts and self.is_derived(pred):
+                self._accumulate_delta(pred, shrunk=facts)
+        stats.maint_ms += (time.perf_counter() - started) * 1000.0
+
+    def _overdelete(self, todo: Set[str], delta_plus: Dict[str, Set[Atom]],
+                    delta_minus: Dict[str, Set[Atom]]) -> Set[Atom]:
+        """DRed phase A: drop every fact of *todo* whose support may be gone.
+
+        Suspects are facts with a derivation through a deleted support
+        (positive) or through the absence of a now-added atom (negative);
+        deletion cascades through same-stratum supports.  Over-deletion
+        is deliberate — survivors come back in :meth:`_rederive`.
+        """
+        suspects: List[Atom] = []
+        for facts in delta_minus.values():
+            for fact in facts:
+                for dependent in self.provenance.facts_supported_by(fact):
+                    if dependent.pred in todo:
+                        suspects.append(dependent)
+        for facts in delta_plus.values():
+            for fact in facts:
+                for dependent in self.provenance.facts_blocked_by(fact):
+                    if dependent.pred in todo:
+                        suspects.append(dependent)
+        deleted: Set[Atom] = set()
+        while suspects:
+            fact = suspects.pop()
+            if fact in deleted:
+                continue
+            deleted.add(fact)
+            for dependent in self.provenance.facts_supported_by(fact):
+                if dependent.pred in todo and dependent not in deleted:
+                    suspects.append(dependent)
+            self.provenance.drop_fact(fact)
+            self._derived_store.remove(fact)
+        return deleted
+
+    def _rederive(self, rules: Sequence[Rule],
+                  deleted: Set[Atom]) -> Set[Atom]:
+        """DRed phase B: re-prove over-deleted facts against the survivors.
+
+        Each candidate is evaluated head-first: the rule head is matched
+        against the fact, and the body plan runs with every head variable
+        pre-bound, so only derivations of exactly that fact are
+        enumerated.  Iterated to a fixpoint because a fact re-derived in
+        a later round can complete derivations (and provenance entries)
+        for facts handled earlier.
+        """
+        rules_by_head: Dict[str, List[Rule]] = {}
+        for rule in rules:
+            rules_by_head.setdefault(rule.head.pred, []).append(rule)
+        rederived: Set[Atom] = set()
+        changed = True
+        while changed:
+            changed = False
+            for fact in deleted:
+                for rule in rules_by_head.get(fact.pred, ()):
+                    seed = match(rule.head, fact)
+                    if seed is None:
+                        continue
+                    plan = self.planner.plan(
+                        rule.body, frozenset(rule.head.variables()))
+                    for theta, pos, neg in list(plan.derivations(self, seed)):
+                        derivation = Derivation(
+                            fact=fact,
+                            rule_name=rule.name,
+                            positive_supports=pos,
+                            negative_supports=neg,
+                        )
+                        if self.provenance.record(derivation):
+                            changed = True
+                            if self._derived_store.add(fact):
+                                rederived.add(fact)
+        return rederived
+
+    def _insert_seeded(self, rules: Sequence[Rule], todo: Set[str],
+                       delta_plus: Dict[str, Set[Atom]],
+                       delta_minus: Dict[str, Set[Atom]]) -> Set[Atom]:
+        """Insertion maintenance: seed new derivations from the delta.
+
+        Seeds come from two directions: added facts matched against
+        positive body literals, and deleted facts matched against negated
+        literals (the atom's absence now satisfies the negation — the
+        stratum-boundary flip).  Facts derived here then drive the shared
+        semi-naive rounds for within-stratum recursion.
+        """
+        inserted: Set[Atom] = set()
+        seed_delta: Set[Atom] = set()
+        for rule in rules:
+            for element in rule.body:
+                if not isinstance(element, Literal):
+                    continue
+                source = delta_plus if element.positive else delta_minus
+                facts = source.get(element.pred)
+                if not facts:
+                    continue
+                seed_vars = frozenset(element.variables())
+                plan = self.planner.plan(rule.body, seed_vars)
+                for fact in facts:
+                    seed = match(element.atom, fact)
+                    if seed is None:
+                        continue
+                    for theta, pos, neg in list(plan.derivations(self, seed)):
+                        derivation = Derivation(
+                            fact=rule.head.substitute(theta),
+                            rule_name=rule.name,
+                            positive_supports=pos,
+                            negative_supports=neg,
+                        )
+                        if self.provenance.record(derivation):
+                            if self._derived_store.add(derivation.fact):
+                                seed_delta.add(derivation.fact)
+        self.stats.maint_insert_rounds += 1
+        inserted |= seed_delta
+        if seed_delta:
+            added, rounds = self._delta_rounds(rules, todo, seed_delta)
+            inserted |= added
+            self.stats.maint_insert_rounds += rounds
+        return inserted
 
     # -- convenience ------------------------------------------------------------
 

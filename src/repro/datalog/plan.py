@@ -80,6 +80,17 @@ class EngineStats:
     checks_run: int = 0
     constraints_checked: int = 0
     violations_found: int = 0
+    # Incremental view maintenance (engine maintenance="delta"): the
+    # semi-naive insert rounds run, facts over-deleted / re-derived by
+    # DRed, and total time spent propagating deltas in place.
+    maint_insert_rounds: int = 0
+    maint_deleted: int = 0
+    maint_rederived: int = 0
+    maint_ms: float = 0.0
+    #: Times an incremental check had neither an exact derived delta nor
+    #: a BES snapshot and fell back to the conservative slow path — a
+    #: correctly configured session should keep this at zero.
+    delta_fallbacks: int = 0
     # Durability counters (threaded in by repro.storage when the model
     # is backed by an evolution log).
     wal_records: int = 0
@@ -137,6 +148,11 @@ class EngineStats:
             "checks_run": self.checks_run,
             "constraints_checked": self.constraints_checked,
             "violations_found": self.violations_found,
+            "maint_insert_rounds": self.maint_insert_rounds,
+            "maint_deleted": self.maint_deleted,
+            "maint_rederived": self.maint_rederived,
+            "maint_ms": self.maint_ms,
+            "delta_fallbacks": self.delta_fallbacks,
             "wal_records": self.wal_records,
             "wal_bytes": self.wal_bytes,
             "wal_fsyncs": self.wal_fsyncs,
@@ -164,6 +180,15 @@ class EngineStats:
             f"({self.constraints_checked} constraint evaluations, "
             f"{self.violations_found} violations)",
         ]
+        if self.maint_insert_rounds or self.maint_deleted:
+            lines.append(f"  view maintenance:   "
+                         f"{self.maint_insert_rounds} insert round(s), "
+                         f"{self.maint_deleted} over-deleted / "
+                         f"{self.maint_rederived} re-derived, "
+                         f"{self.maint_ms:.2f} ms")
+        if self.delta_fallbacks:
+            lines.append(f"  delta fallbacks:    {self.delta_fallbacks} "
+                         f"(conservative re-check without derived delta)")
         if self.wal_records or self.wal_fsyncs:
             lines.append(f"  evolution log:      {self.wal_records} "
                          f"record(s), {self.wal_bytes} bytes, "

@@ -69,6 +69,14 @@ def render_stats(stats: EngineStats, slowest: int = 5) -> str:
         ["constraints checked", stats.constraints_checked],
         ["violations found", stats.violations_found],
     ]
+    if stats.maint_insert_rounds or stats.maint_deleted:
+        rows.append(["maintenance rounds", stats.maint_insert_rounds])
+        rows.append(["maintenance deletes",
+                     f"{stats.maint_deleted} over-deleted, "
+                     f"{stats.maint_rederived} re-derived"])
+        rows.append(["maintenance time", f"{stats.maint_ms:.2f} ms"])
+    if stats.delta_fallbacks:
+        rows.append(["delta fallbacks", stats.delta_fallbacks])
     if stats.wal_records or stats.wal_fsyncs:
         rows.append(["wal records",
                      f"{stats.wal_records} ({stats.wal_bytes} bytes)"])

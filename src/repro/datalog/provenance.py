@@ -69,6 +69,7 @@ class ProvenanceIndex:
         self._keys: Set[Tuple] = set()
         self._by_support: Dict[Atom, Set[Atom]] = {}
         self._by_negative: Dict[Atom, Set[Atom]] = {}
+        self._by_pred: Dict[str, Set[Atom]] = {}
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -78,6 +79,7 @@ class ProvenanceIndex:
         self._keys.clear()
         self._by_support.clear()
         self._by_negative.clear()
+        self._by_pred.clear()
 
     def record(self, derivation: Derivation) -> bool:
         """Store a derivation; returns True when it is new."""
@@ -86,6 +88,8 @@ class ProvenanceIndex:
             return False
         self._keys.add(key)
         self._by_fact.setdefault(derivation.fact, []).append(derivation)
+        self._by_pred.setdefault(derivation.fact.pred,
+                                 set()).add(derivation.fact)
         for support in derivation.positive_supports:
             self._by_support.setdefault(support, set()).add(derivation.fact)
         for absent in derivation.negative_supports:
@@ -106,6 +110,10 @@ class ProvenanceIndex:
     def drop_fact(self, fact: Atom) -> None:
         """Forget every derivation of *fact* (used by partial recompute)."""
         derivations = self._by_fact.pop(fact, [])
+        if derivations:
+            bucket = self._by_pred.get(fact.pred)
+            if bucket is not None:
+                bucket.discard(fact)
         for derivation in derivations:
             self._keys.discard(derivation.key())
             for support in derivation.positive_supports:
@@ -116,6 +124,30 @@ class ProvenanceIndex:
                 bucket = self._by_negative.get(absent)
                 if bucket is not None:
                     bucket.discard(fact)
+
+    def clear_predicate(self, pred: str) -> int:
+        """Forget every derivation of every fact of predicate *pred*.
+
+        Bulk counterpart of :meth:`drop_fact` for clear-and-recompute:
+        one pass over the predicate's facts instead of a per-fact call
+        from the engine.  Returns the number of facts dropped.
+        """
+        facts = self._by_pred.pop(pred, None)
+        if not facts:
+            return 0
+        for fact in facts:
+            derivations = self._by_fact.pop(fact, ())
+            for derivation in derivations:
+                self._keys.discard(derivation.key())
+                for support in derivation.positive_supports:
+                    bucket = self._by_support.get(support)
+                    if bucket is not None:
+                        bucket.discard(fact)
+                for absent in derivation.negative_supports:
+                    bucket = self._by_negative.get(absent)
+                    if bucket is not None:
+                        bucket.discard(fact)
+        return len(facts)
 
     def tree(self, fact: Atom, is_derived, max_depth: int = 16) -> DerivationTree:
         """Build a derivation tree for *fact* for explanation purposes.

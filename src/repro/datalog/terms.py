@@ -56,9 +56,16 @@ def substitute_term(term: Term, theta: Substitution) -> Term:
     return term
 
 
-@dataclass(frozen=True, slots=True)
 class Atom:
-    """An application of a predicate to terms, e.g. ``Type(T, N, S)``."""
+    """An application of a predicate to terms, e.g. ``Type(T, N, S)``.
+
+    Atoms are immutable and hashed millions of times per saturation (as
+    relation rows, provenance keys, and delta-set members), so the hash
+    is computed once at construction and cached; equality short-circuits
+    on it before comparing the fields.
+    """
+
+    __slots__ = ("pred", "args", "_hash")
 
     pred: str
     args: Tuple[Term, ...]
@@ -66,6 +73,30 @@ class Atom:
     def __init__(self, pred: str, args: Iterable[Term]) -> None:
         object.__setattr__(self, "pred", pred)
         object.__setattr__(self, "args", tuple(args))
+        object.__setattr__(self, "_hash", hash((pred, self.args)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"Atom is immutable (cannot set {name})")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Atom is immutable (cannot delete {name})")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return (self._hash == other._hash and self.pred == other.pred
+                and self.args == other.args)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
 
     @property
     def arity(self) -> int:

@@ -165,9 +165,10 @@ class GomDatabase:
 
     def __init__(self, features: Sequence[str] = DEFAULT_FEATURES,
                  generate_keys: bool = True,
-                 generate_references: bool = True) -> None:
+                 generate_references: bool = True,
+                 maintenance: str = "delta") -> None:
         self.ids = IdFactory()
-        self.db = DeductiveDatabase()
+        self.db = DeductiveDatabase(maintenance=maintenance)
         self.checker = ConsistencyChecker(self.db)
         self.repairer = RepairGenerator(self.db)
         self.contributions: List[FeatureContribution] = []

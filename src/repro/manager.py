@@ -42,9 +42,15 @@ class SchemaManager:
 
     def __init__(self, features: Sequence[str] = DEFAULT_FEATURES,
                  record_dynamic_calls: bool = True,
-                 model: Optional[GomDatabase] = None) -> None:
+                 model: Optional[GomDatabase] = None,
+                 maintenance: str = "delta") -> None:
+        """*maintenance* selects the engine's derived-predicate strategy
+        when a fresh model is built: ``"delta"`` (incremental view
+        maintenance, the default) or ``"recompute"`` (clear-and-recompute
+        baseline, kept for A/B benchmarking).  Ignored when *model* is
+        supplied — the model's engine keeps its own setting."""
         self.model = model if model is not None \
-            else GomDatabase(features=features)
+            else GomDatabase(features=features, maintenance=maintenance)
         self.analyzer = Analyzer(self.model,
                                  record_dynamic_calls=record_dynamic_calls)
         self.runtime = RuntimeSystem(self.model)

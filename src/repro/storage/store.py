@@ -121,18 +121,27 @@ class DurableStore:
         scan = store.wal.open_for_append()
         replayed = discarded = facts = 0
         committed = group_operations(scan.records)
-        for session, op_records, commit in committed:
-            for record in op_records:
-                additions = [decode_atom(item)
-                             for item in record.payload.get("add", ())]
-                deletions = [decode_atom(item)
-                             for item in record.payload.get("del", ())]
-                model.modify(additions=additions, deletions=deletions)
-                facts += len(additions) + len(deletions)
-            for kind, next_number in commit.payload.get("next_ids",
-                                                        {}).items():
-                model.ids.resume(kind, next_number)
-            replayed += 1
+        # Maintenance state (materialized views, provenance, session
+        # deltas) is never persisted: suspend eager propagation for the
+        # replay so derived predicates are rebuilt lazily, once, on the
+        # first read after recovery.
+        saved_maintenance = model.db.maintenance
+        model.db.maintenance = "recompute"
+        try:
+            for session, op_records, commit in committed:
+                for record in op_records:
+                    additions = [decode_atom(item)
+                                 for item in record.payload.get("add", ())]
+                    deletions = [decode_atom(item)
+                                 for item in record.payload.get("del", ())]
+                    model.modify(additions=additions, deletions=deletions)
+                    facts += len(additions) + len(deletions)
+                for kind, next_number in commit.payload.get("next_ids",
+                                                            {}).items():
+                    model.ids.resume(kind, next_number)
+                replayed += 1
+        finally:
+            model.db.maintenance = saved_maintenance
         begun = {record.session for record in scan.records
                  if record.kind == "bes"}
         discarded = len(begun) - replayed
