@@ -30,7 +30,19 @@ DEFAULT_RESULTS = os.path.join(HERE, "results", "e5_incremental.json")
 DEFAULT_BASELINE = os.path.join(HERE, "baselines", "e5_incremental.json")
 
 
-def load(path):
+def load(path, role):
+    """Parse *path*; ``None`` means "not there" (a skip, not a failure).
+
+    A missing file is the normal state of a fresh checkout or a CI lane
+    that didn't run the benchmarks — the guard skips cleanly rather
+    than failing a build over an absent input.  A file that exists but
+    doesn't parse is still a hard error: that's a broken artifact, not
+    a missing one.
+    """
+    if not os.path.exists(path):
+        print(f"bench-guard: skip — no {role} file at {path} "
+              "(run bench_e5_incremental.py to produce one)")
+        return None
     try:
         with open(path, "r", encoding="utf-8") as handle:
             return json.load(handle)
@@ -77,8 +89,11 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     print(f"bench-guard: {args.results} vs {args.baseline}")
-    failures = check(load(args.results), load(args.baseline),
-                     args.max_regression)
+    results = load(args.results, "results")
+    baseline = load(args.baseline, "baseline")
+    if results is None or baseline is None:
+        return 0
+    failures = check(results, baseline, args.max_regression)
     if failures:
         print("bench-guard: FAIL")
         for failure in failures:

@@ -1,0 +1,104 @@
+"""Trace smoke: run a traced evolution workload and publish artifacts.
+
+Drives a synthetic schema through a burst of evolution sessions with
+the observability layer switched fully on, then writes three files
+into ``benchmarks/results/``:
+
+* ``trace_smoke.jsonl`` — the streamed span log (one JSON object per
+  finished span; crash-tolerant, flushed per record),
+* ``trace_smoke.chrome.json`` — the same spans as a Chrome
+  ``trace_event`` document (load it in ``chrome://tracing`` or
+  https://ui.perfetto.dev),
+* ``trace_smoke.metrics.json`` — the cross-session metrics snapshot
+  (counters, gauges, histograms with p50/p95/p99).
+
+CI runs this after the benchmark smoke and uploads all three with the
+bench artifact, so every green build carries an inspectable trace of
+the session → check → maintain pipeline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trace_smoke.py
+        [--types 60] [--sessions 20] [--out benchmarks/results]
+"""
+
+import argparse
+import json
+import os
+import random
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+
+from repro.manager import SchemaManager                      # noqa: E402
+from repro.workloads.synthetic import (generate_schema,      # noqa: E402
+                                       random_evolution)
+
+
+def run(n_types, n_sessions, out_dir):
+    os.makedirs(out_dir, exist_ok=True)
+    jsonl_path = os.path.join(out_dir, "trace_smoke.jsonl")
+    chrome_path = os.path.join(out_dir, "trace_smoke.chrome.json")
+    metrics_path = os.path.join(out_dir, "trace_smoke.metrics.json")
+
+    manager = SchemaManager(trace=jsonl_path)
+    schema = generate_schema(manager, n_types, seed=1993)
+    manager.model.db.materialize()
+
+    rng = random.Random(42)
+    outcomes = {"commit": 0, "rollback": 0}
+    for index in range(n_sessions):
+        if index % 5 == 4:          # exercise the rollback path too
+            session = manager.begin_session(check_mode="delta")
+            random_evolution(schema, session, rng)
+            session.rollback()
+            outcomes["rollback"] += 1
+        else:                       # the BES...EES protocol end to end
+            manager.evolve(lambda session:
+                           random_evolution(schema, session, rng))
+            outcomes["commit"] += 1
+
+    tracer = manager.obs.tracer
+    tracer.export_chrome(chrome_path)
+    tracer.close()
+    manager.obs.metrics.write_json(metrics_path)
+
+    spans = tracer.spans()
+    names = sorted({span.name for span in spans})
+    snapshot = json.load(open(metrics_path, encoding="utf-8"))
+    print(f"trace-smoke: {n_types} types, {n_sessions} sessions "
+          f"({outcomes['commit']} committed, {outcomes['rollback']} "
+          f"rolled back)")
+    print(f"  spans: {len(spans)} finished, names: {', '.join(names)}")
+    print(f"  wrote {jsonl_path}")
+    print(f"  wrote {chrome_path}")
+    print(f"  wrote {metrics_path}")
+    print(manager.obs.metrics.render(top=8))
+
+    # Self-check so CI fails loudly if instrumentation goes dark.
+    expected = {"session", "session.check", "check.delta",
+                "check.constraint", "engine.maintain", "protocol.run"}
+    missing = expected - set(names)
+    if missing:
+        print(f"trace-smoke: FAIL — no spans recorded for: "
+              f"{', '.join(sorted(missing))}")
+        return 1
+    if snapshot["counters"].get("session.commits", 0) < outcomes["commit"]:
+        print("trace-smoke: FAIL — session.commits counter undercounts")
+        return 1
+    print("trace-smoke: ok")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--types", type=int, default=60)
+    parser.add_argument("--sessions", type=int, default=20)
+    parser.add_argument("--out", default=os.path.join(HERE, "results"))
+    args = parser.parse_args(argv)
+    return run(args.types, args.sessions, args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

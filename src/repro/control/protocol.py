@@ -113,6 +113,15 @@ class SchemaEvolutionProtocol:
         """Execute steps 2–9.  *changes* performs the user's proposed
         modifications (step 2/3); pass None when they were already applied
         to the session."""
+        with self.session.obs.span("protocol.run") as span:
+            result = self._run(changes)
+            span.set("outcome", result.outcome)
+            span.set("rounds", result.rounds)
+        return result
+
+    def _run(self,
+             changes: Optional[Callable[[EvolutionSession], None]] = None
+             ) -> ProtocolResult:
         transcript: List[ProtocolStep] = []
         chosen: List[ExplainedRepair] = []
         transcript.append(ProtocolStep(1, "schema evolution session started"))

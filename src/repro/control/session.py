@@ -96,19 +96,24 @@ class EvolutionSession:
         #: Fresh instrumentation for this BES…EES bracket; every engine
         #: evaluation inside the session is attributed to it.
         self.stats: EngineStats = model.db.begin_stats()
+        self.obs = model.db.obs
         self._snapshot = model.db.edb.snapshot()
         # Exact derived deltas for the EES incremental check.  With the
         # engine maintaining its views ("delta" maintenance), materialize
         # once and let the engine account grown/shrunk sets as the
-        # session's changes propagate — no O(IDB) snapshot copy.  Only
-        # the recompute engine still pays for the BES snapshot.
+        # session's changes propagate — no O(IDB) snapshot copy.  The
+        # reset happens at every BES regardless of this session's check
+        # mode: the accumulator baseline must be *this* session's BES, or
+        # a later delta check would net this session's changes against a
+        # previous session's (a grow there cancelling a shrink here masks
+        # the shrink entirely).  Only the recompute engine still pays for
+        # the BES snapshot, and only when it will be consumed.
         self._derived_before = None
-        if check_mode == "delta":
-            if model.db.maintenance == "delta":
-                model.db.materialize()
-                model.db.reset_derived_delta()
-            else:
-                self._derived_before = snapshot_derived(model.db)
+        if model.db.maintenance == "delta":
+            model.db.materialize()
+            model.db.reset_derived_delta()
+        elif check_mode == "delta":
+            self._derived_before = snapshot_derived(model.db)
         self._net: Dict[Atom, int] = {}
         self._closed = False
         self._explainers: List[Explainer] = []
@@ -119,6 +124,15 @@ class EvolutionSession:
         durability = getattr(model, "durability", None)
         if durability is not None:
             self.wal_id = durability.begin_session(check_mode)
+        #: The BES…EES bracket as one span; closed when the session ends.
+        self._span = self.obs.span("session", mode=check_mode)
+        self._span.__enter__()
+        if self.wal_id is not None:
+            self._span.set("wal_id", self.wal_id)
+        if self.obs.profiler is not None:
+            self.obs.profiler.start(
+                f"session-{id(self):x}" if self.wal_id is None
+                else f"session-{self.wal_id}")
 
     # -- state ------------------------------------------------------------------
 
@@ -197,12 +211,17 @@ class EvolutionSession:
         self._require_active()
         mode = mode or self.check_mode
         additions, deletions = self.net_delta()
-        if mode == "delta":
-            report = self.model.checker.check_delta(
-                additions, deletions, derived_before=self._derived_before,
-                derived_delta=self.model.db.derived_delta())
-        else:
-            report = self.model.checker.check()
+        with self.obs.span("session.check", mode=mode) as span:
+            if mode == "delta":
+                report = self.model.checker.check_delta(
+                    additions, deletions,
+                    derived_before=self._derived_before,
+                    derived_delta=self.model.db.derived_delta())
+            else:
+                report = self.model.checker.check()
+            if self.obs.enabled:
+                span.set("violations", len(report.violations))
+                self.obs.metrics.counter(f"session.checks[{mode}]").inc()
         return SessionReport(report=report, net_additions=additions,
                              net_deletions=deletions)
 
@@ -279,25 +298,43 @@ class EvolutionSession:
             self.model.durability.commit_session(self.wal_id)
         self._closed = True
         self.model.active_session = None
-        self._publish_stats()
+        self._publish_stats("commit")
         return report
 
     def rollback(self) -> None:
         """Undo the whole evolution session and close it."""
         self._require_active()
         self.model.db.edb.restore(self._snapshot)
-        # Invalidate every derived predicate the session may have touched.
+        # Invalidate every derived predicate the session may have touched,
+        # and discard the session's derived-delta accounting: the restored
+        # extension matches no accumulated grown/shrunk state, so the
+        # accounting must read as unknown until the next BES resets it.
         touched = {fact.pred for fact in self._net}
+        ops = len(self._net)
         if touched:
             self.model.db.invalidate(touched)
+        self.model.db.discard_derived_delta()
         self._net.clear()
         if self.wal_id is not None:
             self.model.durability.rollback_session(self.wal_id)
         self._closed = True
         self.model.active_session = None
-        self._publish_stats()
+        self._publish_stats("rollback", ops=ops)
 
-    def _publish_stats(self) -> None:
+    def _publish_stats(self, outcome: str = "closed",
+                       ops: Optional[int] = None) -> None:
         """Freeze this session's counters and expose them on the model."""
         self.stats.finish()
         self.model.last_session_stats = self.stats
+        obs = self.obs
+        if obs.profiler is not None:
+            obs.profiler.stop()
+        if obs.enabled:
+            if ops is None:
+                additions, deletions = self.net_delta()
+                ops = len(additions) + len(deletions)
+            self._span.set("outcome", outcome)
+            self._span.set("ops", ops)
+            obs.metrics.absorb_engine_stats(self.stats)
+            obs.metrics.counter(f"session.{outcome}s").inc()
+        self._span.__exit__(None, None, None)

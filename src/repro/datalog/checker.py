@@ -154,15 +154,24 @@ class ConsistencyChecker:
             else self._constraints
         violations: List[Violation] = []
         seen: Set[Tuple] = set()
-        for constraint in targets:
-            constraint_start = time.perf_counter()
-            for violation in self._check_constraint(constraint):
-                key = _violation_key(constraint, violation.substitution)
-                if key not in seen:
-                    seen.add(key)
-                    violations.append(violation)
-            stats.record_constraint(
-                constraint.name, time.perf_counter() - constraint_start)
+        tracer = self.database.obs.tracer
+        with tracer.span("check.full", constraints=len(targets)) as span:
+            for constraint in targets:
+                constraint_start = time.perf_counter()
+                with tracer.span("check.constraint",
+                                 constraint=constraint.name) as cspan:
+                    found = 0
+                    for violation in self._check_constraint(constraint):
+                        key = _violation_key(constraint,
+                                             violation.substitution)
+                        if key not in seen:
+                            seen.add(key)
+                            violations.append(violation)
+                            found += 1
+                    cspan.set("violations", found)
+                stats.record_constraint(
+                    constraint.name, time.perf_counter() - constraint_start)
+            span.set("violations", len(violations))
         stats.constraints_checked += len(targets)
         stats.violations_found += len(violations)
         elapsed = time.perf_counter() - start
@@ -253,18 +262,30 @@ class ConsistencyChecker:
         violations: List[Violation] = []
         seen: Set[Tuple] = set()
         checked = 0
-        for constraint in self._constraints:
-            constraint_start = time.perf_counter()
-            relevant = self._seeded_checks(constraint, may_grow, may_shrink,
-                                           added_facts, deleted_facts)
-            for violation in relevant:
-                key = _violation_key(constraint, violation.substitution)
-                if key not in seen:
-                    seen.add(key)
-                    violations.append(violation)
-            stats.record_constraint(
-                constraint.name, time.perf_counter() - constraint_start)
-            checked += 1
+        tracer = self.database.obs.tracer
+        with tracer.span("check.delta",
+                         base_plus=len(additions),
+                         base_minus=len(deletions)) as span:
+            for constraint in self._constraints:
+                constraint_start = time.perf_counter()
+                with tracer.span("check.constraint",
+                                 constraint=constraint.name) as cspan:
+                    found = 0
+                    relevant = self._seeded_checks(constraint, may_grow,
+                                                   may_shrink, added_facts,
+                                                   deleted_facts)
+                    for violation in relevant:
+                        key = _violation_key(constraint,
+                                             violation.substitution)
+                        if key not in seen:
+                            seen.add(key)
+                            violations.append(violation)
+                            found += 1
+                    cspan.set("violations", found)
+                stats.record_constraint(
+                    constraint.name, time.perf_counter() - constraint_start)
+                checked += 1
+            span.set("violations", len(violations))
         stats.constraints_checked += checked
         stats.violations_found += len(violations)
         elapsed = time.perf_counter() - start

@@ -49,6 +49,7 @@ from repro.datalog.plan import EngineStats, QueryPlanner
 from repro.datalog.provenance import Derivation, DerivationTree, ProvenanceIndex
 from repro.datalog.rules import BodyElement, Program, Rule, stratify
 from repro.datalog.terms import Atom, Literal, Substitution, match
+from repro.obs import Observability, NOOP_OBS
 
 
 class DeductiveDatabase:
@@ -56,13 +57,17 @@ class DeductiveDatabase:
 
     def __init__(self, decls: Iterable[PredicateDecl] = (),
                  rules: Iterable[Rule] = (),
-                 maintenance: str = "delta") -> None:
+                 maintenance: str = "delta",
+                 obs: Optional[Observability] = None) -> None:
         if maintenance not in ("delta", "recompute"):
             raise ValueError(f"maintenance must be 'delta' or 'recompute', "
                              f"got {maintenance!r}")
         #: Maintenance strategy for derived predicates; may be switched at
         #: runtime (recovery replay temporarily forces "recompute").
         self.maintenance = maintenance
+        #: Observability bundle (tracing / metrics / profiling); the
+        #: default no-op bundle keeps instrumentation points free.
+        self.obs = obs if obs is not None else NOOP_OBS
         self.stats = EngineStats()
         self.edb = FactStore(stats=self.stats)
         self.program = Program()
@@ -221,6 +226,19 @@ class DeductiveDatabase:
             for pred in self._derived_store.predicates()
         )
 
+    def discard_derived_delta(self) -> None:
+        """Invalidate the derived-delta accounting until the next reset.
+
+        Called when the extension changes out of band (session rollback
+        restoring an EDB snapshot): whatever the accumulators hold no
+        longer describes any live session, so they are cleared and the
+        accounting is tainted — :meth:`derived_delta` answers None until
+        a BES calls :meth:`reset_derived_delta` again.
+        """
+        self._session_grown.clear()
+        self._session_shrunk.clear()
+        self._delta_tainted = True
+
     def derived_delta(self) -> Optional[Dict[str, Tuple[Set[Atom],
                                                         Set[Atom]]]]:
         """Exact per-predicate (grown, shrunk) sets since the last reset.
@@ -344,19 +362,25 @@ class DeductiveDatabase:
         # Recomputed extensions are not delta-tracked: anything observed
         # through this path is unknown to the session accounting.
         self._delta_tainted = True
-        for pred in preds:
-            self.provenance.clear_predicate(pred)
-            self._derived_store.clear(pred)
-        for stratum in self._strata:
-            todo = stratum & preds
-            if not todo:
-                continue
-            rules = self.program.rules_defining(sorted(todo))
-            # Mark the stratum fresh *before* saturating: recursive rules
-            # legitimately read their own (in-progress) extension, and
-            # saturation iterates to the fixpoint regardless.
-            self._fresh.update(todo)
-            self._saturate(rules)
+        with self.obs.span("engine.saturate", preds=len(preds)) as span:
+            for pred in preds:
+                self.provenance.clear_predicate(pred)
+                self._derived_store.clear(pred)
+            for stratum in self._strata:
+                todo = stratum & preds
+                if not todo:
+                    continue
+                rules = self.program.rules_defining(sorted(todo))
+                # Mark the stratum fresh *before* saturating: recursive
+                # rules legitimately read their own (in-progress)
+                # extension, and saturation iterates to the fixpoint
+                # regardless.
+                self._fresh.update(todo)
+                self._saturate(rules)
+            if self.obs.enabled:
+                span.set("facts", sum(self._derived_store.count(p)
+                                      for p in preds))
+                self.obs.metrics.counter("engine.saturations").inc()
 
     def _saturate(self, rules: Sequence[Rule]) -> None:
         """Iterate *rules* to a derivation fixpoint (complete provenance).
@@ -460,38 +484,55 @@ class DeductiveDatabase:
         """
         started = time.perf_counter()
         stats = self.stats
-        delta_plus: Dict[str, Set[Atom]] = {p: set(s) for p, s in plus.items()}
-        delta_minus: Dict[str, Set[Atom]] = {p: set(s)
-                                             for p, s in minus.items()}
-        for stratum in self._strata:
-            todo = stratum & affected
-            if not todo:
-                continue
-            rules = self.program.rules_defining(sorted(todo))
-            deleted = self._overdelete(todo, delta_plus, delta_minus)
-            stats.maint_deleted += len(deleted)
-            rederived = self._rederive(rules, deleted) if deleted else set()
-            stats.maint_rederived += len(rederived)
-            inserted = self._insert_seeded(rules, todo, delta_plus,
-                                           delta_minus)
-            # Net the stratum: a fact both over-deleted (and not
-            # re-derived) and re-inserted kept its truth value; a fact
-            # inserted fresh grew; a deletion that stuck shrank.
-            for fact in deleted:
-                if fact in rederived or fact in inserted:
+        obs = self.obs
+        with obs.span("engine.maintain",
+                      base_plus=sum(map(len, plus.values())),
+                      base_minus=sum(map(len, minus.values()))) as span:
+            delta_plus: Dict[str, Set[Atom]] = {p: set(s)
+                                                for p, s in plus.items()}
+            delta_minus: Dict[str, Set[Atom]] = {p: set(s)
+                                                 for p, s in minus.items()}
+            for stratum in self._strata:
+                todo = stratum & affected
+                if not todo:
                     continue
-                delta_minus.setdefault(fact.pred, set()).add(fact)
-            for fact in inserted:
-                if fact in deleted:
-                    continue
-                delta_plus.setdefault(fact.pred, set()).add(fact)
-        for pred, facts in delta_plus.items():
-            if facts and self.is_derived(pred):
-                self._accumulate_delta(pred, grown=facts)
-        for pred, facts in delta_minus.items():
-            if facts and self.is_derived(pred):
-                self._accumulate_delta(pred, shrunk=facts)
-        stats.maint_ms += (time.perf_counter() - started) * 1000.0
+                rules = self.program.rules_defining(sorted(todo))
+                deleted = self._overdelete(todo, delta_plus, delta_minus)
+                stats.maint_deleted += len(deleted)
+                rederived = (self._rederive(rules, deleted)
+                             if deleted else set())
+                stats.maint_rederived += len(rederived)
+                inserted = self._insert_seeded(rules, todo, delta_plus,
+                                               delta_minus)
+                # Net the stratum: a fact both over-deleted (and not
+                # re-derived) and re-inserted kept its truth value; a fact
+                # inserted fresh grew; a deletion that stuck shrank.
+                for fact in deleted:
+                    if fact in rederived or fact in inserted:
+                        continue
+                    delta_minus.setdefault(fact.pred, set()).add(fact)
+                for fact in inserted:
+                    if fact in deleted:
+                        continue
+                    delta_plus.setdefault(fact.pred, set()).add(fact)
+            for pred, facts in delta_plus.items():
+                if facts and self.is_derived(pred):
+                    self._accumulate_delta(pred, grown=facts)
+            for pred, facts in delta_minus.items():
+                if facts and self.is_derived(pred):
+                    self._accumulate_delta(pred, shrunk=facts)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            stats.maint_ms += elapsed_ms
+            if obs.enabled:
+                span.set("derived_plus",
+                         sum(len(s) for p, s in delta_plus.items()
+                             if self.is_derived(p)))
+                span.set("derived_minus",
+                         sum(len(s) for p, s in delta_minus.items()
+                             if self.is_derived(p)))
+                obs.metrics.counter("engine.maintain_calls").inc()
+                obs.metrics.histogram("engine.maintain_round_ms").observe(
+                    elapsed_ms)
 
     def _overdelete(self, todo: Set[str], delta_plus: Dict[str, Set[Atom]],
                     delta_minus: Dict[str, Set[Atom]]) -> Set[Atom]:

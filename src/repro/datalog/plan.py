@@ -631,7 +631,16 @@ class QueryPlanner:
         if plan is not None:
             self.database.stats.plan_cache_hits += 1
             return plan
-        plan = compile_plan(self.database, body, bound)
+        obs = self.database.obs
+        if obs.enabled:
+            started = time.perf_counter()
+            plan = compile_plan(self.database, body, bound)
+            obs.metrics.histogram("planner.compile_ms").observe(
+                (time.perf_counter() - started) * 1000.0)
+            obs.metrics.histogram("planner.plan_steps").observe(
+                len(plan.steps))
+        else:
+            plan = compile_plan(self.database, body, bound)
         self._cache[key] = plan
         self.database.stats.plans_compiled += 1
         return plan

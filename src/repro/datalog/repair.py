@@ -26,6 +26,7 @@ original intensional-level action for display (the paper presents
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -147,10 +148,20 @@ class RepairGenerator:
                 seen.add(key)
                 result.append(repair)
 
-        for repair in self._premise_repairs(violation):
-            push(repair)
-        for repair in self._conclusion_repairs(violation):
-            push(repair)
+        obs = self.database.obs
+        started = time.perf_counter()
+        with obs.span("repair.generate",
+                      constraint=violation.constraint.name) as span:
+            for repair in self._premise_repairs(violation):
+                push(repair)
+            for repair in self._conclusion_repairs(violation):
+                push(repair)
+            if obs.enabled:
+                span.set("repairs", len(result))
+                obs.metrics.counter("repair.violations_seen").inc()
+                obs.metrics.counter("repair.repairs_emitted").inc(len(result))
+                obs.metrics.histogram("repair.generate_ms").observe(
+                    (time.perf_counter() - started) * 1000.0)
         return result
 
     # -- premise invalidation ------------------------------------------------------

@@ -46,6 +46,7 @@ from repro.gom.constraints_overloading import (
 from repro.gom.constraints_fashion import FASHION_CONSTRAINTS
 from repro.gom.constraints_object import OBJECTBASE_CONSTRAINTS
 from repro.gom.constraints_versioning import VERSIONING_CONSTRAINTS
+from repro.obs import NOOP_OBS
 
 
 @dataclass(frozen=True)
@@ -166,9 +167,13 @@ class GomDatabase:
     def __init__(self, features: Sequence[str] = DEFAULT_FEATURES,
                  generate_keys: bool = True,
                  generate_references: bool = True,
-                 maintenance: str = "delta") -> None:
+                 maintenance: str = "delta",
+                 obs=None) -> None:
         self.ids = IdFactory()
-        self.db = DeductiveDatabase(maintenance=maintenance)
+        #: Observability bundle shared with the engine (tracing / metrics
+        #: / profiling); defaults to the free no-op bundle.
+        self.obs = obs if obs is not None else NOOP_OBS
+        self.db = DeductiveDatabase(maintenance=maintenance, obs=self.obs)
         self.checker = ConsistencyChecker(self.db)
         self.repairer = RepairGenerator(self.db)
         self.contributions: List[FeatureContribution] = []
@@ -186,6 +191,16 @@ class GomDatabase:
         for name in self._resolve(features):
             self.enable(name)
         self._install_builtins()
+
+    def attach_obs(self, obs) -> None:
+        """Install an observability bundle after construction.
+
+        Used when the model was built indirectly (persistence load,
+        durable-store recovery) and the caller wants tracing / metrics
+        on it; the engine shares the same bundle.
+        """
+        self.obs = obs
+        self.db.obs = obs
 
     # -- feature management -----------------------------------------------------
 

@@ -19,6 +19,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.errors import SessionError
 from repro.gom.model import DEFAULT_FEATURES, GomDatabase
+from repro.obs import Observability, NOOP_OBS
 from repro.analyzer.analyzer import Analyzer
 from repro.analyzer.translator import TranslationResult
 from repro.control.protocol import (
@@ -43,14 +44,31 @@ class SchemaManager:
     def __init__(self, features: Sequence[str] = DEFAULT_FEATURES,
                  record_dynamic_calls: bool = True,
                  model: Optional[GomDatabase] = None,
-                 maintenance: str = "delta") -> None:
+                 maintenance: str = "delta",
+                 obs: Optional[Observability] = None,
+                 trace=None, profile=None) -> None:
         """*maintenance* selects the engine's derived-predicate strategy
         when a fresh model is built: ``"delta"`` (incremental view
         maintenance, the default) or ``"recompute"`` (clear-and-recompute
         baseline, kept for A/B benchmarking).  Ignored when *model* is
-        supplied — the model's engine keeps its own setting."""
+        supplied — the model's engine keeps its own setting.
+
+        Observability: pass a pre-built :class:`repro.obs.Observability`
+        as *obs*, or use the switches — ``trace=True`` keeps spans in
+        memory, ``trace="path.jsonl"`` streams them as JSONL,
+        ``profile=True`` (or a directory) adds per-session cProfile.
+        Either way a metrics registry rides along; everything defaults
+        to the zero-overhead no-op bundle."""
+        if obs is None and (trace or profile):
+            obs = Observability.create(trace=trace, profile=profile)
+        self.obs = obs if obs is not None else NOOP_OBS
         self.model = model if model is not None \
-            else GomDatabase(features=features, maintenance=maintenance)
+            else GomDatabase(features=features, maintenance=maintenance,
+                             obs=self.obs)
+        if model is not None and obs is not None:
+            self.model.attach_obs(obs)
+        elif model is not None:
+            self.obs = self.model.obs
         self.analyzer = Analyzer(self.model,
                                  record_dynamic_calls=record_dynamic_calls)
         self.runtime = RuntimeSystem(self.model)
@@ -84,7 +102,9 @@ class SchemaManager:
     def open(cls, directory: str,
              features: Optional[Sequence[str]] = None,
              record_dynamic_calls: bool = True,
-             injector=None) -> "SchemaManager":
+             injector=None,
+             obs: Optional[Observability] = None,
+             trace=None, profile=None) -> "SchemaManager":
         """Open (or create) a crash-safe manager rooted at *directory*.
 
         The directory holds a snapshot plus a write-ahead evolution log;
@@ -109,9 +129,12 @@ class SchemaManager:
         """
         from repro.storage.faults import NO_FAULTS
         from repro.storage.store import DurableStore
+        if obs is None and (trace or profile):
+            obs = Observability.create(trace=trace, profile=profile)
         store = DurableStore.open(
             directory, features=features,
-            injector=NO_FAULTS if injector is None else injector)
+            injector=NO_FAULTS if injector is None else injector,
+            obs=obs)
         manager = cls(model=store.model,
                       record_dynamic_calls=record_dynamic_calls)
         manager.store = store

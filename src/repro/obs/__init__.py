@@ -1,0 +1,88 @@
+"""Observability for the schema-evolution stack: tracing, metrics, profiling.
+
+The single handle threaded through the system is :class:`Observability`,
+a bundle of three independent backends:
+
+* ``obs.tracer`` — nested spans + instant events (:mod:`repro.obs.trace`),
+* ``obs.metrics`` — counters / gauges / histograms (:mod:`repro.obs.metrics`),
+* ``obs.profiler`` — optional per-session cProfile (:mod:`repro.obs.profile`).
+
+The default everywhere is :data:`NOOP_OBS`: both backends are shared
+null singletons and ``obs.enabled`` is ``False``, so instrumentation
+points reduce to one attribute test or one no-op method call.  Code on
+hot paths should guard richer work (building attribute dicts, reading
+clocks) behind ``if obs.enabled:``; plain ``with obs.span(...)`` sites
+need no guard.
+
+Construction is usually indirect, via ``SchemaManager(trace=...)`` /
+``GomDatabase(obs=...)``; :meth:`Observability.create` is the one
+factory both use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               NullMetrics, NULL_METRICS)
+from repro.obs.profile import SessionProfiler
+from repro.obs.trace import NullTracer, Span, Tracer, NULL_TRACER
+
+__all__ = [
+    "Observability", "NOOP_OBS",
+    "Tracer", "NullTracer", "NULL_TRACER", "Span",
+    "MetricsRegistry", "NullMetrics", "NULL_METRICS",
+    "Counter", "Gauge", "Histogram",
+    "SessionProfiler",
+]
+
+
+class Observability:
+    """The tracer + metrics + profiler bundle threaded through the stack."""
+
+    __slots__ = ("tracer", "metrics", "profiler", "enabled")
+
+    def __init__(self, tracer=None, metrics=None,
+                 profiler: Optional[SessionProfiler] = None) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.profiler = profiler
+        self.enabled = bool(self.tracer.enabled or self.metrics.enabled
+                            or profiler is not None)
+
+    def span(self, name: str, **attrs: object):
+        """Shorthand for ``obs.tracer.span`` (null span when disabled)."""
+        return self.tracer.span(name, **attrs)
+
+    @classmethod
+    def create(cls, trace: Union[bool, str, None] = None,
+               metrics: Union[bool, "MetricsRegistry", None] = None,
+               profile: Union[bool, str, None] = None) -> "Observability":
+        """Build a bundle from user-facing switches.
+
+        * ``trace``: ``True`` keeps spans in memory; a path streams them
+          to that file as JSONL.
+        * ``metrics``: ``True`` (or an existing registry) enables the
+          registry; defaults to on whenever tracing or profiling is on.
+        * ``profile``: ``True`` profiles sessions in memory; a path also
+          dumps ``.prof`` files into that directory.
+        """
+        if not trace and not metrics and not profile:
+            return NOOP_OBS
+        tracer = None
+        if trace:
+            tracer = Tracer(jsonl_path=trace if isinstance(trace, str)
+                            else None)
+        registry = None
+        if isinstance(metrics, MetricsRegistry):
+            registry = metrics
+        elif metrics or metrics is None:  # default on alongside trace/profile
+            registry = MetricsRegistry()
+        profiler = None
+        if profile:
+            profiler = SessionProfiler(
+                directory=profile if isinstance(profile, str) else None)
+        return cls(tracer=tracer, metrics=registry, profiler=profiler)
+
+
+NOOP_OBS = Observability()

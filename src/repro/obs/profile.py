@@ -1,0 +1,77 @@
+"""Optional per-session CPU profiling via :mod:`cProfile`.
+
+A :class:`SessionProfiler` brackets each evolution session (BES to
+EES) in its own ``cProfile.Profile``, so a slow commit can be broken
+down to the Python frames that spent the time.  Profiles are kept
+in memory (most recent *keep*) and optionally dumped as ``.prof``
+files loadable with ``python -m pstats`` or snakeviz.
+
+Profiling is strictly opt-in: it is only active when a profiler is
+installed on the :class:`~repro.obs.Observability` bundle, and the
+per-call overhead of cProfile is far above the tracing/metrics layer —
+use it to explain a slow span, not as an always-on monitor.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+from typing import List, Optional, Tuple
+
+__all__ = ["SessionProfiler"]
+
+
+class SessionProfiler:
+    """Profiles one labelled interval at a time (sessions never nest)."""
+
+    def __init__(self, directory: Optional[str] = None, keep: int = 8) -> None:
+        self.directory = directory
+        self.keep = keep
+        self.profiles: List[Tuple[str, cProfile.Profile]] = []
+        self._active: Optional[Tuple[str, cProfile.Profile]] = None
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    @property
+    def active(self) -> bool:
+        return self._active is not None
+
+    def start(self, label: str) -> None:
+        """Begin profiling *label*; ignored if a profile is already open."""
+        if self._active is not None:
+            return
+        profile = cProfile.Profile()
+        self._active = (label, profile)
+        profile.enable()
+
+    def stop(self) -> None:
+        """Finish the open profile (no-op when none is open)."""
+        if self._active is None:
+            return
+        label, profile = self._active
+        profile.disable()
+        self._active = None
+        self.profiles.append((label, profile))
+        if len(self.profiles) > self.keep:
+            del self.profiles[: len(self.profiles) - self.keep]
+        if self.directory is not None:
+            profile.dump_stats(os.path.join(self.directory, f"{label}.prof"))
+
+    def last_stats(self, sort: str = "cumulative") -> Optional[pstats.Stats]:
+        """``pstats.Stats`` for the most recent finished profile."""
+        if not self.profiles:
+            return None
+        _, profile = self.profiles[-1]
+        return pstats.Stats(profile).sort_stats(sort)
+
+    def render_last(self, limit: int = 15, sort: str = "cumulative") -> str:
+        """The top *limit* rows of the most recent profile as text."""
+        if not self.profiles:
+            return "(no profiles recorded)"
+        label, profile = self.profiles[-1]
+        buffer = io.StringIO()
+        stats = pstats.Stats(profile, stream=buffer).sort_stats(sort)
+        stats.print_stats(limit)
+        return f"profile {label}:\n{buffer.getvalue()}"

@@ -1,0 +1,259 @@
+"""Nested-span tracing for the deductive pipeline.
+
+A :class:`Tracer` records *spans* — named, attributed, nested intervals
+measured on the monotonic clock — and can emit them two ways:
+
+* **JSONL**: one compact JSON object per finished span, streamed to a
+  file as the trace happens (crash-tolerant: everything up to the last
+  flush survives), and
+* **Chrome trace_event**: :meth:`Tracer.export_chrome` writes the
+  ``{"traceEvents": [...]}`` document that ``chrome://tracing`` (and
+  Perfetto) load directly, with the span tree reconstructed from the
+  ``ph: "X"`` complete events.
+
+The disabled default is :data:`NULL_TRACER`: its :meth:`span` returns a
+single shared no-op context manager, so instrumentation points cost one
+attribute chase and one method call when tracing is off — no span
+objects, no clock reads, no string work.
+
+Spans nest lexically through ``with`` blocks::
+
+    with tracer.span("session", mode="delta") as span:
+        with tracer.span("session.check"):
+            ...
+        span.set("ops", 3)
+
+The tracer is deliberately single-threaded (the engine is); nesting is
+one stack, not thread-local storage.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One named interval; a context manager handed out by the tracer."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
+                 "depth", "started", "duration")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Optional[Dict[str, object]]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs or {}
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self.started = 0.0
+        self.duration = 0.0
+
+    def set(self, key: str, value: object) -> None:
+        """Attach (or update) one attribute on the open span."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self.tracer._open(self)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.tracer._close(self)
+        return False
+
+    def as_dict(self) -> Dict[str, object]:
+        """The JSONL representation (times in ms since the trace epoch)."""
+        record: Dict[str, object] = {
+            "name": self.name,
+            "id": self.span_id,
+            "ts_ms": round((self.started - self.tracer.epoch) * 1000.0, 4),
+            "dur_ms": round(self.duration * 1000.0, 4),
+            "depth": self.depth,
+        }
+        if self.parent_id is not None:
+            record["parent"] = self.parent_id
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+class _NullSpan:
+    """The shared do-nothing span (the zero-allocation disabled path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every span is the shared no-op span."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def spans(self) -> List[Span]:
+        return []
+
+    def export_chrome(self, path: str) -> None:
+        raise ValueError("tracing is disabled; nothing to export")
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records nested spans and instant events on the monotonic clock.
+
+    *jsonl_path* streams every finished span (and event) to a file as
+    one JSON object per line; without it, spans are only kept in memory
+    (capped at *keep* — oldest dropped first — so long processes cannot
+    grow without bound).
+    """
+
+    enabled = True
+
+    def __init__(self, jsonl_path: Optional[str] = None,
+                 keep: int = 100_000) -> None:
+        self.jsonl_path = jsonl_path
+        self.keep = keep
+        self.epoch = time.perf_counter()
+        self._stack: List[Span] = []
+        self._finished: List[Span] = []
+        self._events: List[Dict[str, object]] = []
+        self._next_id = 1
+        self._sink: Optional[io.TextIOBase] = None
+        if jsonl_path is not None:
+            self._sink = open(jsonl_path, "w", encoding="utf-8")
+
+    # -- recording -------------------------------------------------------------
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """A new span; enter it with ``with`` to start the clock."""
+        return Span(self, name, attrs or None)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """An instant event (e.g. replay progress), at the current depth."""
+        record: Dict[str, object] = {
+            "name": name,
+            "event": True,
+            "ts_ms": round((time.perf_counter() - self.epoch) * 1000.0, 4),
+            "depth": len(self._stack),
+        }
+        if self._stack:
+            record["parent"] = self._stack[-1].span_id
+        if attrs:
+            record["attrs"] = attrs
+        self._events.append(record)
+        self._emit(record)
+
+    def _open(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+        span.depth = len(self._stack)
+        self._stack.append(span)
+        span.started = time.perf_counter()
+
+    def _close(self, span: Span) -> None:
+        span.duration = time.perf_counter() - span.started
+        # Tolerate both exceptions unwinding through several spans at
+        # once (pop down to the closing span) and out-of-order closes of
+        # a span no longer on the stack (e.g. a session span ended from
+        # inside the protocol span that outlives it): only pop when the
+        # closing span is actually open.
+        if span in self._stack:
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        self._finished.append(span)
+        if len(self._finished) > self.keep:
+            del self._finished[: len(self._finished) - self.keep]
+        self._emit(span.as_dict())
+
+    def _emit(self, record: Dict[str, object]) -> None:
+        if self._sink is not None:
+            self._sink.write(json.dumps(record, sort_keys=True,
+                                        default=repr) + "\n")
+            self._sink.flush()
+
+    # -- inspection / export ---------------------------------------------------
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """Finished spans in completion order, optionally filtered."""
+        if name is None:
+            return list(self._finished)
+        return [span for span in self._finished if span.name == name]
+
+    def jsonl(self) -> str:
+        """The in-memory trace as JSONL text (spans then events by time)."""
+        records = [span.as_dict() for span in self._finished] + self._events
+        records.sort(key=lambda r: r["ts_ms"])
+        return "\n".join(json.dumps(r, sort_keys=True, default=repr)
+                         for r in records)
+
+    def chrome_events(self) -> List[Dict[str, object]]:
+        """The trace as Chrome ``trace_event`` complete/instant events."""
+        events: List[Dict[str, object]] = []
+        for span in self._finished:
+            events.append({
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round((span.started - self.epoch) * 1_000_000.0, 1),
+                "dur": round(span.duration * 1_000_000.0, 1),
+                "pid": 1,
+                "tid": 1,
+                "args": {key: repr(value) if not isinstance(
+                    value, (int, float, str, bool, type(None))) else value
+                    for key, value in span.attrs.items()},
+            })
+        for record in self._events:
+            events.append({
+                "name": record["name"],
+                "cat": str(record["name"]).split(".", 1)[0],
+                "ph": "i",
+                "ts": round(record["ts_ms"] * 1000.0, 1),
+                "pid": 1,
+                "tid": 1,
+                "s": "t",
+                "args": dict(record.get("attrs", {})),
+            })
+        events.sort(key=lambda event: event["ts"])
+        return events
+
+    def export_chrome(self, path: str) -> None:
+        """Write a ``chrome://tracing`` / Perfetto loadable document."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"traceEvents": self.chrome_events(),
+                       "displayTimeUnit": "ms"}, handle, default=repr)
+
+    def close(self) -> None:
+        """Flush and close the JSONL sink (in-memory spans remain)."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None

@@ -94,11 +94,15 @@ class DurableStore:
     @classmethod
     def open(cls, directory: str,
              features: Optional[Sequence[str]] = None,
-             injector: FaultInjector = NO_FAULTS) -> "DurableStore":
+             injector: FaultInjector = NO_FAULTS,
+             obs=None) -> "DurableStore":
         """Open (creating if needed) the durable state under *directory*.
 
         *features* selects the feature modules of a **fresh** store; an
-        existing snapshot knows its own features and wins.
+        existing snapshot knows its own features and wins.  *obs*
+        attaches an observability bundle before recovery, so the replay
+        itself is traced (one ``recovery.replay`` span with progress
+        events) and metered.
         """
         from repro.gom.model import DEFAULT_FEATURES, GomDatabase
 
@@ -111,6 +115,9 @@ class DurableStore:
         else:
             model = GomDatabase(
                 features=DEFAULT_FEATURES if features is None else features)
+        if obs is not None:
+            model.attach_obs(obs)
+        obs = model.obs
         # A crash may leave the atomic writer's temp file behind; it is
         # either a duplicate of the snapshot or a torn draft — drop it.
         try:
@@ -127,19 +134,32 @@ class DurableStore:
         # first read after recovery.
         saved_maintenance = model.db.maintenance
         model.db.maintenance = "recompute"
+        span = obs.span("recovery.replay", records=len(scan.records),
+                        committed_sessions=len(committed),
+                        torn_bytes=scan.torn_bytes)
         try:
-            for session, op_records, commit in committed:
-                for record in op_records:
-                    additions = [decode_atom(item)
-                                 for item in record.payload.get("add", ())]
-                    deletions = [decode_atom(item)
-                                 for item in record.payload.get("del", ())]
-                    model.modify(additions=additions, deletions=deletions)
-                    facts += len(additions) + len(deletions)
-                for kind, next_number in commit.payload.get("next_ids",
-                                                            {}).items():
-                    model.ids.resume(kind, next_number)
-                replayed += 1
+            with span:
+                for session, op_records, commit in committed:
+                    for record in op_records:
+                        additions = [decode_atom(item)
+                                     for item in record.payload.get("add",
+                                                                    ())]
+                        deletions = [decode_atom(item)
+                                     for item in record.payload.get("del",
+                                                                    ())]
+                        model.modify(additions=additions,
+                                     deletions=deletions)
+                        facts += len(additions) + len(deletions)
+                    for kind, next_number in commit.payload.get("next_ids",
+                                                                {}).items():
+                        model.ids.resume(kind, next_number)
+                    replayed += 1
+                    if obs.enabled and replayed % 100 == 0:
+                        obs.tracer.event("recovery.progress",
+                                         sessions=replayed,
+                                         facts=facts)
+                span.set("sessions_replayed", replayed)
+                span.set("facts_replayed", facts)
         finally:
             model.db.maintenance = saved_maintenance
         begun = {record.session for record in scan.records
@@ -243,7 +263,8 @@ class DurableStore:
 
     # -- instrumentation -------------------------------------------------------
 
-    def _count_write(self, records: int, nbytes: int, fsyncs: int) -> None:
+    def _count_write(self, records: int, nbytes: int, fsyncs: int,
+                     fsync_seconds: float = 0.0) -> None:
         model = self.model
         if model is None:
             return
@@ -251,6 +272,13 @@ class DurableStore:
         stats.wal_records += records
         stats.wal_bytes += nbytes
         stats.wal_fsyncs += fsyncs
+        obs = model.obs
+        if obs.enabled:
+            if nbytes:
+                obs.metrics.counter("wal.bytes_written").inc(nbytes)
+            if fsyncs:
+                obs.metrics.histogram("wal.fsync_ms").observe(
+                    fsync_seconds * 1000.0)
 
     def log_records(self) -> List[Tuple[str, Optional[int]]]:
         """(kind, session) of every intact record — the session history."""

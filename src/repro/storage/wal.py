@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
@@ -138,13 +139,15 @@ def read_log(path: str) -> LogScan:
 class WriteAheadLog:
     """Appends framed records to one log file, crash point by crash point.
 
-    ``on_write(records, bytes, fsyncs)`` is the instrumentation seam the
-    store uses to thread counters into the active session's
-    :class:`~repro.datalog.plan.EngineStats`.
+    ``on_write(records, bytes, fsyncs, fsync_seconds)`` is the
+    instrumentation seam the store uses to thread counters into the
+    active session's :class:`~repro.datalog.plan.EngineStats` and the
+    fsync-latency histogram of the observability layer.
     """
 
     def __init__(self, path: str, injector: FaultInjector = NO_FAULTS,
-                 on_write: Optional[Callable[[int, int, int], None]] = None
+                 on_write: Optional[
+                     Callable[[int, int, int, float], None]] = None
                  ) -> None:
         self.path = path
         self.injector = injector
@@ -202,21 +205,25 @@ class WriteAheadLog:
         injector.fire("wal.after_write")
         handle.flush()
         fsyncs = 0
+        fsync_seconds = 0.0
         if sync:
             injector.fire("wal.before_fsync")
+            started = time.perf_counter()
             os.fsync(handle.fileno())
+            fsync_seconds = time.perf_counter() - started
             fsyncs = 1
             injector.fire("wal.after_fsync")
         if self.on_write is not None:
-            self.on_write(1, len(frame), fsyncs)
+            self.on_write(1, len(frame), fsyncs, fsync_seconds)
 
     def sync(self) -> None:
         """fsync the log without appending (used when closing cleanly)."""
         if self._handle is not None:
             self._handle.flush()
+            started = time.perf_counter()
             os.fsync(self._handle.fileno())
             if self.on_write is not None:
-                self.on_write(0, 0, 1)
+                self.on_write(0, 0, 1, time.perf_counter() - started)
 
 
 def committed_sessions(records: Iterable[WalRecord]) -> List[int]:

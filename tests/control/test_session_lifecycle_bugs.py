@@ -1,0 +1,221 @@
+"""Regression tests for session-lifecycle delta-accounting bugs.
+
+The engine accumulates per-predicate derived-delta (grown, shrunk) sets
+between ``reset_derived_delta()`` calls, and the incremental checker
+consumes them as the exact derived change of *the current session*.
+That contract only holds when the accumulator baseline is the current
+session's BES.  These tests pin the lifecycle moments where the
+baseline can silently drift:
+
+* a session opened with ``check_mode="full"`` (historically no BES
+  reset) whose changes net against a *previous* session's accumulated
+  entries — the confirmed bug: a shrink cancelling last session's grow
+  vanished from the delta check entirely;
+* rollback restoring the EDB snapshot while the accumulator still
+  holds the rolled-back session's entries;
+* a mid-session full check followed by the commit-time delta re-check;
+* the first session after crash recovery (replay bypasses maintenance
+  wholesale).
+"""
+
+import pytest
+
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.manager import SchemaManager
+
+INT = builtin_type("int")
+
+#: A schema whose one operation provides a real Code fact, so
+#: CodeReqAttr rows can reference a valid code id.
+SCHEMA_WITH_CODE = """
+schema S is
+type T is [ x : int; ]
+  operations declare getx : -> int;
+  implementation define getx() is begin return self.x; end getx;
+end type T;
+type U is [ y : int; ] end type U;
+end schema S;
+"""
+
+SIMPLE_SCHEMA = """
+schema S is
+type T is [ x : int; ] end type T;
+end schema S;
+"""
+
+
+def violation_keys(report):
+    return sorted({(v.constraint.name, tuple(v.theta))
+                   for v in report.violations})
+
+
+@pytest.fixture(params=["delta", "recompute"])
+def maintenance(request):
+    return request.param
+
+
+def make_manager(source, maintenance="delta"):
+    manager = SchemaManager(maintenance=maintenance)
+    manager.define(source)
+    return manager
+
+
+class TestFullModeSessionBaseline:
+    """Bug 1 (confirmed): full-mode sessions must also reset the
+    accumulator at BES, or cross-session cancellation masks shrinks."""
+
+    def _grow_then_shrink(self, maintenance):
+        """Session A (delta) grows Attr_i(U, x); session B shrinks it."""
+        manager = make_manager(SCHEMA_WITH_CODE, maintenance)
+        sid = manager.model.schema_id("S")
+        type_t = manager.model.type_id("T", sid)
+        type_u = manager.model.type_id("U", sid)
+        code_id = next(iter(manager.model.db.facts("Code"))).args[0]
+        session_a = manager.begin_session()
+        session_a.add(Atom("SubTypRel", (type_u, type_t)))
+        session_a.add(Atom("CodeReqAttr", (code_id, type_u, "x")))
+        report_a = session_a.commit()
+        assert report_a.consistent
+        session_b = manager.begin_session(check_mode="full")
+        session_b.remove(Atom("SubTypRel", (type_u, type_t)))
+        return manager, session_b
+
+    def test_delta_check_in_full_mode_session_sees_shrunk_derived(
+            self, maintenance):
+        # Removing the subtype edge shrinks the derived Attr_i(U, x),
+        # which breaks codereq_attr_visible.  Before the fix, session
+        # B's shrink cancelled against session A's accumulated grow and
+        # the delta check reported a consistent schema.
+        manager, session_b = self._grow_then_shrink(maintenance)
+        delta_report = session_b.check(mode="delta")
+        full_report = session_b.check(mode="full")
+        assert violation_keys(full_report), \
+            "scenario must actually create a violation"
+        assert violation_keys(delta_report) == violation_keys(full_report)
+        session_b.rollback()
+
+    def test_commit_delta_recheck_in_full_mode_session_catches_violation(
+            self, maintenance):
+        from repro.errors import InconsistentSchemaError
+        manager, session_b = self._grow_then_shrink(maintenance)
+        with pytest.raises(InconsistentSchemaError):
+            session_b.commit(mode="delta")
+        session_b.rollback()
+
+
+class TestRollbackAccounting:
+    """Bug 2 audit: rollback must leave no accumulator residue.
+
+    The pre-existing ``invalidate(touched)`` already tainted the
+    accounting whenever the rolled-back session touched rule inputs
+    (``derived_delta()`` → None → checker falls back soundly), so no
+    divergence was reachable; ``discard_derived_delta()`` makes the
+    guarantee direct instead of incidental.  These tests pin both the
+    mechanism and the observable equivalence.
+    """
+
+    def test_rollback_discards_derived_delta_accounting(self):
+        manager = make_manager(SIMPLE_SCHEMA)
+        tid = manager.model.type_id("T", manager.model.schema_id("S"))
+        session = manager.begin_session()
+        session.add(Atom("Attr", (tid, "y", INT)))
+        session.rollback()
+        assert manager.model.db.derived_delta() is None
+
+    def test_new_session_after_rollback_delta_equals_full(self, maintenance):
+        manager = make_manager(SIMPLE_SCHEMA, maintenance)
+        tid = manager.model.type_id("T", manager.model.schema_id("S"))
+        ghost = manager.model.ids.type()
+        first = manager.begin_session()
+        first.add(Atom("Attr", (tid, "bad", ghost)))
+        assert not first.check().consistent
+        first.rollback()
+        # A fresh session makes an unrelated violation; its delta check
+        # must match the full check exactly (no residue, no misses).
+        ghost2 = manager.model.ids.type()
+        second = manager.begin_session()
+        second.add(Atom("Attr", (tid, "bad2", ghost2)))
+        delta_report = second.check("delta")
+        full_report = second.check("full")
+        assert violation_keys(delta_report) == violation_keys(full_report)
+        assert violation_keys(delta_report)
+        second.rollback()
+
+    def test_empty_session_after_rollback_sees_no_violations(
+            self, maintenance):
+        manager = make_manager(SIMPLE_SCHEMA, maintenance)
+        tid = manager.model.type_id("T", manager.model.schema_id("S"))
+        session = manager.begin_session()
+        session.add(Atom("Attr", (tid, "y", INT)))
+        session.rollback()
+        empty = manager.begin_session()
+        assert empty.check("delta").consistent
+        assert empty.check("full").consistent
+        empty.rollback()
+
+
+class TestMidSessionFullCheck:
+    """Bug 3 audit: a mid-session ``check(mode="full")`` is read-only —
+    the commit-time delta re-check must not diverge from a twin session
+    that never ran the full check."""
+
+    def _run(self, maintenance, with_mid_full_check):
+        manager = make_manager(SIMPLE_SCHEMA, maintenance)
+        tid = manager.model.type_id("T", manager.model.schema_id("S"))
+        ghost = manager.model.ids.type()
+        session = manager.begin_session()
+        session.add(Atom("Attr", (tid, "bad", ghost)))
+        if with_mid_full_check:
+            assert not session.check("full").consistent
+        # Repair by hand, then commit (which re-checks in delta mode).
+        session.remove(Atom("Attr", (tid, "bad", ghost)))
+        session.add(Atom("Attr", (tid, "good", INT)))
+        report = session.commit()
+        return report
+
+    def test_commit_after_mid_session_full_check_matches_twin(
+            self, maintenance):
+        checked = self._run(maintenance, with_mid_full_check=True)
+        twin = self._run(maintenance, with_mid_full_check=False)
+        assert checked.consistent == twin.consistent
+        assert checked.report.mode == twin.report.mode == "delta"
+
+    def test_full_then_delta_check_agree_on_open_violation(
+            self, maintenance):
+        manager = make_manager(SIMPLE_SCHEMA, maintenance)
+        tid = manager.model.type_id("T", manager.model.schema_id("S"))
+        ghost = manager.model.ids.type()
+        session = manager.begin_session()
+        session.add(Atom("Attr", (tid, "bad", ghost)))
+        full_report = session.check("full")
+        delta_report = session.check("delta")
+        assert violation_keys(full_report) == violation_keys(delta_report)
+        assert violation_keys(full_report)
+        session.rollback()
+
+
+class TestPostRecoveryFirstSession:
+    """Bug 4 audit: replay forces recompute maintenance and leaves every
+    derived predicate stale; the first post-recovery delta session must
+    re-materialize at BES and check exactly (no fallbacks either)."""
+
+    def test_first_session_after_reopen_delta_equals_full(self, tmp_path):
+        directory = str(tmp_path / "store")
+        with SchemaManager.open(directory) as manager:
+            manager.define(SIMPLE_SCHEMA)
+            tid = manager.model.type_id("T", manager.model.schema_id("S"))
+            session = manager.begin_session()
+            session.add(Atom("Attr", (tid, "good", INT)))
+            session.commit()
+        with SchemaManager.open(directory) as reopened:
+            tid = reopened.model.type_id("T", reopened.model.schema_id("S"))
+            ghost = reopened.model.ids.type()
+            session = reopened.begin_session()
+            session.add(Atom("Attr", (tid, "bad", ghost)))
+            delta_report = session.check("delta")
+            full_report = session.check("full")
+            assert violation_keys(delta_report) == violation_keys(full_report)
+            assert violation_keys(delta_report)
+            assert reopened.model.db.stats.delta_fallbacks == 0
+            session.rollback()

@@ -1,0 +1,126 @@
+"""Unit tests for counters, gauges, histograms, and the registry."""
+
+import json
+
+from repro.datalog.plan import EngineStats
+from repro.obs.metrics import (Histogram, MetricsRegistry, NULL_METRICS)
+
+
+class TestHistogram:
+    def test_percentiles_on_known_distribution(self):
+        hist = Histogram("h")
+        for value in range(1, 101):   # 1..100
+            hist.observe(float(value))
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        assert snap["min"] == 1.0 and snap["max"] == 100.0
+        assert abs(snap["p50"] - 50.0) <= 1.0
+        assert abs(snap["p95"] - 95.0) <= 1.0
+        assert abs(snap["p99"] - 99.0) <= 1.0
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0 and snap["p99"] == 0.0
+
+    def test_compaction_bounds_memory_and_keeps_quantiles(self):
+        hist = Histogram("h", compact_at=1000, compact_to=100)
+        for value in range(5000):
+            hist.observe(float(value))
+        assert len(hist.values) <= 1000
+        assert hist.count == 5000
+        assert hist.low == 0.0 and hist.high == 4999.0
+        # Decimation keeps quantiles approximately right.
+        assert abs(hist.percentile(50) - 2500.0) < 300.0
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 5
+        assert snap["gauges"]["g"] == 2.5
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_write_json_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("facts").inc(7)
+        path = str(tmp_path / "metrics.json")
+        registry.write_json(path)
+        assert json.load(open(path))["counters"]["facts"] == 7
+
+    def test_render_mentions_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.checks_run").inc(3)
+        registry.histogram("wal.fsync_ms").observe(0.5)
+        text = registry.render()
+        assert "engine.checks_run" in text
+        assert "wal.fsync_ms" in text and "p95" in text
+
+
+class TestAbsorbEngineStats:
+    def test_int_fields_become_counters(self):
+        stats = EngineStats()
+        stats.facts_scanned = 42
+        stats.plan_cache_hits = 7
+        stats.finish()
+        registry = MetricsRegistry()
+        registry.absorb_engine_stats(stats)
+        snap = registry.snapshot()
+        assert snap["counters"]["engine.facts_scanned"] == 42
+        assert snap["counters"]["engine.plan_cache_hits"] == 7
+
+    def test_absorbing_twice_accumulates(self):
+        registry = MetricsRegistry()
+        for _ in range(2):
+            stats = EngineStats()
+            stats.checks_run = 1
+            stats.finish()
+            registry.absorb_engine_stats(stats)
+        assert registry.snapshot()["counters"]["engine.checks_run"] == 2
+
+    def test_constraint_seconds_feed_histograms(self):
+        stats = EngineStats()
+        stats.record_constraint("c_one", 0.002)
+        stats.record_constraint("c_two", 0.004)
+        stats.finish()
+        registry = MetricsRegistry()
+        registry.absorb_engine_stats(stats)
+        snap = registry.snapshot()["histograms"]
+        assert snap["check.constraint_ms"]["count"] == 2
+        assert snap["check.constraint_ms[c_one]"]["count"] == 1
+        assert abs(snap["check.constraint_ms[c_one]"]["max"] - 2.0) < 1e-6
+
+    def test_session_elapsed_recorded(self):
+        stats = EngineStats()
+        stats.finish()
+        registry = MetricsRegistry()
+        registry.absorb_engine_stats(stats)
+        hists = registry.snapshot()["histograms"]
+        assert "session.elapsed_ms" in hists
+
+    def test_timing_fields_are_histograms_not_counters(self):
+        stats = EngineStats()
+        stats.maint_ms = 12.5
+        stats.finish()
+        registry = MetricsRegistry()
+        registry.absorb_engine_stats(stats)
+        snap = registry.snapshot()
+        assert "engine.maint_ms" not in snap["counters"]
+        assert snap["histograms"]["engine.maint_ms"]["count"] == 1
+
+
+class TestNullMetrics:
+    def test_shared_noop_instruments(self):
+        counter = NULL_METRICS.counter("anything")
+        assert counter is NULL_METRICS.histogram("other")
+        counter.inc(5)
+        counter.observe(1.0)
+        counter.set(2.0)
+        assert counter.value == 0
+        assert NULL_METRICS.snapshot() == {"counters": {}, "gauges": {},
+                                           "histograms": {}}
+        NULL_METRICS.absorb_engine_stats(EngineStats())

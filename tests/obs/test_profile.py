@@ -1,0 +1,59 @@
+"""Unit tests for the per-session cProfile hook."""
+
+import os
+
+from repro.obs.profile import SessionProfiler
+
+
+def busy_work():
+    return sum(index * index for index in range(1000))
+
+
+class TestSessionProfiler:
+    def test_start_stop_records_profile(self):
+        profiler = SessionProfiler()
+        profiler.start("session-1")
+        busy_work()
+        profiler.stop()
+        assert len(profiler.profiles) == 1
+        assert profiler.profiles[0][0] == "session-1"
+        assert profiler.last_stats() is not None
+
+    def test_nested_start_ignored(self):
+        profiler = SessionProfiler()
+        profiler.start("outer")
+        profiler.start("inner")   # ignored: sessions never nest
+        busy_work()
+        profiler.stop()
+        assert [label for label, _ in profiler.profiles] == ["outer"]
+        assert not profiler.active
+
+    def test_stop_without_start_is_noop(self):
+        profiler = SessionProfiler()
+        profiler.stop()
+        assert profiler.profiles == []
+
+    def test_keep_cap(self):
+        profiler = SessionProfiler(keep=2)
+        for index in range(4):
+            profiler.start(f"s{index}")
+            profiler.stop()
+        assert [label for label, _ in profiler.profiles] == ["s2", "s3"]
+
+    def test_dumps_prof_files(self, tmp_path):
+        directory = str(tmp_path / "profiles")
+        profiler = SessionProfiler(directory=directory)
+        profiler.start("session-9")
+        busy_work()
+        profiler.stop()
+        assert os.path.exists(os.path.join(directory, "session-9.prof"))
+
+    def test_render_last(self):
+        profiler = SessionProfiler()
+        assert "no profiles" in profiler.render_last()
+        profiler.start("s")
+        busy_work()
+        profiler.stop()
+        text = profiler.render_last(limit=5)
+        assert text.startswith("profile s:")
+        assert "function calls" in text

@@ -1,0 +1,164 @@
+"""Unit tests for the span tracer (JSONL + Chrome trace_event)."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpanNesting:
+    def test_parent_child_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.depth == 1 and outer.depth == 0
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("first") as first:
+                pass
+            with tracer.span("second") as second:
+                pass
+        assert first.parent_id == second.parent_id == outer.span_id
+
+    def test_durations_are_monotonic_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert 0.0 <= inner.duration <= outer.duration
+
+    def test_attrs_via_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("work", mode="delta") as span:
+            span.set("violations", 3)
+        assert span.attrs == {"mode": "delta", "violations": 3}
+
+    def test_exception_unwinds_cleanly(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer._stack == []
+        assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+
+    def test_out_of_order_close_does_not_corrupt_stack(self):
+        # A span ended from inside a child that outlives it (the
+        # session/protocol shape) must not pop unrelated ancestors.
+        tracer = Tracer()
+        root = tracer.span("root")
+        root.__enter__()
+        session = tracer.span("session")
+        session.__enter__()
+        protocol = tracer.span("protocol")
+        protocol.__enter__()
+        session.__exit__(None, None, None)   # closes protocol's parent
+        protocol.__exit__(None, None, None)  # no longer on the stack
+        assert tracer._stack == [root]
+        root.__exit__(None, None, None)
+        assert tracer._stack == []
+
+    def test_events_attach_to_open_span(self):
+        tracer = Tracer()
+        with tracer.span("replay") as span:
+            tracer.event("progress", sessions=100)
+        assert tracer._events[0]["parent"] == span.span_id
+        assert tracer._events[0]["attrs"] == {"sessions": 100}
+
+    def test_keep_cap_drops_oldest(self):
+        tracer = Tracer(keep=5)
+        for index in range(12):
+            with tracer.span(f"s{index}"):
+                pass
+        names = [span.name for span in tracer.spans()]
+        assert names == ["s7", "s8", "s9", "s10", "s11"]
+
+
+class TestJsonl:
+    def test_streams_one_object_per_line(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(jsonl_path=path)
+        with tracer.span("outer", n=1):
+            with tracer.span("inner"):
+                pass
+        tracer.close()
+        lines = [json.loads(line)
+                 for line in open(path).read().splitlines()]
+        assert [line["name"] for line in lines] == ["inner", "outer"]
+        assert all("ts_ms" in line and "dur_ms" in line for line in lines)
+        assert lines[1]["attrs"] == {"n": 1}
+
+    def test_in_memory_jsonl_sorted_by_time(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        names = [json.loads(line)["name"]
+                 for line in tracer.jsonl().splitlines()]
+        assert names == ["a", "b"]
+
+    def test_non_json_attr_values_survive_as_repr(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(jsonl_path=path)
+        with tracer.span("work", payload=object()):
+            pass
+        tracer.close()
+        record = json.loads(open(path).read())
+        assert "object object" in record["attrs"]["payload"]
+
+
+class TestChromeExport:
+    def test_complete_events_shape(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", mode="delta"):
+            with tracer.span("inner"):
+                pass
+            tracer.event("mark", step=2)
+        path = str(tmp_path / "trace.json")
+        tracer.export_chrome(path)
+        document = json.load(open(path))
+        events = document["traceEvents"]
+        phases = {event["name"]: event["ph"] for event in events}
+        assert phases == {"outer": "X", "inner": "X", "mark": "i"}
+        for event in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+        outer = next(e for e in events if e["name"] == "outer")
+        inner = next(e for e in events if e["name"] == "inner")
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1
+        assert outer["args"] == {"mode": "delta"}
+
+    def test_events_sorted_by_timestamp(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        timestamps = [event["ts"] for event in tracer.chrome_events()]
+        assert timestamps == sorted(timestamps)
+
+
+class TestNullTracer:
+    def test_span_is_shared_noop(self):
+        first = NULL_TRACER.span("a", key="value")
+        second = NULL_TRACER.span("b")
+        assert first is second  # zero allocation: one shared instance
+        with first as span:
+            span.set("anything", 1)  # silently ignored
+
+    def test_disabled_flag_and_empty_views(self):
+        assert NullTracer.enabled is False
+        assert NULL_TRACER.spans() == []
+        NULL_TRACER.event("ignored")
+        NULL_TRACER.close()
+
+    def test_export_refused(self):
+        with pytest.raises(ValueError):
+            NULL_TRACER.export_chrome("/nonexistent/x.json")

@@ -1,0 +1,185 @@
+"""The observability layer threaded through the whole stack.
+
+These tests drive real evolution sessions — in-memory and durable —
+with tracing, metrics, and profiling switched on, and assert the span
+taxonomy and metric names documented in DESIGN.md §10 actually appear.
+"""
+
+import json
+
+from repro.datalog.terms import Atom
+from repro.gom.builtins import builtin_type
+from repro.gom.model import GomDatabase
+from repro.manager import SchemaManager
+from repro.obs import NOOP_OBS, Observability, MetricsRegistry, Tracer
+
+INT = builtin_type("int")
+
+SCHEMA = """
+schema S is
+type T is [ x : int; ] end type T;
+end schema S;
+"""
+
+
+def span_names(tracer):
+    return {span.name for span in tracer.spans()}
+
+
+class TestDefaults:
+    def test_everything_defaults_to_noop(self):
+        manager = SchemaManager()
+        assert manager.obs is NOOP_OBS
+        assert manager.model.obs is NOOP_OBS
+        assert manager.model.db.obs is NOOP_OBS
+        assert not NOOP_OBS.enabled
+
+    def test_create_factory(self):
+        assert Observability.create() is NOOP_OBS
+        bundle = Observability.create(trace=True)
+        assert bundle.enabled and bundle.tracer.enabled
+        assert bundle.metrics.enabled   # metrics ride along with tracing
+        assert bundle.profiler is None
+        profiled = Observability.create(profile=True)
+        assert profiled.profiler is not None
+
+
+class TestTracedSession:
+    def test_session_span_taxonomy(self):
+        manager = SchemaManager(trace=True)
+        manager.define(SCHEMA)
+        tid = manager.model.type_id("T", manager.model.schema_id("S"))
+        result = manager.evolve(
+            lambda session: session.add(Atom("Attr", (tid, "y", INT))))
+        assert result.succeeded
+        names = span_names(manager.obs.tracer)
+        assert {"session", "session.check", "check.delta",
+                "check.constraint", "protocol.run"} <= names
+        session_spans = manager.obs.tracer.spans("session")
+        last = session_spans[-1]
+        assert last.attrs["mode"] == "delta"
+        assert last.attrs["outcome"] == "commit"
+        assert last.attrs["ops"] == 1
+        # Checks nest (transitively) inside their session: the commit
+        # check's ancestry runs session.check → protocol.run → session.
+        by_id = {span.span_id: span for span in manager.obs.tracer.spans()}
+        check = manager.obs.tracer.spans("session.check")[-1]
+        ancestors = []
+        parent = check.parent_id
+        while parent is not None:
+            ancestors.append(by_id[parent].name)
+            parent = by_id[parent].parent_id
+        assert "session" in ancestors
+
+    def test_maintain_span_under_delta_maintenance(self):
+        manager = SchemaManager(trace=True)
+        manager.define(SCHEMA)
+        tid = manager.model.type_id("T", manager.model.schema_id("S"))
+        session = manager.begin_session()
+        session.add(Atom("Attr", (tid, "y", INT)))
+        session.commit()
+        assert "engine.maintain" in span_names(manager.obs.tracer)
+
+    def test_rollback_outcome_recorded(self):
+        manager = SchemaManager(trace=True)
+        manager.define(SCHEMA)
+        tid = manager.model.type_id("T", manager.model.schema_id("S"))
+        session = manager.begin_session()
+        session.add(Atom("Attr", (tid, "y", INT)))
+        session.rollback()
+        last = manager.obs.tracer.spans("session")[-1]
+        assert last.attrs["outcome"] == "rollback"
+        assert last.attrs["ops"] == 1
+
+    def test_jsonl_trace_file_loads_in_chrome_format(self, tmp_path):
+        trace_path = str(tmp_path / "trace.jsonl")
+        manager = SchemaManager(trace=trace_path)
+        manager.define(SCHEMA)
+        tid = manager.model.type_id("T", manager.model.schema_id("S"))
+        manager.evolve(
+            lambda session: session.add(Atom("Attr", (tid, "y", INT))))
+        for line in open(trace_path).read().splitlines():
+            json.loads(line)   # every line is one JSON object
+        chrome_path = str(tmp_path / "trace.json")
+        manager.obs.tracer.export_chrome(chrome_path)
+        document = json.load(open(chrome_path))
+        assert any(event["name"] == "session" and event["ph"] == "X"
+                   for event in document["traceEvents"])
+
+
+class TestMetricsThroughStack:
+    def test_session_absorbs_engine_stats(self):
+        manager = SchemaManager(trace=True)
+        manager.define(SCHEMA)
+        snap = manager.obs.metrics.snapshot()
+        assert snap["counters"]["engine.checks_run"] >= 1
+        assert snap["counters"]["session.commits"] >= 1
+        assert snap["histograms"]["check.constraint_ms"]["count"] > 0
+        assert snap["histograms"]["planner.compile_ms"]["count"] > 0
+
+    def test_explicit_registry_is_used(self):
+        registry = MetricsRegistry()
+        bundle = Observability(tracer=Tracer(), metrics=registry)
+        manager = SchemaManager(obs=bundle)
+        manager.define(SCHEMA)
+        assert registry.snapshot()["counters"]["session.commits"] >= 1
+
+    def test_violation_counters(self):
+        manager = SchemaManager(trace=True)
+        manager.define(SCHEMA)
+        tid = manager.model.type_id("T", manager.model.schema_id("S"))
+        ghost = manager.model.ids.type()
+        session = manager.begin_session()
+        session.add(Atom("Attr", (tid, "bad", ghost)))
+        report = session.check()
+        assert report.violations
+        repairs = session.repairs(report.violations[0])
+        assert repairs
+        session.rollback()
+        snap = manager.obs.metrics.snapshot()
+        assert snap["counters"]["engine.violations_found"] >= 1
+        assert snap["counters"]["repair.violations_seen"] == 1
+        assert snap["counters"]["repair.repairs_emitted"] == len(repairs)
+
+
+class TestProfiledSession:
+    def test_profiler_brackets_sessions(self):
+        manager = SchemaManager(profile=True)
+        manager.define(SCHEMA)
+        profiler = manager.obs.profiler
+        assert len(profiler.profiles) == 1
+        assert not profiler.active
+        stats = profiler.last_stats()
+        assert stats is not None
+
+
+class TestDurableTracing:
+    def test_recovery_replay_span_and_wal_metrics(self, tmp_path):
+        directory = str(tmp_path / "store")
+        with SchemaManager.open(directory) as manager:
+            manager.define(SCHEMA)
+        reopened = SchemaManager.open(directory, trace=True)
+        try:
+            tracer = reopened.obs.tracer
+            replay = tracer.spans("recovery.replay")
+            assert len(replay) == 1
+            assert replay[0].attrs["sessions_replayed"] == 1
+            assert replay[0].attrs["facts_replayed"] > 0
+            # A traced committed session records its fsync latency.
+            tid = reopened.model.type_id("T", reopened.model.schema_id("S"))
+            session = reopened.begin_session()
+            session.add(Atom("Attr", (tid, "y", INT)))
+            session.commit()
+            snap = reopened.obs.metrics.snapshot()
+            assert snap["histograms"]["wal.fsync_ms"]["count"] >= 1
+            assert snap["counters"]["wal.bytes_written"] > 0
+        finally:
+            reopened.close()
+
+    def test_attach_obs_on_existing_model(self):
+        model = GomDatabase()
+        bundle = Observability(tracer=Tracer())
+        manager = SchemaManager(model=model, obs=bundle)
+        assert model.obs is bundle and model.db.obs is bundle
+        manager.define(SCHEMA)
+        assert "session" in span_names(bundle.tracer)

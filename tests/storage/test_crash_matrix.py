@@ -152,6 +152,20 @@ def test_crash_point_recovers_committed_state(tmp_path, reference_states,
         # The recovered schema must satisfy the complete CDB.
         report = recovered.check()
         assert report.consistent, report.describe()
+        # The first post-recovery session checks incrementally *exactly*:
+        # replay rebuilt the model with maintenance suspended, so the BES
+        # must re-materialize and reset the delta accounting — a probe
+        # violation must show identically under delta and full checks.
+        ghost_type = recovered.model.ids.type()
+        ghost_domain = recovered.model.ids.type()
+        probe = recovered.begin_session()
+        probe.add(Atom("Attr", (ghost_type, "crash_probe", ghost_domain)))
+        delta_keys = {(v.constraint.name, tuple(v.theta))
+                      for v in probe.check("delta").violations}
+        full_keys = {(v.constraint.name, tuple(v.theta))
+                     for v in probe.check("full").violations}
+        assert delta_keys and delta_keys == full_keys
+        probe.rollback()
         # And evolution must continue: ids resume past everything used.
         recovered.define("""
         schema PostCrash is
