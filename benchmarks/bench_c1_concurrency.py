@@ -1,0 +1,171 @@
+"""C1: reader throughput scaling under an active writer.
+
+Measures the concurrent read path end to end: a
+:class:`~repro.service.SchemaService` serves snapshot-pinned read
+requests from reader pools of 1, 2, 4, and 8 threads while a writer
+thread continuously churns evolution sessions (commit + publish) in the
+background.  Each request opens a read session, runs a bundle of schema
+queries against its snapshot, and then simulates ~1 ms of downstream
+work (the network/disk time a real caller would spend holding the
+result) — the part of a request that overlaps across threads because
+snapshot reads take no lock.
+
+The headline number is the 1 -> 8 thread throughput scaling factor.
+With snapshot isolation the readers share nothing mutable, so scaling
+is bounded only by the GIL's appetite for the pure-Python query slice;
+the acceptance gate (``--check``) requires >= 3.0x.
+
+Writes ``bench_c1_concurrency.{txt,json}`` into ``benchmarks/results``
+(the JSON joins the CI bench artifact).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_c1_concurrency.py
+        [--requests 400] [--types 12] [--check]
+"""
+
+import argparse
+import json
+import os
+import random
+import sys
+import threading
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+
+from repro.manager import SchemaManager                      # noqa: E402
+from repro.workloads.synthetic import (generate_schema,      # noqa: E402
+                                       random_evolution)
+
+THREAD_COUNTS = (1, 2, 4, 8)
+SIMULATED_IO_SECONDS = 0.001
+
+
+def _read_request(read_session, type_ids):
+    """One serviced read: a bundle of schema queries + simulated I/O."""
+    observed = read_session.epoch
+    for tid in type_ids[:6]:
+        read_session.type_name(tid)
+        read_session.attributes(tid, inherited=True)
+        read_session.supertypes(tid)
+    time.sleep(SIMULATED_IO_SECONDS)
+    return observed
+
+
+def _measure(manager, schema, readers, n_requests):
+    """Throughput of *n_requests* reads on a pool of *readers* threads,
+    with a writer churning evolution sessions the whole time."""
+    stop = threading.Event()
+    writer_stats = {"commits": 0}
+
+    def writer():
+        rng = random.Random(readers)
+        while not stop.is_set():
+            frontier = len(schema.type_ids)
+            session = manager.begin_session()
+            random_evolution(schema, session, rng)
+            session.commit()
+            del schema.type_ids[frontier:]
+            writer_stats["commits"] += 1
+
+    service = manager.serve(readers=readers)
+    type_ids = list(schema.type_ids)
+    epochs = set()
+    writer_thread = threading.Thread(target=writer, daemon=True)
+    writer_thread.start()
+    try:
+        # Warm the pool (thread start-up is not what we measure).
+        service.batch([(lambda rs: rs.epoch)] * readers)
+        started = time.perf_counter()
+        futures = [service.submit(
+            lambda rs: _read_request(rs, type_ids))
+            for _ in range(n_requests)]
+        for future in futures:
+            epochs.add(future.result())
+        elapsed = time.perf_counter() - started
+    finally:
+        stop.set()
+        writer_thread.join()
+        service.close()
+    return {
+        "readers": readers,
+        "requests": n_requests,
+        "elapsed_seconds": round(elapsed, 4),
+        "requests_per_second": round(n_requests / elapsed, 1),
+        "writer_commits": writer_stats["commits"],
+        "distinct_epochs_observed": len(epochs),
+    }
+
+
+def run(n_requests, n_types, out_dir, check):
+    os.makedirs(out_dir, exist_ok=True)
+    manager = SchemaManager()
+    schema = generate_schema(manager, n_types, seed=1993)
+    manager.model.enable_snapshots()
+
+    rows = [_measure(manager, schema, readers, n_requests)
+            for readers in THREAD_COUNTS]
+    base = rows[0]["requests_per_second"]
+    for row in rows:
+        row["scaling_vs_1_thread"] = round(
+            row["requests_per_second"] / base, 2)
+    scaling = rows[-1]["scaling_vs_1_thread"]
+
+    lines = ["C1: reader throughput scaling under an active writer",
+             f"  requests per config: {n_requests}, schema types: "
+             f"{n_types}, simulated I/O per request: "
+             f"{SIMULATED_IO_SECONDS * 1000:.1f} ms", ""]
+    lines.append(f"  {'readers':>8} {'req/s':>10} {'scaling':>8} "
+                 f"{'writer commits':>15} {'epochs seen':>12}")
+    for row in rows:
+        lines.append(
+            f"  {row['readers']:>8} {row['requests_per_second']:>10} "
+            f"{row['scaling_vs_1_thread']:>7}x "
+            f"{row['writer_commits']:>15} "
+            f"{row['distinct_epochs_observed']:>12}")
+    lines.append("")
+    lines.append(f"  1 -> 8 thread scaling: {scaling}x "
+                 f"(acceptance floor: 3.0x)")
+    text = "\n".join(lines)
+    print(text)
+
+    payload = {
+        "benchmark": "c1_concurrency",
+        "requests": n_requests,
+        "types": n_types,
+        "simulated_io_seconds": SIMULATED_IO_SECONDS,
+        "rows": rows,
+        "scaling_1_to_8": scaling,
+    }
+    with open(os.path.join(out_dir, "bench_c1_concurrency.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    with open(os.path.join(out_dir, "bench_c1_concurrency.txt"), "w",
+              encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+    if check and scaling < 3.0:
+        print(f"FAIL: 1 -> 8 thread scaling {scaling}x is below the "
+              f"3.0x acceptance floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=400,
+                        help="read requests per thread-count config")
+    parser.add_argument("--types", type=int, default=12,
+                        help="types in the synthetic schema")
+    parser.add_argument("--out", default=os.path.join(HERE, "results"),
+                        help="output directory")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if 1->8 scaling < 3.0x")
+    args = parser.parse_args()
+    sys.exit(run(args.requests, args.types, args.out, args.check))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Concurrency primitives for the single-writer / many-reader service.
+
+The consistency control keeps the paper's invariant — one evolution
+session at a time — but extends it across threads: sessions serialize on
+a :class:`WriterLock` owned by the model, while readers never take any
+lock at all (they query immutable published snapshots).
+
+:class:`WriterLock` is a mutex with thread-owner tracking and wait-time
+accounting.  Two deliberate deviations from a plain ``threading.Lock``:
+
+* acquisition measures (and accumulates) how long the caller blocked, so
+  the session layer can surface writer-lock contention as a metric, and
+* a re-acquire by the *owning* thread is an idempotent no-op rather than
+  a deadlock.  Sessions bracket acquire/release one-to-one, but a
+  session abandoned without commit/rollback (benchmark setup code does
+  this on purpose) would otherwise wedge its own thread forever; the
+  same-thread re-entry inherits the stale bracket and the next release
+  balances it.  Cross-thread exclusion is unaffected.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["WriterLock"]
+
+
+class WriterLock:
+    """A writer mutex with owner tracking and wait accounting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._owner: int | None = None
+        #: Number of acquisitions that had to block.
+        self.contended = 0
+        #: Total seconds spent blocked across all acquisitions.
+        self.wait_seconds = 0.0
+
+    @property
+    def owner(self) -> int | None:
+        """Thread ident of the current holder (None when free)."""
+        return self._owner
+
+    @property
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def held_by_current_thread(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def acquire(self) -> float:
+        """Block until the lock is held; returns seconds spent waiting.
+
+        Re-acquiring from the owning thread returns immediately (see
+        module docstring); the eventual single release still frees the
+        lock.
+        """
+        me = threading.get_ident()
+        if self._owner == me:
+            return 0.0
+        if self._lock.acquire(blocking=False):
+            self._owner = me
+            return 0.0
+        started = time.perf_counter()
+        self._lock.acquire()
+        waited = time.perf_counter() - started
+        self._owner = me
+        self.contended += 1
+        self.wait_seconds += waited
+        return waited
+
+    def release(self) -> None:
+        """Release if held by the calling thread; otherwise a no-op.
+
+        The no-op branch keeps double-release (an abandoned session's
+        bracket already balanced by its successor) from corrupting the
+        lock state.
+        """
+        if self._owner != threading.get_ident():
+            return
+        self._owner = None
+        self._lock.release()

@@ -84,6 +84,11 @@ class ProtocolResult:
     #: and re-checks actually cost).  None only for a "gave-up" run, whose
     #: session is still open and still accumulating.
     stats: Optional[EngineStats] = None
+    #: The model epoch after the session ended.  When snapshot
+    #: publication is enabled (service mode), a successful run's epoch is
+    #: the snapshot this commit published; a rolled-back run keeps the
+    #: previous epoch.  0 when the model has never published.
+    epoch: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -143,7 +148,8 @@ class SchemaEvolutionProtocol:
                                       final_report=report,
                                       transcript=transcript,
                                       chosen_repairs=chosen,
-                                      stats=self.session.stats)
+                                      stats=self.session.stats,
+                                      epoch=self.session.model.epoch)
             violation = report.violations[0]
             repairs = self.session.repairs(violation)
             transcript.append(ProtocolStep(
@@ -168,7 +174,8 @@ class SchemaEvolutionProtocol:
                                       final_report=report,
                                       transcript=transcript,
                                       chosen_repairs=chosen,
-                                      stats=self.session.stats)
+                                      stats=self.session.stats,
+                                      epoch=self.session.model.epoch)
             if not isinstance(choice, int) or not 0 <= choice < len(repairs):
                 raise SessionError(
                     f"repair chooser returned invalid choice {choice!r}")

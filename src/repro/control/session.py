@@ -19,6 +19,7 @@ session".  :class:`EvolutionSession` implements this:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -85,11 +86,27 @@ class EvolutionSession:
         if check_mode not in ("delta", "full"):
             raise ValueError(f"check_mode must be 'delta' or 'full', "
                              f"got {check_mode!r}")
+        self.owner_thread = threading.get_ident()
+        # Same-thread double-BES is a programming error and raises
+        # immediately (blocking would self-deadlock); a session open in
+        # *another* thread makes us wait on the writer lock instead —
+        # sessions are serialized, not refused, across threads.
         active = getattr(model, "active_session", None)
-        if active is not None and active.active:
+        if active is not None and active.active \
+                and active.owner_thread == self.owner_thread:
             raise SessionAlreadyActiveError(
                 "an evolution session is already open on this model; "
                 "end it (commit / rollback) before starting another")
+        lock_wait = model.writer_lock.acquire()
+        self.lock_wait_seconds = lock_wait
+        try:
+            self._begin(model, check_mode, lock_wait)
+        except BaseException:
+            model.writer_lock.release()
+            raise
+
+    def _begin(self, model: GomDatabase, check_mode: str,
+               lock_wait: float) -> None:
         self.model = model
         model.active_session = self
         self.check_mode = check_mode
@@ -97,6 +114,11 @@ class EvolutionSession:
         #: evaluation inside the session is attributed to it.
         self.stats: EngineStats = model.db.begin_stats()
         self.obs = model.db.obs
+        if self.obs.enabled:
+            self.obs.metrics.histogram("session.lock_wait_ms").observe(
+                lock_wait * 1000.0)
+            if lock_wait:
+                self.obs.metrics.counter("session.lock_contended").inc()
         self._snapshot = model.db.edb.snapshot()
         # Exact derived deltas for the EES incremental check.  With the
         # engine maintaining its views ("delta" maintenance), materialize
@@ -116,6 +138,12 @@ class EvolutionSession:
             self._derived_before = snapshot_derived(model.db)
         self._net: Dict[Atom, int] = {}
         self._closed = False
+        #: Runtime-side compensation callbacks (object-base undo).  The
+        #: EDB restores from its BES snapshot on rollback, but cures and
+        #: object lifecycle operations also mutate Python object state
+        #: outside the deductive database; they register undo entries
+        #: here, run LIFO on rollback and discarded on commit.
+        self._undo: List[Callable[[], None]] = []
         self._explainers: List[Explainer] = []
         self.began_at = time.perf_counter()
         #: Evolution-log session id when the model is durably backed
@@ -147,6 +175,18 @@ class EvolutionSession:
     def register_explainer(self, explainer: Explainer) -> None:
         """Register an Analyzer / Runtime System explanation hook."""
         self._explainers.append(explainer)
+
+    def record_undo(self, undo: Callable[[], None]) -> None:
+        """Register a compensation callback run if this session rolls back.
+
+        Conversion cures and object lifecycle operations mutate runtime
+        state (instance slots, the object store) that the EDB snapshot
+        restore cannot see; each such mutation records its inverse here
+        so rollback restores the object base together with the model.
+        Callbacks run LIFO after the EDB restore; commit discards them.
+        """
+        self._require_active()
+        self._undo.append(undo)
 
     def annotate(self, text: str) -> None:
         """Add a free-form note to the durable session history.
@@ -297,8 +337,18 @@ class EvolutionSession:
         if self.wal_id is not None:
             self.model.durability.commit_session(self.wal_id)
         self._closed = True
+        self._undo.clear()
         self.model.active_session = None
-        self._publish_stats("commit")
+        try:
+            self._publish_stats("commit")
+            # Snapshot publication is part of EES: the new epoch becomes
+            # visible to readers before the writer lock is released, so
+            # the next writer cannot commit epoch N+1 while N is still
+            # being exported.
+            if self.model.snapshots_enabled:
+                self.model.publish_snapshot()
+        finally:
+            self.model.writer_lock.release()
         return report
 
     def rollback(self) -> None:
@@ -314,12 +364,20 @@ class EvolutionSession:
         if touched:
             self.model.db.invalidate(touched)
         self.model.db.discard_derived_delta()
+        # Compensate runtime-side mutations (instance slots, the object
+        # store) in reverse order — the object base rolls back with the
+        # model (see :meth:`record_undo`).
+        while self._undo:
+            self._undo.pop()()
         self._net.clear()
         if self.wal_id is not None:
             self.model.durability.rollback_session(self.wal_id)
         self._closed = True
         self.model.active_session = None
-        self._publish_stats("rollback", ops=ops)
+        try:
+            self._publish_stats("rollback", ops=ops)
+        finally:
+            self.model.writer_lock.release()
 
     def _publish_stats(self, outcome: str = "closed",
                        ops: Optional[int] = None) -> None:

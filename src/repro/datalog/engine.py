@@ -104,6 +104,30 @@ class DeductiveDatabase:
         self._derived_store.set_stats(stats)
         return stats
 
+    # -- snapshot export ------------------------------------------------------
+
+    def export_snapshot(self):
+        """An immutable :class:`~repro.datalog.snapshot.SnapshotDatabase`
+        of the current extension (EDB + saturated IDB).
+
+        Saturates any stale derived predicate first, then forks both
+        stores copy-on-write — O(predicates), no bucket copying.  The
+        caller must hold writer exclusivity (no concurrent mutation)
+        for the duration of this call; afterwards the snapshot is safe
+        to read from any number of threads while the live database
+        keeps evolving.
+        """
+        from repro.datalog.snapshot import SnapshotDatabase
+        self.materialize()
+        stats = EngineStats()
+        snapshot = SnapshotDatabase(
+            edb=self.edb.fork_shared(stats=stats),
+            derived=self._derived_store.fork_shared(stats=stats),
+            stats=stats, obs=self.obs)
+        if self.obs.enabled:
+            self.obs.metrics.counter("engine.snapshots_exported").inc()
+        return snapshot
+
     # -- declarations and rules ---------------------------------------------
 
     def declare(self, decl: PredicateDecl) -> None:

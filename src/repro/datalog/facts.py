@@ -67,6 +67,13 @@ class Relation:
 
     ``stats`` points at the owning store's :class:`EngineStats` so index
     usage is attributed to the active evaluation context (session).
+
+    Relations support copy-on-write sharing for snapshot isolation:
+    :meth:`freeze_view` hands out a view sharing this relation's row set
+    and indexes by reference, marking both sides shared.  The first
+    mutation of the live relation after a freeze privatizes its storage
+    (:meth:`_ensure_private`), so published views stay immutable without
+    any bucket copying at snapshot time.
     """
 
     def __init__(self, decl: PredicateDecl,
@@ -77,6 +84,33 @@ class Relation:
         self._indexes: List[Dict[object, Set[Tuple[object, ...]]]] = [
             {} for _ in range(decl.arity)
         ]
+        self._shared = False
+
+    def freeze_view(self) -> "Relation":
+        """An immutable view sharing this relation's storage (O(1)).
+
+        Both the view and the live relation are marked shared; the live
+        side privatizes lazily on its next mutation, the view never
+        mutates (it is only handed to read-only snapshot stores).
+        """
+        view = Relation.__new__(Relation)
+        view.decl = self.decl
+        view.stats = self.stats
+        view._rows = self._rows
+        view._indexes = self._indexes
+        view._shared = True
+        self._shared = True
+        return view
+
+    def _ensure_private(self) -> None:
+        """Detach from any frozen view before mutating (copy-on-write)."""
+        if self._shared:
+            self._rows = set(self._rows)
+            self._indexes = [
+                {value: set(bucket) for value, bucket in index.items()}
+                for index in self._indexes
+            ]
+            self._shared = False
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -96,6 +130,7 @@ class Relation:
             )
         if row in self._rows:
             return False
+        self._ensure_private()
         self._rows.add(row)
         for position, value in enumerate(row):
             self._indexes[position].setdefault(value, set()).add(row)
@@ -105,6 +140,7 @@ class Relation:
         """Delete a row; returns True when it was present."""
         if row not in self._rows:
             return False
+        self._ensure_private()
         self._rows.discard(row)
         for position, value in enumerate(row):
             bucket = self._indexes[position].get(value)
@@ -160,6 +196,13 @@ class Relation:
         yield from matched
 
     def clear(self) -> None:
+        if self._shared:
+            # A frozen view still references the old storage; just start
+            # fresh instead of copying buckets only to empty them.
+            self._rows = set()
+            self._indexes = [{} for _ in range(self.decl.arity)]
+            self._shared = False
+            return
         self._rows.clear()
         for index in self._indexes:
             index.clear()
@@ -181,6 +224,27 @@ class FactStore:
         self.stats = stats
         for relation in self._relations.values():
             relation.stats = stats
+
+    def fork_shared(self, stats: Optional[EngineStats] = None) -> "FactStore":
+        """An immutable copy-on-write fork of this store (O(predicates)).
+
+        Every relation of the fork is a :meth:`Relation.freeze_view` of
+        the live one — rows and index buckets are shared by reference,
+        never copied.  The live store privatizes each relation lazily on
+        its first post-fork mutation, so the fork observes exactly the
+        extension at fork time, forever.  The fork carries its own
+        ``stats`` so concurrent readers do not race the live session's
+        instrumentation counters.
+        """
+        fork = FactStore.__new__(FactStore)
+        fork.stats = stats if stats is not None else EngineStats()
+        fork._decls = dict(self._decls)
+        fork._relations = {}
+        for name, relation in self._relations.items():
+            view = relation.freeze_view()
+            view.stats = fork.stats
+            fork._relations[name] = view
+        return fork
 
     # -- declarations -------------------------------------------------------
 

@@ -1,0 +1,124 @@
+"""Immutable snapshots of the deductive database for lock-free readers.
+
+:meth:`~repro.datalog.engine.DeductiveDatabase.export_snapshot` hands out
+a :class:`SnapshotDatabase`: the EDB *and* the saturated IDB at export
+time, forked copy-on-write (:meth:`~repro.datalog.facts.FactStore.fork_shared`)
+so nothing is copied at publish time and the live engine's later
+mutations privatize storage instead of touching the snapshot.
+
+A snapshot is a plain query surface — the same read API as the live
+engine (``contains`` / ``facts`` / ``matching`` / ``relation`` /
+``count`` / ``query`` / ``holds``) — but with no program, no strata and
+no provenance: the IDB is pre-saturated, so derived predicates read as
+ordinary indexed relations.  That makes every read O(lookup) with zero
+synchronization; any number of threads may query one snapshot
+concurrently.  Mutation entry points raise
+:class:`~repro.errors.ReadOnlySnapshotError`.
+
+Each snapshot owns its :class:`~repro.datalog.plan.QueryPlanner` and
+:class:`~repro.datalog.plan.EngineStats`, so reader-side planning and
+instrumentation never race the live session's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import ReadOnlySnapshotError, UnknownPredicateError
+from repro.datalog.facts import FactStore, PredicateDecl, Relation
+from repro.datalog.plan import EngineStats, QueryPlanner
+from repro.datalog.rules import BodyElement
+from repro.datalog.terms import Atom, Substitution
+
+__all__ = ["SnapshotDatabase"]
+
+
+class SnapshotDatabase:
+    """A frozen EDB + saturated IDB with the engine's read API."""
+
+    def __init__(self, edb: FactStore, derived: FactStore,
+                 stats: Optional[EngineStats] = None, obs=None) -> None:
+        from repro.obs import NOOP_OBS
+        self.edb = edb
+        self._derived_store = derived
+        self.stats = stats if stats is not None else EngineStats()
+        self.obs = obs if obs is not None else NOOP_OBS
+        self.planner = QueryPlanner(self)
+
+    # -- declarations ---------------------------------------------------------
+
+    def is_base(self, pred: str) -> bool:
+        return self.edb.is_declared(pred)
+
+    def is_derived(self, pred: str) -> bool:
+        return self._derived_store.is_declared(pred)
+
+    def is_declared(self, pred: str) -> bool:
+        return self.is_base(pred) or self.is_derived(pred)
+
+    def decl(self, pred: str) -> PredicateDecl:
+        if self.edb.is_declared(pred):
+            return self.edb.decl(pred)
+        return self._derived_store.decl(pred)
+
+    def _store_for(self, pred: str) -> FactStore:
+        if self.edb.is_declared(pred):
+            return self.edb
+        if self._derived_store.is_declared(pred):
+            return self._derived_store
+        raise UnknownPredicateError(f"unknown predicate {pred}")
+
+    # -- queries --------------------------------------------------------------
+
+    def contains(self, fact: Atom) -> bool:
+        return self._store_for(fact.pred).contains(fact)
+
+    def facts(self, pred: str) -> Iterator[Atom]:
+        yield from self._store_for(pred).facts(pred)
+
+    def matching(self, pattern: Atom) -> Iterator[Atom]:
+        yield from self._store_for(pattern.pred).matching(pattern)
+
+    def relation(self, pred: str) -> Relation:
+        return self._store_for(pred).relation(pred)
+
+    def count(self, pred: str) -> int:
+        return self._store_for(pred).count(pred)
+
+    def total_facts(self) -> int:
+        return self.edb.total_facts() + self._derived_store.total_facts()
+
+    def query(self, body: Sequence[BodyElement],
+              theta: Optional[Substitution] = None) -> Iterator[Substitution]:
+        """Plan-driven conjunctive query over the frozen extension."""
+        body = tuple(body)
+        theta = dict(theta) if theta else {}
+        plan = self.planner.plan_for(body, theta)
+        yield from plan.substitutions(self, theta)
+
+    def holds(self, body: Sequence[BodyElement],
+              theta: Optional[Substitution] = None) -> bool:
+        return next(iter(self.query(body, theta)), None) is not None
+
+    # -- refused mutations ----------------------------------------------------
+
+    def _read_only(self, operation: str):
+        raise ReadOnlySnapshotError(
+            f"cannot {operation} on a published snapshot; snapshots are "
+            f"immutable — evolve through the live model and read the next "
+            f"epoch")
+
+    def add_fact(self, fact: Atom):
+        self._read_only("add a fact")
+
+    def remove_fact(self, fact: Atom):
+        self._read_only("remove a fact")
+
+    def apply_delta(self, additions=(), deletions=()):
+        self._read_only("apply a delta")
+
+    def add_rule(self, rule):
+        self._read_only("add a rule")
+
+    def declare(self, decl):
+        self._read_only("declare a predicate")

@@ -73,6 +73,10 @@ class RepairGenerationError(DatalogError):
     """The repair generator could not produce repairs for a violation."""
 
 
+class ReadOnlySnapshotError(DatalogError):
+    """A mutation was attempted on a published snapshot database."""
+
+
 class PlanningError(DatalogError, ValueError):
     """A conjunctive body cannot be compiled into a join plan.
 

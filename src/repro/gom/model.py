@@ -16,10 +16,13 @@ and exposes the ``modify`` surface the Consistency Control builds on.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import DuplicateFeatureError, UnknownFeatureError
+from repro.concurrency import WriterLock
+from repro.errors import DuplicateFeatureError, SessionError, UnknownFeatureError
 from repro.datalog.checker import CheckReport, ConsistencyChecker
 from repro.datalog.constraints import (
     Constraint,
@@ -157,7 +160,145 @@ register_feature(FeatureModule(
 DEFAULT_FEATURES: Tuple[str, ...] = ("core", "objectbase")
 
 
-class GomDatabase:
+class SchemaReadMixin:
+    """The shared read surface over a deductive schema database.
+
+    Every method here needs only ``self.db`` answering the engine's read
+    API (``matching`` / ``contains`` / ``is_base``), so the same lookups
+    serve both the live :class:`GomDatabase` and immutable
+    :class:`SchemaSnapshot` instances handed to concurrent readers.
+    """
+
+    db: object  # a DeductiveDatabase or SnapshotDatabase
+
+    def schema_id(self, name: str) -> Optional[Id]:
+        for fact in self.db.matching(Atom("Schema", (None, name))):
+            return fact.args[0]
+        return None
+
+    def type_id(self, name: str, schema: Optional[Id] = None) -> Optional[Id]:
+        """Resolve a type name, optionally within one schema.
+
+        Built-in sort names resolve without a schema qualifier.
+        """
+        builtin = gom_builtins.builtin_type(name)
+        if builtin is not None:
+            return builtin
+        pattern = Atom("Type", (None, name, schema))
+        for fact in self.db.matching(pattern):
+            return fact.args[0]
+        return None
+
+    def type_name(self, tid: Id) -> Optional[str]:
+        for fact in self.db.matching(Atom("Type", (tid, None, None))):
+            return fact.args[1]
+        return None
+
+    def schema_of_type(self, tid: Id) -> Optional[Id]:
+        for fact in self.db.matching(Atom("Type", (tid, None, None))):
+            return fact.args[2]
+        return None
+
+    def attributes(self, tid: Id, inherited: bool = True) -> List[Tuple[str, Id]]:
+        """(name, domain) pairs of a type's attributes."""
+        pred = "Attr_i" if inherited else "Attr"
+        return sorted(
+            (fact.args[1], fact.args[2])
+            for fact in self.db.matching(Atom(pred, (tid, None, None)))
+        )
+
+    def declarations(self, tid: Id, inherited: bool = True
+                     ) -> List[Tuple[Id, str, Id]]:
+        """(declid, opname, result) triples visible at a type."""
+        pred = "Decl_i" if inherited else "Decl"
+        return sorted(
+            (fact.args[0], fact.args[2], fact.args[3])
+            for fact in self.db.matching(Atom(pred, (None, tid, None, None)))
+        )
+
+    def decl_id(self, tid: Id, opname: str,
+                inherited: bool = True) -> Optional[Id]:
+        pred = "Decl_i" if inherited else "Decl"
+        for fact in self.db.matching(Atom(pred, (None, tid, opname, None))):
+            return fact.args[0]
+        return None
+
+    def decl_candidates(self, tid: Id, opname: str,
+                        inherited: bool = True) -> List[Id]:
+        """All declarations of *opname* visible at *tid* (with the
+        ``overloading`` feature there can be several)."""
+        pred = "Decl_i" if inherited else "Decl"
+        return sorted(
+            fact.args[0]
+            for fact in self.db.matching(Atom(pred, (None, tid, opname,
+                                                     None)))
+        )
+
+    def resolve_operation(self, tid: Id, opname: str,
+                          nargs: Optional[int] = None) -> Optional[Id]:
+        """Resolve a call of *opname* on *tid*, arity-aware.
+
+        With a unique candidate the arity is not enforced here (the
+        interpreter checks it at invocation); with several (overloading)
+        the argument count selects the declaration.
+        """
+        candidates = self.decl_candidates(tid, opname)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        if nargs is None:
+            return candidates[0]
+        by_arity = [did for did in candidates
+                    if len(self.arg_types(did)) == nargs]
+        if len(by_arity) == 1:
+            return by_arity[0]
+        if by_arity:
+            return by_arity[0]  # ambiguous; deterministic first
+        return None
+
+    def arg_types(self, did: Id) -> List[Id]:
+        """Argument types of a declaration, in argument order."""
+        rows = sorted(
+            (fact.args[1], fact.args[2])
+            for fact in self.db.matching(Atom("ArgDecl", (did, None, None)))
+        )
+        return [tid for _number, tid in rows]
+
+    def code_for(self, did: Id) -> Optional[Tuple[Id, str]]:
+        """(code id, code text) implementing a declaration, if any."""
+        for fact in self.db.matching(Atom("Code", (None, None, did))):
+            return fact.args[0], fact.args[1]
+        return None
+
+    def supertypes(self, tid: Id, transitive: bool = False) -> List[Id]:
+        pred = "SubTypRel_t" if transitive else "SubTypRel"
+        return sorted(
+            fact.args[1] for fact in self.db.matching(Atom(pred, (tid, None)))
+        )
+
+    def is_subtype(self, sub: Id, sup: Id) -> bool:
+        """Reflexive-transitive subtype test."""
+        if sub == sup:
+            return True
+        return self.db.contains(Atom("SubTypRel_t", (sub, sup)))
+
+    def phrep_of(self, tid: Id) -> Optional[Id]:
+        for fact in self.db.matching(Atom("PhRep", (None, tid))):
+            return fact.args[0]
+        return None
+
+    def enum_values(self, tid: Id) -> List[str]:
+        return sorted(
+            fact.args[1]
+            for fact in self.db.matching(Atom("EnumValue", (tid, None)))
+        )
+
+    def is_enum(self, tid: Id) -> bool:
+        return bool(self.enum_values(tid))
+
+
+class GomDatabase(SchemaReadMixin):
     """The Database Model of Figure 1: schema base + object-base model.
 
     All extension changes go through :meth:`modify`; the Analyzer and the
@@ -185,6 +326,17 @@ class GomDatabase:
         #: Consistency Control emits evolution-log records at BES, at
         #: every primitive modification, and at EES.
         self.durability = None
+        #: Serializes evolution sessions across threads (single-writer).
+        #: Readers never touch it — they query published snapshots.
+        self.writer_lock = WriterLock()
+        #: Monotonic publication counter; bumped by every
+        #: :meth:`publish_snapshot`.  0 = nothing published yet.
+        self.epoch = 0
+        #: Whether committed sessions publish snapshots (see
+        #: :meth:`enable_snapshots`; the service front-end turns it on).
+        self.snapshots_enabled = False
+        self._current_snapshot: Optional["SchemaSnapshot"] = None
+        self._snapshot_mutex = threading.Lock()
         self._enabled: List[str] = []
         self._generate_keys = generate_keys
         self._generate_references = generate_references
@@ -346,130 +498,107 @@ class GomDatabase:
         """Full consistency check over all enabled constraints."""
         return self.checker.check()
 
-    # -- lookup helpers shared by Analyzer and Runtime ------------------------------
+    # -- snapshot publication (single writer, lock-free readers) --------------
 
-    def schema_id(self, name: str) -> Optional[Id]:
-        for fact in self.db.matching(Atom("Schema", (None, name))):
-            return fact.args[0]
-        return None
+    def enable_snapshots(self) -> None:
+        """Turn on snapshot publication (idempotent).
 
-    def type_id(self, name: str, schema: Optional[Id] = None) -> Optional[Id]:
-        """Resolve a type name, optionally within one schema.
-
-        Built-in sort names resolve without a schema qualifier.
+        Once enabled, every committed evolution session publishes a new
+        immutable :class:`SchemaSnapshot` and bumps :attr:`epoch`; an
+        initial snapshot of the current state is published immediately
+        (unless an evolution session is open, in which case the first
+        publication happens at its commit).  Off by default so models
+        that never serve concurrent readers pay nothing.
         """
-        builtin = gom_builtins.builtin_type(name)
-        if builtin is not None:
-            return builtin
-        pattern = Atom("Type", (None, name, schema))
-        for fact in self.db.matching(pattern):
-            return fact.args[0]
-        return None
+        self.snapshots_enabled = True
+        active = getattr(self, "active_session", None)
+        if self._current_snapshot is None \
+                and not (active is not None and active.active):
+            self.publish_snapshot()
 
-    def type_name(self, tid: Id) -> Optional[str]:
-        for fact in self.db.matching(Atom("Type", (tid, None, None))):
-            return fact.args[1]
-        return None
+    def publish_snapshot(self) -> "SchemaSnapshot":
+        """Export and atomically publish a snapshot of the current state.
 
-    def schema_of_type(self, tid: Id) -> Optional[Id]:
-        for fact in self.db.matching(Atom("Type", (tid, None, None))):
-            return fact.args[2]
-        return None
-
-    def attributes(self, tid: Id, inherited: bool = True) -> List[Tuple[str, Id]]:
-        """(name, domain) pairs of a type's attributes."""
-        pred = "Attr_i" if inherited else "Attr"
-        return sorted(
-            (fact.args[1], fact.args[2])
-            for fact in self.db.matching(Atom(pred, (tid, None, None)))
-        )
-
-    def declarations(self, tid: Id, inherited: bool = True
-                     ) -> List[Tuple[Id, str, Id]]:
-        """(declid, opname, result) triples visible at a type."""
-        pred = "Decl_i" if inherited else "Decl"
-        return sorted(
-            (fact.args[0], fact.args[2], fact.args[3])
-            for fact in self.db.matching(Atom(pred, (None, tid, None, None)))
-        )
-
-    def decl_id(self, tid: Id, opname: str,
-                inherited: bool = True) -> Optional[Id]:
-        pred = "Decl_i" if inherited else "Decl"
-        for fact in self.db.matching(Atom(pred, (None, tid, opname, None))):
-            return fact.args[0]
-        return None
-
-    def decl_candidates(self, tid: Id, opname: str,
-                        inherited: bool = True) -> List[Id]:
-        """All declarations of *opname* visible at *tid* (with the
-        ``overloading`` feature there can be several)."""
-        pred = "Decl_i" if inherited else "Decl"
-        return sorted(
-            fact.args[0]
-            for fact in self.db.matching(Atom(pred, (None, tid, opname,
-                                                     None)))
-        )
-
-    def resolve_operation(self, tid: Id, opname: str,
-                          nargs: Optional[int] = None) -> Optional[Id]:
-        """Resolve a call of *opname* on *tid*, arity-aware.
-
-        With a unique candidate the arity is not enforced here (the
-        interpreter checks it at invocation); with several (overloading)
-        the argument count selects the declaration.
+        Called by the consistency control at EES (commit), while the
+        writer lock is still held — the extension cannot move under the
+        export.  Publication itself is one reference swap, so readers
+        calling :meth:`snapshot` concurrently always get either the
+        previous epoch or the new one, never anything partial.
         """
-        candidates = self.decl_candidates(tid, opname)
-        if not candidates:
-            return None
-        if len(candidates) == 1:
-            return candidates[0]
-        if nargs is None:
-            return candidates[0]
-        by_arity = [did for did in candidates
-                    if len(self.arg_types(did)) == nargs]
-        if len(by_arity) == 1:
-            return by_arity[0]
-        if by_arity:
-            return by_arity[0]  # ambiguous; deterministic first
-        return None
+        active = getattr(self, "active_session", None)
+        if active is not None and active.active:
+            raise SessionError(
+                "cannot publish a snapshot while an evolution session is "
+                "open; snapshots publish at EES (commit)")
+        with self._snapshot_mutex:
+            self.epoch += 1
+            snapshot = SchemaSnapshot(
+                db=self.db.export_snapshot(),
+                epoch=self.epoch,
+                constraints=self.checker.constraints(),
+                features=self.features,
+            )
+            self._current_snapshot = snapshot
+        if self.obs.enabled:
+            self.obs.metrics.gauge("snapshot.epoch").set(self.epoch)
+            self.obs.metrics.counter("snapshot.published").inc()
+        return snapshot
 
-    def arg_types(self, did: Id) -> List[Id]:
-        """Argument types of a declaration, in argument order."""
-        rows = sorted(
-            (fact.args[1], fact.args[2])
-            for fact in self.db.matching(Atom("ArgDecl", (did, None, None)))
-        )
-        return [tid for _number, tid in rows]
+    def snapshot(self) -> "SchemaSnapshot":
+        """The most recently published snapshot (lock-free read).
 
-    def code_for(self, did: Id) -> Optional[Tuple[Id, str]]:
-        """(code id, code text) implementing a declaration, if any."""
-        for fact in self.db.matching(Atom("Code", (None, None, did))):
-            return fact.args[0], fact.args[1]
-        return None
+        Lazily enables publication on first use.  Raises
+        :class:`~repro.errors.SessionError` when no snapshot exists yet
+        and one cannot be published because an evolution session is open
+        — readers must never observe a torn mid-session extension.
+        """
+        snapshot = self._current_snapshot
+        if snapshot is not None:
+            return snapshot
+        self.enable_snapshots()
+        snapshot = self._current_snapshot
+        if snapshot is None:
+            raise SessionError(
+                "no snapshot published yet and an evolution session is "
+                "open; retry after the session commits or rolls back")
+        return snapshot
 
-    def supertypes(self, tid: Id, transitive: bool = False) -> List[Id]:
-        pred = "SubTypRel_t" if transitive else "SubTypRel"
-        return sorted(
-            fact.args[1] for fact in self.db.matching(Atom(pred, (tid, None)))
-        )
 
-    def is_subtype(self, sub: Id, sup: Id) -> bool:
-        """Reflexive-transitive subtype test."""
-        if sub == sup:
-            return True
-        return self.db.contains(Atom("SubTypRel_t", (sub, sup)))
+class SchemaSnapshot(SchemaReadMixin):
+    """One published epoch of the schema: immutable, thread-safe reads.
 
-    def phrep_of(self, tid: Id) -> Optional[Id]:
-        for fact in self.db.matching(Atom("PhRep", (None, tid))):
-            return fact.args[0]
-        return None
+    Wraps a frozen :class:`~repro.datalog.snapshot.SnapshotDatabase`
+    (EDB + saturated IDB at publication time) with the full
+    :class:`SchemaReadMixin` lookup surface, its own
+    :class:`~repro.datalog.checker.ConsistencyChecker` built from the
+    live checker's constraints, and a version-graph view — so readers
+    can run schema lookups, full consistency checks, and version /
+    fashion queries against one consistent epoch while the live model
+    keeps evolving.
+    """
 
-    def enum_values(self, tid: Id) -> List[str]:
-        return sorted(
-            fact.args[1]
-            for fact in self.db.matching(Atom("EnumValue", (tid, None)))
-        )
+    def __init__(self, db, epoch: int, constraints: Sequence[Constraint] = (),
+                 features: Tuple[str, ...] = ()) -> None:
+        self.db = db
+        self.epoch = epoch
+        self.features = tuple(features)
+        #: Monotonic publication instant, for snapshot-age metrics.
+        self.published_at = time.monotonic()
+        # Built eagerly: lazy construction would race when the first two
+        # readers arrive simultaneously.
+        self.checker = ConsistencyChecker(db, constraints)
 
-    def is_enum(self, tid: Id) -> bool:
-        return bool(self.enum_values(tid))
+    def age_seconds(self) -> float:
+        """Seconds since this snapshot was published."""
+        return time.monotonic() - self.published_at
+
+    def check(self) -> CheckReport:
+        """Full consistency check of this epoch (safe from any thread)."""
+        return self.checker.check()
+
+    @property
+    def versions(self):
+        """A :class:`~repro.versioning.versions.VersionGraph` over this
+        epoch."""
+        from repro.versioning.versions import VersionGraph
+        return VersionGraph(self)

@@ -211,6 +211,26 @@ class SchemaManager:
         """A full consistency check of the current database model."""
         return self.model.check()
 
+    # -- concurrent reading ----------------------------------------------------------------
+
+    def serve(self, readers: int = 4):
+        """A :class:`repro.service.SchemaService` over this manager.
+
+        Enables snapshot publication on the model (every successful EES
+        publishes a fresh immutable snapshot) and starts a pool of
+        *readers* threads serving lock-free read sessions from it.
+        """
+        from repro.service import SchemaService
+        return SchemaService(self, readers=readers)
+
+    def snapshot(self):
+        """The current published :class:`~repro.gom.model.SchemaSnapshot`.
+
+        Enables snapshot publication on first use.  Lock-free: callers
+        on any thread get the image of the last committed session.
+        """
+        return self.model.snapshot()
+
     # -- instrumentation -----------------------------------------------------------------
 
     def last_session_stats(self) -> Optional[EngineStats]:

@@ -24,6 +24,7 @@ method call when metrics are off.
 from __future__ import annotations
 
 import json
+import threading
 from typing import Dict, List, Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
@@ -31,20 +32,26 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A last-written value."""
+    """A last-written value.
+
+    ``set`` is a single attribute assignment — atomic under the GIL —
+    so the gauge needs no lock even with concurrent writers.
+    """
 
     __slots__ = ("name", "value")
 
@@ -69,7 +76,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "values", "count", "total", "low", "high",
-                 "compact_at", "compact_to", "stride")
+                 "compact_at", "compact_to", "stride", "_lock")
 
     def __init__(self, name: str, compact_at: int = 65_536,
                  compact_to: int = 8_192) -> None:
@@ -82,27 +89,30 @@ class Histogram:
         self.compact_at = compact_at
         self.compact_to = compact_to
         self.stride = 1
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.low is None or value < self.low:
-            self.low = value
-        if self.high is None or value > self.high:
-            self.high = value
-        if (self.count - 1) % self.stride == 0:
-            self.values.append(value)
-            if len(self.values) > self.compact_at:
-                factor = max(
-                    2, -(-len(self.values) // self.compact_to))
-                self.values = self.values[::factor]
-                self.stride *= factor
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.low is None or value < self.low:
+                self.low = value
+            if self.high is None or value > self.high:
+                self.high = value
+            if (self.count - 1) % self.stride == 0:
+                self.values.append(value)
+                if len(self.values) > self.compact_at:
+                    factor = max(
+                        2, -(-len(self.values) // self.compact_to))
+                    self.values = self.values[::factor]
+                    self.stride *= factor
 
     def percentile(self, p: float) -> float:
         """Order-statistic percentile (nearest-rank) over the sample."""
-        if not self.values:
+        with self._lock:
+            ordered = sorted(self.values)
+        if not ordered:
             return 0.0
-        ordered = sorted(self.values)
         rank = min(len(ordered) - 1, max(0, int(round(
             (p / 100.0) * (len(ordered) - 1)))))
         return ordered[rank]
@@ -171,7 +181,12 @@ _ENGINE_SKIP_FIELDS = ("elapsed_seconds", "plan_cache_hit_rate",
 
 
 class MetricsRegistry:
-    """A process-wide namespace of counters, gauges, and histograms."""
+    """A process-wide namespace of counters, gauges, and histograms.
+
+    Get-or-create is locked so two threads asking for the same new name
+    share one instrument instead of racing to register two (and losing
+    one's updates); the fast path re-checks under the lock.
+    """
 
     enabled = True
 
@@ -179,23 +194,33 @@ class MetricsRegistry:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         instrument = self.counters.get(name)
         if instrument is None:
-            instrument = self.counters[name] = Counter(name)
+            with self._lock:
+                instrument = self.counters.get(name)
+                if instrument is None:
+                    instrument = self.counters[name] = Counter(name)
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self.gauges.get(name)
         if instrument is None:
-            instrument = self.gauges[name] = Gauge(name)
+            with self._lock:
+                instrument = self.gauges.get(name)
+                if instrument is None:
+                    instrument = self.gauges[name] = Gauge(name)
         return instrument
 
     def histogram(self, name: str) -> Histogram:
         instrument = self.histograms.get(name)
         if instrument is None:
-            instrument = self.histograms[name] = Histogram(name)
+            with self._lock:
+                instrument = self.histograms.get(name)
+                if instrument is None:
+                    instrument = self.histograms[name] = Histogram(name)
         return instrument
 
     def absorb_engine_stats(self, stats: object, prefix: str = "engine.") -> None:
@@ -232,13 +257,14 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """A JSON-ready view of every instrument."""
+        with self._lock:
+            counters = sorted(self.counters.items())
+            gauges = sorted(self.gauges.items())
+            histograms = sorted(self.histograms.items())
         return {
-            "counters": {name: c.value
-                         for name, c in sorted(self.counters.items())},
-            "gauges": {name: g.value
-                       for name, g in sorted(self.gauges.items())},
-            "histograms": {name: h.snapshot()
-                           for name, h in sorted(self.histograms.items())},
+            "counters": {name: c.value for name, c in counters},
+            "gauges": {name: g.value for name, g in gauges},
+            "histograms": {name: h.snapshot() for name, h in histograms},
         }
 
     def write_json(self, path: str) -> None:

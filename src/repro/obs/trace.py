@@ -23,14 +23,20 @@ Spans nest lexically through ``with`` blocks::
             ...
         span.set("ops", 3)
 
-The tracer is deliberately single-threaded (the engine is); nesting is
-one stack, not thread-local storage.
+Nesting is **per thread**: each thread gets its own span stack
+(thread-local storage), so concurrent read sessions served from
+snapshots trace independently without interleaving each other's
+parent/child links.  The finished-span list, event list, and JSONL sink
+are shared and guarded by one lock; span ids come from an atomic
+counter.  Chrome export lays each thread out in its own ``tid`` lane.
 """
 
 from __future__ import annotations
 
 import io
+import itertools
 import json
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -41,7 +47,7 @@ class Span:
     """One named interval; a context manager handed out by the tracer."""
 
     __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
-                 "depth", "started", "duration")
+                 "depth", "started", "duration", "thread_id")
 
     def __init__(self, tracer: "Tracer", name: str,
                  attrs: Optional[Dict[str, object]]) -> None:
@@ -53,6 +59,7 @@ class Span:
         self.depth = 0
         self.started = 0.0
         self.duration = 0.0
+        self.thread_id = 0
 
     def set(self, key: str, value: object) -> None:
         """Attach (or update) one attribute on the open span."""
@@ -77,6 +84,8 @@ class Span:
         }
         if self.parent_id is not None:
             record["parent"] = self.parent_id
+        if self.thread_id:
+            record["thread"] = self.thread_id
         if self.attrs:
             record["attrs"] = self.attrs
         return record
@@ -140,13 +149,21 @@ class Tracer:
         self.jsonl_path = jsonl_path
         self.keep = keep
         self.epoch = time.perf_counter()
-        self._stack: List[Span] = []
+        self._local = threading.local()
         self._finished: List[Span] = []
         self._events: List[Dict[str, object]] = []
-        self._next_id = 1
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
         self._sink: Optional[io.TextIOBase] = None
         if jsonl_path is not None:
             self._sink = open(jsonl_path, "w", encoding="utf-8")
+
+    def _stack(self) -> List[Span]:
+        """This thread's open-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- recording -------------------------------------------------------------
 
@@ -156,26 +173,30 @@ class Tracer:
 
     def event(self, name: str, **attrs: object) -> None:
         """An instant event (e.g. replay progress), at the current depth."""
+        stack = self._stack()
         record: Dict[str, object] = {
             "name": name,
             "event": True,
             "ts_ms": round((time.perf_counter() - self.epoch) * 1000.0, 4),
-            "depth": len(self._stack),
+            "depth": len(stack),
+            "thread": threading.get_ident(),
         }
-        if self._stack:
-            record["parent"] = self._stack[-1].span_id
+        if stack:
+            record["parent"] = stack[-1].span_id
         if attrs:
             record["attrs"] = attrs
-        self._events.append(record)
-        self._emit(record)
+        with self._lock:
+            self._events.append(record)
+            self._emit(record)
 
     def _open(self, span: Span) -> None:
-        span.span_id = self._next_id
-        self._next_id += 1
-        if self._stack:
-            span.parent_id = self._stack[-1].span_id
-        span.depth = len(self._stack)
-        self._stack.append(span)
+        span.span_id = next(self._ids)
+        span.thread_id = threading.get_ident()
+        stack = self._stack()
+        if stack:
+            span.parent_id = stack[-1].span_id
+        span.depth = len(stack)
+        stack.append(span)
         span.started = time.perf_counter()
 
     def _close(self, span: Span) -> None:
@@ -184,18 +205,23 @@ class Tracer:
         # once (pop down to the closing span) and out-of-order closes of
         # a span no longer on the stack (e.g. a session span ended from
         # inside the protocol span that outlives it): only pop when the
-        # closing span is actually open.
-        if span in self._stack:
-            while self._stack and self._stack[-1] is not span:
-                self._stack.pop()
-            if self._stack:
-                self._stack.pop()
-        self._finished.append(span)
-        if len(self._finished) > self.keep:
-            del self._finished[: len(self._finished) - self.keep]
-        self._emit(span.as_dict())
+        # closing span is actually open.  The stack is this thread's
+        # own, so no lock is needed until the shared lists are touched.
+        stack = self._stack()
+        if span in stack:
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        with self._lock:
+            self._finished.append(span)
+            if len(self._finished) > self.keep:
+                del self._finished[: len(self._finished) - self.keep]
+            self._emit(span.as_dict())
 
     def _emit(self, record: Dict[str, object]) -> None:
+        # Caller holds self._lock: JSONL lines from concurrent threads
+        # must not interleave mid-line.
         if self._sink is not None:
             self._sink.write(json.dumps(record, sort_keys=True,
                                         default=repr) + "\n")
@@ -205,21 +231,38 @@ class Tracer:
 
     def spans(self, name: Optional[str] = None) -> List[Span]:
         """Finished spans in completion order, optionally filtered."""
+        with self._lock:
+            finished = list(self._finished)
         if name is None:
-            return list(self._finished)
-        return [span for span in self._finished if span.name == name]
+            return finished
+        return [span for span in finished if span.name == name]
 
     def jsonl(self) -> str:
         """The in-memory trace as JSONL text (spans then events by time)."""
-        records = [span.as_dict() for span in self._finished] + self._events
+        with self._lock:
+            records = [span.as_dict() for span in self._finished]
+            records += [dict(record) for record in self._events]
         records.sort(key=lambda r: r["ts_ms"])
         return "\n".join(json.dumps(r, sort_keys=True, default=repr)
                          for r in records)
 
     def chrome_events(self) -> List[Dict[str, object]]:
-        """The trace as Chrome ``trace_event`` complete/instant events."""
+        """The trace as Chrome ``trace_event`` complete/instant events.
+
+        Thread idents are remapped to small consecutive ``tid`` values
+        (first thread seen = 1) so each OS thread renders as its own
+        lane without leaking raw pointer-sized idents into the viewer.
+        """
+        with self._lock:
+            finished = list(self._finished)
+            instants = [dict(record) for record in self._events]
+        lanes: Dict[int, int] = {}
+
+        def lane(thread_id: int) -> int:
+            return lanes.setdefault(thread_id, len(lanes) + 1)
+
         events: List[Dict[str, object]] = []
-        for span in self._finished:
+        for span in finished:
             events.append({
                 "name": span.name,
                 "cat": span.name.split(".", 1)[0],
@@ -227,19 +270,19 @@ class Tracer:
                 "ts": round((span.started - self.epoch) * 1_000_000.0, 1),
                 "dur": round(span.duration * 1_000_000.0, 1),
                 "pid": 1,
-                "tid": 1,
+                "tid": lane(span.thread_id),
                 "args": {key: repr(value) if not isinstance(
                     value, (int, float, str, bool, type(None))) else value
                     for key, value in span.attrs.items()},
             })
-        for record in self._events:
+        for record in instants:
             events.append({
                 "name": record["name"],
                 "cat": str(record["name"]).split(".", 1)[0],
                 "ph": "i",
                 "ts": round(record["ts_ms"] * 1000.0, 1),
                 "pid": 1,
-                "tid": 1,
+                "tid": lane(record.get("thread", 0)),
                 "s": "t",
                 "args": dict(record.get("attrs", {})),
             })
@@ -254,6 +297,7 @@ class Tracer:
 
     def close(self) -> None:
         """Flush and close the JSONL sink (in-memory spans remain)."""
-        if self._sink is not None:
-            self._sink.close()
-            self._sink = None
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None

@@ -28,11 +28,33 @@ ValueSource = Union[object, Callable[[GomObject], object], str]
 
 
 class ConversionRoutines:
-    """The cures the runtime can execute on physical representations."""
+    """The cures the runtime can execute on physical representations.
+
+    Cures are transactional with respect to the session that carries
+    them: every per-object slot mutation registers an undo entry on the
+    session (:meth:`EvolutionSession.record_undo`), so a caller-owned
+    session that rolls back restores the object base together with the
+    schema — objects are never left converted against a schema change
+    that never happened.
+    """
 
     def __init__(self, runtime: RuntimeSystem) -> None:
         self.runtime = runtime
         self.model: GomDatabase = runtime.model
+
+    @staticmethod
+    def _record_slot_undo(session: EvolutionSession, obj: GomObject,
+                          attr: str) -> None:
+        """Register the inverse of one imminent slot write on *session*."""
+        if attr in obj.slots:
+            old = obj.slots[attr]
+
+            def undo(obj=obj, attr=attr, old=old):
+                obj.slots[attr] = old
+        else:
+            def undo(obj=obj, attr=attr):
+                obj.slots.pop(attr, None)
+        session.record_undo(undo)
 
     # -- adding a slot (the paper's fuelType example) ----------------------------
 
@@ -65,6 +87,7 @@ class ConversionRoutines:
         converted = 0
         for obj in self.runtime.objects_of(tid):
             value = self._produce(obj, source, value_is_operation)
+            self._record_slot_undo(active, obj, attr)
             self.runtime.set_attr(obj, attr, value)
             converted += 1
         if owned:
@@ -133,6 +156,7 @@ class ConversionRoutines:
             active.remove(fact)
         for obj in self.runtime.objects_of(tid):
             if attr in obj.slots:
+                self._record_slot_undo(active, obj, attr)
                 del obj.slots[attr]
                 removed += 1
         if owned:
@@ -147,14 +171,25 @@ class ConversionRoutines:
         """After a ``+Slot`` repair was applied at the model level, fill
         the slot values of every instance (protocol step 9: 'the
         Consistency Control initiates the execution of the chosen repair
-        by the … Runtime System')."""
+        by the … Runtime System').
+
+        Runs through :meth:`RuntimeSystem._auto_session` like every
+        other cure: it joins the given (or model-active) session so a
+        later rollback also unfills the slots, and when it has to open
+        its own session the fills commit — and reach the durable
+        evolution log — as one atomic session.
+        """
+        active, owned = self.runtime._auto_session(session)
         converted = 0
         for obj in self.runtime.objects_of(tid):
             for attr, source in sources.items():
                 if attr not in obj.slots:
                     value = self._produce(obj, source, False)
-                    self.runtime.set_attr(obj, attr, value, )
+                    self._record_slot_undo(active, obj, attr)
+                    self.runtime.set_attr(obj, attr, value)
                     converted += 1
+        if owned:
+            active.commit()
         return converted
 
     def delete_all_instances(self, tid: Id,

@@ -31,13 +31,19 @@ def fashion_attr_codes(model: GomDatabase, tid: Id,
     """(read code, write code) masking *attr* for instances of *tid*."""
     if not model.db.is_base("FashionAttr"):
         return None
-    for target in fashion_targets(model, tid):
+    targets = fashion_targets(model, tid)
+    for target in targets:
         for fact in model.db.matching(
                 Atom("FashionAttr", (target, attr, tid, None, None))):
             return fact.args[3], fact.args[4]
     # The fashion may also be declared against the attribute's target
     # type directly (first argument is the attribute's type, which may
-    # differ from the declared target for inherited attributes).
+    # differ from the declared target for inherited attributes) — but
+    # only when *tid* is substitutable for something at all: without a
+    # FashionType fact, no masking applies, however many FashionAttr
+    # facts other types declared for an attribute of the same name.
+    if not targets:
+        return None
     for fact in model.db.matching(
             Atom("FashionAttr", (None, attr, tid, None, None))):
         return fact.args[3], fact.args[4]

@@ -129,6 +129,9 @@ class RuntimeSystem:
             obj = GomObject(oid=oid, tid=tid, slots=dict(values))
             self._objects[oid] = obj
             self._instances_by_type.setdefault(tid, set()).add(oid)
+            # The PhRep/Slot facts roll back via the EDB snapshot; the
+            # object store needs explicit compensation.
+            active.record_undo(lambda: self._discard_object(obj))
         except Exception:
             if owned:
                 active.rollback()
@@ -137,12 +140,27 @@ class RuntimeSystem:
             active.commit()
         return obj
 
+    def _discard_object(self, obj: GomObject) -> None:
+        """Remove *obj* from the store (rollback of a create)."""
+        self._objects.pop(obj.oid, None)
+        members = self._instances_by_type.get(obj.tid)
+        if members is not None:
+            members.discard(obj.oid)
+            if not members:
+                del self._instances_by_type[obj.tid]
+
+    def _restore_object(self, obj: GomObject) -> None:
+        """Re-insert *obj* into the store (rollback of a delete)."""
+        self._objects[obj.oid] = obj
+        self._instances_by_type.setdefault(obj.tid, set()).add(obj.oid)
+
     def delete_object(self, oid: Id,
                       session: Optional[EvolutionSession] = None) -> None:
         """Delete an object; the last instance retracts the PhRep/Slots."""
         obj = self.get(oid)
         active, owned = self._auto_session(session)
         del self._objects[oid]
+        active.record_undo(lambda: self._restore_object(obj))
         members = self._instances_by_type.get(obj.tid)
         if members is not None:
             members.discard(oid)

@@ -1,0 +1,10 @@
+"""The concurrent schema service front-end.
+
+:class:`SchemaService` serves read traffic from immutable schema
+snapshots on a thread pool while evolution sessions — serialized by the
+model's writer lock — publish new snapshots at every successful EES.
+"""
+
+from repro.service.service import ReadSession, SchemaService
+
+__all__ = ["ReadSession", "SchemaService"]

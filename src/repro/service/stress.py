@@ -1,0 +1,155 @@
+"""A stress / linearizability harness for the concurrent read path.
+
+One writer thread churns through evolution sessions (most commit, some
+roll back) while N reader threads continuously open snapshots, digest
+their full EDB content, and occasionally run a full consistency check.
+The writer is the *serial oracle*: after every commit it records the
+published epoch and the content digest of the snapshot it just
+published.  Afterwards the harness checks that
+
+* every ``(epoch, digest)`` pair any reader observed matches the
+  oracle exactly — no torn reads, no partially-applied sessions, no
+  rolled-back effects ever visible;
+* the epochs each individual reader observed are monotonically
+  non-decreasing — publication is atomic and ordered; and
+* every consistency check a reader ran against a snapshot passed —
+  readers only ever see schemas that satisfied EES.
+
+The digest walks **every** EDB fact, so even a single leaked fact from
+an uncommitted or rolled-back session changes it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.manager import SchemaManager
+from repro.workloads.synthetic import generate_schema, random_evolution
+
+__all__ = ["StressOutcome", "run_stress", "snapshot_digest"]
+
+
+def snapshot_digest(snapshot) -> str:
+    """An order-independent content digest of a snapshot's whole EDB."""
+    hasher = hashlib.sha256()
+    for line in sorted(repr(fact) for fact in snapshot.db.edb.all_facts()):
+        hasher.update(line.encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+@dataclass
+class StressOutcome:
+    """Everything the harness measured, plus the derived verdicts."""
+
+    sessions: int
+    commits: int
+    rollbacks: int
+    #: The serial oracle: epoch -> EDB digest, recorded by the writer
+    #: immediately after each publication (plus the initial snapshot).
+    published: Dict[int, str]
+    #: Per reader, the (epoch, digest) pairs it observed, in order.
+    observations: List[List[Tuple[int, str]]] = field(default_factory=list)
+    check_failures: int = 0
+    checks_run: int = 0
+    reader_errors: List[str] = field(default_factory=list)
+    writer_error: Optional[str] = None
+
+    @property
+    def total_reads(self) -> int:
+        return sum(len(obs) for obs in self.observations)
+
+    def torn_reads(self) -> List[Tuple[int, str]]:
+        """Observed (epoch, digest) pairs that contradict the oracle."""
+        return [pair
+                for per_reader in self.observations
+                for pair in per_reader
+                if self.published.get(pair[0]) != pair[1]]
+
+    def epochs_monotonic(self) -> bool:
+        """Did every reader observe a non-decreasing epoch sequence?"""
+        return all(
+            all(a[0] <= b[0] for a, b in zip(obs, obs[1:]))
+            for obs in self.observations)
+
+    @property
+    def linearizable(self) -> bool:
+        return (not self.torn_reads() and self.epochs_monotonic()
+                and self.check_failures == 0 and not self.reader_errors
+                and self.writer_error is None)
+
+
+def run_stress(n_readers: int = 4, n_sessions: int = 100,
+               n_types: int = 12, seed: int = 7,
+               rollback_every: int = 5, check_every: int = 5,
+               manager: Optional[SchemaManager] = None) -> StressOutcome:
+    """Run the harness and return what happened (no asserts here)."""
+    if manager is None:
+        manager = SchemaManager()
+    schema = generate_schema(manager, n_types=n_types, seed=seed)
+    model = manager.model
+    model.enable_snapshots()
+    published: Dict[int, str] = {
+        model.epoch: snapshot_digest(model.snapshot())}
+    outcome = StressOutcome(sessions=n_sessions, commits=0, rollbacks=0,
+                            published=published)
+    outcome.observations = [[] for _ in range(n_readers)]
+    stop = threading.Event()
+    check_lock = threading.Lock()
+
+    def reader(slot: int) -> None:
+        observed = outcome.observations[slot]
+        reads = 0
+        try:
+            while not stop.is_set():
+                snapshot = model.snapshot()
+                observed.append((snapshot.epoch, snapshot_digest(snapshot)))
+                reads += 1
+                if check_every and reads % check_every == 0:
+                    report = snapshot.check()
+                    with check_lock:
+                        outcome.checks_run += 1
+                        if not report.consistent:
+                            outcome.check_failures += 1
+        except Exception as exc:  # pragma: no cover - failure reporting
+            outcome.reader_errors.append(f"reader {slot}: {exc!r}")
+
+    def writer() -> None:
+        rng = random.Random(seed + 1)
+        try:
+            for index in range(n_sessions):
+                # random_evolution may append fresh type ids; remember
+                # the frontier so a rollback can forget them again
+                # (later sessions must not build on undone types).
+                frontier = len(schema.type_ids)
+                session = manager.begin_session()
+                random_evolution(schema, session, rng)
+                if rollback_every and (index + 1) % rollback_every == 0:
+                    session.rollback()
+                    del schema.type_ids[frontier:]
+                    outcome.rollbacks += 1
+                else:
+                    session.commit()
+                    published[model.epoch] = snapshot_digest(
+                        model.snapshot())
+                    outcome.commits += 1
+        except Exception as exc:  # pragma: no cover - failure reporting
+            outcome.writer_error = repr(exc)
+        finally:
+            stop.set()
+
+    threads = [threading.Thread(target=reader, args=(slot,), daemon=True)
+               for slot in range(n_readers)]
+    writer_thread = threading.Thread(target=writer, daemon=True)
+    for thread in threads:
+        thread.start()
+    writer_thread.start()
+    writer_thread.join()
+    stop.set()
+    for thread in threads:
+        thread.join()
+    return outcome

@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -143,6 +144,15 @@ class WriteAheadLog:
     instrumentation seam the store uses to thread counters into the
     active session's :class:`~repro.datalog.plan.EngineStats` and the
     fsync-latency histogram of the observability layer.
+
+    Appends are serialized by an internal lock and durability uses
+    **group commit**: each synced append targets the absolute byte
+    offset its frame ends at, and only one thread fsyncs at a time.  A
+    committer whose target offset is already covered by a concurrent
+    fsync (POSIX fsync flushes the whole file, so any later fsync covers
+    every earlier write) piggybacks on it and reports zero fsyncs —
+    under a bursty multi-session writer, many commits share one disk
+    flush.
     """
 
     def __init__(self, path: str, injector: FaultInjector = NO_FAULTS,
@@ -153,6 +163,11 @@ class WriteAheadLog:
         self.injector = injector
         self.on_write = on_write
         self._handle = None
+        self._lock = threading.Lock()
+        self._synced_cond = threading.Condition(self._lock)
+        self._written = 0   # bytes appended + flushed to the OS
+        self._synced = 0    # bytes known durable (covered by an fsync)
+        self._syncing = False
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -165,6 +180,7 @@ class WriteAheadLog:
                 handle.flush()
                 os.fsync(handle.fileno())
         self._handle = open(self.path, "ab")
+        self._written = self._synced = scan.valid_bytes
         return scan
 
     @property
@@ -178,11 +194,13 @@ class WriteAheadLog:
 
     def reset(self) -> None:
         """Empty the log (after a checkpoint made its contents redundant)."""
-        if self._handle is not None:
-            self._handle.close()
-        self._handle = open(self.path, "wb")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+            self._handle = open(self.path, "wb")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._written = self._synced = 0
 
     # -- appends ---------------------------------------------------------------
 
@@ -191,39 +209,77 @@ class WriteAheadLog:
 
         Crash points bracket every boundary; ``wal.torn_write`` writes
         half the frame before dying, modelling a power cut mid-write.
+        A synced append may *piggyback* on a concurrent thread's fsync
+        (group commit) — ``on_write`` then reports zero fsyncs for it.
         """
         if self._handle is None:
             raise WalFormatError("the evolution log is not open")
         frame = encode_frame(payload)
-        handle = self._handle
         injector = self.injector
-        injector.fire("wal.before_write")
-        injector.fire("wal.torn_write",
-                      before_crash=lambda: (handle.write(frame[:max(
-                          1, len(frame) // 2)]), handle.flush()))
-        handle.write(frame)
-        injector.fire("wal.after_write")
-        handle.flush()
+        with self._lock:
+            handle = self._handle
+            injector.fire("wal.before_write")
+            injector.fire("wal.torn_write",
+                          before_crash=lambda: (handle.write(frame[:max(
+                              1, len(frame) // 2)]), handle.flush()))
+            handle.write(frame)
+            injector.fire("wal.after_write")
+            handle.flush()
+            self._written += len(frame)
+            target = self._written
         fsyncs = 0
         fsync_seconds = 0.0
         if sync:
-            injector.fire("wal.before_fsync")
-            started = time.perf_counter()
-            os.fsync(handle.fileno())
-            fsync_seconds = time.perf_counter() - started
-            fsyncs = 1
-            injector.fire("wal.after_fsync")
+            fsyncs, fsync_seconds = self._sync_to(target)
         if self.on_write is not None:
             self.on_write(1, len(frame), fsyncs, fsync_seconds)
 
+    def _sync_to(self, target: int) -> Tuple[int, float]:
+        """Make the log durable up to byte offset *target*.
+
+        Returns ``(fsyncs, fsync_seconds)`` — ``(0, 0.0)`` when another
+        thread's fsync already covered the target (a piggybacked group
+        commit), ``(1, elapsed)`` when this thread performed the flush.
+        """
+        with self._synced_cond:
+            while True:
+                if self._synced >= target:
+                    return 0, 0.0
+                if not self._syncing:
+                    break
+                self._synced_cond.wait()
+            self._syncing = True
+            handle = self._handle
+            upto = self._written  # fsync covers everything flushed so far
+        try:
+            self.injector.fire("wal.before_fsync")
+            started = time.perf_counter()
+            os.fsync(handle.fileno())
+            elapsed = time.perf_counter() - started
+            self.injector.fire("wal.after_fsync")
+        except BaseException:
+            # A simulated (or real) crash mid-fsync: let a waiter take
+            # over as syncer instead of leaving everyone blocked.
+            with self._synced_cond:
+                self._syncing = False
+                self._synced_cond.notify_all()
+            raise
+        with self._synced_cond:
+            self._syncing = False
+            self._synced = max(self._synced, upto)
+            self._synced_cond.notify_all()
+        return 1, elapsed
+
     def sync(self) -> None:
         """fsync the log without appending (used when closing cleanly)."""
-        if self._handle is not None:
+        if self._handle is None:
+            return
+        with self._lock:
             self._handle.flush()
-            started = time.perf_counter()
-            os.fsync(self._handle.fileno())
-            if self.on_write is not None:
-                self.on_write(0, 0, 1, time.perf_counter() - started)
+            target = self._written
+        fsyncs, fsync_seconds = self._sync_to(target)
+        if self.on_write is not None:
+            self.on_write(0, 0, fsyncs, fsync_seconds)
 
 
 def committed_sessions(records: Iterable[WalRecord]) -> List[int]:

@@ -71,7 +71,11 @@ def generate_schema(manager: SchemaManager, n_types: int,
     else:
         # Benchmark setup: bypass EES (generation is consistent by
         # construction); the measured phase performs its own checks.
+        # Close out the session bracket so later sessions — possibly on
+        # other threads — are not wedged on a lock nobody will release.
         session._closed = True
+        manager.model.active_session = None
+        manager.model.writer_lock.release()
     return SyntheticSchema(manager=manager, sid=sid, type_ids=type_ids,
                            decl_ids=decl_ids)
 

@@ -45,8 +45,43 @@ class TestSpanNesting:
             with tracer.span("outer"):
                 with tracer.span("inner"):
                     raise RuntimeError("boom")
-        assert tracer._stack == []
+        assert tracer._stack() == []
         assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+
+    def test_concurrent_threads_keep_independent_nesting(self):
+        import threading
+        tracer = Tracer()
+
+        def work(tag):
+            for _ in range(50):
+                with tracer.span(f"outer.{tag}"):
+                    with tracer.span(f"inner.{tag}"):
+                        pass
+
+        threads = [threading.Thread(target=work, args=(tag,))
+                   for tag in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        finished = tracer.spans()
+        assert len(finished) == 4 * 50 * 2
+        # Span ids are unique even under concurrent allocation.
+        assert len({span.span_id for span in finished}) == len(finished)
+        # Every inner span's parent is the matching outer span on the
+        # SAME thread — stacks never bleed across threads.
+        by_id = {span.span_id: span for span in finished}
+        for span in finished:
+            if span.name.startswith("inner."):
+                parent = by_id[span.parent_id]
+                assert parent.thread_id == span.thread_id
+                assert parent.name == "outer." + span.name.split(".", 1)[1]
+        # Chrome export lays each thread ident out in its own compact
+        # lane (the OS may reuse idents once a thread exits, so there
+        # are between 1 and 4 of them).
+        lanes = {event["tid"] for event in tracer.chrome_events()}
+        assert lanes <= {1, 2, 3, 4} and lanes
+        assert len(lanes) == len({span.thread_id for span in finished})
 
     def test_out_of_order_close_does_not_corrupt_stack(self):
         # A span ended from inside a child that outlives it (the
@@ -60,9 +95,9 @@ class TestSpanNesting:
         protocol.__enter__()
         session.__exit__(None, None, None)   # closes protocol's parent
         protocol.__exit__(None, None, None)  # no longer on the stack
-        assert tracer._stack == [root]
+        assert tracer._stack() == [root]
         root.__exit__(None, None, None)
-        assert tracer._stack == []
+        assert tracer._stack() == []
 
     def test_events_attach_to_open_span(self):
         tracer = Tracer()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.datalog.terms import Atom
 from repro.errors import MethodLookupError, UnknownSlotError
 from repro.manager import SchemaManager
 from repro.runtime.masking import (
@@ -87,6 +88,36 @@ class TestMaskedAccess:
         assert manager.runtime.get_attr(new_person, "birthday") == 2000
         with pytest.raises(UnknownSlotError):
             manager.runtime.get_attr(new_person, "age")
+
+
+class TestSubstitutabilityGate:
+    """Masking must require FashionType substitutability (§4.1): a
+    FashionAttr fact alone — e.g. left behind after the substitutability
+    declaration was retracted — redirects nothing."""
+
+    def test_masking_stops_when_substitutability_is_retracted(self, world):
+        manager, old_person = world
+        new_person = manager.model.type_id(
+            "Person", manager.model.schema_id("NewPersonSchema"))
+        # Retract the FashionType fact; the FashionAttr facts remain.
+        manager.model.modify(deletions=[
+            Atom("FashionType", (old_person.tid, new_person))])
+        assert fashion_targets(manager.model, old_person.tid) == []
+        assert fashion_attr_codes(manager.model, old_person.tid,
+                                  "birthday") is None
+        with pytest.raises(UnknownSlotError):
+            manager.runtime.get_attr(old_person, "birthday")
+
+    def test_write_not_redirected_without_substitutability(self, world):
+        manager, old_person = world
+        new_person = manager.model.type_id(
+            "Person", manager.model.schema_id("NewPersonSchema"))
+        manager.model.modify(deletions=[
+            Atom("FashionType", (old_person.tid, new_person))])
+        age_before = old_person.slots["age"]
+        with pytest.raises(UnknownSlotError):
+            manager.runtime.set_attr(old_person, "birthday", 1960)
+        assert old_person.slots["age"] == age_before
 
 
 class TestMaskedCalls:

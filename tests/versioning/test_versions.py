@@ -94,3 +94,68 @@ class TestSubstitutability:
         other = model.ids.schema()
         model.modify(additions=[Atom("Schema", (other, "Elsewhere"))])
         assert graph.version_of_in_schema(tids[0], other) is None
+
+
+class TestMultiVersionLineage:
+    """substitutable_for / version_of_in_schema across a whole lineage."""
+
+    def test_substitutable_for_collects_every_source_sorted(self, world):
+        model, sids, tids = world
+        model.modify(additions=[
+            Atom("FashionType", (tids[0], tids[2])),
+            Atom("FashionType", (tids[1], tids[2])),
+        ])
+        graph = VersionGraph(model)
+        assert graph.substitutable_for(tids[2]) == sorted([tids[0],
+                                                           tids[1]])
+
+    def test_substitutable_for_is_direct_not_transitive(self, world):
+        model, sids, tids = world
+        model.modify(additions=[
+            Atom("FashionType", (tids[0], tids[1])),
+            Atom("FashionType", (tids[1], tids[2])),
+        ])
+        graph = VersionGraph(model)
+        # t1 stands in for t2 and t2 for t3, but fashion does not chain:
+        # only the directly declared source appears for t3.
+        assert graph.substitutable_for(tids[2]) == [tids[1]]
+
+    def test_substitutable_for_without_fashion_feature(self):
+        model = GomDatabase(features=("core", "versioning"))
+        sid = model.ids.schema()
+        tid = model.ids.type()
+        model.modify(additions=[Atom("Schema", (sid, "Solo")),
+                                Atom("Type", (tid, "T", sid))])
+        graph = VersionGraph(model)
+        assert graph.substitutable_for(tid) == []
+
+    def test_version_of_in_schema_resolves_along_the_chain(self, world):
+        model, sids, tids = world
+        graph = VersionGraph(model)
+        # Every member of the trunk (t1 -> t2) sees the whole family;
+        # resolution maps each schema to the version living there.
+        for source_tid in tids[:2]:
+            for sid, expected in zip(sids, tids):
+                assert graph.version_of_in_schema(source_tid, sid) \
+                    == expected
+        # Branch tips resolve to themselves and to their ancestors.
+        assert graph.version_of_in_schema(tids[2], sids[2]) == tids[2]
+        assert graph.version_of_in_schema(tids[2], sids[1]) == tids[1]
+        assert graph.version_of_in_schema(tids[3], sids[0]) == tids[0]
+
+    def test_sibling_branches_are_not_each_others_versions(self, world):
+        model, sids, tids = world
+        graph = VersionGraph(model)
+        # t3 and t4 evolved from the same t2 but sit on sibling
+        # branches: neither is a predecessor or successor of the other,
+        # so neither resolves in the other's schema.
+        assert graph.version_of_in_schema(tids[2], sids[3]) is None
+        assert graph.version_of_in_schema(tids[3], sids[2]) is None
+
+    def test_unversioned_type_has_no_version_elsewhere(self, world):
+        model, sids, tids = world
+        lonely = model.ids.type()
+        model.modify(additions=[Atom("Type", (lonely, "U", sids[0]))])
+        graph = VersionGraph(model)
+        assert graph.version_of_in_schema(lonely, sids[0]) == lonely
+        assert graph.version_of_in_schema(lonely, sids[1]) is None
