@@ -1,23 +1,33 @@
-"""Bench guard: fail CI when the maintained delta check regresses.
+"""Bench guard: fail CI when a guarded benchmark number regresses.
 
-Compares a fresh ``benchmarks/results/e5_incremental.json`` (produced by
-running ``bench_e5_incremental.py``) against the committed baseline in
-``benchmarks/baselines/e5_incremental.json``.  The guarded number is
-``delta_ms`` — the per-session cost of the maintenance-fed delta check,
-the quantity the incremental-view-maintenance work exists to keep small.
+Compares fresh ``benchmarks/results/*.json`` artifacts (produced by
+running the benchmark scripts) against the committed baselines in
+``benchmarks/baselines/`` and prints a before/after table per guard.
 
-A point regresses when its measured ``delta_ms`` exceeds the baseline by
-more than ``--max-regression`` (default 2.0x; generous because CI
-machines are slower and noisier than the machine that recorded the
-baseline, but a broken maintenance path shows up as a 5-20x jump, not
-2x).  Structural failures — missing files, missing sizes, ``holds``
-false — also fail the guard.
+Guarded quantities:
+
+* **E5 incremental** (``e5_incremental.json``) — per size point, both
+  ``delta_ms`` (the maintenance-fed delta check this repo exists to
+  keep small) and ``full_ms`` (the compiled-executor full check the
+  interning/closure work exists to keep fast).  A regression in either
+  is a real break: delta means the maintenance path fell back to
+  recompute, full means the compiled fast path stopped engaging.
+* **E9 constraint catalogue** (``e9_constraint_catalogue.json``) — per
+  seeded inconsistency, the ``mean_ms`` detect+repair cycle.
+
+A number regresses when it exceeds the baseline by more than
+``--max-regression`` (default 2.0x; generous because CI machines are
+slower and noisier than the machine that recorded the baseline, but a
+broken maintenance or compilation path shows up as a 5-20x jump, not
+2x).  Structural failures — ``holds`` false, baseline entries missing
+from the results — also fail the guard.  Missing *files* skip cleanly:
+that is the normal state of a checkout that didn't run the benchmarks.
 
 Usage::
 
     python benchmarks/bench_guard.py [--max-regression 2.0]
-        [--results benchmarks/results/e5_incremental.json]
-        [--baseline benchmarks/baselines/e5_incremental.json]
+        [--results-dir benchmarks/results]
+        [--baseline-dir benchmarks/baselines]
 """
 
 import argparse
@@ -26,22 +36,38 @@ import os
 import sys
 
 HERE = os.path.dirname(os.path.abspath(__file__))
-DEFAULT_RESULTS = os.path.join(HERE, "results", "e5_incremental.json")
-DEFAULT_BASELINE = os.path.join(HERE, "baselines", "e5_incremental.json")
+DEFAULT_RESULTS_DIR = os.path.join(HERE, "results")
+DEFAULT_BASELINE_DIR = os.path.join(HERE, "baselines")
+
+#: Each guard names the shared artifact file, the list field holding the
+#: measured entries, the entry field that identifies a row across runs,
+#: and the millisecond metrics to compare against the baseline.
+GUARDS = (
+    {
+        "name": "e5_incremental",
+        "file": "e5_incremental.json",
+        "entries": "points",
+        "key": "types",
+        "metrics": ("delta_ms", "full_ms"),
+    },
+    {
+        "name": "e9_constraint_catalogue",
+        "file": "e9_constraint_catalogue.json",
+        "entries": "rows",
+        "key": "inconsistency",
+        "metrics": ("mean_ms",),
+    },
+)
 
 
 def load(path, role):
     """Parse *path*; ``None`` means "not there" (a skip, not a failure).
 
-    A missing file is the normal state of a fresh checkout or a CI lane
-    that didn't run the benchmarks — the guard skips cleanly rather
-    than failing a build over an absent input.  A file that exists but
-    doesn't parse is still a hard error: that's a broken artifact, not
-    a missing one.
+    A file that exists but doesn't parse is still a hard error: that's
+    a broken artifact, not a missing one.
     """
     if not os.path.exists(path):
-        print(f"bench-guard: skip — no {role} file at {path} "
-              "(run bench_e5_incremental.py to produce one)")
+        print(f"bench-guard: skip — no {role} file at {path}")
         return None
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -52,55 +78,75 @@ def load(path, role):
         raise SystemExit(f"bench-guard: invalid JSON in {path}: {error}")
 
 
-def check(results, baseline, max_regression):
-    """Return a list of human-readable failure strings (empty = pass)."""
+def check_guard(guard, results, baseline, max_regression):
+    """Print the comparison table; return failure strings (empty = pass)."""
     failures = []
     if not results.get("holds", False):
-        failures.append("results report holds=false: the E5 shape claim "
-                        "(incremental wins, gap grows) no longer holds")
-    measured = {point["types"]: point for point in results.get("points", ())}
-    for base_point in baseline.get("points", ()):
-        types = base_point["types"]
-        point = measured.get(types)
-        if point is None:
-            failures.append(f"n={types}: missing from results")
+        failures.append(f"{guard['name']}: results report holds=false — "
+                        "the experiment's shape claim no longer holds")
+    key = guard["key"]
+    measured = {entry[key]: entry
+                for entry in results.get(guard["entries"], ())}
+    width = max([len(str(e[key]))
+                 for e in baseline.get(guard["entries"], ())] + [4])
+    for base_entry in baseline.get(guard["entries"], ()):
+        ident = base_entry[key]
+        entry = measured.get(ident)
+        if entry is None:
+            failures.append(f"{guard['name']} {key}={ident}: "
+                            "missing from results")
             continue
-        base_ms = base_point["delta_ms"]
-        got_ms = point["delta_ms"]
-        ratio = got_ms / base_ms if base_ms else float("inf")
-        verdict = "ok" if ratio <= max_regression else "REGRESSED"
-        print(f"  n={types:>4}: delta check {got_ms:.3f} ms vs baseline "
-              f"{base_ms:.3f} ms ({ratio:.2f}x, limit "
-              f"{max_regression:.1f}x) [{verdict}]")
-        if ratio > max_regression:
-            failures.append(f"n={types}: delta check {got_ms:.3f} ms is "
-                            f"{ratio:.2f}x the baseline {base_ms:.3f} ms "
-                            f"(limit {max_regression:.1f}x)")
+        for metric in guard["metrics"]:
+            base_ms = base_entry[metric]
+            got_ms = entry[metric]
+            ratio = got_ms / base_ms if base_ms else float("inf")
+            verdict = "ok" if ratio <= max_regression else "REGRESSED"
+            print(f"  {str(ident):>{width}}  {metric:<9} "
+                  f"{got_ms:>9.3f} ms  baseline {base_ms:>9.3f} ms  "
+                  f"{ratio:>5.2f}x  [{verdict}]")
+            if ratio > max_regression:
+                failures.append(
+                    f"{guard['name']} {key}={ident}: {metric} "
+                    f"{got_ms:.3f} ms is {ratio:.2f}x the baseline "
+                    f"{base_ms:.3f} ms (limit {max_regression:.1f}x)")
     return failures
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--results", default=DEFAULT_RESULTS)
-    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
+    parser.add_argument("--baseline-dir", default=DEFAULT_BASELINE_DIR)
     parser.add_argument("--max-regression", type=float, default=2.0,
-                        help="fail when delta_ms exceeds baseline by more "
-                             "than this factor (default: 2.0)")
+                        help="fail when a guarded metric exceeds its "
+                             "baseline by more than this factor "
+                             "(default: 2.0)")
     args = parser.parse_args(argv)
 
-    print(f"bench-guard: {args.results} vs {args.baseline}")
-    results = load(args.results, "results")
-    baseline = load(args.baseline, "baseline")
-    if results is None or baseline is None:
-        return 0
-    failures = check(results, baseline, args.max_regression)
+    failures = []
+    ran = 0
+    for guard in GUARDS:
+        results_path = os.path.join(args.results_dir, guard["file"])
+        baseline_path = os.path.join(args.baseline_dir, guard["file"])
+        print(f"bench-guard[{guard['name']}]: "
+              f"{results_path} vs {baseline_path}")
+        results = load(results_path, "results")
+        baseline = load(baseline_path, "baseline")
+        if results is None or baseline is None:
+            continue
+        ran += 1
+        failures.extend(
+            check_guard(guard, results, baseline, args.max_regression))
+
     if failures:
         print("bench-guard: FAIL")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("bench-guard: ok — maintained delta check within "
-          f"{args.max_regression:.1f}x of the committed baseline")
+    if not ran:
+        print("bench-guard: nothing to compare (all guards skipped)")
+        return 0
+    print(f"bench-guard: ok — {ran} guard(s) within "
+          f"{args.max_regression:.1f}x of the committed baselines")
     return 0
 
 

@@ -108,6 +108,11 @@ class EvolutionSession:
     def _begin(self, model: GomDatabase, check_mode: str,
                lock_wait: float) -> None:
         self.model = model
+        # Initialize the lifecycle flag *before* publishing this session
+        # on the model: another thread blocked in BES reads
+        # ``model.active_session.active`` the moment the attribute lands,
+        # and must never observe a half-constructed session.
+        self._closed = False
         model.active_session = self
         self.check_mode = check_mode
         #: Fresh instrumentation for this BES…EES bracket; every engine
@@ -119,7 +124,9 @@ class EvolutionSession:
                 lock_wait * 1000.0)
             if lock_wait:
                 self.obs.metrics.counter("session.lock_contended").inc()
-        self._snapshot = model.db.edb.snapshot()
+        # Interned row sets, not decoded values: rollback restores codes
+        # straight into the columns without re-interning anything.
+        self._snapshot = model.db.edb.snapshot_codes()
         # Exact derived deltas for the EES incremental check.  With the
         # engine maintaining its views ("delta" maintenance), materialize
         # once and let the engine account grown/shrunk sets as the
@@ -137,7 +144,6 @@ class EvolutionSession:
         elif check_mode == "delta":
             self._derived_before = snapshot_derived(model.db)
         self._net: Dict[Atom, int] = {}
-        self._closed = False
         #: Runtime-side compensation callbacks (object-base undo).  The
         #: EDB restores from its BES snapshot on rollback, but cures and
         #: object lifecycle operations also mutate Python object state
@@ -354,16 +360,40 @@ class EvolutionSession:
     def rollback(self) -> None:
         """Undo the whole evolution session and close it."""
         self._require_active()
-        self.model.db.edb.restore(self._snapshot)
-        # Invalidate every derived predicate the session may have touched,
-        # and discard the session's derived-delta accounting: the restored
-        # extension matches no accumulated grown/shrunk state, so the
-        # accounting must read as unknown until the next BES resets it.
-        touched = {fact.pred for fact in self._net}
+        db = self.model.db
         ops = len(self._net)
-        if touched:
-            self.model.db.invalidate(touched)
-        self.model.db.discard_derived_delta()
+        # Fast path: undo through the maintenance machinery.  When the
+        # engine maintained its views incrementally all session long
+        # (accounting still exact), applying the *inverse* net delta
+        # rolls the EDB back fact-for-fact and DRed/semi-naive repairs
+        # the derived store in place — so the next BES materialize is a
+        # no-op instead of a full recompute of every touched stratum.
+        # ``net_delta`` is exact because ``modify`` only counts real
+        # presence transitions; the snapshot comparison below catches
+        # the one escape hatch (a mutation that bypassed the session),
+        # in which case we fall back to the snapshot restore.
+        restored = attempted = False
+        if db.maintenance == "delta" and db.derived_delta() is not None:
+            attempted = True
+            additions, deletions = self.net_delta()
+            if additions or deletions:
+                db.apply_delta(additions=deletions, deletions=additions)
+            restored = db.edb.snapshot_codes() == self._snapshot
+        if not restored:
+            db.edb.restore_codes(self._snapshot)
+            # Invalidate every derived predicate the session may have
+            # touched: the restored extension matches no accumulated
+            # grown/shrunk state.  When the inverse delta was attempted
+            # and missed, ``_net`` under-reported (a mutation bypassed
+            # the session), so widen to every base predicate.
+            stale = set(self._snapshot) if attempted \
+                else {fact.pred for fact in self._net}
+            if stale:
+                db.invalidate(stale)
+        # Either way the session's derived-delta accounting is spent:
+        # the accumulator baseline was this session's BES, and the next
+        # BES resets it.
+        db.discard_derived_delta()
         # Compensate runtime-side mutations (instance slots, the object
         # store) in reverse order — the object base rolls back with the
         # model (see :meth:`record_undo`).

@@ -18,11 +18,12 @@ exactly the violations present afterwards.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.datalog.builtins import Comparison
+from repro.datalog.builtins import Comparison, compare_values
 from repro.datalog.constraints import (
     Conclusion,
     Constraint,
@@ -31,7 +32,25 @@ from repro.datalog.constraints import (
     FalseConclusion,
 )
 from repro.datalog.engine import DeductiveDatabase
+from repro.datalog.plan import EngineStats, _resolve_bound_vars
 from repro.datalog.terms import Atom, Literal, Substitution, Variable, match, unify
+
+#: Marks threads that already run on a shared reader pool.  A parallel
+#: check started from such a thread would submit to the pool it is
+#: itself occupying and wait — with every worker in the same position
+#: that is a deadlock — so :meth:`ConsistencyChecker.check` silently
+#: degrades to the serial path there.
+_POOL_WORKER = threading.local()
+
+
+def mark_pool_worker(active: bool) -> None:
+    """Flag the current thread as a reader-pool worker (or clear it)."""
+    _POOL_WORKER.active = active
+
+
+def in_pool_worker() -> bool:
+    """Is the current thread a reader-pool worker?"""
+    return getattr(_POOL_WORKER, "active", False)
 
 
 @dataclass(frozen=True)
@@ -144,14 +163,25 @@ class ConsistencyChecker:
 
     # -- full check --------------------------------------------------------------
 
-    def check(self, constraints: Optional[Sequence[Constraint]] = None
-              ) -> CheckReport:
-        """Naive full check: enumerate every premise instantiation."""
+    def check(self, constraints: Optional[Sequence[Constraint]] = None,
+              pool=None) -> CheckReport:
+        """Full check: enumerate every premise instantiation.
+
+        With *pool* (a ``ThreadPoolExecutor``), independent constraints
+        fan out across the pool's workers, each counting into a private
+        :class:`~repro.datalog.plan.EngineStats` that is merged back at
+        the end; the violation list is assembled in constraint order, so
+        the report is identical to a serial check regardless of worker
+        count.  Called from a pool worker thread (a read task), the
+        check degrades to serial instead of deadlocking on its own pool.
+        """
         start = time.perf_counter()
         stats = self.database.stats
-        stats.checks_run += 1
         targets = list(constraints) if constraints is not None \
-            else self._constraints
+            else list(self._constraints)
+        if pool is not None and len(targets) > 1 and not in_pool_worker():
+            return self._check_parallel(targets, pool, start)
+        stats.checks_run += 1
         violations: List[Violation] = []
         seen: Set[Tuple] = set()
         tracer = self.database.obs.tracer
@@ -179,12 +209,200 @@ class ConsistencyChecker:
                            constraints_checked=len(targets),
                            elapsed_seconds=elapsed, mode="full")
 
+    def _check_parallel(self, targets: List[Constraint], pool,
+                        start: float) -> CheckReport:
+        """Fan independent constraints across *pool*'s worker threads.
+
+        The database is materialized up front (saturation is not
+        thread-safe; concurrent reads of a saturated extension are).
+        Results are gathered and deduplicated in submission order, so
+        the violation list — and therefore repair enumeration — is
+        deterministic for any worker count.
+        """
+        database = self.database
+        if hasattr(database, "materialize"):
+            database.materialize()
+        stats = database.stats
+        stats.checks_run += 1
+        tracer = database.obs.tracer
+
+        def task(constraint: Constraint
+                 ) -> Tuple[List[Violation], EngineStats]:
+            worker_stats = EngineStats()
+            mark_pool_worker(True)
+            try:
+                constraint_start = time.perf_counter()
+                found = list(self._check_constraint(constraint,
+                                                    stats=worker_stats))
+                worker_stats.record_constraint(
+                    constraint.name,
+                    time.perf_counter() - constraint_start)
+                return found, worker_stats
+            finally:
+                mark_pool_worker(False)
+
+        violations: List[Violation] = []
+        seen: Set[Tuple] = set()
+        with tracer.span("check.parallel", constraints=len(targets)) as span:
+            futures = [pool.submit(task, constraint)
+                       for constraint in targets]
+            for constraint, future in zip(targets, futures):
+                found, worker_stats = future.result()
+                stats.merge(worker_stats)
+                for violation in found:
+                    key = _violation_key(constraint, violation.substitution)
+                    if key not in seen:
+                        seen.add(key)
+                        violations.append(violation)
+            span.set("violations", len(violations))
+        workers = getattr(pool, "_max_workers", 0) or 1
+        stats.parallel_check_workers = max(stats.parallel_check_workers,
+                                           min(workers, len(targets)))
+        stats.constraints_checked += len(targets)
+        stats.violations_found += len(violations)
+        elapsed = time.perf_counter() - start
+        return CheckReport(violations=violations,
+                           constraints_checked=len(targets),
+                           elapsed_seconds=elapsed, mode="full")
+
     def _check_constraint(self, constraint: Constraint,
-                          seed: Optional[Substitution] = None
+                          seed: Optional[Substitution] = None,
+                          stats: Optional[EngineStats] = None
                           ) -> Iterator[Violation]:
+        if getattr(self.database, "executor", "interpreted") == "compiled":
+            found = self._check_constraint_compiled(constraint, seed, stats)
+            if found is not None:
+                yield from found
+                return
         for theta in self.database.query(constraint.premise, seed):
             if not self._conclusion_holds(constraint.conclusion, theta):
                 yield self._make_violation(constraint, theta)
+
+    def _check_constraint_compiled(self, constraint: Constraint,
+                                   seed: Optional[Substitution],
+                                   stats: Optional[EngineStats]
+                                   ) -> Optional[List[Violation]]:
+        """One constraint through the compiled executor, code-level.
+
+        The premise closure yields raw register tuples; the conclusion
+        is tested per tuple without ever materializing a substitution —
+        ``=`` / ``!=`` compare codes, ordering decodes through the
+        shared symbol table, and existence disjuncts probe with
+        pre-mapped registers and ``limit=1``.  The per-probe planner
+        lookup and binding resolution of the generic path (the dominant
+        cost of a full check) are hoisted out of the row loop entirely.
+        A substitution is decoded only for the rows that violate.
+        Returns None when the premise cannot take the compiled path.
+        """
+        from repro.datalog.compiled import _initial_codes, compiled_for
+
+        database = self.database
+        if stats is None:
+            stats = database.stats
+        premise = constraint.premise
+        plan = database.planner.plan(
+            premise, _resolve_bound_vars(seed, premise))
+        if not plan.use_compiled(database):
+            return None  # cold plan: one more interpreted run
+        compiled = compiled_for(plan, database)
+        init = _initial_codes(plan, database, seed, compiled.bound_slots)
+        if init is None:
+            return None
+        rows = compiled.runner(database, init, 0, stats)
+        if not rows:
+            return []
+        symbols = database.symbols
+        values = symbols.values
+        var_slots = plan.var_slots
+
+        def theta_of(regs) -> Substitution:
+            theta: Substitution = dict(seed) if seed else {}
+            for var, slot in compiled.var_items:
+                theta[var] = values[regs[slot]]
+            return theta
+
+        conclusion = constraint.conclusion
+        violations: List[Violation] = []
+        if isinstance(conclusion, FalseConclusion):
+            for regs in rows:
+                violations.append(
+                    self._make_violation(constraint, theta_of(regs)))
+            return violations
+
+        if isinstance(conclusion, EqualityConclusion):
+            # (op, (is_slot, slot-or-value), (is_slot, slot-or-value));
+            # every universal variable is premise-bound, hence slotted.
+            tests = []
+            for comparison in conclusion.comparisons:
+                sides = []
+                for term in (comparison.left, comparison.right):
+                    if isinstance(term, Variable):
+                        slot = var_slots.get(term)
+                        if slot is None:
+                            return None
+                        sides.append((True, slot))
+                    else:
+                        sides.append((False, term))
+                tests.append((comparison.op, sides[0], sides[1]))
+            for regs in rows:
+                for op, (left_slot, left), (right_slot, right) in tests:
+                    stats.comparisons_evaluated += 1
+                    if op in ("=", "!="):
+                        lhs = regs[left] if left_slot else symbols.code(left)
+                        rhs = regs[right] if right_slot \
+                            else symbols.code(right)
+                        ok = (lhs == rhs) if op == "=" else (lhs != rhs)
+                    else:
+                        ok = compare_values(
+                            op,
+                            values[regs[left]] if left_slot else left,
+                            values[regs[right]] if right_slot else right)
+                    if not ok:
+                        violations.append(self._make_violation(
+                            constraint, theta_of(regs)))
+                        break
+            return violations
+
+        if isinstance(conclusion, ExistenceConclusion):
+            # Per disjunct (hoisted out of the row loop): the plan, its
+            # closure, and the premise-slot -> disjunct-slot seed map.
+            probes = []
+            for disjunct in conclusion.disjuncts:
+                body = disjunct.body()
+                existential = set(disjunct.exist_vars)
+                bound = frozenset(
+                    var
+                    for element in body
+                    for var in element.variables()
+                    if var not in existential
+                )
+                disjunct_plan = database.planner.plan(body, bound)
+                disjunct_compiled = compiled_for(disjunct_plan, database)
+                try:
+                    pairs = tuple(
+                        (var_slots[var], disjunct_plan.var_slots[var])
+                        for var in bound
+                    )
+                except KeyError:
+                    return None  # universal var the premise never slots
+                probes.append((disjunct_compiled.runner,
+                               disjunct_plan.nslots, pairs))
+            for regs in rows:
+                satisfied = False
+                for runner, nslots, pairs in probes:
+                    disjunct_init: List[Optional[int]] = [None] * nslots
+                    for premise_slot, disjunct_slot in pairs:
+                        disjunct_init[disjunct_slot] = regs[premise_slot]
+                    if runner(database, disjunct_init, 1, stats):
+                        satisfied = True
+                        break
+                if not satisfied:
+                    violations.append(
+                        self._make_violation(constraint, theta_of(regs)))
+            return violations
+
+        raise TypeError(
+            f"unknown conclusion type {type(conclusion).__name__}")
 
     def _conclusion_holds(self, conclusion: Conclusion,
                           theta: Substitution) -> bool:

@@ -39,17 +39,37 @@ Incremental maintenance comes in two flavours, selected by the
 from __future__ import annotations
 
 import itertools
+import os
 import time
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import UnknownPredicateError
 from repro.datalog.builtins import Comparison
 from repro.datalog.facts import FactStore, PredicateDecl, Relation
-from repro.datalog.plan import EngineStats, QueryPlanner
+from repro.datalog.plan import EngineStats, JoinPlan, QueryPlanner
 from repro.datalog.provenance import Derivation, DerivationTree, ProvenanceIndex
 from repro.datalog.rules import BodyElement, Program, Rule, stratify
+from repro.datalog.symbols import SymbolTable
 from repro.datalog.terms import Atom, Literal, Substitution, match
 from repro.obs import Observability, NOOP_OBS
+
+
+def resolve_executor(executor: Optional[str]) -> str:
+    """Normalize an executor choice, defaulting from ``REPRO_EXECUTOR``.
+
+    ``"compiled"`` (the default) lowers each cached join plan to a
+    specialized closure over interned codes
+    (:mod:`repro.datalog.compiled`); ``"interpreted"`` keeps the
+    recursive-generator reference executor.  The environment override
+    lets the CI benchmark smoke and the differential tests run the same
+    suite in both modes without code changes.
+    """
+    if executor is None:
+        executor = os.environ.get("REPRO_EXECUTOR", "compiled")
+    if executor not in ("compiled", "interpreted"):
+        raise ValueError(f"executor must be 'compiled' or 'interpreted', "
+                         f"got {executor!r}")
+    return executor
 
 
 class DeductiveDatabase:
@@ -58,20 +78,29 @@ class DeductiveDatabase:
     def __init__(self, decls: Iterable[PredicateDecl] = (),
                  rules: Iterable[Rule] = (),
                  maintenance: str = "delta",
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 executor: Optional[str] = None) -> None:
         if maintenance not in ("delta", "recompute"):
             raise ValueError(f"maintenance must be 'delta' or 'recompute', "
                              f"got {maintenance!r}")
         #: Maintenance strategy for derived predicates; may be switched at
         #: runtime (recovery replay temporarily forces "recompute").
         self.maintenance = maintenance
+        #: Join executor: "compiled" plan closures or the "interpreted"
+        #: reference (default from ``REPRO_EXECUTOR``, else "compiled").
+        self.executor = resolve_executor(executor)
         #: Observability bundle (tracing / metrics / profiling); the
         #: default no-op bundle keeps instrumentation points free.
         self.obs = obs if obs is not None else NOOP_OBS
         self.stats = EngineStats()
-        self.edb = FactStore(stats=self.stats)
+        #: One append-only constant table shared by the EDB, the derived
+        #: store, and every snapshot forked from them — codes are
+        #: comparable across all of them by construction.
+        self.symbols = SymbolTable()
+        self.edb = FactStore(stats=self.stats, symbols=self.symbols)
         self.program = Program()
-        self._derived_store = FactStore(stats=self.stats)
+        self._derived_store = FactStore(stats=self.stats,
+                                        symbols=self.symbols)
         self.provenance = ProvenanceIndex()
         self.planner = QueryPlanner(self)
         self._strata: List[Set[str]] = []
@@ -123,7 +152,7 @@ class DeductiveDatabase:
         snapshot = SnapshotDatabase(
             edb=self.edb.fork_shared(stats=stats),
             derived=self._derived_store.fork_shared(stats=stats),
-            stats=stats, obs=self.obs)
+            stats=stats, obs=self.obs, executor=self.executor)
         if self.obs.enabled:
             self.obs.metrics.counter("engine.snapshots_exported").inc()
         return snapshot
@@ -406,6 +435,27 @@ class DeductiveDatabase:
                                       for p in preds))
                 self.obs.metrics.counter("engine.saturations").inc()
 
+    def _rule_derivations(self, rule: Rule, plan: JoinPlan,
+                          seed: Optional[Substitution] = None
+                          ) -> List[Tuple[Atom, Tuple[Atom, ...],
+                                          Tuple[Atom, ...]]]:
+        """``(head fact, positive supports, negative supports)`` triples
+        for one rule body plan, buffered.
+
+        Buffering matters: every caller records derivations into the
+        stores the evaluation reads.  Under the compiled executor the
+        head atom is decoded straight from the final join registers —
+        no substitution dict per derivation; the interpreted path
+        substitutes into the head as before.
+        """
+        if plan.use_compiled(self):
+            from repro.datalog.compiled import run_rule_derivations
+            results = run_rule_derivations(plan, self, rule.head, seed)
+            if results is not None:
+                return results
+        return [(rule.head.substitute(theta), pos, neg)
+                for theta, pos, neg in list(plan.derivations(self, seed))]
+
     def _saturate(self, rules: Sequence[Rule]) -> None:
         """Iterate *rules* to a derivation fixpoint (complete provenance).
 
@@ -423,11 +473,9 @@ class DeductiveDatabase:
         delta: Set[Atom] = set()
         for rule in rules:
             plan = self.planner.plan(rule.body)
-            # Buffer before recording: evaluation reads the stores that
-            # recording mutates.
-            for theta, pos, neg in list(plan.derivations(self)):
+            for fact, pos, neg in self._rule_derivations(rule, plan):
                 derivation = Derivation(
-                    fact=rule.head.substitute(theta),
+                    fact=fact,
                     rule_name=rule.name,
                     positive_supports=pos,
                     negative_supports=neg,
@@ -468,10 +516,10 @@ class DeductiveDatabase:
                         if seed is None:
                             continue
                         plan = self.planner.plan(rule.body, seed_vars)
-                        for theta, pos, neg in list(
-                                plan.derivations(self, seed)):
+                        for fact, pos, neg in self._rule_derivations(
+                                rule, plan, seed):
                             derivation = Derivation(
-                                fact=rule.head.substitute(theta),
+                                fact=fact,
                                 rule_name=rule.name,
                                 positive_supports=pos,
                                 negative_supports=neg,
@@ -616,7 +664,8 @@ class DeductiveDatabase:
                         continue
                     plan = self.planner.plan(
                         rule.body, frozenset(rule.head.variables()))
-                    for theta, pos, neg in list(plan.derivations(self, seed)):
+                    for _fact, pos, neg in self._rule_derivations(
+                            rule, plan, seed):
                         derivation = Derivation(
                             fact=fact,
                             rule_name=rule.name,
@@ -656,9 +705,10 @@ class DeductiveDatabase:
                     seed = match(element.atom, fact)
                     if seed is None:
                         continue
-                    for theta, pos, neg in list(plan.derivations(self, seed)):
+                    for head_fact, pos, neg in self._rule_derivations(
+                            rule, plan, seed):
                         derivation = Derivation(
-                            fact=rule.head.substitute(theta),
+                            fact=head_fact,
                             rule_name=rule.name,
                             positive_supports=pos,
                             negative_supports=neg,
@@ -692,4 +742,5 @@ class DeductiveDatabase:
     def holds(self, body: Sequence[BodyElement],
               theta: Optional[Substitution] = None) -> bool:
         """True when at least one substitution satisfies *body*."""
-        return next(iter(self.query(body, theta)), None) is not None
+        plan = self.planner.plan_for(tuple(body), theta)
+        return plan.probe(self, theta)

@@ -1,9 +1,20 @@
-"""The indexed EDB fact store.
+"""The indexed, interned, columnar EDB fact store.
 
 The *Schema Base* and the *Object Base Model* of the paper are extensions
 of base predicates.  :class:`FactStore` keeps one :class:`Relation` per
-declared predicate, each with hash indexes per argument position so that
-pattern lookups used by the evaluation engine are sub-linear.
+declared predicate.  Constants are interned to small integers by a shared
+:class:`~repro.datalog.symbols.SymbolTable` at this boundary; a relation
+stores its rows **columnar** — one ``array('q')`` of codes per argument
+position — with per-column ``{code: row-id set}`` hash indexes, so the
+pattern lookups and compiled join closures driving the evaluation engine
+work on integer equality and never allocate per-row tuples on interior
+steps.
+
+The public surface is unchanged and value-typed: :meth:`Relation.add`,
+:meth:`Relation.lookup`, :meth:`Relation.rows` and the
+:class:`FactStore` fact API accept and yield original Python values;
+codes appear only below this line (and in the compiled executor, which
+is part of the same engine).
 
 Predicates are declared with a :class:`PredicateDecl` giving arity,
 argument names, key positions, and (optionally) referential-integrity
@@ -14,7 +25,8 @@ referential-integrity constraints "always have the same pattern".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import (
@@ -24,6 +36,7 @@ from repro.errors import (
     UnknownPredicateError,
 )
 from repro.datalog.plan import EngineStats
+from repro.datalog.symbols import MISSING, SymbolTable
 from repro.datalog.terms import Atom, Variable
 
 
@@ -63,27 +76,41 @@ class PredicateDecl:
 
 
 class Relation:
-    """The extension of one base predicate, with per-column hash indexes.
+    """The extension of one predicate: interned columns + hash indexes.
+
+    Storage is row-id addressed: ``_columns[p][rid]`` is the code of row
+    *rid* at position *p*, ``_row_ids`` maps each live row's code tuple
+    to its rid (membership and dedup), and ``_indexes[p]`` maps a code
+    to the set of rids carrying it at position *p*.  Deleted rids go on
+    a free list and are reused, so columns never need compaction.
 
     ``stats`` points at the owning store's :class:`EngineStats` so index
     usage is attributed to the active evaluation context (session).
 
     Relations support copy-on-write sharing for snapshot isolation:
-    :meth:`freeze_view` hands out a view sharing this relation's row set
+    :meth:`freeze_view` hands out a view sharing this relation's columns
     and indexes by reference, marking both sides shared.  The first
     mutation of the live relation after a freeze privatizes its storage
     (:meth:`_ensure_private`), so published views stay immutable without
-    any bucket copying at snapshot time.
+    any bucket copying at snapshot time.  The symbol table is append-only
+    and shared by reference — codes recorded before a freeze decode
+    identically forever, on both sides.
     """
 
     def __init__(self, decl: PredicateDecl,
-                 stats: Optional[EngineStats] = None) -> None:
+                 stats: Optional[EngineStats] = None,
+                 symbols: Optional[SymbolTable] = None) -> None:
         self.decl = decl
         self.stats = stats if stats is not None else EngineStats()
-        self._rows: Set[Tuple[object, ...]] = set()
-        self._indexes: List[Dict[object, Set[Tuple[object, ...]]]] = [
+        self.symbols = symbols if symbols is not None else SymbolTable()
+        self._columns: List[array] = [array("q")
+                                      for _ in range(decl.arity)]
+        self._row_ids: Dict[Tuple[int, ...], int] = {}
+        self._indexes: List[Dict[int, Set[int]]] = [
             {} for _ in range(decl.arity)
         ]
+        self._free: List[int] = []
+        self._next_rid = 0
         self._shared = False
 
     def freeze_view(self) -> "Relation":
@@ -96,8 +123,12 @@ class Relation:
         view = Relation.__new__(Relation)
         view.decl = self.decl
         view.stats = self.stats
-        view._rows = self._rows
+        view.symbols = self.symbols
+        view._columns = self._columns
+        view._row_ids = self._row_ids
         view._indexes = self._indexes
+        view._free = self._free
+        view._next_rid = self._next_rid
         view._shared = True
         self._shared = True
         return view
@@ -105,21 +136,30 @@ class Relation:
     def _ensure_private(self) -> None:
         """Detach from any frozen view before mutating (copy-on-write)."""
         if self._shared:
-            self._rows = set(self._rows)
+            self._columns = [array("q", column) for column in self._columns]
+            self._row_ids = dict(self._row_ids)
             self._indexes = [
-                {value: set(bucket) for value, bucket in index.items()}
+                {code: set(bucket) for code, bucket in index.items()}
                 for index in self._indexes
             ]
+            self._free = list(self._free)
             self._shared = False
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._row_ids)
 
     def __contains__(self, row: Tuple[object, ...]) -> bool:
-        return row in self._rows
+        codes = self.symbols.code_row(row)
+        return MISSING not in codes and codes in self._row_ids
 
     def rows(self) -> Iterator[Tuple[object, ...]]:
-        return iter(self._rows)
+        values = self.symbols.values
+        for codes in self._row_ids:
+            yield tuple(values[code] for code in codes)
+
+    def row_codes(self) -> Iterator[Tuple[int, ...]]:
+        """The stored rows as code tuples (engine-internal)."""
+        return iter(self._row_ids)
 
     def add(self, row: Tuple[object, ...]) -> bool:
         """Insert a row; returns True when it was not already present."""
@@ -128,92 +168,157 @@ class Relation:
                 f"{self.decl.name} expects {self.decl.arity} arguments, "
                 f"got {len(row)}"
             )
-        if row in self._rows:
+        table = self.symbols
+        before = len(table)
+        codes = tuple(table.intern(value) for value in row)
+        self.stats.intern_hits += len(codes) - (len(table) - before)
+        return self.add_codes(codes)
+
+    def add_codes(self, codes: Tuple[int, ...]) -> bool:
+        """Insert a pre-interned row (restore / replay fast path)."""
+        if codes in self._row_ids:
             return False
         self._ensure_private()
-        self._rows.add(row)
-        for position, value in enumerate(row):
-            self._indexes[position].setdefault(value, set()).add(row)
+        if self._free:
+            rid = self._free.pop()
+            for position, code in enumerate(codes):
+                self._columns[position][rid] = code
+        else:
+            rid = self._next_rid
+            self._next_rid += 1
+            for position, code in enumerate(codes):
+                self._columns[position].append(code)
+        self._row_ids[codes] = rid
+        for position, code in enumerate(codes):
+            self._indexes[position].setdefault(code, set()).add(rid)
         return True
 
     def remove(self, row: Tuple[object, ...]) -> bool:
         """Delete a row; returns True when it was present."""
-        if row not in self._rows:
+        codes = self.symbols.code_row(row)
+        if MISSING in codes:
+            return False
+        return self.remove_codes(codes)
+
+    def remove_codes(self, codes: Tuple[int, ...]) -> bool:
+        """Delete a pre-interned row; returns True when it was present."""
+        rid = self._row_ids.get(codes)
+        if rid is None:
             return False
         self._ensure_private()
-        self._rows.discard(row)
-        for position, value in enumerate(row):
-            bucket = self._indexes[position].get(value)
+        del self._row_ids[codes]
+        for position, code in enumerate(codes):
+            bucket = self._indexes[position].get(code)
             if bucket is not None:
-                bucket.discard(row)
+                bucket.discard(rid)
                 if not bucket:
-                    del self._indexes[position][value]
+                    del self._indexes[position][code]
+        self._free.append(rid)
         return True
 
     def lookup(self, pattern: Sequence[object]) -> Iterator[Tuple[object, ...]]:
         """Yield rows matching *pattern*, where ``None``/Variable = wildcard.
 
-        Fully-bound patterns are a set-membership test.  With several
-        bound columns the per-position index buckets are intersected —
-        smallest bucket first, so the set intersection is proportional
-        to the most selective column — instead of scanning one bucket
-        and filtering.  A single bound column uses its bucket directly.
+        Counter semantics (pinned by ``tests/datalog/test_lookup_stats.py``):
+
+        * ``index_lookups`` — bumped **exactly once** per lookup that has
+          at least one bound column, whether it hits or misses (a
+          fully-bound membership probe, an empty or missing index
+          bucket, and a bound value the store never interned all count
+          as one lookup).  A fully unbound scan does not consult an
+          index and bumps nothing here.
+        * ``facts_scanned`` — the number of candidate rows **yielded**
+          to the caller: the whole relation for an unbound scan, the
+          matched rows otherwise.  Misses therefore add zero.
+        * ``index_intersections`` — bumped once per lookup that had to
+          combine two or more non-empty column buckets (smallest bucket
+          first, so the set intersection is proportional to the most
+          selective column).
+
+        Bound pattern values are soft-resolved against the symbol table:
+        a value that was never interned cannot match any stored row, so
+        the lookup short-circuits without growing the table.
         """
         stats = self.stats
-        bound: List[Tuple[int, object]] = []
+        code_of = self.symbols.code
+        bound: List[Tuple[int, int]] = []
+        unmatchable = False
         for position, value in enumerate(pattern):
             if value is None or isinstance(value, Variable):
                 continue
-            bound.append((position, value))
-        if len(bound) == self.decl.arity:
-            stats.index_lookups += 1
-            row = tuple(value for _position, value in bound)
-            if row in self._rows:
-                stats.facts_scanned += 1
-                yield row
-            return
+            code = code_of(value)
+            if code == MISSING:
+                unmatchable = True
+            bound.append((position, code))
         if not bound:
-            stats.facts_scanned += len(self._rows)
-            yield from self._rows
+            stats.facts_scanned += len(self._row_ids)
+            values = self.symbols.values
+            for codes in self._row_ids:
+                yield tuple(values[code] for code in codes)
             return
-        buckets: List[Set[Tuple[object, ...]]] = []
-        for position, value in bound:
-            bucket = self._indexes[position].get(value)
+        stats.index_lookups += 1
+        if unmatchable:
+            return
+        if len(bound) == self.decl.arity:
+            codes = tuple(code for _position, code in bound)
+            if codes in self._row_ids:
+                stats.facts_scanned += 1
+                yield tuple(pattern)
+            return
+        buckets: List[Set[int]] = []
+        for position, code in bound:
+            bucket = self._indexes[position].get(code)
             if not bucket:
-                stats.index_lookups += 1
                 return  # one empty bucket: no row can match
             buckets.append(bucket)
-        stats.index_lookups += 1
+        values = self.symbols.values
+        columns = self._columns
         if len(buckets) == 1:
-            candidates: Iterable[Tuple[object, ...]] = buckets[0]
+            rids: Iterable[int] = buckets[0]
             stats.facts_scanned += len(buckets[0])
-            yield from candidates
-            return
-        buckets.sort(key=len)
-        stats.index_intersections += 1
-        matched = buckets[0].intersection(*buckets[1:])
-        stats.facts_scanned += len(matched)
-        yield from matched
+        else:
+            buckets.sort(key=len)
+            stats.index_intersections += 1
+            matched = buckets[0].intersection(*buckets[1:])
+            stats.facts_scanned += len(matched)
+            rids = matched
+        for rid in rids:
+            yield tuple(values[column[rid]] for column in columns)
 
     def clear(self) -> None:
         if self._shared:
             # A frozen view still references the old storage; just start
-            # fresh instead of copying buckets only to empty them.
-            self._rows = set()
+            # fresh instead of copying columns only to empty them.
+            self._columns = [array("q") for _ in range(self.decl.arity)]
+            self._row_ids = {}
             self._indexes = [{} for _ in range(self.decl.arity)]
+            self._free = []
+            self._next_rid = 0
             self._shared = False
             return
-        self._rows.clear()
+        for column in self._columns:
+            del column[:]
+        self._row_ids.clear()
         for index in self._indexes:
             index.clear()
+        del self._free[:]
+        self._next_rid = 0
 
 
 class FactStore:
-    """A collection of relations — the EDB half of the deductive database."""
+    """A collection of relations — the EDB half of the deductive database.
+
+    All relations of one store intern through a single
+    :class:`SymbolTable`; a :class:`~repro.datalog.engine.DeductiveDatabase`
+    additionally shares one table between its EDB and derived stores, so
+    codes are join-comparable across every relation of the engine.
+    """
 
     def __init__(self, decls: Iterable[PredicateDecl] = (),
-                 stats: Optional[EngineStats] = None) -> None:
+                 stats: Optional[EngineStats] = None,
+                 symbols: Optional[SymbolTable] = None) -> None:
         self.stats = stats if stats is not None else EngineStats()
+        self.symbols = symbols if symbols is not None else SymbolTable()
         self._relations: Dict[str, Relation] = {}
         self._decls: Dict[str, PredicateDecl] = {}
         for decl in decls:
@@ -229,15 +334,18 @@ class FactStore:
         """An immutable copy-on-write fork of this store (O(predicates)).
 
         Every relation of the fork is a :meth:`Relation.freeze_view` of
-        the live one — rows and index buckets are shared by reference,
-        never copied.  The live store privatizes each relation lazily on
-        its first post-fork mutation, so the fork observes exactly the
-        extension at fork time, forever.  The fork carries its own
-        ``stats`` so concurrent readers do not race the live session's
+        the live one — columns and index buckets are shared by
+        reference, never copied, and the append-only symbol table is
+        shared outright (codes recorded at fork time decode identically
+        forever).  The live store privatizes each relation lazily on its
+        first post-fork mutation, so the fork observes exactly the
+        extension at fork time.  The fork carries its own ``stats`` so
+        concurrent readers do not race the live session's
         instrumentation counters.
         """
         fork = FactStore.__new__(FactStore)
         fork.stats = stats if stats is not None else EngineStats()
+        fork.symbols = self.symbols
         fork._decls = dict(self._decls)
         fork._relations = {}
         for name, relation in self._relations.items():
@@ -258,7 +366,7 @@ class FactStore:
                 f"predicate {decl.name} already declared differently"
             )
         self._decls[decl.name] = decl
-        self._relations[decl.name] = Relation(decl, self.stats)
+        self._relations[decl.name] = Relation(decl, self.stats, self.symbols)
 
     def is_declared(self, name: str) -> bool:
         return name in self._decls
@@ -349,7 +457,12 @@ class FactStore:
             self._relation(pred).clear()
 
     def snapshot(self) -> Dict[str, Set[Tuple[object, ...]]]:
-        """A deep copy of all extensions, used for session rollback."""
+        """A deep copy of all extensions (decoded values).
+
+        Value-typed so snapshots of *different* stores compare — two
+        stores intern independently, their codes are not comparable.
+        Within one store, :meth:`snapshot_codes` is the cheap path.
+        """
         return {name: set(rel.rows()) for name, rel in self._relations.items()}
 
     def restore(self, snapshot: Dict[str, Set[Tuple[object, ...]]]) -> None:
@@ -358,3 +471,22 @@ class FactStore:
             relation.clear()
             for row in snapshot.get(name, ()):
                 relation.add(row)
+
+    def snapshot_codes(self) -> Dict[str, Set[Tuple[int, ...]]]:
+        """All extensions as *interned* row sets, for session rollback.
+
+        Codes never expire (the symbol table is append-only), so this is
+        one set copy per relation — no decoding — and
+        :meth:`restore_codes` re-inserts without re-interning.  Only
+        meaningful against the same store (or a fork sharing its symbol
+        table); use :meth:`snapshot` to compare across stores.
+        """
+        return {name: set(rel.row_codes())
+                for name, rel in self._relations.items()}
+
+    def restore_codes(self, snapshot: Dict[str, Set[Tuple[int, ...]]]) -> None:
+        """Restore extensions saved by :meth:`snapshot_codes`."""
+        for name, relation in self._relations.items():
+            relation.clear()
+            for codes in snapshot.get(name, ()):
+                relation.add_codes(codes)

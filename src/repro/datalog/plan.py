@@ -77,6 +77,16 @@ class EngineStats:
     comparisons_evaluated: int = 0
     plans_compiled: int = 0
     plan_cache_hits: int = 0
+    #: Cached join plans lowered to specialized closures by the compiled
+    #: executor (:mod:`repro.datalog.compiled`); each plan compiles at
+    #: most once per execution mode.
+    compiled_plans: int = 0
+    #: Fact-insertion constants that were already interned — the symbol
+    #: table's hit count at the store boundary.
+    intern_hits: int = 0
+    #: Worker threads the most recent parallel full check fanned
+    #: constraints across (0 = every check so far ran serially).
+    parallel_check_workers: int = 0
     checks_run: int = 0
     constraints_checked: int = 0
     violations_found: int = 0
@@ -108,6 +118,37 @@ class EngineStats:
         self.constraint_seconds[name] = (
             self.constraint_seconds.get(name, 0.0) + seconds
         )
+
+    #: Fields :meth:`merge` folds in by summation (everything countable;
+    #: timings in ms/seconds sum too — parallel workers report the CPU
+    #: time they spent, wall time stays the merged context's own).
+    _MERGE_SUM_FIELDS = (
+        "facts_scanned", "index_lookups", "index_intersections",
+        "join_tuples", "negation_checks", "comparisons_evaluated",
+        "plans_compiled", "plan_cache_hits", "compiled_plans",
+        "intern_hits", "checks_run", "constraints_checked",
+        "violations_found", "maint_insert_rounds", "maint_deleted",
+        "maint_rederived", "maint_ms", "delta_fallbacks", "wal_records",
+        "wal_bytes", "wal_fsyncs", "replay_sessions", "replay_records",
+        "replay_seconds",
+    )
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Fold another context's counters into this one (in place).
+
+        Used by the parallel constraint check: each pool worker counts
+        into a private ``EngineStats`` and the coordinator merges them
+        all at the end, so per-worker accounting never races.  Counter
+        fields sum; per-constraint timings accumulate by name;
+        ``parallel_check_workers`` keeps the maximum fan-out seen.
+        """
+        for name in self._MERGE_SUM_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.parallel_check_workers = max(self.parallel_check_workers,
+                                          other.parallel_check_workers)
+        for name, seconds in other.constraint_seconds.items():
+            self.record_constraint(name, seconds)
+        return self
 
     def finish(self) -> "EngineStats":
         """Stamp the end of the instrumented window (idempotent)."""
@@ -145,6 +186,9 @@ class EngineStats:
             "plans_compiled": self.plans_compiled,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_hit_rate": round(self.plan_cache_hit_rate, 4),
+            "compiled_plans": self.compiled_plans,
+            "intern_hits": self.intern_hits,
+            "parallel_check_workers": self.parallel_check_workers,
             "checks_run": self.checks_run,
             "constraints_checked": self.constraints_checked,
             "violations_found": self.violations_found,
@@ -176,10 +220,15 @@ class EngineStats:
             f"  plans compiled:     {self.plans_compiled} "
             f"(cache hits {self.plan_cache_hits}, "
             f"hit rate {self.plan_cache_hit_rate:.0%})",
+            f"  compiled closures:  {self.compiled_plans} "
+            f"({self.intern_hits} intern hits)",
             f"  checks run:         {self.checks_run} "
             f"({self.constraints_checked} constraint evaluations, "
             f"{self.violations_found} violations)",
         ]
+        if self.parallel_check_workers:
+            lines.append(f"  parallel checking:  "
+                         f"{self.parallel_check_workers} worker(s)")
         if self.maint_insert_rounds or self.maint_deleted:
             lines.append(f"  view maintenance:   "
                          f"{self.maint_insert_rounds} insert round(s), "
@@ -383,10 +432,19 @@ def compile_plan(database, body: Sequence[object],
                     bound_vars=initial_bound)
 
 
+#: Interpreted executions a plan gets before the compiled executor
+#: lowers it to a closure.  Lowering costs one ``compile()`` of a small
+#: function — trivial against any hot loop, but pure loss for the many
+#: plans that run once or twice (a fresh engine per test, a one-off
+#: query), so cold plans stay on the interpreter.
+COMPILE_AFTER = 2
+
+
 class JoinPlan:
     """A compiled evaluation order for one conjunctive body."""
 
-    __slots__ = ("body", "steps", "var_slots", "bound_vars", "nslots")
+    __slots__ = ("body", "steps", "var_slots", "bound_vars", "nslots",
+                 "_cc", "_runs")
 
     def __init__(self, body: Tuple[object, ...], steps: Tuple[_Step, ...],
                  var_slots: Dict[Variable, int],
@@ -396,6 +454,27 @@ class JoinPlan:
         self.var_slots = var_slots
         self.bound_vars = bound_vars
         self.nslots = len(var_slots)
+        #: Lazily-built :class:`repro.datalog.compiled.CompiledPlan`;
+        #: lives and dies with the plan, so planner cache invalidation
+        #: (rule changes, cardinality growth) discards closures too.
+        self._cc = None
+        #: Interpreted executions so far (tiering counter, see
+        #: :data:`COMPILE_AFTER`).
+        self._runs = 0
+
+    def use_compiled(self, database) -> bool:
+        """Should this execution take the compiled path?
+
+        True when the database runs the compiled executor *and* the
+        plan is warm (already lowered, or past :data:`COMPILE_AFTER`
+        interpreted runs — which this call counts).
+        """
+        if getattr(database, "executor", "interpreted") != "compiled":
+            return False
+        if self._cc is not None or self._runs >= COMPILE_AFTER:
+            return True
+        self._runs += 1
+        return False
 
     # -- introspection -------------------------------------------------------
 
@@ -452,9 +531,31 @@ class JoinPlan:
                       theta: Optional[Substitution] = None
                       ) -> Iterator[Substitution]:
         """Yield substitutions satisfying the body (no provenance)."""
+        if self.use_compiled(database):
+            from repro.datalog.compiled import run_substitutions
+            results = run_substitutions(self, database, theta)
+            if results is not None:
+                yield from results
+                return
         regs = self._initial_registers(theta)
         for final in self._run(database, 0, regs):
             yield self._substitution(final, theta)
+
+    def probe(self, database,
+              theta: Optional[Substitution] = None) -> bool:
+        """True when at least one substitution satisfies the body.
+
+        The compiled executor stops at the first row (``limit=1``); the
+        interpreted one relies on generator laziness for the same
+        short-circuit.
+        """
+        if self.use_compiled(database):
+            from repro.datalog.compiled import probe
+            result = probe(self, database, theta)
+            if result is not None:
+                return result
+        regs = self._initial_registers(theta)
+        return next(self._run(database, 0, regs), None) is not None
 
     def _run(self, database, index: int, regs: List[object]
              ) -> Iterator[List[object]]:
@@ -521,6 +622,12 @@ class JoinPlan:
         derivation found through differently-seeded plans has one stable
         identity in the provenance index.
         """
+        if self.use_compiled(database):
+            from repro.datalog.compiled import run_derivations
+            results = run_derivations(self, database, theta)
+            if results is not None:
+                yield from results
+                return
         regs = self._initial_registers(theta)
         for final, pos, neg in self._run_supports(database, 0, regs,
                                                   (), ()):

@@ -65,6 +65,8 @@ def render_stats(stats: EngineStats, slowest: int = 5) -> str:
         ["plans compiled", stats.plans_compiled],
         ["plan cache hits",
          f"{stats.plan_cache_hits} ({stats.plan_cache_hit_rate:.0%})"],
+        ["compiled closures", stats.compiled_plans],
+        ["intern hits", stats.intern_hits],
         ["checks run", stats.checks_run],
         ["constraints checked", stats.constraints_checked],
         ["violations found", stats.violations_found],
@@ -75,6 +77,8 @@ def render_stats(stats: EngineStats, slowest: int = 5) -> str:
                      f"{stats.maint_deleted} over-deleted, "
                      f"{stats.maint_rederived} re-derived"])
         rows.append(["maintenance time", f"{stats.maint_ms:.2f} ms"])
+    if stats.parallel_check_workers:
+        rows.append(["parallel check workers", stats.parallel_check_workers])
     if stats.delta_fallbacks:
         rows.append(["delta fallbacks", stats.delta_fallbacks])
     if stats.wal_records or stats.wal_fsyncs:

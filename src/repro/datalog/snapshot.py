@@ -37,12 +37,20 @@ class SnapshotDatabase:
     """A frozen EDB + saturated IDB with the engine's read API."""
 
     def __init__(self, edb: FactStore, derived: FactStore,
-                 stats: Optional[EngineStats] = None, obs=None) -> None:
+                 stats: Optional[EngineStats] = None, obs=None,
+                 executor: Optional[str] = None) -> None:
         from repro.obs import NOOP_OBS
+        from repro.datalog.engine import resolve_executor
         self.edb = edb
         self._derived_store = derived
         self.stats = stats if stats is not None else EngineStats()
         self.obs = obs if obs is not None else NOOP_OBS
+        #: Join executor, inherited from the exporting engine.  The
+        #: symbol table is shared with the live database by reference
+        #: (append-only, so codes recorded at export stay valid); query
+        #: seeds interning new constants is safe from any thread.
+        self.executor = resolve_executor(executor)
+        self.symbols = edb.symbols
         self.planner = QueryPlanner(self)
 
     # -- declarations ---------------------------------------------------------
@@ -98,7 +106,8 @@ class SnapshotDatabase:
 
     def holds(self, body: Sequence[BodyElement],
               theta: Optional[Substitution] = None) -> bool:
-        return next(iter(self.query(body, theta)), None) is not None
+        plan = self.planner.plan_for(tuple(body), theta)
+        return plan.probe(self, theta)
 
     # -- refused mutations ----------------------------------------------------
 

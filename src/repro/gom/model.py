@@ -309,12 +309,14 @@ class GomDatabase(SchemaReadMixin):
                  generate_keys: bool = True,
                  generate_references: bool = True,
                  maintenance: str = "delta",
-                 obs=None) -> None:
+                 obs=None,
+                 executor: Optional[str] = None) -> None:
         self.ids = IdFactory()
         #: Observability bundle shared with the engine (tracing / metrics
         #: / profiling); defaults to the free no-op bundle.
         self.obs = obs if obs is not None else NOOP_OBS
-        self.db = DeductiveDatabase(maintenance=maintenance, obs=self.obs)
+        self.db = DeductiveDatabase(maintenance=maintenance, obs=self.obs,
+                                    executor=executor)
         self.checker = ConsistencyChecker(self.db)
         self.repairer = RepairGenerator(self.db)
         self.contributions: List[FeatureContribution] = []
@@ -592,9 +594,14 @@ class SchemaSnapshot(SchemaReadMixin):
         """Seconds since this snapshot was published."""
         return time.monotonic() - self.published_at
 
-    def check(self) -> CheckReport:
-        """Full consistency check of this epoch (safe from any thread)."""
-        return self.checker.check()
+    def check(self, pool=None) -> CheckReport:
+        """Full consistency check of this epoch (safe from any thread).
+
+        Pass a ``ThreadPoolExecutor`` as *pool* to fan the constraints
+        out across its workers (see
+        :meth:`~repro.datalog.checker.ConsistencyChecker.check`).
+        """
+        return self.checker.check(pool=pool)
 
     @property
     def versions(self):

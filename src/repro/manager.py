@@ -46,12 +46,19 @@ class SchemaManager:
                  model: Optional[GomDatabase] = None,
                  maintenance: str = "delta",
                  obs: Optional[Observability] = None,
-                 trace=None, profile=None) -> None:
+                 trace=None, profile=None,
+                 executor: Optional[str] = None) -> None:
         """*maintenance* selects the engine's derived-predicate strategy
         when a fresh model is built: ``"delta"`` (incremental view
         maintenance, the default) or ``"recompute"`` (clear-and-recompute
         baseline, kept for A/B benchmarking).  Ignored when *model* is
         supplied — the model's engine keeps its own setting.
+
+        *executor* selects the join executor of a fresh model's engine:
+        ``"compiled"`` plan closures (the default) or the
+        ``"interpreted"`` reference; None defers to the
+        ``REPRO_EXECUTOR`` environment variable.  Also ignored when
+        *model* is supplied.
 
         Observability: pass a pre-built :class:`repro.obs.Observability`
         as *obs*, or use the switches — ``trace=True`` keeps spans in
@@ -64,7 +71,7 @@ class SchemaManager:
         self.obs = obs if obs is not None else NOOP_OBS
         self.model = model if model is not None \
             else GomDatabase(features=features, maintenance=maintenance,
-                             obs=self.obs)
+                             obs=self.obs, executor=executor)
         if model is not None and obs is not None:
             self.model.attach_obs(obs)
         elif model is not None:

@@ -1,0 +1,103 @@
+"""Pin the counter semantics documented on ``Relation.lookup``.
+
+Each case asserts the exact deltas lookup applies to ``index_lookups``,
+``facts_scanned``, and ``index_intersections`` — including the miss
+paths (empty bucket, absent membership key, never-interned bound value),
+which historically drifted between implementations.  The docstring on
+:meth:`repro.datalog.facts.Relation.lookup` is the normative statement;
+this file keeps it honest.
+"""
+
+import pytest
+
+from repro.datalog.facts import PredicateDecl, Relation
+from repro.datalog.plan import EngineStats
+from repro.datalog.terms import Variable
+
+X = Variable("X")
+
+
+@pytest.fixture
+def rel():
+    relation = Relation(PredicateDecl("edge", ("src", "dst", "kind")))
+    for row in [("a", "b", "solid"),
+                ("a", "c", "solid"),
+                ("b", "c", "dashed"),
+                ("c", "a", "solid")]:
+        relation.add(row)
+    # Fresh counters so every test asserts deltas from zero.
+    relation.stats = EngineStats()
+    return relation
+
+
+def counters(rel):
+    stats = rel.stats
+    return (stats.index_lookups, stats.facts_scanned,
+            stats.index_intersections)
+
+
+def test_unbound_scan_counts_rows_not_lookups(rel):
+    rows = list(rel.lookup((None, X, None)))
+    assert len(rows) == 4
+    # No index was consulted; every row was yielded.
+    assert counters(rel) == (0, 4, 0)
+
+
+def test_single_column_hit_counts_bucket_rows(rel):
+    rows = list(rel.lookup(("a", None, None)))
+    assert sorted(rows) == [("a", "b", "solid"), ("a", "c", "solid")]
+    assert counters(rel) == (1, 2, 0)
+
+
+def test_single_column_miss_is_one_lookup_zero_scanned(rel):
+    # "b" is interned (appears in other columns) but has no bucket in
+    # the src index beyond its own rows; "d" appears nowhere at src.
+    assert list(rel.lookup(("d", None, None))) == []
+    assert counters(rel) == (1, 0, 0)
+
+
+def test_fully_bound_hit_scans_exactly_one_row(rel):
+    assert list(rel.lookup(("a", "b", "solid"))) == [("a", "b", "solid")]
+    assert counters(rel) == (1, 1, 0)
+
+
+def test_fully_bound_miss_scans_nothing(rel):
+    assert list(rel.lookup(("a", "b", "dashed"))) == []
+    assert counters(rel) == (1, 0, 0)
+
+
+def test_two_bound_columns_intersect_once(rel):
+    rows = list(rel.lookup(("a", None, "solid")))
+    assert sorted(rows) == [("a", "b", "solid"), ("a", "c", "solid")]
+    assert counters(rel) == (1, 2, 1)
+
+
+def test_intersection_skipped_when_first_bucket_empty(rel):
+    # "dashed" never occurs at src, so the first empty bucket
+    # short-circuits before any intersection happens.
+    assert list(rel.lookup(("dashed", None, "solid"))) == []
+    assert counters(rel) == (1, 0, 0)
+
+
+def test_uninterned_value_short_circuits_without_interning(rel):
+    before = len(rel.symbols)
+    assert list(rel.lookup((object(), None, None))) == []
+    # One lookup, no scan — and the probe value was NOT interned.
+    assert counters(rel) == (1, 0, 0)
+    assert len(rel.symbols) == before
+
+
+def test_uninterned_value_beats_other_bound_columns(rel):
+    # Even alongside a matchable bound column, an un-interned value
+    # makes the whole lookup unmatchable: one lookup, nothing scanned,
+    # no intersection attempted.
+    assert list(rel.lookup(("a", None, 3.14159))) == []
+    assert counters(rel) == (1, 0, 0)
+
+
+def test_counters_accumulate_across_lookups(rel):
+    list(rel.lookup(("a", None, None)))      # 1 lookup, 2 scanned
+    list(rel.lookup((None, None, None)))     # unbound: 4 scanned
+    list(rel.lookup(("a", None, "solid")))   # 1 lookup, 2 scanned, 1 isect
+    list(rel.lookup(("zzz", None, None)))    # miss: 1 lookup
+    assert counters(rel) == (3, 8, 1)
