@@ -1,0 +1,117 @@
+"""F1: evolution-fuzzer throughput and oracle coverage.
+
+Measures the fuzz pipeline end to end, per bias profile: history
+generation rate, full-oracle-stack replay rate (three manager variants
++ WAL recovery per history), the per-session outcome mix, and the
+deterministic-skip rate.  The outcome mix is the interesting health
+signal — a grammar change that silently turns hostile sessions into
+no-ops shows up here as a collapsing ``cure`` share long before any
+oracle goes red.
+
+The acceptance gate (``--check``) requires every oracle to pass on
+every seeded history — the same invariant CI's fuzz-smoke job enforces
+through the CLI.
+
+Writes ``f1_fuzz.{txt,json}`` into ``benchmarks/results``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_f1_fuzz.py
+        [--seeds 4] [--sessions 20] [--check]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+
+from repro.fuzz import PROFILES, generate_history, run_oracle_stack  # noqa: E402
+
+RESULTS_DIR = os.path.join(HERE, "results")
+
+
+def run_bias(bias, seeds, sessions):
+    outcomes = {}
+    generated = checked = ops = applied = skipped = failures = 0
+    generate_seconds = check_seconds = 0.0
+    for seed in range(seeds):
+        start = time.perf_counter()
+        history = generate_history(seed, sessions=sessions, bias=bias)
+        generate_seconds += time.perf_counter() - start
+        generated += len(history.sessions)
+        ops += history.op_count
+        start = time.perf_counter()
+        report = run_oracle_stack(history)
+        check_seconds += time.perf_counter() - start
+        checked += len(history.sessions)
+        failures += len(report.failures)
+        primary = report.variants["primary"]
+        for outcome in primary.outcomes:
+            outcomes[outcome.outcome] = outcomes.get(outcome.outcome, 0) + 1
+            applied += outcome.applied
+            skipped += outcome.skipped
+    return {
+        "sessions": generated,
+        "ops": ops,
+        "applied": applied,
+        "skipped": skipped,
+        "outcomes": outcomes,
+        "oracle_failures": failures,
+        "generate_seconds": round(generate_seconds, 4),
+        "check_seconds": round(check_seconds, 4),
+        "sessions_per_second_checked": round(checked / check_seconds, 1)
+        if check_seconds else 0.0,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=4,
+                        help="histories per bias profile (default 4)")
+    parser.add_argument("--sessions", type=int, default=20,
+                        help="sessions per history (default 20)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero on any oracle failure")
+    args = parser.parse_args()
+
+    results = {}
+    lines = [f"F1 fuzz throughput — {args.seeds} seeds x "
+             f"{args.sessions} sessions per bias",
+             f"{'bias':<9} {'sess/s':>7} {'ops':>5} {'skip%':>6} "
+             f"{'fail':>4}  outcome mix"]
+    for bias in sorted(PROFILES):
+        row = run_bias(bias, args.seeds, args.sessions)
+        results[bias] = row
+        total_ops = row["applied"] + row["skipped"]
+        skip_pct = 100.0 * row["skipped"] / total_ops if total_ops else 0.0
+        mix = " ".join(f"{k}={v}" for k, v in sorted(
+            row["outcomes"].items()))
+        lines.append(f"{bias:<9} {row['sessions_per_second_checked']:>7} "
+                     f"{row['ops']:>5} {skip_pct:>5.1f}% "
+                     f"{row['oracle_failures']:>4}  {mix}")
+
+    text = "\n".join(lines)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "f1_fuzz.txt"), "w",
+              encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    with open(os.path.join(RESULTS_DIR, "f1_fuzz.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump({"seeds": args.seeds, "sessions": args.sessions,
+                   "biases": results}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(text)
+
+    total_failures = sum(row["oracle_failures"] for row in results.values())
+    if args.check and total_failures:
+        print(f"CHECK FAILED: {total_failures} oracle failure(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

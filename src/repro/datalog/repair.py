@@ -362,6 +362,21 @@ class RepairGenerator:
         body = self.database.planner.order_conjunction(body, theta)
         solutions: List[Tuple[RepairAction, ...]] = []
         seen: Set[FrozenSet] = set()
+        rename_counter = itertools.count()
+
+        def rename_apart(rule) -> Tuple[Atom, List[object]]:
+            # Standardize the rule's variables apart from the goal's:
+            # without this, a rule reusing a variable name already bound
+            # in theta (or bound higher in the splice stack) produces a
+            # cyclic substitution instead of a fresh existential.
+            suffix = next(rename_counter)
+            renaming: Substitution = {}
+            for element in (rule.head, *rule.body):
+                for var in element.variables():
+                    renaming.setdefault(
+                        var, Variable(f"{var.name}__r{suffix}"))
+            return (rule.head.substitute(renaming),
+                    [element.substitute(renaming) for element in rule.body])
 
         def walk(remaining: Sequence[object], theta: Substitution,
                  pending: List[Atom], level: int) -> None:
@@ -426,10 +441,11 @@ class RepairGenerator:
             elif level > 0:
                 # Derived conjunct: satisfy one of its rules' bodies.
                 for rule in self.database.program.rules_for(atom.pred):
-                    head_theta = match(rule.head, atom, theta)
+                    head, rule_body = rename_apart(rule)
+                    head_theta = match(head, atom, theta)
                     if head_theta is None:
                         continue
-                    spliced = list(rule.body) + list(rest)
+                    spliced = rule_body + list(rest)
                     walk(spliced, head_theta, pending, level - 1)
 
         walk(list(body), dict(theta) if theta else {}, [], depth)

@@ -1,0 +1,29 @@
+"""Grammar-based evolution fuzzer for the GOM-DDL protocol surface.
+
+Histories of schema-evolution sessions are generated from a
+constraint-aware grammar (:mod:`repro.fuzz.grammar`), replayed against
+differential manager variants under the full oracle stack
+(:mod:`repro.fuzz.oracles`), and failures are ddmin-minimized into
+replayable corpus files (:mod:`repro.fuzz.minimize`).
+"""
+
+from repro.fuzz.generator import PROFILES, generate_history
+from repro.fuzz.history import FUZZ_FEATURES, History, Op, SessionPlan
+from repro.fuzz.minimize import minimize_history, minimize_report_failure
+from repro.fuzz.oracles import FuzzReport, OracleFailure, run_oracle_stack
+from repro.fuzz.replay import Replayer
+
+__all__ = [
+    "FUZZ_FEATURES",
+    "FuzzReport",
+    "History",
+    "Op",
+    "OracleFailure",
+    "PROFILES",
+    "Replayer",
+    "SessionPlan",
+    "generate_history",
+    "minimize_history",
+    "minimize_report_failure",
+    "run_oracle_stack",
+]

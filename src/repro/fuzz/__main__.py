@@ -1,0 +1,3 @@
+from repro.fuzz.cli import main
+
+raise SystemExit(main())

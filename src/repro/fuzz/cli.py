@@ -1,0 +1,114 @@
+"""Command-line entry point: ``python -m repro.fuzz``.
+
+Generate-and-check mode runs seeded histories through the full oracle
+stack; any failure is ddmin-minimized and saved to the corpus directory
+as a replayable regression file.  Replay mode re-runs a saved corpus
+file (no minimization) — the one-liner printed next to every saved
+failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.fuzz.generator import PROFILES, generate_history
+from repro.fuzz.history import History
+from repro.fuzz.minimize import minimize_report_failure
+from repro.fuzz.oracles import run_oracle_stack
+
+DEFAULT_CORPUS_DIR = os.path.join("tests", "fuzz", "corpus")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Grammar-based evolution fuzzer over the GOM-DDL "
+                    "protocol surface, checked by the full oracle stack.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed (default 0)")
+    parser.add_argument("--count", type=int, default=1,
+                        help="number of consecutive seeds to run")
+    parser.add_argument("--sessions", type=int, default=25,
+                        help="sessions per history (default 25)")
+    parser.add_argument("--bias", choices=sorted(PROFILES), default="mixed",
+                        help="validity bias profile (default mixed)")
+    parser.add_argument("--ops-min", type=int, default=1)
+    parser.add_argument("--ops-max", type=int, default=6)
+    parser.add_argument("--replay", metavar="PATH",
+                        help="replay a saved history file instead of "
+                             "generating")
+    parser.add_argument("--dump", metavar="PATH",
+                        help="also save each generated history (before "
+                             "any checking) to PATH, '{seed}' expanded")
+    parser.add_argument("--corpus-dir", default=DEFAULT_CORPUS_DIR,
+                        help="where minimized failures are saved "
+                             f"(default {DEFAULT_CORPUS_DIR})")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="report failures without ddmin/corpus save")
+    parser.add_argument("--max-checks", type=int, default=200,
+                        help="ddmin oracle-run budget per failure")
+    parser.add_argument("--workdir", default=None,
+                        help="durable-store scratch dir (default: temp)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print failures and corpus paths")
+    return parser
+
+
+def _check_one(history: History, args,
+               label: str) -> int:
+    workdir = None
+    if args.workdir:
+        workdir = os.path.join(args.workdir, label)
+        os.makedirs(workdir, exist_ok=True)
+    report = run_oracle_stack(history, workdir=workdir)
+    if not args.quiet or report.failures:
+        print(f"== {label} ==")
+        print(report.describe())
+    if report.ok:
+        return 0
+    if not args.no_minimize:
+        oracles = {failure.oracle for failure in report.failures}
+        minimized = minimize_report_failure(history, oracles,
+                                            max_checks=args.max_checks)
+        if minimized is None:
+            print(f"!! {label}: failure did not reproduce on fresh "
+                  "replay — NOT saved (determinism bug?)")
+        else:
+            os.makedirs(args.corpus_dir, exist_ok=True)
+            slug = "_".join(sorted(oracles))[:60].replace("/", "-")
+            path = os.path.join(args.corpus_dir,
+                                f"min_{label}_{slug}.json")
+            minimized.save(path)
+            print(f"minimized to {len(minimized.sessions)} session(s), "
+                  f"{minimized.op_count} op(s): {path}")
+            print(f"reproduce: python -m repro.fuzz --replay {path}")
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.replay:
+        history = History.load(args.replay)
+        label = os.path.splitext(os.path.basename(args.replay))[0]
+        args.no_minimize = True
+        return _check_one(history, args, label)
+    status = 0
+    for seed in range(args.seed, args.seed + args.count):
+        history = generate_history(seed, sessions=args.sessions,
+                                   bias=args.bias, ops_min=args.ops_min,
+                                   ops_max=args.ops_max)
+        if args.dump:
+            path = args.dump.replace("{seed}", str(seed))
+            history.save(path)
+            if not args.quiet:
+                print(f"saved history to {path}")
+        label = f"seed{seed}_{args.bias}"
+        status |= _check_one(history, args, label)
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

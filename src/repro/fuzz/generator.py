@@ -1,0 +1,146 @@
+"""Deterministic history generation with a tunable validity bias.
+
+``generate_history(seed, ...)`` is a pure function of its arguments: the
+same seed always yields the byte-identical history (the smoke tests
+compare canonical JSON).  Randomness flows through one ``random.Random``
+and every choice site picks from deterministically sorted candidate
+lists, so reordering a ``set`` somewhere cannot silently change the
+corpus a seed denotes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fuzz.grammar import (CURABLE_KINDS, HOSTILE_PRODUCTIONS,
+                                VALID_PRODUCTIONS, GenContext, Production,
+                                _code_text)
+from repro.fuzz.history import History, SessionPlan
+from repro.fuzz.scopes import ScopeTracker
+
+
+@dataclass(frozen=True)
+class BiasProfile:
+    """How adversarial a generated history is."""
+
+    hostile_p: float           # per-op probability of a hostile production
+    rollback_p: float          # per-session probability of a planned rollback
+    hostile_kinds: Tuple[str, ...]  # () = the full hostile catalogue
+
+
+PROFILES: Dict[str, BiasProfile] = {
+    # Every session should commit; an oracle failure is a system bug.
+    "valid": BiasProfile(0.0, 0.2, ()),
+    # Violations the bounded cure loop usually resolves.
+    "curable": BiasProfile(0.35, 0.1, CURABLE_KINDS),
+    # The full catalogue, densely applied.
+    "hostile": BiasProfile(0.55, 0.15, ()),
+    # The default: mostly valid churn with occasional hostility.
+    "mixed": BiasProfile(0.25, 0.15, ()),
+}
+
+
+def _weighted_pick(rng: random.Random,
+                   productions: Sequence[Production]) -> Production:
+    total = sum(p.weight for p in productions)
+    roll = rng.random() * total
+    for prod in productions:
+        roll -= prod.weight
+        if roll <= 0:
+            return prod
+    return productions[-1]
+
+
+def _bootstrap(ctx: GenContext) -> None:
+    """A deterministic first session: enough material that every guard
+    family (types, decls, schemas, subschema edges, publics) can fire."""
+    scope = ctx.scope
+    schema_a = ctx.handle("s")
+    name_a = ctx.name("FzS")
+    ctx.emit("add_schema", handle=schema_a, name=name_a)
+    scope.add_schema(schema_a, name_a)
+    previous = None
+    for _ in range(3):
+        type_handle = ctx.handle("t")
+        type_name = ctx.name("FzT")
+        supers = [previous] if previous else []
+        ctx.emit("add_type", handle=type_handle, schema=schema_a,
+                 name=type_name, supers=supers)
+        scope.add_type(type_handle, schema_a, type_name,
+                       supers=tuple(supers))
+        attr = ctx.name("fza")
+        ctx.emit("add_attribute", type=type_handle, name=attr,
+                 domain="builtin:int")
+        scope.types[type_handle].attrs[attr] = "builtin:int"
+        decl = ctx.handle("d")
+        opname = ctx.name("fzop")
+        ctx.emit("add_operation", handle=decl, type=type_handle,
+                 name=opname, args=[], result="builtin:int",
+                 code=_code_text(opname, ()))
+        scope.add_decl(decl, type_handle, opname, [], "builtin:int",
+                       has_code=True)
+        previous = type_handle
+    schema_b = ctx.handle("s")
+    name_b = ctx.name("FzS")
+    ctx.emit("add_schema", handle=schema_b, name=name_b)
+    scope.add_schema(schema_b, name_b)
+    type_b = ctx.handle("t")
+    type_b_name = ctx.name("FzT")
+    ctx.emit("add_type", handle=type_b, schema=schema_b, name=type_b_name,
+             supers=[])
+    scope.add_type(type_b, schema_b, type_b_name)
+    ctx.emit("add_subschema", parent=schema_a, child=schema_b)
+    scope.schemas[schema_b].parent = schema_a
+    scope.schemas[schema_a].children.add(schema_b)
+    ctx.emit("add_public", schema=schema_b, kind="type", name=type_b_name)
+    scope.schemas[schema_b].publics.add(("type", type_b_name))
+    scope.namespace_uses.add(("type", type_b_name))
+
+
+def generate_history(seed: int, sessions: int = 30, bias: str = "mixed",
+                     ops_min: int = 1, ops_max: int = 6) -> History:
+    """Generate a deterministic evolution history.
+
+    The first session is a fixed bootstrap; subsequent sessions draw
+    ``ops_min..ops_max`` productions each under the bias profile.
+    """
+    if bias not in PROFILES:
+        raise ValueError(
+            f"unknown bias {bias!r}; choose from {sorted(PROFILES)}")
+    if sessions < 1:
+        raise ValueError("at least one session is required")
+    if not 0 < ops_min <= ops_max:
+        raise ValueError("need 0 < ops_min <= ops_max")
+    profile = PROFILES[bias]
+    rng = random.Random(seed)
+    ctx = GenContext(rng=rng, scope=ScopeTracker())
+    hostile_pool = [p for p in HOSTILE_PRODUCTIONS
+                    if not profile.hostile_kinds
+                    or p.name in profile.hostile_kinds]
+    plans: List[SessionPlan] = []
+    for index in range(sessions):
+        snap = ctx.scope.snapshot()
+        ctx.ops = []
+        if index == 0:
+            _bootstrap(ctx)
+        else:
+            count = ops_min + rng.randrange(ops_max - ops_min + 1)
+            for _ in range(count):
+                hostile = hostile_pool and rng.random() < profile.hostile_p
+                pool = hostile_pool if hostile else VALID_PRODUCTIONS
+                ready = [p for p in pool if p.guard(ctx)]
+                if not ready:
+                    ready = [p for p in VALID_PRODUCTIONS if p.guard(ctx)]
+                if not ready:
+                    continue
+                _weighted_pick(rng, ready).emit(ctx)
+        outcome = "auto"
+        if index > 0 and rng.random() < profile.rollback_p:
+            outcome = "rollback"
+        if outcome == "rollback":
+            # The generator's scope must not see rolled-back effects.
+            ctx.scope.restore(snap)
+        plans.append(SessionPlan(ops=ctx.ops, outcome=outcome))
+    return History(sessions=plans, seed=seed, bias=bias)

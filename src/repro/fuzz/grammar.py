@@ -1,0 +1,974 @@
+"""The GOM-DDL grammar: weighted productions over the protocol surface.
+
+Each production pairs a *guard* (a semantic predicate over the
+:class:`~repro.fuzz.scopes.ScopeTracker` — ISLa's "semantic constraint")
+with an *emitter* that appends :class:`~repro.fuzz.history.Op` records
+and mirrors their effect in the scope.  Valid productions are
+consistency-preserving **by construction**: their guards encode the
+constraint stack (uniqueness, rootedness, acyclicity, refinement
+contravariance, fashion completeness cones, namespace provision), so a
+purely valid history should commit every session — any violation the
+oracle stack reports there is a bug in the system under test, not in
+the generator.  Hostile productions deliberately break exactly one
+scoping rule each, mirroring the seeded-violation catalogue of
+``repro.workloads.synthetic`` and extending it to versioning, fashion,
+and Appendix-A namespaces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.fuzz.history import Op
+from repro.fuzz.scopes import BUILTIN_DOMAINS, ScopeTracker
+
+
+@dataclass
+class GenContext:
+    """Everything one emitter may consult or mutate."""
+
+    rng: random.Random
+    scope: ScopeTracker
+    ops: List[Op] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    # -- deterministic naming -------------------------------------------------
+
+    def _next(self, counter: str) -> int:
+        value = self.counters.get(counter, 0)
+        self.counters[counter] = value + 1
+        return value
+
+    def handle(self, prefix: str) -> str:
+        """A fresh symbolic handle (``s3`` / ``t17`` / ``d5``)."""
+        return f"{prefix}{self._next('handle:' + prefix)}"
+
+    def name(self, stem: str) -> str:
+        """A fresh, globally unique component name."""
+        return f"{stem}_{self._next('name')}"
+
+    def ghost(self, kind: str) -> str:
+        """A handle the replayer allocates but never declares."""
+        return f"ghost:{kind}:{self._next('ghost')}"
+
+    # -- emission -------------------------------------------------------------
+
+    def emit(self, kind: str, /, **params: object) -> None:
+        self.ops.append(Op(kind, params))
+
+    # -- choice ---------------------------------------------------------------
+
+    def pick(self, items: Sequence[str]) -> Optional[str]:
+        return self.scope.pick(self.rng, list(items))
+
+    def maybe(self, p: float) -> bool:
+        return self.rng.random() < p
+
+    def domain_pool(self) -> List[str]:
+        return list(BUILTIN_DOMAINS) + self.scope.type_handles(enums=True)
+
+
+@dataclass(frozen=True)
+class Production:
+    name: str
+    weight: float
+    guard: Callable[[GenContext], bool]
+    emit: Callable[[GenContext], None]
+
+
+VALID_PRODUCTIONS: List[Production] = []
+HOSTILE_PRODUCTIONS: List[Production] = []
+
+#: Hostile kinds whose violations the repair generator usually resolves
+#: within the driver's bounded cure loop.
+CURABLE_KINDS = (
+    "h_ghost_attr", "h_dup_type_name", "h_subtype_cycle", "h_missing_code",
+    "h_self_import", "h_second_parent", "h_bad_public",
+    "h_dangling_version", "h_undigestible_version", "h_subschema_cycle",
+    "h_dangling_refinement",
+)
+
+
+def production(name: str, weight: float = 1.0,
+               guard: Callable[[GenContext], bool] = lambda ctx: True,
+               hostile: bool = False):
+    def register(fn: Callable[[GenContext], None]):
+        target = HOSTILE_PRODUCTIONS if hostile else VALID_PRODUCTIONS
+        target.append(Production(name, weight, guard, fn))
+        return fn
+    return register
+
+
+# ---------------------------------------------------------------------------
+# Guard helpers
+# ---------------------------------------------------------------------------
+
+
+def _tracked_types(ctx: GenContext, enums: bool = False) -> List[str]:
+    """Non-opaque types (their members are fully mirrored in scope)."""
+    return [h for h in ctx.scope.type_handles(enums=enums)
+            if not ctx.scope.types[h].opaque]
+
+
+def _growable_types(ctx: GenContext) -> List[str]:
+    """Types whose member sets valid productions may extend: outside every
+    fashion completeness cone, and fully tracked."""
+    cone = ctx.scope.fashion_cone()
+    return [h for h in _tracked_types(ctx) if h not in cone]
+
+
+def _decl_refined_by(ctx: GenContext, decl: str) -> bool:
+    return any(other.refines == decl for other in ctx.scope.decls.values())
+
+
+def _free_decls(ctx: GenContext) -> List[str]:
+    """Decls safe to delete: uncalled, unrefined, outside fashion cones."""
+    cone = ctx.scope.fashion_cone()
+    return [h for h in ctx.scope.decl_handles()
+            if not ctx.scope.decls[h].callers
+            and ctx.scope.decls[h].refines is None
+            and not _decl_refined_by(ctx, h)
+            and ctx.scope.decls[h].type not in cone]
+
+
+def _member_name_conflicts(ctx: GenContext, sub: str, sup: str) -> bool:
+    """Would linking sub under sup make two distinct same-named members
+    inherited (the mi_attr_unique / mi_op_refined constraints)?"""
+    scope = ctx.scope
+    decl_handles = set(scope.inherited_decls(sub)) | set(
+        scope.inherited_decls(sup))
+    decl_names = [scope.decls[h].name for h in decl_handles
+                  if h in scope.decls]
+    if len(decl_names) != len(set(decl_names)):
+        return True
+    attr_pairs: Set[int] = set()
+    attr_names: List[str] = []
+    for handle in sorted(scope.ancestors(sub) | {sub}
+                         | scope.ancestors(sup) | {sup}):
+        type_scope = scope.types.get(handle)
+        if type_scope is None or id(type_scope) in attr_pairs:
+            continue
+        attr_pairs.add(id(type_scope))
+        attr_names.extend(type_scope.attrs)
+    return len(attr_names) != len(set(attr_names))
+
+
+def _refinement_crosses(ctx: GenContext, sub: str, sup: str) -> bool:
+    """Is there a refinement edge whose receiver-subtype requirement the
+    edge sub->sup currently carries?"""
+    scope = ctx.scope
+    below = scope.descendants(sub) | {sub}
+    above = scope.ancestors(sup) | {sup}
+    for decl in scope.decls.values():
+        if decl.refines is None:
+            continue
+        refined = scope.decls.get(decl.refines)
+        if refined is None:
+            continue
+        if decl.type in below and refined.type in above:
+            return True
+    return False
+
+
+def _schema_caller_free(ctx: GenContext, schema: str) -> bool:
+    """No operation of the schema is called from generated code — copying
+    such code op-by-op can hit forward references (AnalyzerError)."""
+    scope = ctx.scope
+    for type_handle in scope.schemas[schema].types:
+        type_scope = scope.types.get(type_handle)
+        for decl in (type_scope.decls if type_scope else ()):
+            decl_scope = scope.decls.get(decl)
+            if decl_scope is not None and decl_scope.callers:
+                return False
+    return True
+
+
+def _version_pair_pool(ctx: GenContext) -> List[str]:
+    """Unfashioned evolves_to_T pairs with a trackable target, encoded
+    ``old>new`` for deterministic picking."""
+    scope = ctx.scope
+    pairs = []
+    for old, new in sorted(scope.type_versions):
+        if (old, new) in scope.fashioned or (new, old) in scope.fashioned:
+            continue
+        old_scope, new_scope = scope.types.get(old), scope.types.get(new)
+        if old_scope is None or new_scope is None:
+            continue
+        if new_scope.opaque or any(
+                scope.types[a].opaque
+                for a in scope.ancestors(new) if a in scope.types):
+            continue
+        pairs.append(f"{old}>{new}")
+    return pairs
+
+
+def _code_text(name: str, args: Sequence[str], body: str = "return 0;") -> str:
+    params = ", ".join(f"p{i}" for i in range(len(args)))
+    return f"{name}({params}) is {body}"
+
+
+# ---------------------------------------------------------------------------
+# Valid productions — type / attribute / operation churn
+# ---------------------------------------------------------------------------
+
+
+@production("new_schema", weight=3)
+def _new_schema(ctx: GenContext) -> None:
+    handle = ctx.handle("s")
+    name = ctx.name("FzS")
+    ctx.emit("add_schema", handle=handle, name=name)
+    ctx.scope.add_schema(handle, name)
+
+
+@production("new_type", weight=8,
+            guard=lambda ctx: bool(ctx.scope.schemas))
+def _new_type(ctx: GenContext) -> None:
+    schema = ctx.pick(ctx.scope.schema_handles())
+    handle = ctx.handle("t")
+    name = ctx.name("FzT")
+    supers: List[str] = []
+    candidates = _tracked_types(ctx)
+    if candidates and ctx.maybe(0.4):
+        supers.append(ctx.pick(candidates))
+    ctx.emit("add_type", handle=handle, schema=schema, name=name,
+             supers=supers)
+    ctx.scope.add_type(handle, schema, name, supers=tuple(supers))
+
+
+@production("new_enum", weight=2,
+            guard=lambda ctx: bool(ctx.scope.schemas))
+def _new_enum(ctx: GenContext) -> None:
+    schema = ctx.pick(ctx.scope.schema_handles())
+    handle = ctx.handle("t")
+    name = ctx.name("FzE")
+    values = [ctx.name("fzv") for _ in range(2 + ctx.rng.randrange(2))]
+    ctx.emit("add_enum_sort", handle=handle, schema=schema, name=name,
+             values=values)
+    ctx.scope.add_type(handle, schema, name, enum_values=tuple(values))
+
+
+@production("new_attribute", weight=9,
+            guard=lambda ctx: bool(_growable_types(ctx)))
+def _new_attribute(ctx: GenContext) -> None:
+    type_handle = ctx.pick(_growable_types(ctx))
+    name = ctx.name("fza")
+    domain = ctx.pick(ctx.domain_pool())
+    ctx.emit("add_attribute", type=type_handle, name=name, domain=domain)
+    ctx.scope.types[type_handle].attrs[name] = domain
+
+
+def _renameable_attrs(ctx: GenContext) -> List[str]:
+    cone = ctx.scope.fashion_cone()
+    return sorted(f"{h}.{a}" for h in _tracked_types(ctx) if h not in cone
+                  for a in ctx.scope.types[h].attrs)
+
+
+@production("rename_attribute", weight=3,
+            guard=lambda ctx: bool(_renameable_attrs(ctx)))
+def _rename_attribute(ctx: GenContext) -> None:
+    type_handle, name = ctx.pick(_renameable_attrs(ctx)).split(".", 1)
+    new_name = ctx.name("fza")
+    ctx.emit("rename_attribute", type=type_handle, name=name,
+             new_name=new_name)
+    attrs = ctx.scope.types[type_handle].attrs
+    attrs[new_name] = attrs.pop(name)
+
+
+def _all_attrs(ctx: GenContext) -> List[str]:
+    return sorted(f"{h}.{a}" for h in _tracked_types(ctx)
+                  for a in ctx.scope.types[h].attrs)
+
+
+@production("change_attribute_domain", weight=2,
+            guard=lambda ctx: bool(_all_attrs(ctx)))
+def _change_attribute_domain(ctx: GenContext) -> None:
+    type_handle, name = ctx.pick(_all_attrs(ctx)).split(".", 1)
+    domain = ctx.pick(ctx.domain_pool())
+    ctx.emit("change_attribute_domain", type=type_handle, name=name,
+             domain=domain)
+    ctx.scope.types[type_handle].attrs[name] = domain
+
+
+@production("delete_attribute", weight=2,
+            guard=lambda ctx: bool(_all_attrs(ctx)))
+def _delete_attribute(ctx: GenContext) -> None:
+    type_handle, name = ctx.pick(_all_attrs(ctx)).split(".", 1)
+    ctx.emit("delete_attribute", type=type_handle, name=name)
+    ctx.scope.types[type_handle].attrs.pop(name, None)
+
+
+@production("new_operation", weight=8,
+            guard=lambda ctx: bool(_growable_types(ctx)))
+def _new_operation(ctx: GenContext) -> None:
+    type_handle = ctx.pick(_growable_types(ctx))
+    handle = ctx.handle("d")
+    name = ctx.name("fzop")
+    args = [ctx.pick(ctx.domain_pool())
+            for _ in range(ctx.rng.randrange(3))]
+    ctx.emit("add_operation", handle=handle, type=type_handle, name=name,
+             args=args, result="builtin:int",
+             code=_code_text(name, args))
+    ctx.scope.add_decl(handle, type_handle, name, args, "builtin:int",
+                       has_code=True)
+
+
+@production("set_code", weight=3,
+            guard=lambda ctx: bool(ctx.scope.decls))
+def _set_code(ctx: GenContext) -> None:
+    decl = ctx.pick(ctx.scope.decl_handles())
+    decl_scope = ctx.scope.decls[decl]
+    body = f"return {ctx.rng.randrange(10)};"
+    ctx.emit("set_code", decl=decl,
+             code=_code_text(decl_scope.name, decl_scope.args, body))
+    decl_scope.has_code = True
+    for other in ctx.scope.decls.values():
+        other.callers.discard(decl)
+
+
+def _callable_decls(ctx: GenContext) -> List[str]:
+    return [h for h in ctx.scope.decl_handles()
+            if ctx.scope.decls[h].has_code
+            and not ctx.scope.decls[h].args
+            and ctx.scope.decls[h].result == "builtin:int"
+            and ctx.scope.decls[h].type in _growable_types(ctx)]
+
+
+@production("new_caller", weight=2,
+            guard=lambda ctx: bool(_callable_decls(ctx)))
+def _new_caller(ctx: GenContext) -> None:
+    callee = ctx.pick(_callable_decls(ctx))
+    callee_scope = ctx.scope.decls[callee]
+    handle = ctx.handle("d")
+    name = ctx.name("fzcall")
+    code = _code_text(name, (), f"return self.{callee_scope.name}();")
+    ctx.emit("add_operation", handle=handle, type=callee_scope.type,
+             name=name, args=[], result="builtin:int", code=code)
+    ctx.scope.add_decl(handle, callee_scope.type, name, [], "builtin:int",
+                       has_code=True)
+    callee_scope.callers.add(handle)
+
+
+@production("delete_operation", weight=2,
+            guard=lambda ctx: bool(_free_decls(ctx)))
+def _delete_operation(ctx: GenContext) -> None:
+    decl = ctx.pick(_free_decls(ctx))
+    ctx.emit("delete_operation", decl=decl)
+    ctx.scope.drop_decl(decl)
+    for other in ctx.scope.decls.values():
+        other.callers.discard(decl)
+
+
+# ---------------------------------------------------------------------------
+# Valid productions — hierarchy
+# ---------------------------------------------------------------------------
+
+
+def _supertype_pairs(ctx: GenContext) -> List[str]:
+    scope = ctx.scope
+    targets = {target for _s, target in scope.fashioned}
+    tracked = _tracked_types(ctx)
+    pairs = []
+    for sub in tracked:
+        if (scope.descendants(sub) | {sub}) & targets:
+            continue
+        for sup in tracked:
+            if sup == sub or sup in scope.types[sub].supers:
+                continue
+            if sub in scope.ancestors(sup):
+                continue
+            if _member_name_conflicts(ctx, sub, sup):
+                continue
+            pairs.append(f"{sub}>{sup}")
+    return sorted(pairs)
+
+
+@production("add_supertype", weight=3,
+            guard=lambda ctx: bool(_supertype_pairs(ctx)))
+def _add_supertype(ctx: GenContext) -> None:
+    sub, sup = ctx.pick(_supertype_pairs(ctx)).split(">")
+    ctx.emit("add_supertype", type=sub, super=sup)
+    ctx.scope.types[sub].supers.add(sup)
+
+
+def _removable_super_pairs(ctx: GenContext) -> List[str]:
+    return sorted(f"{sub}>{sup}"
+                  for sub in _tracked_types(ctx)
+                  for sup in ctx.scope.types[sub].supers
+                  if sup in ctx.scope.types
+                  and not _refinement_crosses(ctx, sub, sup))
+
+
+@production("remove_supertype", weight=1,
+            guard=lambda ctx: bool(_removable_super_pairs(ctx)))
+def _remove_supertype(ctx: GenContext) -> None:
+    sub, sup = ctx.pick(_removable_super_pairs(ctx)).split(">")
+    ctx.emit("remove_supertype", type=sub, super=sup)
+    ctx.scope.types[sub].supers.discard(sup)
+
+
+def _renameable_types(ctx: GenContext) -> List[str]:
+    return [h for h in ctx.scope.type_handles(enums=True)
+            if ("type", ctx.scope.types[h].name)
+            not in ctx.scope.namespace_uses]
+
+
+@production("rename_type", weight=2,
+            guard=lambda ctx: bool(_renameable_types(ctx)))
+def _rename_type(ctx: GenContext) -> None:
+    type_handle = ctx.pick(_renameable_types(ctx))
+    name = ctx.name("FzT")
+    ctx.emit("rename_type", type=type_handle, name=name)
+    ctx.scope.types[type_handle].name = name
+
+
+def _movable_types(ctx: GenContext) -> List[str]:
+    scope = ctx.scope
+    versioned = {h for pair in scope.type_versions for h in pair}
+    fashioned = {h for pair in scope.fashioned for h in pair}
+    out = []
+    for handle in scope.type_handles(enums=True):
+        type_scope = scope.types[handle]
+        if handle in versioned or handle in fashioned:
+            continue
+        if ("type", type_scope.name) in scope.namespace_uses:
+            continue
+        others = [s for s in scope.schema_handles()
+                  if s != type_scope.schema
+                  and type_scope.name not in
+                  {scope.types[t].name for t in scope.schemas[s].types
+                   if t in scope.types}]
+        if others:
+            out.append(handle)
+    return out
+
+
+@production("move_type", weight=1,
+            guard=lambda ctx: bool(_movable_types(ctx)))
+def _move_type(ctx: GenContext) -> None:
+    scope = ctx.scope
+    type_handle = ctx.pick(_movable_types(ctx))
+    type_scope = scope.types[type_handle]
+    others = [s for s in scope.schema_handles()
+              if s != type_scope.schema
+              and type_scope.name not in
+              {scope.types[t].name for t in scope.schemas[s].types
+               if t in scope.types}]
+    schema = ctx.pick(others)
+    ctx.emit("move_type", type=type_handle, schema=schema)
+    scope.schemas[type_scope.schema].types.discard(type_handle)
+    scope.schemas[schema].types.add(type_handle)
+    type_scope.schema = schema
+
+
+def _deletable_types(ctx: GenContext) -> List[str]:
+    scope = ctx.scope
+    out = []
+    for handle in _tracked_types(ctx, enums=True):
+        if scope.type_referenced(handle):
+            continue
+        if any(scope.decls.get(d) is not None
+               and (scope.decls[d].callers
+                    or scope.decls[d].refines is not None
+                    or _decl_refined_by(ctx, d))
+               for d in scope.types[handle].decls):
+            continue
+        out.append(handle)
+    return out
+
+
+@production("delete_type_restrict", weight=1,
+            guard=lambda ctx: bool(_deletable_types(ctx)))
+def _delete_type_restrict(ctx: GenContext) -> None:
+    type_handle = ctx.pick(_deletable_types(ctx))
+    ctx.emit("op_delete_type_restrict", type=type_handle)
+    decls = set(ctx.scope.types[type_handle].decls)
+    ctx.scope.drop_type(type_handle)
+    for other in ctx.scope.decls.values():
+        other.callers -= decls
+
+
+# ---------------------------------------------------------------------------
+# Valid productions — namespaces (Appendix A)
+# ---------------------------------------------------------------------------
+
+
+@production("new_schema_var", weight=2,
+            guard=lambda ctx: bool(ctx.scope.schemas))
+def _new_schema_var(ctx: GenContext) -> None:
+    schema = ctx.pick(ctx.scope.schema_handles())
+    name = ctx.name("fzvar")
+    domain = ctx.pick(ctx.domain_pool())
+    ctx.emit("add_schema_var", schema=schema, name=name, domain=domain)
+    ctx.scope.schemas[schema].vars[name] = domain
+
+
+def _subschema_pairs(ctx: GenContext) -> List[str]:
+    scope = ctx.scope
+    pairs = []
+    for child in scope.schema_handles():
+        if scope.schemas[child].parent is not None:
+            continue
+        for parent in scope.schema_handles():
+            if parent == child or parent in scope.subschema_tree(child):
+                continue
+            pairs.append(f"{parent}>{child}")
+    return sorted(pairs)
+
+
+@production("new_subschema", weight=2,
+            guard=lambda ctx: bool(_subschema_pairs(ctx)))
+def _new_subschema(ctx: GenContext) -> None:
+    parent, child = ctx.pick(_subschema_pairs(ctx)).split(">")
+    ctx.emit("add_subschema", parent=parent, child=child)
+    ctx.scope.schemas[child].parent = parent
+    ctx.scope.schemas[parent].children.add(child)
+
+
+def _import_pairs(ctx: GenContext) -> List[str]:
+    scope = ctx.scope
+    return sorted(f"{s}>{other}"
+                  for s in scope.schema_handles()
+                  for other in scope.schema_handles()
+                  if other != s and other not in scope.schemas[s].imports)
+
+
+@production("new_import", weight=2,
+            guard=lambda ctx: bool(_import_pairs(ctx)))
+def _new_import(ctx: GenContext) -> None:
+    schema, imported = ctx.pick(_import_pairs(ctx)).split(">")
+    ctx.emit("add_import", schema=schema, imported=imported)
+    ctx.scope.schemas[schema].imports.add(imported)
+
+
+def _public_candidates(ctx: GenContext) -> List[str]:
+    scope = ctx.scope
+    out = []
+    for schema in scope.schema_handles():
+        schema_scope = scope.schemas[schema]
+        for type_handle in sorted(schema_scope.types):
+            type_scope = scope.types.get(type_handle)
+            if type_scope is not None and \
+                    ("type", type_scope.name) not in schema_scope.publics:
+                out.append(f"{schema}|type|{type_scope.name}")
+        for var in sorted(schema_scope.vars):
+            if ("var", var) not in schema_scope.publics:
+                out.append(f"{schema}|var|{var}")
+        for child in sorted(schema_scope.children):
+            child_name = scope.schemas[child].name
+            if ("schema", child_name) not in schema_scope.publics:
+                out.append(f"{schema}|schema|{child_name}")
+    return out
+
+
+@production("new_public", weight=3,
+            guard=lambda ctx: bool(_public_candidates(ctx)))
+def _new_public(ctx: GenContext) -> None:
+    schema, kind, name = ctx.pick(_public_candidates(ctx)).split("|")
+    ctx.emit("add_public", schema=schema, kind=kind, name=name)
+    ctx.scope.schemas[schema].publics.add((kind, name))
+    ctx.scope.namespace_uses.add((kind, name))
+
+
+def _rename_candidates(ctx: GenContext) -> List[str]:
+    scope = ctx.scope
+    out = []
+    for schema in scope.schema_handles():
+        schema_scope = scope.schemas[schema]
+        for source in sorted(schema_scope.children | schema_scope.imports):
+            for kind, name in sorted(scope.schemas[source].publics):
+                out.append(f"{schema}|{kind}|{name}|{source}")
+    return out
+
+
+@production("new_rename", weight=2,
+            guard=lambda ctx: bool(_rename_candidates(ctx)))
+def _new_rename(ctx: GenContext) -> None:
+    schema, kind, name, source = ctx.pick(_rename_candidates(ctx)).split("|")
+    new_name = ctx.name("FzAlias")
+    ctx.emit("add_rename", schema=schema, kind=kind, old_name=name,
+             new_name=new_name, source=source)
+    ctx.scope.namespace_uses.add((kind, name))
+
+
+# ---------------------------------------------------------------------------
+# Valid productions — versioning, fashion, complex operators
+# ---------------------------------------------------------------------------
+
+
+@production("stub_schema_version", weight=1,
+            guard=lambda ctx: bool(ctx.scope.schemas))
+def _stub_schema_version(ctx: GenContext) -> None:
+    old = ctx.pick(ctx.scope.schema_handles())
+    handle = ctx.handle("s")
+    name = ctx.name("FzSv")
+    ctx.emit("add_schema", handle=handle, name=name)
+    ctx.emit("add_schema_version", old=old, new=handle)
+    ctx.scope.add_schema(handle, name)
+    ctx.scope.schema_versions.add((old, handle))
+
+
+def _type_version_candidates(ctx: GenContext) -> List[str]:
+    scope = ctx.scope
+    pairs = []
+    for old in scope.type_handles(enums=True):
+        for new in scope.type_handles(enums=True):
+            if old == new or (old, new) in scope.type_versions:
+                continue
+            old_schema = scope.types[old].schema
+            new_schema = scope.types[new].schema
+            if old_schema == new_schema:
+                continue
+            if not scope.schema_version_reachable(old_schema, new_schema):
+                continue
+            pairs.append(f"{old}>{new}")
+    return sorted(pairs)
+
+
+@production("type_version_edge", weight=1,
+            guard=lambda ctx: bool(_type_version_candidates(ctx)))
+def _type_version_edge(ctx: GenContext) -> None:
+    old, new = ctx.pick(_type_version_candidates(ctx)).split(">")
+    ctx.emit("add_type_version", old=old, new=new)
+    ctx.scope.type_versions.add((old, new))
+
+
+@production("fashion_imitation", weight=2,
+            guard=lambda ctx: bool(_version_pair_pool(ctx)))
+def _fashion_imitation(ctx: GenContext) -> None:
+    scope = ctx.scope
+    subject, target = ctx.pick(_version_pair_pool(ctx)).split(">")
+    ctx.emit("add_fashion_type", subject=subject, target=target)
+    for decl in scope.inherited_decls(target):
+        decl_scope = scope.decls[decl]
+        ctx.emit("add_fashion_decl", decl=decl, subject=subject,
+                 code=_code_text(decl_scope.name, decl_scope.args))
+    for name in sorted(scope.inherited_attrs(target)):
+        ctx.emit("add_fashion_attr", target=target, name=name,
+                 subject=subject,
+                 read=f"{name}() is return 0;",
+                 write=f"{name}(v) is return 0;")
+    scope.fashioned.add((subject, target))
+
+
+def _derivable_schemas(ctx: GenContext) -> List[str]:
+    scope = ctx.scope
+    out = []
+    for schema in scope.schema_handles():
+        types = [t for t in scope.schemas[schema].types if t in scope.types]
+        if not types or len(types) > 6:
+            continue
+        names = [scope.types[t].name for t in types]
+        if len(names) != len(set(names)):
+            continue
+        if any(scope.types[t].opaque for t in types):
+            continue
+        if any(scope.decls.get(d) is not None and
+               scope.decls[d].refines is not None
+               for t in types for d in scope.types[t].decls):
+            continue
+        if not _schema_caller_free(ctx, schema):
+            continue
+        # Supertypes outside the schema are kept as-is by the operator;
+        # inside, they are remapped — both stay rooted and acyclic.
+        out.append(schema)
+    return out
+
+
+@production("derive_schema_version", weight=1,
+            guard=lambda ctx: bool(_derivable_schemas(ctx)))
+def _derive_schema_version(ctx: GenContext) -> None:
+    scope = ctx.scope
+    old = ctx.pick(_derivable_schemas(ctx))
+    new_name = ctx.name("FzSd")
+    schema_handle = ctx.handle("s")
+    binds: Dict[str, str] = {new_name: schema_handle}
+    mapping: Dict[str, str] = {}
+    type_handles = sorted(t for t in scope.schemas[old].types
+                          if t in scope.types)
+    for old_type in type_handles:
+        new_handle = ctx.handle("t")
+        binds[scope.types[old_type].name] = new_handle
+        mapping[old_type] = new_handle
+    ctx.emit("op_derive_schema_version", schema=old, new_name=new_name,
+             binds=binds)
+    scope.add_schema(schema_handle, new_name)
+    scope.schema_versions.add((old, schema_handle))
+    for old_type, new_handle in mapping.items():
+        old_scope = scope.types[old_type]
+        scope.add_type(
+            new_handle, schema_handle, old_scope.name,
+            supers=tuple(mapping.get(s, s) for s in old_scope.supers),
+            enum_values=old_scope.enum_values)
+        new_scope = scope.types[new_handle]
+        new_scope.attrs = {name: mapping.get(domain, domain)
+                           for name, domain in old_scope.attrs.items()}
+        # Copied declarations get fresh ids the operator does not expose;
+        # the copy is opaque to handle-addressed productions.
+        new_scope.opaque = bool(old_scope.decls)
+        scope.type_versions.add((old_type, new_handle))
+
+
+def _partitionable_types(ctx: GenContext) -> List[str]:
+    scope = ctx.scope
+    out = []
+    for handle in _tracked_types(ctx):
+        type_scope = scope.types[handle]
+        if type_scope.supers:
+            continue
+        if any(scope.decls.get(d) is not None and
+               (scope.decls[d].callers or scope.decls[d].refines)
+               for d in type_scope.decls):
+            continue
+        out.append(handle)
+    return out
+
+
+@production("introduce_subtype_partition", weight=1,
+            guard=lambda ctx: bool(_partitionable_types(ctx)))
+def _introduce_subtype_partition(ctx: GenContext) -> None:
+    scope = ctx.scope
+    old = ctx.pick(_partitionable_types(ctx))
+    old_scope = scope.types[old]
+    schema_name = ctx.name("FzSp")
+    evolved_name = ctx.name("FzVa")
+    other_name = ctx.name("FzVb")
+    sort_name = ctx.name("FzSort")
+    op_name = ctx.name("fzkind")
+    values = [ctx.name("fzv"), ctx.name("fzv")]
+    binds = {schema_name: ctx.handle("s"),
+             evolved_name: ctx.handle("t"),
+             other_name: ctx.handle("t"),
+             old_scope.name: ctx.handle("t"),
+             sort_name: ctx.handle("t")}
+    ctx.emit("op_introduce_subtype_partition", type=old,
+             schema_name=schema_name, evolved_name=evolved_name,
+             other_name=other_name, sort_name=sort_name, op_name=op_name,
+             values=values, binds=binds)
+    schema_handle = binds[schema_name]
+    base_handle = binds[old_scope.name]
+    scope.add_schema(schema_handle, schema_name)
+    scope.schema_versions.add((old_scope.schema, schema_handle))
+    scope.add_type(binds[sort_name], schema_handle, sort_name,
+                   enum_values=tuple(values))
+    scope.add_type(base_handle, schema_handle, old_scope.name)
+    base_scope = scope.types[base_handle]
+    base_scope.attrs = dict(old_scope.attrs)
+    base_scope.opaque = bool(old_scope.decls)
+    for variant_name in (evolved_name, other_name):
+        handle = binds[variant_name]
+        scope.add_type(handle, schema_handle, variant_name,
+                       supers=(base_handle,))
+        scope.types[handle].opaque = True  # untracked discriminator decl
+    scope.type_versions.add((old, binds[evolved_name]))
+    scope.fashioned.add((old, binds[evolved_name]))
+
+
+def _arg_growable_decls(ctx: GenContext) -> List[str]:
+    return [h for h in ctx.scope.decl_handles()
+            if ctx.scope.decls[h].has_code
+            and ctx.scope.decls[h].refines is None
+            and not _decl_refined_by(ctx, h)]
+
+
+@production("add_argument_with_callsites", weight=1,
+            guard=lambda ctx: bool(_arg_growable_decls(ctx)))
+def _add_argument_with_callsites(ctx: GenContext) -> None:
+    decl = ctx.pick(_arg_growable_decls(ctx))
+    ctx.emit("op_add_argument_with_callsites", decl=decl,
+             arg_type="builtin:int", default="0")
+    ctx.scope.decls[decl].args.append("builtin:int")
+
+
+# ---------------------------------------------------------------------------
+# Hostile productions — one deliberate scoping violation each
+# ---------------------------------------------------------------------------
+
+
+def _any_types(ctx: GenContext) -> List[str]:
+    return ctx.scope.type_handles(enums=True)
+
+
+@production("h_ghost_attr", hostile=True,
+            guard=lambda ctx: bool(_any_types(ctx)))
+def _h_ghost_attr(ctx: GenContext) -> None:
+    type_handle = ctx.pick(_any_types(ctx))
+    ctx.emit("raw_fact", sign="+", pred="Attr",
+             args=[f"@{type_handle}", ctx.name("fzghost"),
+                   f"@{ctx.ghost('type')}"])
+
+
+@production("h_dup_type_name", hostile=True,
+            guard=lambda ctx: bool(_any_types(ctx)))
+def _h_dup_type_name(ctx: GenContext) -> None:
+    type_handle = ctx.pick(_any_types(ctx))
+    type_scope = ctx.scope.types[type_handle]
+    ctx.emit("add_type", handle=ctx.handle("t"), schema=type_scope.schema,
+             name=type_scope.name, supers=[])
+
+
+@production("h_subtype_cycle", hostile=True,
+            guard=lambda ctx: len(ctx.scope.type_handles()) >= 2)
+def _h_subtype_cycle(ctx: GenContext) -> None:
+    handles = ctx.scope.type_handles()
+    first = ctx.pick(handles)
+    second = ctx.pick([h for h in handles if h != first])
+    ctx.emit("add_supertype", type=first, super=second)
+    ctx.emit("add_supertype", type=second, super=first)
+
+
+@production("h_missing_code", hostile=True,
+            guard=lambda ctx: bool(ctx.scope.type_handles()))
+def _h_missing_code(ctx: GenContext) -> None:
+    type_handle = ctx.pick(ctx.scope.type_handles())
+    ctx.emit("add_operation", handle=ctx.handle("d"), type=type_handle,
+             name=ctx.name("fznocode"), args=[], result="builtin:int",
+             code=None)
+
+
+@production("h_bad_refinement", hostile=True,
+            guard=lambda ctx: bool(ctx.scope.decls)
+            and bool(ctx.scope.type_handles()))
+def _h_bad_refinement(ctx: GenContext) -> None:
+    refined = ctx.pick(ctx.scope.decl_handles())
+    type_handle = ctx.pick(ctx.scope.type_handles())
+    name = ctx.name("fzbadref")
+    ctx.emit("add_operation", handle=ctx.handle("d"), type=type_handle,
+             name=name, args=[], result="builtin:string",
+             code=_code_text(name, (), 'return "x";'), refines=refined)
+
+
+@production("h_self_import", hostile=True,
+            guard=lambda ctx: bool(ctx.scope.schemas))
+def _h_self_import(ctx: GenContext) -> None:
+    schema = ctx.pick(ctx.scope.schema_handles())
+    ctx.emit("raw_fact", sign="+", pred="ImportRel",
+             args=[f"@{schema}", f"@{schema}"])
+
+
+@production("h_second_parent", hostile=True,
+            guard=lambda ctx: any(
+                s.parent is not None for s in ctx.scope.schemas.values())
+            and len(ctx.scope.schemas) >= 3)
+def _h_second_parent(ctx: GenContext) -> None:
+    scope = ctx.scope
+    child = ctx.pick([h for h in scope.schema_handles()
+                      if scope.schemas[h].parent is not None])
+    parent = scope.schemas[child].parent
+    others = [h for h in scope.schema_handles()
+              if h not in (child, parent)
+              and h not in scope.subschema_tree(child)]
+    if not others:
+        return
+    ctx.emit("raw_fact", sign="+", pred="SubSchema",
+             args=[f"@{ctx.pick(others)}", f"@{child}"])
+
+
+@production("h_subschema_cycle", hostile=True,
+            guard=lambda ctx: len([
+                h for h in ctx.scope.schema_handles()
+                if ctx.scope.schemas[h].parent is None]) >= 2)
+def _h_subschema_cycle(ctx: GenContext) -> None:
+    roots = [h for h in ctx.scope.schema_handles()
+             if ctx.scope.schemas[h].parent is None]
+    first = ctx.pick(roots)
+    second = ctx.pick([h for h in roots if h != first])
+    ctx.emit("raw_fact", sign="+", pred="SubSchema",
+             args=[f"@{first}", f"@{second}"])
+    ctx.emit("raw_fact", sign="+", pred="SubSchema",
+             args=[f"@{second}", f"@{first}"])
+
+
+@production("h_bad_public", hostile=True,
+            guard=lambda ctx: bool(ctx.scope.schemas))
+def _h_bad_public(ctx: GenContext) -> None:
+    schema = ctx.pick(ctx.scope.schema_handles())
+    ctx.emit("raw_fact", sign="+", pred="PublicComp",
+             args=[f"@{schema}", "type", ctx.name("FzNoSuch")])
+
+
+@production("h_bad_rename", hostile=True,
+            guard=lambda ctx: len(ctx.scope.schemas) >= 2)
+def _h_bad_rename(ctx: GenContext) -> None:
+    schema = ctx.pick(ctx.scope.schema_handles())
+    source = ctx.pick([h for h in ctx.scope.schema_handles()
+                       if h != schema])
+    ctx.emit("raw_fact", sign="+", pred="Rename",
+             args=[f"@{schema}", "type", ctx.name("FzNoComp"),
+                   ctx.name("FzAlias"), f"@{source}"])
+
+
+@production("h_dangling_version", hostile=True,
+            guard=lambda ctx: bool(_any_types(ctx)))
+def _h_dangling_version(ctx: GenContext) -> None:
+    type_handle = ctx.pick(_any_types(ctx))
+    ctx.emit("raw_fact", sign="+", pred="evolves_to_T",
+             args=[f"@{type_handle}", f"@{ctx.ghost('type')}"])
+
+
+@production("h_undigestible_version", hostile=True,
+            guard=lambda ctx: len(_any_types(ctx)) >= 2)
+def _h_undigestible_version(ctx: GenContext) -> None:
+    scope = ctx.scope
+    pairs = [f"{a}>{b}"
+             for a in _any_types(ctx) for b in _any_types(ctx)
+             if a != b
+             and (a, b) not in scope.type_versions
+             and (b, a) not in scope.type_versions
+             and not scope.schema_version_reachable(
+                 scope.types[a].schema, scope.types[b].schema)]
+    if not pairs:
+        return
+    old, new = ctx.pick(sorted(pairs)).split(">")
+    ctx.emit("add_type_version", old=old, new=new)
+
+
+@production("h_bare_fashion", hostile=True,
+            guard=lambda ctx: len(_any_types(ctx)) >= 2)
+def _h_bare_fashion(ctx: GenContext) -> None:
+    handles = _any_types(ctx)
+    subject = ctx.pick(handles)
+    target = ctx.pick([h for h in handles if h != subject])
+    ctx.emit("raw_fact", sign="+", pred="FashionType",
+             args=[f"@{subject}", f"@{target}"])
+
+
+@production("h_ghost_schema_type", hostile=True)
+def _h_ghost_schema_type(ctx: GenContext) -> None:
+    ctx.emit("raw_fact", sign="+", pred="Type",
+             args=[f"@{ctx.ghost('type')}", ctx.name("FzOrphan"),
+                   f"@{ctx.ghost('schema')}"])
+
+
+@production("h_dangling_refinement", hostile=True,
+            guard=lambda ctx: bool(ctx.scope.decls))
+def _h_dangling_refinement(ctx: GenContext) -> None:
+    decl = ctx.pick(ctx.scope.decl_handles())
+    ctx.emit("raw_fact", sign="+", pred="DeclRefinement",
+             args=[f"@{decl}", f"@{ctx.ghost('decl')}"])
+
+
+@production("h_cascade_delete", hostile=True,
+            guard=lambda ctx: bool(_tracked_types(ctx)))
+def _h_cascade_delete(ctx: GenContext) -> None:
+    scope = ctx.scope
+    type_handle = ctx.pick(_tracked_types(ctx))
+    ctx.emit("op_delete_type_cascade", type=type_handle)
+    # Mirror the cascade: referencing attrs/decls of *other* types go too.
+    for other_handle in scope.type_handles(enums=True):
+        other = scope.types[other_handle]
+        if other_handle == type_handle:
+            continue
+        other.attrs = {n: d for n, d in other.attrs.items()
+                       if d != type_handle}
+    for decl_handle in list(scope.decls):
+        decl = scope.decls[decl_handle]
+        if decl.type != type_handle and (
+                decl.result == type_handle or type_handle in decl.args):
+            scope.drop_decl(decl_handle)
+    dropped = set(scope.types.get(type_handle).decls) if \
+        type_handle in scope.types else set()
+    scope.drop_type(type_handle)
+    for decl in scope.decls.values():
+        decl.callers -= dropped

@@ -1,0 +1,142 @@
+"""Replayable GOM-DDL histories: the fuzzer's exchange format.
+
+A *history* is a sequence of planned evolution sessions, each a list of
+:class:`Op` records over the real protocol surface (evolution
+primitives, complex operators, versioning / fashion / namespace
+operations, raw hostile facts).  Histories are pure data — JSON-safe
+dictionaries with *symbolic handles* instead of live ids — so one
+history replays identically against any number of managers (compiled /
+interpreted executors, delta / recompute maintenance, durable / in
+memory), which is what the differential oracle stack needs, and shrinks
+structurally (drop sessions, drop ops) without invalidating the rest.
+
+Handle conventions (all strings):
+
+* ``s3`` / ``t7`` / ``d2`` — entities created *by the history*; the
+  replayer binds them to real ids at the creating op.
+* ``@h`` inside ``raw_fact`` arguments — a reference to handle ``h``.
+* ``builtin:int`` — a built-in sort.
+* ``ghost:type:4`` — a deliberately dangling id (allocated but never
+  declared), the fuzzer's stand-in for referential hostility.
+
+Corpus files (``tests/fuzz/corpus/*.json``) are serialized histories
+plus a record of the oracle failure they were minimized from; replaying
+the corpus under pytest is the regression suite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+FORMAT_VERSION = 1
+
+#: The feature stack every fuzzed manager runs with — the full protocol
+#: surface: core model, object base, version graphs, fashion masking,
+#: and Appendix-A namespaces.
+FUZZ_FEATURES: Tuple[str, ...] = (
+    "core", "objectbase", "versioning", "fashion", "namespaces")
+
+
+@dataclass(frozen=True)
+class Op:
+    """One primitive step of a session: an op kind plus JSON-safe params."""
+
+    kind: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "params": self.params}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Op":
+        return cls(kind=data["kind"], params=dict(data.get("params", {})))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{self.kind}({inner})"
+
+
+@dataclass
+class SessionPlan:
+    """One BES…EES bracket: ops plus the planned ending.
+
+    ``outcome`` is ``"auto"`` (check at EES; commit when consistent,
+    cure-then-commit or roll back otherwise — the driver decides
+    deterministically from the check report) or ``"rollback"`` (always
+    rolled back; exercises the residue-freedom oracle).
+    """
+
+    ops: List[Op] = field(default_factory=list)
+    outcome: str = "auto"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"outcome": self.outcome,
+                "ops": [op.to_dict() for op in self.ops]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SessionPlan":
+        return cls(ops=[Op.from_dict(item) for item in data.get("ops", [])],
+                   outcome=data.get("outcome", "auto"))
+
+
+@dataclass
+class History:
+    """A whole generated (or minimized) evolution history."""
+
+    sessions: List[SessionPlan] = field(default_factory=list)
+    seed: Optional[int] = None
+    bias: str = "mixed"
+    features: Tuple[str, ...] = FUZZ_FEATURES
+    #: Filled by the minimizer: which oracle failed and how.
+    failure: Optional[Dict[str, object]] = None
+
+    @property
+    def op_count(self) -> int:
+        return sum(len(plan.ops) for plan in self.sessions)
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "format": FORMAT_VERSION,
+            "seed": self.seed,
+            "bias": self.bias,
+            "features": list(self.features),
+            "sessions": [plan.to_dict() for plan in self.sessions],
+        }
+        if self.failure is not None:
+            data["failure"] = self.failure
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "History":
+        version = data.get("format", FORMAT_VERSION)
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported history format {version!r}")
+        return cls(
+            sessions=[SessionPlan.from_dict(item)
+                      for item in data.get("sessions", [])],
+            seed=data.get("seed"),
+            bias=data.get("bias", "mixed"),
+            features=tuple(data.get("features", FUZZ_FEATURES)),
+            failure=data.get("failure"),
+        )
+
+    def to_json(self) -> str:
+        """Canonical serialization (sorted keys — determinism tests
+        compare these strings byte for byte)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "History":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "History":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

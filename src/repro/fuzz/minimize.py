@@ -1,0 +1,123 @@
+"""Delta-debugging minimization of failing histories (ddmin).
+
+Shrinks at two granularities — whole sessions first, then ops inside
+each surviving session — against a caller-supplied *failing* predicate
+("does this candidate still reproduce the target oracle failure?").
+Replay is skip-tolerant (ops whose creators were removed become
+deterministic no-ops), so any sublist of a failing history is itself a
+well-formed history; ddmin needs no repair step.
+
+The predicate runs the full oracle stack, which is not free, so the
+search is budgeted: when the check budget runs out, the current (still
+failing, just not 1-minimal) candidate is returned.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.fuzz.history import History, SessionPlan
+from repro.fuzz.oracles import run_oracle_stack
+
+
+class _Budget:
+    def __init__(self, checks: int) -> None:
+        self.left = checks
+
+    def spend(self) -> bool:
+        self.left -= 1
+        return self.left >= 0
+
+
+def _ddmin(items: list, test: Callable[[list], bool],
+           budget: _Budget) -> list:
+    """Classic ddmin: reduce *items* while ``test`` keeps failing."""
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            complement = items[:start] + items[start + chunk:]
+            if not complement or not budget.spend():
+                continue
+            if test(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items) or budget.left <= 0:
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def _rebuild(template: History, plans: List[SessionPlan]) -> History:
+    return History(sessions=[SessionPlan(ops=list(plan.ops),
+                                         outcome=plan.outcome)
+                             for plan in plans],
+                   seed=template.seed, bias=template.bias,
+                   features=template.features, failure=template.failure)
+
+
+def minimize_history(history: History,
+                     failing: Callable[[History], bool],
+                     max_checks: int = 200) -> History:
+    """Shrink *history* while ``failing(candidate)`` stays True.
+
+    ``failing`` must already be True for *history* itself (the caller
+    observed the failure); the result is the smallest candidate found
+    within the check budget, sessions minimized before per-session ops.
+    """
+    budget = _Budget(max_checks)
+    plans = _ddmin(list(history.sessions),
+                   lambda candidate: failing(_rebuild(history, candidate)),
+                   budget)
+    for index in range(len(plans) - 1, -1, -1):
+        ops = list(plans[index].ops)
+        if len(ops) <= 1:
+            continue
+
+        def test_ops(subset: list, index: int = index) -> bool:
+            candidate = list(plans)
+            candidate[index] = SessionPlan(ops=list(subset),
+                                           outcome=plans[index].outcome)
+            return failing(_rebuild(history, candidate))
+
+        plans[index] = SessionPlan(ops=_ddmin(ops, test_ops, budget),
+                                   outcome=plans[index].outcome)
+    pruned = [plan for plan in plans if plan.ops]
+    if len(pruned) != len(plans) and pruned and budget.spend() \
+            and failing(_rebuild(history, pruned)):
+        plans = pruned
+    return _rebuild(history, plans)
+
+
+def oracle_failure_predicate(target_oracles: Set[str],
+                             checkpoint_every: int = 3,
+                             ) -> Callable[[History], bool]:
+    """A ``failing`` predicate: does the candidate still trip one of the
+    target oracles under the full stack?"""
+
+    def failing(candidate: History) -> bool:
+        report = run_oracle_stack(candidate,
+                                  checkpoint_every=checkpoint_every)
+        return any(failure.oracle in target_oracles
+                   for failure in report.failures)
+
+    return failing
+
+
+def minimize_report_failure(history: History, oracles: Set[str],
+                            max_checks: int = 200) -> Optional[History]:
+    """Minimize against the given failing oracle names; returns the
+    shrunk history with its ``failure`` record filled, or None when the
+    failure does not reproduce on a fresh replay (flaky — worth knowing,
+    since everything here is meant to be deterministic)."""
+    failing = oracle_failure_predicate(oracles)
+    if not failing(history):
+        return None
+    minimized = minimize_history(history, failing, max_checks=max_checks)
+    minimized.failure = {"oracles": sorted(oracles),
+                         "seed": history.seed, "bias": history.bias}
+    return minimized

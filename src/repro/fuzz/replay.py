@@ -1,0 +1,229 @@
+"""Replaying histories against a live manager.
+
+The replayer binds symbolic handles to real ids as the creating ops
+execute.  Two properties make one history a *differential* test vector:
+
+* **Identical id streams.**  ``IdFactory`` allocation is a function of
+  the op sequence, so replaying the same history against any manager
+  variant (compiled / interpreted, delta / recompute, durable / in
+  memory) produces identical ids, identical facts, and hence comparable
+  digests.
+* **Deterministic skips.**  An op whose references do not resolve — its
+  creating session rolled back, a cure deleted the entity, the
+  minimizer removed the creator — is *skipped*, and the decision
+  depends only on replay state, so every variant skips the same ops.
+  Likewise, ops the system itself rejects (``EvolutionError`` and
+  friends) are deterministic no-ops; only :class:`CrashPoint` and
+  session-lifecycle errors propagate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.datalog.terms import Atom
+from repro.errors import AnalyzerError, DatalogError
+from repro.fuzz.history import Op
+from repro.gom.builtins import builtin_type
+from repro.gom.ids import Id
+
+#: Errors that deterministically reject an op without corrupting the
+#: session (CrashPoint derives from ReproError directly, so it escapes).
+SKIPPABLE = (AnalyzerError, DatalogError)
+
+
+class SkipOp(Exception):
+    """Internal: an op referenced an unbound handle."""
+
+
+class ReplayEnv:
+    """handle -> Id bindings, including lazily allocated ghosts."""
+
+    def __init__(self, manager) -> None:
+        self.manager = manager
+        self.bindings: Dict[str, Id] = {}
+
+    def bind(self, handle: str, value: Id) -> None:
+        self.bindings[handle] = value
+
+    def resolve(self, handle: Optional[str]) -> Optional[Id]:
+        if handle is None:
+            return None
+        if handle.startswith("builtin:"):
+            return builtin_type(handle.split(":", 1)[1])
+        if handle.startswith("ghost:"):
+            if handle not in self.bindings:
+                kind = handle.split(":")[1]
+                ids = self.manager.model.ids
+                allocate = {"type": ids.type, "decl": ids.decl,
+                            "schema": ids.schema}.get(kind, ids.type)
+                self.bindings[handle] = allocate()
+            return self.bindings[handle]
+        return self.bindings.get(handle)
+
+
+class Replayer:
+    """Applies :class:`Op` records to sessions of one manager."""
+
+    def __init__(self, manager) -> None:
+        self.manager = manager
+        self.env = ReplayEnv(manager)
+
+    # -- resolution -----------------------------------------------------------
+
+    def _req(self, handle: str) -> Id:
+        value = self.env.resolve(handle)
+        if value is None:
+            raise SkipOp(handle)
+        return value
+
+    def _raw_args(self, args: List[object]) -> tuple:
+        out = []
+        for arg in args:
+            if isinstance(arg, str) and arg.startswith("@"):
+                out.append(self._req(arg[1:]))
+            else:
+                out.append(arg)
+        return tuple(out)
+
+    # -- application ----------------------------------------------------------
+
+    def apply(self, session, op: Op) -> bool:
+        """Apply one op; returns False for a deterministic skip."""
+        prims = self.manager.analyzer.primitives(session)
+        try:
+            self._dispatch(prims, session, op)
+            return True
+        except (SkipOp,) + SKIPPABLE:
+            return False
+
+    def _dispatch(self, prims, session, op: Op) -> None:
+        p = op.params
+        kind = op.kind
+        if kind == "add_schema":
+            self.env.bind(p["handle"], prims.add_schema(p["name"]))
+        elif kind == "add_type":
+            supers = tuple(self._req(h) for h in p["supers"])
+            self.env.bind(p["handle"],
+                          prims.add_type(self._req(p["schema"]), p["name"],
+                                         supertypes=supers))
+        elif kind == "add_enum_sort":
+            self.env.bind(p["handle"],
+                          prims.add_enum_sort(self._req(p["schema"]),
+                                              p["name"],
+                                              tuple(p["values"])))
+        elif kind == "rename_type":
+            prims.rename_type(self._req(p["type"]), p["name"])
+        elif kind == "move_type":
+            prims.move_type(self._req(p["type"]), self._req(p["schema"]))
+        elif kind == "add_supertype":
+            prims.add_supertype(self._req(p["type"]), self._req(p["super"]))
+        elif kind == "remove_supertype":
+            prims.remove_supertype(self._req(p["type"]),
+                                   self._req(p["super"]))
+        elif kind == "add_attribute":
+            prims.add_attribute(self._req(p["type"]), p["name"],
+                                self._req(p["domain"]))
+        elif kind == "rename_attribute":
+            prims.rename_attribute(self._req(p["type"]), p["name"],
+                                   p["new_name"])
+        elif kind == "change_attribute_domain":
+            prims.change_attribute_domain(self._req(p["type"]), p["name"],
+                                          self._req(p["domain"]))
+        elif kind == "delete_attribute":
+            prims.delete_attribute(self._req(p["type"]), p["name"])
+        elif kind == "add_operation":
+            args = tuple(self._req(h) for h in p["args"])
+            refines = p.get("refines")
+            self.env.bind(p["handle"], prims.add_operation(
+                self._req(p["type"]), p["name"], args,
+                self._req(p["result"]), code_text=p.get("code"),
+                refines=self._req(refines) if refines else None))
+        elif kind == "set_code":
+            prims.set_code(self._req(p["decl"]), p["code"])
+        elif kind == "delete_operation":
+            prims.delete_operation(self._req(p["decl"]))
+        elif kind == "add_refinement_edge":
+            prims.add_refinement_edge(self._req(p["refining"]),
+                                      self._req(p["refined"]))
+        elif kind == "add_schema_version":
+            prims.add_schema_version(self._req(p["old"]),
+                                     self._req(p["new"]))
+        elif kind == "add_type_version":
+            prims.add_type_version(self._req(p["old"]), self._req(p["new"]))
+        elif kind == "add_subschema":
+            prims.add_subschema(self._req(p["parent"]),
+                                self._req(p["child"]))
+        elif kind == "remove_subschema":
+            prims.remove_subschema(self._req(p["parent"]),
+                                   self._req(p["child"]))
+        elif kind == "add_import":
+            prims.add_import(self._req(p["schema"]),
+                             self._req(p["imported"]))
+        elif kind == "add_rename":
+            prims.add_rename(self._req(p["schema"]), p["kind"],
+                             p["old_name"], p["new_name"],
+                             self._req(p["source"]))
+        elif kind == "add_public":
+            prims.add_public(self._req(p["schema"]), p["kind"], p["name"])
+        elif kind == "add_schema_var":
+            prims.add_schema_var(self._req(p["schema"]), p["name"],
+                                 self._req(p["domain"]))
+        elif kind == "add_fashion_type":
+            prims.add_fashion_type(self._req(p["subject"]),
+                                   self._req(p["target"]))
+        elif kind == "add_fashion_attr":
+            prims.add_fashion_attr(self._req(p["target"]), p["name"],
+                                   self._req(p["subject"]),
+                                   read_code=p["read"],
+                                   write_code=p["write"])
+        elif kind == "add_fashion_decl":
+            prims.add_fashion_decl(self._req(p["decl"]),
+                                   self._req(p["subject"]), p["code"])
+        elif kind == "raw_fact":
+            atom = Atom(p["pred"], self._raw_args(list(p["args"])))
+            if p["sign"] == "+":
+                session.add(atom)
+            else:
+                session.remove(atom)
+        elif kind in ("op_delete_type_restrict", "op_delete_type_cascade",
+                      "op_delete_type_reparent"):
+            self.manager.analyzer.operators.apply(
+                kind[3:], prims, tid=self._req(p["type"]))
+        elif kind == "op_add_argument_with_callsites":
+            self.manager.analyzer.operators.apply(
+                "add_argument_with_callsites", prims,
+                did=self._req(p["decl"]),
+                arg_type=self._req(p["arg_type"]),
+                default_text=p["default"])
+        elif kind == "op_introduce_subtype_partition":
+            values = list(p["values"])
+            variant_codes = {
+                p["evolved_name"]:
+                    f"{p['op_name']}() is return {values[0]};",
+                p["other_name"]:
+                    f"{p['op_name']}() is return {values[1]};",
+            }
+            created = self.manager.analyzer.operators.apply(
+                "introduce_subtype_partition", prims,
+                old_tid=self._req(p["type"]),
+                new_schema_name=p["schema_name"],
+                evolved_variant=p["evolved_name"],
+                other_variants=(p["other_name"],),
+                discriminator_op=p["op_name"],
+                discriminator_sort=p["sort_name"],
+                discriminator_values=tuple(values),
+                variant_codes=variant_codes)
+            self._bind_created(p["binds"], created)
+        elif kind == "op_derive_schema_version":
+            created = self.manager.analyzer.operators.apply(
+                "derive_schema_version", prims,
+                old_sid=self._req(p["schema"]), new_name=p["new_name"])
+            self._bind_created(p["binds"], created)
+        else:
+            raise SkipOp(f"unknown op kind {kind!r}")
+
+    def _bind_created(self, binds: Dict[str, str], created) -> None:
+        for name, handle in sorted(binds.items()):
+            if name in created:
+                self.env.bind(handle, created[name])

@@ -30,16 +30,27 @@ from typing import Dict, List, Optional, Tuple
 from repro.manager import SchemaManager
 from repro.workloads.synthetic import generate_schema, random_evolution
 
-__all__ = ["StressOutcome", "run_stress", "snapshot_digest"]
+__all__ = ["StressOutcome", "edb_digest", "run_stress", "snapshot_digest"]
+
+
+def edb_digest(db) -> str:
+    """An order-independent content digest of a database's whole EDB.
+
+    Accepts anything with ``.edb.all_facts()`` — a live ``GomDatabase``
+    as well as a published snapshot's frozen database.  The fuzz oracle
+    stack compares these digests across manager variants, so the digest
+    must depend only on fact *content*, never on storage order.
+    """
+    hasher = hashlib.sha256()
+    for line in sorted(repr(fact) for fact in db.edb.all_facts()):
+        hasher.update(line.encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
 
 
 def snapshot_digest(snapshot) -> str:
     """An order-independent content digest of a snapshot's whole EDB."""
-    hasher = hashlib.sha256()
-    for line in sorted(repr(fact) for fact in snapshot.db.edb.all_facts()):
-        hasher.update(line.encode("utf-8"))
-        hasher.update(b"\n")
-    return hasher.hexdigest()
+    return edb_digest(snapshot.db)
 
 
 @dataclass

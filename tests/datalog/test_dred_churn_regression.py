@@ -1,0 +1,75 @@
+"""Pin DRed maintenance churn on subtype-cycle add / rollback.
+
+ROADMAP item 3: deleting an edge that participated in a subtype cycle
+makes DRed over-delete the whole ``SubTypRel_t`` closure and re-derive
+most of it — ~O(n²) work on an n-type chain.  The evolution fuzzer's
+hostile ``h_subtype_cycle`` production hits this path constantly, so
+the cost is pinned here with explicit ceilings (measured values plus
+~50% headroom).  An optimization may lower them; a regression that
+blows the quadratic up further must fail loudly.
+"""
+
+from repro.manager import SchemaManager
+
+CHAIN = 16
+
+# Measured on the current engine (maint_deleted / maint_rederived):
+#   add cycle edge:  16 /   0     (linear: one over-delete per type)
+#   rollback:       273 / 120     (quadratic: closure churn)
+ADD_DELETED_MAX = 24
+ADD_REDERIVED_MAX = 8
+ROLLBACK_DELETED_MAX = 410
+ROLLBACK_REDERIVED_MAX = 180
+
+
+def _chain_manager():
+    manager = SchemaManager()
+    session = manager.begin_session()
+    prims = manager.analyzer.primitives(session)
+    sid = prims.add_schema("Churn")
+    tids, prev = [], None
+    for index in range(CHAIN):
+        tid = prims.add_type(sid, f"C{index}",
+                             supertypes=(prev,) if prev else ())
+        tids.append(tid)
+        prev = tid
+    session.commit()
+    return manager, tids
+
+
+def test_cycle_add_and_rollback_churn_stays_bounded():
+    manager, tids = _chain_manager()
+    session = manager.begin_session()
+    prims = manager.analyzer.primitives(session)
+    # Close the chain into a cycle: root becomes a subtype of the leaf.
+    prims.add_supertype(tids[0], tids[-1])
+    report = session.check()
+    assert not report.consistent, "a subtype cycle must violate EES"
+    stats = session.stats
+    assert stats.maint_deleted <= ADD_DELETED_MAX, (
+        f"cycle-add over-deletion churn regressed: "
+        f"{stats.maint_deleted} > {ADD_DELETED_MAX}")
+    assert stats.maint_rederived <= ADD_REDERIVED_MAX, (
+        f"cycle-add re-derivation churn regressed: "
+        f"{stats.maint_rederived} > {ADD_REDERIVED_MAX}")
+
+    session.rollback()
+    stats = manager.last_session_stats()
+    assert stats.maint_deleted <= ROLLBACK_DELETED_MAX, (
+        f"cycle-rollback over-deletion churn regressed: "
+        f"{stats.maint_deleted} > {ROLLBACK_DELETED_MAX}")
+    assert stats.maint_rederived <= ROLLBACK_REDERIVED_MAX, (
+        f"cycle-rollback re-derivation churn regressed: "
+        f"{stats.maint_rederived} > {ROLLBACK_REDERIVED_MAX}")
+
+
+def test_rollback_leaves_no_residue():
+    manager, tids = _chain_manager()
+    from repro.service.stress import edb_digest
+    before = edb_digest(manager.model.db)
+    session = manager.begin_session()
+    prims = manager.analyzer.primitives(session)
+    prims.add_supertype(tids[0], tids[-1])
+    session.rollback()
+    assert edb_digest(manager.model.db) == before
+    assert manager.check().consistent

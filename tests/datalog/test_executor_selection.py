@@ -1,0 +1,68 @@
+"""Executor selection must agree across every construction path.
+
+The fuzzer's ``interpreted`` variant and the CI executor matrix both
+rely on one rule: an explicit ``executor=`` kwarg wins, otherwise the
+``REPRO_EXECUTOR`` environment variable, otherwise ``"compiled"`` — and
+an invalid value fails loudly at construction, never silently falls
+back.
+"""
+
+import pytest
+
+from repro.datalog.engine import DeductiveDatabase, resolve_executor
+from repro.gom.model import GomDatabase
+from repro.manager import SchemaManager
+
+
+def test_default_is_compiled(monkeypatch):
+    monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+    assert resolve_executor(None) == "compiled"
+    assert SchemaManager().model.db.executor == "compiled"
+
+
+@pytest.mark.parametrize("choice", ["compiled", "interpreted"])
+def test_env_var_reaches_every_layer(monkeypatch, choice):
+    monkeypatch.setenv("REPRO_EXECUTOR", choice)
+    assert resolve_executor(None) == choice
+    assert DeductiveDatabase().executor == choice
+    assert GomDatabase().db.executor == choice
+    assert SchemaManager().model.db.executor == choice
+
+
+@pytest.mark.parametrize("choice", ["compiled", "interpreted"])
+def test_kwarg_overrides_env(monkeypatch, choice):
+    other = "interpreted" if choice == "compiled" else "compiled"
+    monkeypatch.setenv("REPRO_EXECUTOR", other)
+    assert DeductiveDatabase(executor=choice).executor == choice
+    assert GomDatabase(executor=choice).db.executor == choice
+    assert SchemaManager(executor=choice).model.db.executor == choice
+
+
+def test_invalid_kwarg_fails_loudly():
+    with pytest.raises(ValueError, match="executor"):
+        SchemaManager(executor="jit")
+    with pytest.raises(ValueError, match="executor"):
+        DeductiveDatabase(executor="")
+
+
+def test_invalid_env_var_fails_loudly(monkeypatch):
+    monkeypatch.setenv("REPRO_EXECUTOR", "turbo")
+    with pytest.raises(ValueError, match="executor"):
+        SchemaManager()
+
+
+def test_kwarg_and_env_agree_on_resulting_behavior(monkeypatch):
+    """Same schema, three construction paths, one executor: identical
+    check verdicts (the cheap end of the fuzzer's differential)."""
+    monkeypatch.setenv("REPRO_EXECUTOR", "interpreted")
+    via_env = SchemaManager()
+    monkeypatch.delenv("REPRO_EXECUTOR")
+    via_kwarg = SchemaManager(executor="interpreted")
+    for manager in (via_env, via_kwarg):
+        assert manager.model.db.executor == "interpreted"
+        manager.define("""
+        schema ExecSel is
+        type ES is [ e: int; ] end type ES;
+        end schema ExecSel;
+        """)
+        assert manager.check().consistent

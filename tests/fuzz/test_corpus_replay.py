@@ -1,0 +1,39 @@
+"""Regression corpus: every checked-in history once tripped an oracle.
+
+Each file in ``corpus/`` is a (minimized) history that exposed a real
+bug; replaying it through the full oracle stack must stay green
+forever.  ``python -m repro.fuzz`` appends new files here whenever a
+seeded run finds and minimizes a fresh failure.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz import History, run_oracle_stack
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no corpus files under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS, ids=[os.path.basename(p) for p in CORPUS])
+def test_corpus_history_passes_oracles(path):
+    history = History.load(path)
+    report = run_oracle_stack(history)
+    assert report.ok, (
+        f"{os.path.basename(path)} regressed "
+        f"(originally failed {history.failure}):\n{report.describe()}")
+
+
+def test_corpus_files_record_their_original_failure():
+    for path in CORPUS:
+        history = History.load(path)
+        assert history.failure, (
+            f"{os.path.basename(path)} lacks a failure record; corpus "
+            "files must say which oracle they originally tripped")

@@ -1,0 +1,87 @@
+"""Seeded smoke tests for the evolution fuzzer.
+
+Small, fixed-seed runs of the full pipeline: generation determinism,
+the oracle stack over every bias profile, exchange-format round-trips,
+and the CLI entry point.  CI runs larger sweeps; these keep the fuzzer
+itself honest under plain pytest.
+"""
+
+import pytest
+
+from repro.fuzz import PROFILES, History, generate_history, run_oracle_stack
+from repro.fuzz.cli import main
+
+
+@pytest.mark.parametrize("bias", sorted(PROFILES))
+def test_same_seed_same_history(bias):
+    first = generate_history(11, sessions=12, bias=bias)
+    second = generate_history(11, sessions=12, bias=bias)
+    assert first.to_json() == second.to_json()
+
+
+def test_different_seeds_differ():
+    assert generate_history(1, sessions=8).to_json() \
+        != generate_history(2, sessions=8).to_json()
+
+
+def test_generate_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        generate_history(0, bias="nope")
+    with pytest.raises(ValueError):
+        generate_history(0, sessions=0)
+    with pytest.raises(ValueError):
+        generate_history(0, ops_min=4, ops_max=2)
+
+
+def test_history_round_trip(tmp_path):
+    history = generate_history(5, sessions=10, bias="mixed")
+    path = str(tmp_path / "h.json")
+    history.save(path)
+    assert History.load(path).to_json() == history.to_json()
+
+
+def test_valid_bias_passes_all_oracles():
+    history = generate_history(3, sessions=8, bias="valid")
+    report = run_oracle_stack(history)
+    assert report.ok, report.describe()
+    # Valid histories never need the cure loop: every auto session
+    # commits cleanly on its first full check.
+    for variant in report.variants.values():
+        assert {o.outcome for o in variant.outcomes} <= \
+            {"commit", "rollback"}, report.describe()
+
+
+@pytest.mark.parametrize("bias", ["curable", "hostile", "mixed"])
+def test_adversarial_biases_pass_all_oracles(bias):
+    history = generate_history(0, sessions=8, bias=bias)
+    report = run_oracle_stack(history)
+    assert report.ok, report.describe()
+
+
+def test_variants_agree_fact_for_fact():
+    history = generate_history(7, sessions=8, bias="mixed")
+    report = run_oracle_stack(history)
+    assert report.ok, report.describe()
+    digests = {variant.final_digest
+               for variant in report.variants.values()}
+    assert len(digests) == 1
+    assert report.variants["primary"].commits == \
+        len(report.variants["primary"].digests_by_commits) - 1
+
+
+def test_cli_generate_and_check(tmp_path):
+    status = main(["--seed", "3", "--sessions", "6", "--bias", "valid",
+                   "--quiet", "--workdir", str(tmp_path / "work"),
+                   "--corpus-dir", str(tmp_path / "corpus")])
+    assert status == 0
+
+
+def test_cli_dump_is_deterministic(tmp_path):
+    template = str(tmp_path / "h{seed}.json")
+    for _ in range(2):
+        main(["--seed", "9", "--sessions", "5", "--bias", "valid",
+              "--quiet", "--dump", template,
+              "--corpus-dir", str(tmp_path / "corpus")])
+    dumped = History.load(str(tmp_path / "h9.json"))
+    assert dumped.to_json() == \
+        generate_history(9, sessions=5, bias="valid").to_json()

@@ -1,0 +1,76 @@
+"""The ddmin minimizer, exercised against synthetic predicates.
+
+The oracle stack is deliberately not involved: these tests pin the
+search itself — 1-minimal results, budget exhaustion, empty-session
+pruning — with cheap deterministic predicates.
+"""
+
+from repro.fuzz.history import History, Op, SessionPlan
+from repro.fuzz.minimize import minimize_history, minimize_report_failure
+
+
+def _history(markers):
+    """One session per inner list; each op carries a marker value."""
+    return History(sessions=[
+        SessionPlan(ops=[Op("mark", {"value": value}) for value in session])
+        for session in markers
+    ], seed=0, bias="mixed")
+
+
+def _markers(history):
+    return [[op.params["value"] for op in plan.ops]
+            for plan in history.sessions]
+
+
+def _contains(history, *wanted):
+    present = {op.params["value"]
+               for plan in history.sessions for op in plan.ops}
+    return all(value in present for value in wanted)
+
+
+def test_minimizes_to_the_two_relevant_ops():
+    history = _history([[1, 2], [3, 4], [5, 6], [7, 8], [9, 10]])
+    minimized = minimize_history(
+        history, lambda h: _contains(h, 3, 8), max_checks=500)
+    assert _markers(minimized) == [[3], [8]]
+
+
+def test_single_culprit_collapses_to_one_op():
+    history = _history([[i, i + 100] for i in range(8)])
+    minimized = minimize_history(
+        history, lambda h: _contains(h, 105), max_checks=500)
+    assert _markers(minimized) == [[105]]
+
+
+def test_budget_zero_returns_input_unchanged():
+    history = _history([[1], [2], [3]])
+    minimized = minimize_history(
+        history, lambda h: _contains(h, 2), max_checks=0)
+    assert _markers(minimized) == [[1], [2], [3]]
+
+
+def test_result_still_fails_even_when_budget_runs_dry():
+    history = _history([[i] for i in range(16)])
+    for budget in (1, 3, 7, 20):
+        minimized = minimize_history(
+            history, lambda h: _contains(h, 11), max_checks=budget)
+        assert _contains(minimized, 11)
+
+
+def test_preserves_session_outcomes_and_metadata():
+    history = History(sessions=[
+        SessionPlan(ops=[Op("mark", {"value": 1})], outcome="rollback"),
+        SessionPlan(ops=[Op("mark", {"value": 2})], outcome="auto"),
+    ], seed=42, bias="hostile")
+    minimized = minimize_history(
+        history, lambda h: _contains(h, 1), max_checks=100)
+    assert minimized.seed == 42 and minimized.bias == "hostile"
+    assert minimized.sessions[0].outcome == "rollback"
+
+
+def test_minimize_report_failure_refuses_non_reproducing():
+    # A tiny history that passes every oracle cannot "reproduce" any
+    # failure, so the corpus writer must decline rather than save junk.
+    history = _history([[1]])
+    assert minimize_report_failure(history, {"delta_vs_full"},
+                                   max_checks=5) is None
