@@ -14,14 +14,24 @@ Guarded quantities:
   recompute, full means the compiled fast path stopped engaging.
 * **E9 constraint catalogue** (``e9_constraint_catalogue.json``) — per
   seeded inconsistency, the ``mean_ms`` detect+repair cycle.
+* **C1 concurrency** (``bench_c1_concurrency.json``) — per reader
+  count, the ``scaling_vs_1_thread`` factor: snapshot reads must keep
+  scaling with threads.
+* **C2 farm** (``bench_c2_farm.json``) — per shard count, the
+  ``speedup_vs_1_shard`` factor: committed-writer throughput must keep
+  scaling with shards.
 
-A number regresses when it exceeds the baseline by more than
-``--max-regression`` (default 2.0x; generous because CI machines are
-slower and noisier than the machine that recorded the baseline, but a
-broken maintenance or compilation path shows up as a 5-20x jump, not
-2x).  Structural failures — ``holds`` false, baseline entries missing
-from the results — also fail the guard.  Missing *files* skip cleanly:
-that is the normal state of a checkout that didn't run the benchmarks.
+A millisecond metric regresses when it exceeds the baseline by more
+than ``--max-regression`` (default 2.0x; generous because CI machines
+are slower and noisier than the machine that recorded the baseline,
+but a broken maintenance or compilation path shows up as a 5-20x jump,
+not 2x).  Rate metrics (``rate_metrics`` — higher is better, and
+already machine-normalised ratios rather than absolute times) regress
+when they *fall below* baseline by the same factor.  Structural
+failures — ``holds`` false where the artifact carries one, baseline
+entries missing from the results — also fail the guard.  Missing
+*files* skip cleanly: that is the normal state of a checkout that
+didn't run the benchmarks.
 
 Usage::
 
@@ -41,7 +51,9 @@ DEFAULT_BASELINE_DIR = os.path.join(HERE, "baselines")
 
 #: Each guard names the shared artifact file, the list field holding the
 #: measured entries, the entry field that identifies a row across runs,
-#: and the millisecond metrics to compare against the baseline.
+#: the millisecond metrics (lower is better) and the rate metrics
+#: (higher is better) to compare against the baseline, and whether the
+#: artifact carries a ``holds`` shape claim to enforce.
 GUARDS = (
     {
         "name": "e5_incremental",
@@ -49,6 +61,8 @@ GUARDS = (
         "entries": "points",
         "key": "types",
         "metrics": ("delta_ms", "full_ms"),
+        "rate_metrics": (),
+        "holds": True,
     },
     {
         "name": "e9_constraint_catalogue",
@@ -56,6 +70,26 @@ GUARDS = (
         "entries": "rows",
         "key": "inconsistency",
         "metrics": ("mean_ms",),
+        "rate_metrics": (),
+        "holds": True,
+    },
+    {
+        "name": "c1_concurrency",
+        "file": "bench_c1_concurrency.json",
+        "entries": "rows",
+        "key": "readers",
+        "metrics": (),
+        "rate_metrics": ("scaling_vs_1_thread",),
+        "holds": False,
+    },
+    {
+        "name": "c2_farm",
+        "file": "bench_c2_farm.json",
+        "entries": "rows",
+        "key": "shards",
+        "metrics": (),
+        "rate_metrics": ("speedup_vs_1_shard",),
+        "holds": False,
     },
 )
 
@@ -81,7 +115,7 @@ def load(path, role):
 def check_guard(guard, results, baseline, max_regression):
     """Print the comparison table; return failure strings (empty = pass)."""
     failures = []
-    if not results.get("holds", False):
+    if guard["holds"] and not results.get("holds", False):
         failures.append(f"{guard['name']}: results report holds=false — "
                         "the experiment's shape claim no longer holds")
     key = guard["key"]
@@ -109,6 +143,21 @@ def check_guard(guard, results, baseline, max_regression):
                     f"{guard['name']} {key}={ident}: {metric} "
                     f"{got_ms:.3f} ms is {ratio:.2f}x the baseline "
                     f"{base_ms:.3f} ms (limit {max_regression:.1f}x)")
+        for metric in guard["rate_metrics"]:
+            base_rate = base_entry[metric]
+            got_rate = entry[metric]
+            # Higher is better: the regression ratio inverts.
+            ratio = base_rate / got_rate if got_rate else float("inf")
+            verdict = "ok" if ratio <= max_regression else "REGRESSED"
+            print(f"  {str(ident):>{width}}  {metric:<9} "
+                  f"{got_rate:>9.2f} x   baseline {base_rate:>9.2f} x   "
+                  f"{ratio:>5.2f}x  [{verdict}]")
+            if ratio > max_regression:
+                failures.append(
+                    f"{guard['name']} {key}={ident}: {metric} "
+                    f"{got_rate:.2f}x fell to 1/{ratio:.2f} of the "
+                    f"baseline {base_rate:.2f}x "
+                    f"(limit {max_regression:.1f}x)")
     return failures
 
 

@@ -16,11 +16,12 @@ constraints below, and the resolution helpers are plain queries.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.errors import NameConflictError, NameResolutionError
 from repro.datalog.facts import PredicateDecl
 from repro.datalog.terms import Atom
+from repro.gom.builtins import is_builtin_type_id
 from repro.gom.ids import Id
 from repro.gom.model import FeatureModule, GomDatabase, register_feature
 
@@ -220,3 +221,151 @@ def resolve_visible_type(model: GomDatabase, sid: Id, name: str) -> Optional[Id]
             f"rename the imports to resolve the conflict")
     origin, original = next(iter(origins))
     return model.type_id(original, origin)
+
+
+# ---------------------------------------------------------------------------
+# Public closure (the unit of cross-schema snapshot exchange)
+# ---------------------------------------------------------------------------
+
+
+def public_closure(model, sid: Id) -> List[Atom]:
+    """The self-contained EDB excerpt a schema exports to importers.
+
+    Covers the schema's ``public`` clause and everything those
+    components transitively need to stand on their own in *another*
+    deductive database: type facts with their attributes, operation
+    declarations (arguments, result types, implementing code),
+    supertype chains up to the implicit root, enum values, and — for
+    re-exported components — the provider edges (``SubSchema`` /
+    ``ImportRel`` / ``Rename`` / the provider's own ``PublicComp``)
+    that make ``public_exists`` and ``rename_source_provides`` hold on
+    the installed excerpt.
+
+    Deliberately excluded: ``PhRep`` / ``Slot`` (foreign schemas are
+    never instantiated on the importer — ``slot_exists`` is gated on
+    ``PhRep``, so it stays vacuous) and ``CodeReq*`` facts (foreign
+    code is opaque here; its requirements were validated at the home
+    schema's own EES).  Built-in types and the builtin schema are
+    skipped — every database already declares them identically.
+
+    *model* needs only the read surface (``.db.matching``), so live
+    databases and published snapshots both work.  The result is sorted
+    deterministically, making excerpts at one epoch byte-comparable.
+    """
+    db = model.db
+    atoms: Set[Atom] = set()
+    types_done: Set[Id] = set()
+    decls_done: Set[Id] = set()
+    schemas_named: Set[Id] = set()
+    #: (schemaid, kind, visible-name) public components already satisfied.
+    comps_done: Set[Tuple[Id, str, str]] = set()
+
+    def name_schema(schema: Id) -> None:
+        if schema in schemas_named:
+            return
+        if isinstance(schema, Id) and schema.label is not None:
+            return  # the builtin schema exists everywhere
+        schemas_named.add(schema)
+        for fact in db.matching(Atom("Schema", (schema, None))):
+            atoms.add(fact)
+
+    def close_type(tid: Id) -> None:
+        if tid in types_done or is_builtin_type_id(tid):
+            return
+        types_done.add(tid)
+        for fact in db.matching(Atom("Type", (tid, None, None))):
+            atoms.add(fact)
+            name_schema(fact.args[2])
+        for fact in db.matching(Atom("Attr", (tid, None, None))):
+            atoms.add(fact)
+            close_type(fact.args[2])
+        for fact in db.matching(Atom("EnumValue", (tid, None))):
+            atoms.add(fact)
+        for fact in db.matching(Atom("SubTypRel", (tid, None))):
+            atoms.add(fact)
+            close_type(fact.args[1])
+        for fact in db.matching(Atom("Decl", (None, tid, None, None))):
+            close_decl(fact)
+
+    def close_decl(decl_fact: Atom) -> None:
+        did = decl_fact.args[0]
+        if did in decls_done:
+            return
+        decls_done.add(did)
+        atoms.add(decl_fact)
+        close_type(decl_fact.args[1])
+        close_type(decl_fact.args[3])
+        for fact in db.matching(Atom("ArgDecl", (did, None, None))):
+            atoms.add(fact)
+            close_type(fact.args[2])
+        for fact in db.matching(Atom("Code", (None, None, did))):
+            atoms.add(fact)
+
+    def provider_edges(schema: Id, kind: str, visible: str,
+                       origin: Id, original: str) -> None:
+        """Facts making ``Visible(schema, kind, visible, origin, …)``
+        re-derivable on the importer when *origin* is another schema."""
+        name_schema(origin)
+        edge = None
+        for fact in db.matching(Atom("SubSchema", (schema, origin))):
+            edge = fact
+        if edge is None:
+            for fact in db.matching(Atom("ImportRel", (schema, origin))):
+                edge = fact
+        if edge is not None:
+            atoms.add(edge)
+        if visible != original:
+            for fact in db.matching(
+                    Atom("Rename", (schema, kind, original, visible,
+                                    origin))):
+                atoms.add(fact)
+        satisfy_public(origin, kind, original)
+
+    def satisfy_public(schema: Id, kind: str, visible: str) -> None:
+        key = (schema, kind, visible)
+        if key in comps_done:
+            return
+        comps_done.add(key)
+        name_schema(schema)
+        for fact in db.matching(Atom("PublicComp", (schema, kind, visible))):
+            atoms.add(fact)
+        witnesses = db.matching(
+            Atom("Visible", (schema, kind, visible, None, None)))
+        for fact in witnesses:
+            origin, original = fact.args[3], fact.args[4]
+            if kind == "type":
+                if origin == schema:
+                    for type_fact in db.matching(
+                            Atom("Type", (None, original, origin))):
+                        close_type(type_fact.args[0])
+                else:
+                    provider_edges(schema, kind, visible, origin, original)
+            elif kind == "var":
+                if origin == schema:
+                    for var_fact in db.matching(
+                            Atom("SchemaVar", (schema, visible, None))):
+                        atoms.add(var_fact)
+                        close_type(var_fact.args[2])
+                else:
+                    provider_edges(schema, kind, visible, origin, original)
+            elif kind == "schema":
+                name_schema(origin)
+                direct = False
+                if visible == original and any(
+                        True for _ in db.matching(
+                            Atom("Schema", (origin, visible)))):
+                    for edge in db.matching(
+                            Atom("SubSchema", (schema, origin))):
+                        atoms.add(edge)
+                        direct = True
+                if direct:
+                    for pub in db.matching(
+                            Atom("PublicComp", (origin, None, None))):
+                        satisfy_public(origin, pub.args[1], pub.args[2])
+                else:
+                    provider_edges(schema, kind, visible, origin, original)
+
+    name_schema(sid)
+    for fact in db.matching(Atom("PublicComp", (sid, None, None))):
+        satisfy_public(sid, fact.args[1], fact.args[2])
+    return sorted(atoms, key=lambda fact: (fact.pred, repr(fact.args)))

@@ -161,6 +161,10 @@ class Relation:
         """The stored rows as code tuples (engine-internal)."""
         return iter(self._row_ids)
 
+    def contains_codes(self, codes: Tuple[int, ...]) -> bool:
+        """Membership of a pre-interned row (engine-internal)."""
+        return codes in self._row_ids
+
     def add(self, row: Tuple[object, ...]) -> bool:
         """Insert a row; returns True when it was not already present."""
         if len(row) != self.decl.arity:

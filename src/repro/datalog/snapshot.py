@@ -22,7 +22,8 @@ instrumentation never race the live session's.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ReadOnlySnapshotError, UnknownPredicateError
 from repro.datalog.facts import FactStore, PredicateDecl, Relation
@@ -30,7 +31,8 @@ from repro.datalog.plan import EngineStats, QueryPlanner
 from repro.datalog.rules import BodyElement
 from repro.datalog.terms import Atom, Substitution
 
-__all__ = ["SnapshotDatabase"]
+__all__ = ["RelationExcerpt", "SnapshotDatabase", "export_excerpt",
+           "install_excerpt"]
 
 
 class SnapshotDatabase:
@@ -131,3 +133,93 @@ class SnapshotDatabase:
 
     def declare(self, decl):
         self._read_only("declare a predicate")
+
+
+# ---------------------------------------------------------------------------
+# Relation excerpts: moving interned rows across SymbolTable boundaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RelationExcerpt:
+    """A detached, store-independent slice of one fact store.
+
+    ``rows`` holds code tuples exactly as the source store interned
+    them; ``values`` is the *partial* symbol table covering just the
+    codes the rows use.  An excerpt therefore carries no reference to
+    its source — it can cross a process boundary (the farm serializes
+    it) and be re-interned into any target store, whose symbol table
+    assigns its own, generally different, codes.
+    """
+
+    rows: Dict[str, List[Tuple[int, ...]]] = field(default_factory=dict)
+    values: Dict[int, object] = field(default_factory=dict)
+
+    @property
+    def fact_count(self) -> int:
+        return sum(len(rows) for rows in self.rows.values())
+
+    def decoded(self) -> Iterator[Atom]:
+        """The excerpt's content as ground atoms (source-value typed)."""
+        values = self.values
+        for pred in sorted(self.rows):
+            for codes in self.rows[pred]:
+                yield Atom(pred, tuple(values[code] for code in codes))
+
+
+def export_excerpt(store: FactStore,
+                   selection: Optional[Dict[str, Iterable[Atom]]] = None,
+                   predicates: Optional[Sequence[str]] = None
+                   ) -> RelationExcerpt:
+    """Detach rows of *store* into a :class:`RelationExcerpt`.
+
+    With no arguments the whole store is exported (``snapshot_codes()``
+    plus the value slice those codes need).  *predicates* restricts the
+    export to some relations; *selection* maps predicate names to the
+    exact ground atoms wanted (atoms a relation does not contain are
+    ignored — the excerpt reflects the store, not the wish list).
+    """
+    excerpt = RelationExcerpt()
+    symbols = store.symbols
+    values = excerpt.values
+
+    def keep(pred: str, codes: Tuple[int, ...]) -> None:
+        excerpt.rows.setdefault(pred, []).append(codes)
+        for code in codes:
+            if code not in values:
+                values[code] = symbols.value(code)
+
+    if selection is not None:
+        for pred, atoms in selection.items():
+            relation = store.relation(pred)
+            for atom in atoms:
+                codes = symbols.code_row(atom.args)
+                if relation.contains_codes(codes):
+                    keep(pred, codes)
+        return excerpt
+    names = predicates if predicates is not None else list(store.predicates())
+    for pred in names:
+        for codes in store.relation(pred).row_codes():
+            keep(pred, codes)
+    return excerpt
+
+
+def install_excerpt(store: FactStore, excerpt: RelationExcerpt) -> int:
+    """Re-intern an excerpt's rows into *store*; returns rows added.
+
+    The target's :class:`~repro.datalog.symbols.SymbolTable` assigns its
+    own codes (values equal, codes generally different), and
+    :meth:`~repro.datalog.facts.Relation.add` rebuilds the per-column
+    indexes as it inserts, so the installed rows are immediately
+    queryable.  Rows already present dedup silently; unknown predicates
+    raise :class:`~repro.errors.UnknownPredicateError` — the caller
+    aligns feature stacks, not this function.
+    """
+    values = excerpt.values
+    added = 0
+    for pred in sorted(excerpt.rows):
+        relation = store.relation(pred)
+        for codes in excerpt.rows[pred]:
+            if relation.add(tuple(values[code] for code in codes)):
+                added += 1
+    return added

@@ -1,0 +1,74 @@
+"""The shard-per-schema farm: multiprocess writer scale-out.
+
+One process, one ``WriterLock``, one GIL — that is the ceiling the
+service layer hits no matter how many reader threads it adds.  The farm
+breaks it along the partition key the paper itself supplies: Appendix A
+makes the *schema* the unit of name-space isolation, so schemas (and
+their whole subschema trees, which must stay together for relative
+paths to resolve) shard cleanly.  A :class:`~repro.farm.farm.SchemaFarm`
+runs one worker process per shard — each with its own
+:class:`~repro.gom.model.GomDatabase`, WAL directory, and snapshot
+machinery — behind a :class:`~repro.farm.router.ShardRouter` hashing
+root-schema names to shards.
+
+Cross-shard ``import`` is resolved by **snapshot exchange**, never by a
+shared database: when a schema on shard A imports one homed on shard B,
+the farm fetches B's :func:`~repro.analyzer.namespaces.public_closure`
+excerpt at B's current epoch and installs it into A's database as
+*foreign facts* through an ordinary WAL-logged evolution session, so
+the copy is crash-durable, EES-checked, and invisible to rollback
+anomalies.  A ``ForeignSchema(schemaid, homeshard, homeepoch)`` fact
+records the provenance; staleness is the comparison of that recorded
+epoch against the home shard's current one, and every commit on the
+home shard invalidates (see :meth:`SchemaFarm.stale_imports` /
+:meth:`SchemaFarm.refresh_imports`).
+
+Ids cannot collide across shards: every worker resumes its
+:class:`~repro.gom.ids.IdFactory` at ``shard_index * ID_STRIDE + 1``
+(``resume`` is monotonic-max, so WAL recovery composes with it), giving
+each shard a disjoint id stride and making installed foreign facts
+collision-free by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.datalog.facts import PredicateDecl
+from repro.gom.model import FeatureModule, register_feature
+
+# The farm feature builds on Appendix-A namespaces; importing the module
+# registers that feature first.
+import repro.analyzer.namespaces  # noqa: F401  (feature registration)
+
+#: Disjoint id-number stride per shard (worker *k* allocates numbers in
+#: ``(k * ID_STRIDE, (k + 1) * ID_STRIDE]``).
+ID_STRIDE = 1_000_000_000
+
+#: The feature stack every shard worker runs with: the full protocol
+#: surface of the fuzzer plus the farm's own provenance predicate.
+FARM_FEATURES: Tuple[str, ...] = (
+    "core", "objectbase", "versioning", "fashion", "namespaces", "farm")
+
+FARM_PREDICATES: Tuple[PredicateDecl, ...] = (
+    PredicateDecl(
+        "ForeignSchema", ("schemaid", "homeshard", "homeepoch"), key=(0,),
+        references=((0, "Schema", 0),),
+        doc=("provenance of an installed foreign excerpt: the schema is "
+             "homed on another shard, copied at that shard's epoch"),
+    ),
+)
+
+register_feature(FeatureModule(
+    name="farm",
+    predicates=FARM_PREDICATES,
+    requires=("core", "namespaces"),
+    doc="shard-farm provenance: foreign schemas installed by snapshot "
+        "exchange, keyed by (home shard, home epoch)",
+))
+
+from repro.farm.router import ShardRouter  # noqa: E402
+from repro.farm.farm import SchemaFarm  # noqa: E402
+
+__all__ = ["FARM_FEATURES", "FARM_PREDICATES", "ID_STRIDE", "SchemaFarm",
+           "ShardRouter"]

@@ -1,0 +1,98 @@
+"""Length-prefixed, checksummed JSON frames between farm and workers.
+
+The wire format deliberately mirrors the WAL's
+(:mod:`repro.storage.wal`): a little-endian ``<II`` header carrying the
+payload length and its CRC32, followed by UTF-8 JSON.  Frames travel
+over :class:`multiprocessing.connection.Connection` byte pipes — the
+pipe already preserves message boundaries, so the header is pure
+integrity checking: a worker that dies mid-``send_bytes`` or a torn
+buffer surfaces as a :class:`ProtocolError` instead of a silently
+half-parsed request.
+
+Session plans ride inside frames in the fuzzer's exchange format
+(:mod:`repro.fuzz.history` ``Op`` / ``SessionPlan`` dictionaries), so a
+recorded farm workload is replayable — and fuzzable — with the
+machinery PR 7 built.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["MAX_FRAME_BYTES", "ProtocolError", "WorkerDied",
+           "decode_frame", "encode_frame", "recv_message", "send_message"]
+
+_HEADER = struct.Struct("<II")  # payload length, payload crc32
+
+#: Hard cap on one frame (a whole-EDB excerpt of a large shard fits in
+#: a few MB; anything near this limit is a runaway, not a workload).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """A malformed, truncated, or corrupt farm protocol frame."""
+
+
+class WorkerDied(ReproError):
+    """The peer hung up mid-conversation (crashed or was killed)."""
+
+
+def encode_frame(message: Dict[str, object]) -> bytes:
+    """Serialize one message to a framed byte string."""
+    payload = json.dumps(message, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_frame(data: bytes) -> Dict[str, object]:
+    """Parse and verify one framed byte string."""
+    if len(data) < _HEADER.size:
+        raise ProtocolError(
+            f"short frame: {len(data)} bytes, need {_HEADER.size} for "
+            f"the header")
+    length, crc = _HEADER.unpack_from(data)
+    payload = data[_HEADER.size:]
+    if len(payload) != length:
+        raise ProtocolError(
+            f"frame length mismatch: header says {length}, "
+            f"got {len(payload)}")
+    if zlib.crc32(payload) != crc:
+        raise ProtocolError("frame checksum mismatch")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got "
+            f"{type(message).__name__}")
+    return message
+
+
+def send_message(conn, message: Dict[str, object]) -> None:
+    """Frame and send one message over a multiprocessing connection."""
+    try:
+        conn.send_bytes(encode_frame(message))
+    except (BrokenPipeError, EOFError, OSError) as exc:
+        raise WorkerDied(f"peer hung up while sending: {exc}") from None
+
+
+def recv_message(conn, timeout: Optional[float] = None) -> Dict[str, object]:
+    """Receive and verify one message; *timeout* (seconds) raises
+    :class:`ProtocolError` on expiry, None blocks forever."""
+    if timeout is not None and not conn.poll(timeout):
+        raise ProtocolError(f"no frame within {timeout} seconds")
+    try:
+        data = conn.recv_bytes()
+    except (EOFError, BrokenPipeError, OSError) as exc:
+        raise WorkerDied(f"peer hung up while receiving: {exc}") from None
+    return decode_frame(data)

@@ -1,0 +1,55 @@
+"""Mapping schema paths to shards.
+
+The routing key is the **root segment** of a schema path: Appendix A
+resolves relative paths (``../CSG``) inside one schema hierarchy, so a
+whole subschema tree must live on one shard — hashing the root schema
+name keeps every descendant, and every relative path between them,
+shard-local.  Only ``import`` crosses trees, and cross-shard imports go
+through snapshot exchange rather than the router.
+
+The hash is ``zlib.crc32`` — stable across processes and Python runs
+(``hash()`` is salted), so a router re-created after a farm restart
+routes identically, which the per-shard WALs rely on.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """A stateless schema-path → shard-index map."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError("a farm needs at least one shard")
+        self.shards = shards
+
+    @staticmethod
+    def root_of(path: str) -> str:
+        """The root-schema segment of a path (or the name itself).
+
+        ``/Company/CAD/Geometry`` → ``Company``; a bare schema name is
+        its own root.  Relative paths have no root to hash — they only
+        mean something inside a tree that is already placed — so they
+        are rejected.
+        """
+        segments = [segment for segment in path.split("/") if segment]
+        if not segments or ".." in segments:
+            raise ValueError(
+                f"cannot route relative or empty schema path {path!r}")
+        return segments[0]
+
+    def shard_of(self, path: str) -> int:
+        """The shard index a schema path (or root name) is homed on."""
+        root = self.root_of(path)
+        return zlib.crc32(root.encode("utf-8")) % self.shards
+
+    def colocated(self, path_a: str, path_b: str) -> bool:
+        """Do two paths land on the same shard?"""
+        return self.shard_of(path_a) == self.shard_of(path_b)
+
+    def __repr__(self) -> str:
+        return f"<ShardRouter shards={self.shards}>"

@@ -147,6 +147,27 @@ class SchemaManager:
         manager.store = store
         return manager
 
+    @classmethod
+    def open_farm(cls, directory: str, shards: Optional[int] = None,
+                  features: Optional[Sequence[str]] = None,
+                  metrics: bool = True):
+        """Open (or create) a multi-process shard farm at *directory*.
+
+        Scale-out past the single writer lock: one durable manager
+        *process* per shard, schemas routed to shards by their root
+        name, and cross-shard imports resolved by snapshot exchange.
+        Returns a :class:`repro.farm.SchemaFarm`; see that module for
+        the client surface (``read`` / ``submit`` / ``batch`` /
+        ``import_schema`` / ``digests``)::
+
+            with SchemaManager.open_farm("/var/lib/gom-farm",
+                                         shards=8) as farm:
+                farm.define("schema Tenant0 is ... end schema Tenant0;")
+        """
+        from repro.farm import SchemaFarm
+        return SchemaFarm.open(directory, shards=shards, features=features,
+                               metrics=metrics)
+
     @property
     def recovery(self):
         """The :class:`RecoveryReport` of :meth:`open` (None if not durable)."""

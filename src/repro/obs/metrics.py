@@ -28,7 +28,7 @@ import threading
 from typing import Dict, List, Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "NullMetrics", "NULL_METRICS"]
+           "NullMetrics", "NULL_METRICS", "rollup_snapshots"]
 
 
 class Counter:
@@ -288,3 +288,56 @@ class MetricsRegistry:
                 f"p50={snap['p50']:.3f} p95={snap['p95']:.3f} "
                 f"p99={snap['p99']:.3f} max={snap['max']:.3f}")
         return "\n".join(lines)
+
+
+def rollup_snapshots(snapshots: List[Dict[str, Dict[str, object]]]
+                     ) -> Dict[str, Dict[str, object]]:
+    """Merge several :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    Built for the shard farm: each worker process owns an independent
+    registry, and the farm-level view is their merge.  Counters sum
+    (they count events), gauges take the max (they mark levels — the
+    farm cares about the high-water shard), and histograms combine
+    exactly on ``count`` / ``sum`` / ``min`` / ``max``; the percentile
+    fields of a merged histogram are count-weighted averages of the
+    per-shard percentiles — an approximation (true merged percentiles
+    would need the raw samples), flagged by the ``approximate`` key.
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            gauges[name] = max(gauges[name], value) if name in gauges \
+                else value
+        for name, entry in snapshot.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                merged = {"count": 0, "sum": 0.0, "min": None, "max": None,
+                          "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                          "approximate": True}
+                histograms[name] = merged
+            count = entry.get("count", 0)
+            if not count:
+                continue
+            merged["sum"] = round(merged["sum"] + entry.get("sum", 0.0), 6)
+            low, high = entry.get("min", 0.0), entry.get("max", 0.0)
+            merged["min"] = low if merged["min"] is None \
+                else min(merged["min"], low)
+            merged["max"] = high if merged["max"] is None \
+                else max(merged["max"], high)
+            total = merged["count"] + count
+            for field in ("p50", "p95", "p99"):
+                merged[field] = round(
+                    (merged[field] * merged["count"]
+                     + entry.get(field, 0.0) * count) / total, 6)
+            merged["count"] = total
+    for merged in histograms.values():
+        if merged["min"] is None:
+            merged["min"] = 0.0
+            merged["max"] = 0.0
+    return {"counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items()))}

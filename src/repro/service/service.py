@@ -136,9 +136,23 @@ class SchemaService:
         The request receives a fresh :class:`ReadSession` (pinned to
         the snapshot current at execution time, not submission time).
         """
+        return self._submit_read(request, None)
+
+    def _submit_read(self, request: Callable[[ReadSession], object],
+                     session: Optional[ReadSession]) -> Future:
+        """Pool dispatch with a close-safe guard.
+
+        Checking ``_closed`` first is not enough: ``close()`` on another
+        thread can shut the pool down between the check and the submit,
+        and the executor then raises its own RuntimeError.  Both paths
+        must surface the same clean "service is closed" error.
+        """
         if self._closed:
             raise RuntimeError("the schema service is closed")
-        return self._pool.submit(self._run_read, request, None)
+        try:
+            return self._pool.submit(self._run_read, request, session)
+        except RuntimeError as exc:  # pool shut down under us
+            raise RuntimeError("the schema service is closed") from exc
 
     def read(self, request: Callable[[ReadSession], object]) -> object:
         """Dispatch one read request and wait for its result."""
@@ -152,10 +166,8 @@ class SchemaService:
         between two of its requests cannot make the batch see two
         different schemas.  Results come back in request order.
         """
-        if self._closed:
-            raise RuntimeError("the schema service is closed")
         session = self.read_session()
-        futures = [self._pool.submit(self._run_read, request, session)
+        futures = [self._submit_read(request, session)
                    for request in requests]
         return [future.result() for future in futures]
 
@@ -191,7 +203,12 @@ class SchemaService:
         snapshot = self.snapshot()
         if not parallel:
             return snapshot.check()
-        return snapshot.checker.check(pool=self._pool)
+        if self._closed:
+            raise RuntimeError("the schema service is closed")
+        try:
+            return snapshot.checker.check(pool=self._pool)
+        except RuntimeError as exc:  # pool shut down under us
+            raise RuntimeError("the schema service is closed") from exc
 
     # -- writing ---------------------------------------------------------------
 

@@ -39,6 +39,15 @@ from repro.storage.wal import WriteAheadLog, group_operations
 
 SNAPSHOT_NAME = "snapshot.json"
 LOG_NAME = "wal.log"
+#: Per-shard durable directories under a farm root: each shard owns a
+#: complete snapshot + WAL layout of its own, so shards recover — and
+#: crash — independently.
+SHARD_DIR_FORMAT = "shard-%03d"
+
+
+def shard_directory(root: str, shard: int) -> str:
+    """The durable directory of one farm shard under *root*."""
+    return os.path.join(root, SHARD_DIR_FORMAT % shard)
 
 
 @dataclass

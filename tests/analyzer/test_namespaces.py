@@ -202,3 +202,96 @@ class TestNamespaceConstraints:
         prims.add_rename(a, "type", "Ghost", "Renamed", b)
         names = {v.constraint.name for v in session.check().violations}
         assert "rename_source_provides" in names
+
+
+class TestPublicClosure:
+    """public_closure(): self-contained export excerpts (the farm's
+    snapshot-exchange payload)."""
+
+    def _closure(self, company, name):
+        from repro.analyzer.namespaces import public_closure
+        return public_closure(company.model,
+                              company.model.schema_id(name))
+
+    def test_covers_the_public_type_and_its_attribute_domains(self,
+                                                              company):
+        atoms = self._closure(company, "BoundaryRep")
+        by_pred = {}
+        for fact in atoms:
+            by_pred.setdefault(fact.pred, []).append(fact)
+        type_names = {fact.args[1] for fact in by_pred["Type"]}
+        # Cuboid is public; Vertex rides along as its attribute domain.
+        assert {"Cuboid", "Vertex"} <= type_names
+        # Surface/Edge are implementation-only and unreferenced by the
+        # public component: they stay home.
+        assert "Surface" not in type_names
+        assert "Edge" not in type_names
+        attr_names = {fact.args[1] for fact in by_pred["Attr"]}
+        assert {"corner", "x", "y", "z"} <= attr_names
+        assert [fact.args[2] for fact in by_pred["PublicComp"]] == \
+            ["Cuboid"]
+
+    def test_reexport_carries_provider_edges_and_renames(self, company):
+        atoms = self._closure(company, "Geometry")
+        preds = {fact.pred for fact in atoms}
+        # Geometry's publics are renamed re-exports of its subschemas:
+        # the excerpt must carry the SubSchema edges, the Rename facts,
+        # and the providers' own PublicComp facts so public_exists and
+        # rename_source_provides hold on the installed copy.
+        assert {"SubSchema", "Rename", "PublicComp", "Type"} <= preds
+        renames = {(fact.args[2], fact.args[3]) for fact in atoms
+                   if fact.pred == "Rename"}
+        assert ("Cuboid", "CSGCuboid") in renames
+        assert ("Cuboid", "BRepCuboid") in renames
+
+    def test_excludes_physical_and_codereq_facts(self, company):
+        for name in ("BoundaryRep", "Geometry", "CSG"):
+            preds = {fact.pred for fact in self._closure(company, name)}
+            assert not preds & {"PhRep", "Slot", "CodeReq", "CodeReqAttr",
+                                "CodeReqOp"}
+
+    def test_deterministic_and_sorted(self, company):
+        first = self._closure(company, "Geometry")
+        second = self._closure(company, "Geometry")
+        assert first == second
+        assert first == sorted(
+            first, key=lambda fact: (fact.pred, repr(fact.args)))
+
+    def test_installed_closure_is_consistent_standalone(self, company):
+        # The whole point: the excerpt must satisfy every constraint in
+        # a *fresh* database that knows nothing of the home schema.
+        fresh = SchemaManager(features=COMPANY_FEATURES)
+        session = fresh.begin_session()
+        session.modify(additions=self._closure(company, "Geometry"))
+        session.commit()
+        assert fresh.check().consistent
+
+    def test_closure_with_operations_carries_code(self):
+        manager = SchemaManager(features=COMPANY_FEATURES)
+        manager.define("""
+        schema Home is
+        public Part;
+        interface
+          type Part is
+            [ weight : float; ]
+          operations
+            declare scale : float -> Part;
+          implementation
+            define scale(factor) is
+            begin
+              return self;
+            end scale;
+          end type Part;
+        end schema Home;
+        """)
+        from repro.analyzer.namespaces import public_closure
+        atoms = public_closure(manager.model,
+                               manager.model.schema_id("Home"))
+        preds = {fact.pred for fact in atoms}
+        # decl_has_code: every exported Decl travels with its Code.
+        assert {"Decl", "ArgDecl", "Code"} <= preds
+        fresh = SchemaManager(features=COMPANY_FEATURES)
+        session = fresh.begin_session()
+        session.modify(additions=atoms)
+        session.commit()
+        assert fresh.check().consistent

@@ -1,0 +1,57 @@
+"""ShardRouter units: stable hashing, subtree co-location, validation."""
+
+import zlib
+
+import pytest
+
+from repro.farm.router import ShardRouter
+
+
+class TestRouting:
+    def test_routes_by_crc32_of_the_root(self):
+        router = ShardRouter(8)
+        assert router.shard_of("Company") == \
+            zlib.crc32(b"Company") % 8
+        assert router.shard_of("/Company/CAD") == \
+            zlib.crc32(b"Company") % 8
+
+    def test_stable_across_instances(self):
+        # hash() is per-process salted; the router must not be.
+        names = [f"Tenant{i}" for i in range(50)]
+        first = [ShardRouter(8).shard_of(name) for name in names]
+        second = [ShardRouter(8).shard_of(name) for name in names]
+        assert first == second
+
+    def test_subschema_paths_colocate_with_their_root(self):
+        router = ShardRouter(16)
+        root = router.shard_of("Company")
+        assert router.shard_of("Company/CAD") == root
+        assert router.shard_of("/Company/CAD/Geometry/CSG") == root
+        assert router.colocated("Company", "/Company/CAD")
+
+    def test_spreads_across_shards(self):
+        router = ShardRouter(8)
+        used = {router.shard_of(f"Tenant{i}") for i in range(200)}
+        assert len(used) == 8
+
+    def test_single_shard_routes_everything_to_zero(self):
+        router = ShardRouter(1)
+        assert router.shard_of("Anything") == 0
+
+
+class TestValidation:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+    def test_rejects_empty_path(self):
+        router = ShardRouter(2)
+        with pytest.raises(ValueError):
+            router.shard_of("")
+        with pytest.raises(ValueError):
+            router.shard_of("///")
+
+    def test_rejects_parent_traversal(self):
+        router = ShardRouter(2)
+        with pytest.raises(ValueError):
+            router.shard_of("../Other")
