@@ -91,6 +91,15 @@ GUARDS = (
         "rate_metrics": ("speedup_vs_1_shard",),
         "holds": False,
     },
+    {
+        "name": "c3_replication",
+        "file": "bench_c3_replication.json",
+        "entries": "rows",
+        "key": "read_nodes",
+        "metrics": (),
+        "rate_metrics": ("scaling_vs_single_node",),
+        "holds": False,
+    },
 )
 
 
@@ -131,9 +140,11 @@ def check_guard(guard, results, baseline, max_regression):
                             "missing from results")
             continue
         for metric in guard["metrics"]:
-            base_ms = base_entry[metric]
+            base_ms = comparable(guard, ident, metric, base_entry, entry)
+            if base_ms is None:
+                continue
             got_ms = entry[metric]
-            ratio = got_ms / base_ms if base_ms else float("inf")
+            ratio = got_ms / base_ms
             verdict = "ok" if ratio <= max_regression else "REGRESSED"
             print(f"  {str(ident):>{width}}  {metric:<9} "
                   f"{got_ms:>9.3f} ms  baseline {base_ms:>9.3f} ms  "
@@ -144,9 +155,13 @@ def check_guard(guard, results, baseline, max_regression):
                     f"{got_ms:.3f} ms is {ratio:.2f}x the baseline "
                     f"{base_ms:.3f} ms (limit {max_regression:.1f}x)")
         for metric in guard["rate_metrics"]:
-            base_rate = base_entry[metric]
+            base_rate = comparable(guard, ident, metric, base_entry, entry)
+            if base_rate is None:
+                continue
             got_rate = entry[metric]
-            # Higher is better: the regression ratio inverts.
+            # Higher is better: the regression ratio inverts.  A
+            # measured rate of zero is a genuine collapse, not a skip —
+            # the baseline was already proven non-zero above.
             ratio = base_rate / got_rate if got_rate else float("inf")
             verdict = "ok" if ratio <= max_regression else "REGRESSED"
             print(f"  {str(ident):>{width}}  {metric:<9} "
@@ -159,6 +174,29 @@ def check_guard(guard, results, baseline, max_regression):
                     f"baseline {base_rate:.2f}x "
                     f"(limit {max_regression:.1f}x)")
     return failures
+
+
+def comparable(guard, ident, metric, base_entry, entry):
+    """The baseline value when a ratio can be formed; None = skip.
+
+    A missing or zero baseline value makes the regression ratio
+    meaningless (and used to crash the guard with a ``KeyError`` or
+    blow up the division into a spurious ``inf`` failure).  Such cells
+    skip with a note: an absent baseline is a baseline-maintenance
+    state, not a performance regression.  A metric missing from the
+    *results* entry also skips — the benchmark simply didn't measure
+    that quantity on this run.
+    """
+    base = base_entry.get(metric)
+    if not isinstance(base, (int, float)) or not base > 0:
+        print(f"  {guard['name']} {guard['key']}={ident}: {metric} "
+              f"baseline is {base!r} — skipping (no ratio to form)")
+        return None
+    if not isinstance(entry.get(metric), (int, float)):
+        print(f"  {guard['name']} {guard['key']}={ident}: {metric} "
+              f"missing from results — skipping")
+        return None
+    return base
 
 
 def main(argv=None):

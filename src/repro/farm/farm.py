@@ -34,6 +34,7 @@ from repro.farm.protocol import (
 )
 from repro.farm.router import ShardRouter
 from repro.fuzz.history import Op, SessionPlan
+from repro.gom.persistence import save_json_atomic
 from repro.obs.metrics import rollup_snapshots
 from repro.storage.store import shard_directory
 
@@ -112,9 +113,11 @@ class SchemaFarm:
             shards = 4 if shards is None else shards
             features = tuple(FARM_FEATURES if features is None
                              else features)
-            with open(config_path, "w", encoding="utf-8") as handle:
-                json.dump({"shards": shards, "features": list(features)},
-                          handle, indent=1, sort_keys=True)
+            # Atomic + durable: the manifest pins the shard count, and a
+            # torn or rename-lost farm.json would re-create the farm
+            # with a different layout, stranding every shard WAL.
+            save_json_atomic({"shards": shards, "features": list(features)},
+                             config_path)
         return cls(directory, shards, features, metrics=metrics)
 
     def shard_directory(self, shard: int) -> str:
@@ -124,22 +127,50 @@ class SchemaFarm:
         import multiprocessing
         from repro.farm.worker import worker_main
         context = multiprocessing.get_context()
-        for index in range(self.router.shards):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=worker_main,
-                args=(child_conn, index, self.shard_directory(index),
-                      self.features, self.metrics_enabled),
-                name=f"farm-shard-{index}", daemon=True)
-            process.start()
-            child_conn.close()
-            self._shards.append(_Shard(index, process, parent_conn))
+        try:
+            for index in range(self.router.shards):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=worker_main,
+                    args=(child_conn, index, self.shard_directory(index),
+                          self.features, self.metrics_enabled),
+                    name=f"farm-shard-{index}", daemon=True)
+                process.start()
+                child_conn.close()
+                self._shards.append(_Shard(index, process, parent_conn))
+            for shard in self._shards:
+                ready = recv_message(shard.conn, timeout=self.ready_timeout)
+                if ready.get("kind") != "ready":
+                    raise FarmError(
+                        f"shard {shard.index} failed to start: {ready!r}")
+                self.epochs[shard.index] = ready.get("epoch", 0)
+        except BaseException:
+            # A failed start must not leak the shards already spawned:
+            # kill them, reap the zombies, and release every pipe fd and
+            # process sentinel before surfacing the error.
+            self._closed = True
+            for shard in self._shards:
+                shard.process.kill()
+            self._reap(pool_wait=False)
+            raise
+
+    def _reap(self, pool_wait: bool) -> None:
+        """Join every worker and release all fds (pipes + sentinels).
+
+        ``Process.join`` reaps the child (no zombie), but the pipe fd
+        and the process *sentinel* fd stay open until ``conn.close()``
+        / ``Process.close()`` — a farm that skipped those leaked four
+        fds per open/kill cycle.
+        """
         for shard in self._shards:
-            ready = recv_message(shard.conn, timeout=self.ready_timeout)
-            if ready.get("kind") != "ready":
-                raise FarmError(
-                    f"shard {shard.index} failed to start: {ready!r}")
-            self.epochs[shard.index] = ready.get("epoch", 0)
+            shard.process.join(timeout=30.0)
+            if shard.process.is_alive():  # pragma: no cover - stuck worker
+                shard.process.kill()
+                shard.process.join(timeout=10.0)
+            shard.conn.close()
+            if not shard.process.is_alive():
+                shard.process.close()
+        self._pool.shutdown(wait=pool_wait)
 
     def close(self) -> None:
         """Shut every worker down cleanly (WALs stay committed)."""
@@ -153,13 +184,7 @@ class SchemaFarm:
                     recv_message(shard.conn, timeout=30.0)
             except (WorkerDied, ProtocolError, OSError):
                 pass
-            shard.conn.close()
-        for shard in self._shards:
-            shard.process.join(timeout=30.0)
-            if shard.process.is_alive():  # pragma: no cover - stuck worker
-                shard.process.kill()
-                shard.process.join(timeout=10.0)
-        self._pool.shutdown(wait=True)
+        self._reap(pool_wait=True)
 
     def kill(self) -> None:
         """SIGKILL every worker mid-flight (crash-recovery tests)."""
@@ -168,10 +193,7 @@ class SchemaFarm:
         self._closed = True
         for shard in self._shards:
             shard.process.kill()
-        for shard in self._shards:
-            shard.process.join(timeout=30.0)
-            shard.conn.close()
-        self._pool.shutdown(wait=False)
+        self._reap(pool_wait=False)
 
     def __enter__(self) -> "SchemaFarm":
         return self

@@ -150,33 +150,37 @@ def fsync_directory(path: str) -> None:
         os.close(fd)
 
 
-def save_to_file(model, path: str, injector=None, durable: bool = True) -> None:
-    """Persist a model to *path* atomically (temp file + ``os.replace``).
+def save_document_atomic(text: str, path: str, injector=None,
+                         durable: bool = True,
+                         points: str = "snapshot") -> None:
+    """Write *text* to *path* atomically (temp file + ``os.replace``).
 
     With *durable* (the default) the temporary file is fsync'd before
-    the rename and the directory entry afterwards, so the new snapshot
-    survives a power cut as a unit.  *injector* threads the fault seam
-    through every boundary; production callers leave it None.
+    the rename **and the parent directory entry afterwards** — an
+    ``os.replace`` whose directory was never fsync'd can itself be lost
+    on power failure, silently reviving the old document.  *points*
+    prefixes the named crash boundaries (``snapshot.*`` for model
+    saves, ``manifest.*`` for the farm config); *injector* threads the
+    fault seam through every one of them.
     """
     from repro.storage.faults import CrashPoint, NO_FAULTS
     if injector is None:
         injector = NO_FAULTS
-    text = dump_model(model)
     tmp_path = path + ".tmp"
-    injector.fire("snapshot.before_write")
+    injector.fire(f"{points}.before_write")
     try:
         with open(tmp_path, "w", encoding="utf-8") as handle:
             injector.fire(
-                "snapshot.torn_write",
+                f"{points}.torn_write",
                 before_crash=lambda: (handle.write(text[:len(text) // 2]),
                                       handle.flush()))
             handle.write(text)
-            injector.fire("snapshot.after_write")
+            injector.fire(f"{points}.after_write")
             handle.flush()
             if durable:
-                injector.fire("snapshot.before_fsync")
+                injector.fire(f"{points}.before_fsync")
                 os.fsync(handle.fileno())
-        injector.fire("snapshot.before_replace")
+        injector.fire(f"{points}.before_replace")
         os.replace(tmp_path, path)
     except CrashPoint:
         # A real crash cannot clean up, and recovery must cope with the
@@ -188,9 +192,34 @@ def save_to_file(model, path: str, injector=None, durable: bool = True) -> None:
         except OSError:
             pass
         raise
-    injector.fire("snapshot.after_replace")
+    injector.fire(f"{points}.after_replace")
     if durable:
         fsync_directory(os.path.dirname(os.path.abspath(path)))
+
+
+def save_json_atomic(payload: Dict[str, object], path: str, injector=None,
+                     durable: bool = True, points: str = "manifest") -> None:
+    """Persist one JSON document atomically and durably (see above).
+
+    The write path of small configuration manifests (the farm's
+    ``farm.json``): losing one to a half-written file or an un-fsync'd
+    rename would re-create a farm with the wrong shard count.
+    """
+    text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    save_document_atomic(text, path, injector=injector, durable=durable,
+                         points=points)
+
+
+def save_to_file(model, path: str, injector=None, durable: bool = True) -> None:
+    """Persist a model to *path* atomically (temp file + ``os.replace``).
+
+    With *durable* (the default) the temporary file is fsync'd before
+    the rename and the directory entry afterwards, so the new snapshot
+    survives a power cut as a unit.  *injector* threads the fault seam
+    through every boundary; production callers leave it None.
+    """
+    save_document_atomic(dump_model(model), path, injector=injector,
+                         durable=durable, points="snapshot")
 
 
 def load_from_file(path: str):

@@ -19,15 +19,34 @@ supersedes them for long-running processes.
 The disabled default is :data:`NULL_METRICS`, whose instruments are
 shared no-op singletons — instrumentation points cost one dict-free
 method call when metrics are off.
+
+Time-derived instruments (:class:`AgeGauge`, and the replication lag
+gauges built on it) are anchored to ``time.monotonic()`` — never the
+wall clock, which NTP can step backwards (negative lag, staleness
+checks that always pass) or forwards (every snapshot ages at once).
+On Linux ``CLOCK_MONOTONIC`` is system-wide, so monotonic anchors
+stamped by one process are comparable in another on the same host —
+the property the replication layer relies on to measure shipping lag
+from primary-stamped chunk timestamps.
+
+Replication instruments (published by ``repro.replication.node``):
+
+* ``repl.applied_epoch`` (gauge) — committed sessions applied locally,
+* ``repl.lag_seconds`` (gauge) — monotonic shipping lag of the newest
+  applied chunk,
+* ``repl.chunks_applied`` / ``repl.bytes_applied`` (counters),
+* ``repl.reads`` / ``repl.writes`` (counters), and
+* ``repl.promotions`` (counter) — failover promotions this node won.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from typing import Dict, List, Optional
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+__all__ = ["AgeGauge", "Counter", "Gauge", "Histogram", "MetricsRegistry",
            "NullMetrics", "NULL_METRICS", "rollup_snapshots"]
 
 
@@ -127,6 +146,35 @@ class Histogram:
             "p95": round(self.percentile(95), 6),
             "p99": round(self.percentile(99), 6),
         }
+
+
+class AgeGauge:
+    """A monotonic-anchored age: *how long ago* did something happen.
+
+    :meth:`mark` records an anchor (``time.monotonic()`` by default, or
+    an anchor stamped by another process on the same host);
+    :meth:`age_seconds` reports the elapsed monotonic time since.  Never
+    wall-clock: a stepped system clock must not move ages (see the
+    module docstring).
+    """
+
+    __slots__ = ("name", "anchor")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.anchor: Optional[float] = None
+
+    def mark(self, anchor: Optional[float] = None) -> None:
+        self.anchor = time.monotonic() if anchor is None else anchor
+
+    def age_seconds(self) -> float:
+        if self.anchor is None:
+            return 0.0
+        return max(0.0, time.monotonic() - self.anchor)
+
+    @property
+    def value(self) -> float:
+        return self.age_seconds()
 
 
 class _NullInstrument:

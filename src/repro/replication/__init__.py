@@ -1,0 +1,41 @@
+"""WAL-shipping replication: a primary, N read replicas, failover.
+
+The shard farm (PR 6) scaled *writers* by partitioning schemas across
+processes; this package scales *reads* of one schema set by copying its
+evolution log.  A primary streams durable WAL frames to replica
+processes over sockets; each replica replays them into its own durable
+:class:`~repro.manager.SchemaManager`, publishes snapshots, and serves
+reads at its applied epoch.  Clients get read-your-writes via epoch
+tokens, and a dead primary is survived by promoting the replica with
+the longest durable log prefix.
+
+Client surface::
+
+    from repro.replication import ReplicationCluster, ReplicatedSchema
+
+    with ReplicationCluster.open("/var/lib/gom-repl", replicas=4) as c:
+        schema = ReplicatedSchema(c)
+        schema.define("schema S is ... end schema S;")   # -> primary
+        reply = schema.read("digest")                    # -> a replica,
+        # never older than the define just acknowledged (epoch token).
+
+See ``DESIGN.md`` §15 for the protocol, the promotion rules, and the
+token semantics.
+"""
+
+from repro.replication.client import (
+    ReplicatedSchema,
+    ReplicationClient,
+    ReplicationError,
+)
+from repro.replication.cluster import NodeHandle, ReplicationCluster
+from repro.replication.node import ReplicationNode
+
+__all__ = [
+    "NodeHandle",
+    "ReplicatedSchema",
+    "ReplicationClient",
+    "ReplicationCluster",
+    "ReplicationError",
+    "ReplicationNode",
+]

@@ -1,0 +1,113 @@
+"""Framed JSON messages over sockets, async and sync.
+
+The wire format is exactly the farm's pipe protocol
+(:mod:`repro.farm.protocol`): a little-endian ``<II`` header carrying
+payload length and CRC32, then UTF-8 JSON.  Pipes preserve message
+boundaries, sockets do not — so here the header's *length* field also
+delimits frames: a reader takes 8 header bytes, then exactly *length*
+payload bytes, and hands the whole thing to the shared
+:func:`~repro.farm.protocol.decode_frame` for checksum verification.
+
+Message kinds (``{"kind": ...}``):
+
+* client → node: ``write``, ``read``, ``status``, ``promote``,
+  ``rewire``, ``shutdown`` — each answered by one reply frame with
+  ``ok`` true/false;
+* replica → primary: ``subscribe`` (carrying the replica's durable
+  byte offset) — answered by an unbounded stream of ``chunk`` frames,
+  each a base64 slice of the primary's durable log prefix stamped with
+  the primary's ``time.monotonic()`` (comparable across processes on
+  the same host, the currency of the lag gauges).  An empty chunk is a
+  heartbeat.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from typing import Dict, Optional
+
+from repro.farm.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    WorkerDied,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = ["ProtocolError", "WorkerDied", "recv_frame", "recv_frame_sync",
+           "send_frame", "send_frame_sync"]
+
+_HEADER = struct.Struct("<II")
+
+
+async def send_frame(writer: asyncio.StreamWriter,
+                     message: Dict[str, object]) -> None:
+    """Frame and send one message on an asyncio stream."""
+    try:
+        writer.write(encode_frame(message))
+        await writer.drain()
+    except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+        raise WorkerDied(f"peer hung up while sending: {exc}") from None
+
+
+async def recv_frame(reader: asyncio.StreamReader) -> Dict[str, object]:
+    """Receive one complete frame from an asyncio stream."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+        length, _ = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {length} bytes exceeds the "
+                                f"{MAX_FRAME_BYTES}-byte cap")
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WorkerDied(
+            f"peer hung up mid-frame ({len(exc.partial)} bytes)") from None
+    except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+        raise WorkerDied(f"peer hung up while receiving: {exc}") from None
+    return decode_frame(header + payload)
+
+
+def send_frame_sync(sock: socket.socket, message: Dict[str, object]) -> None:
+    """Frame and send one message on a blocking socket."""
+    try:
+        sock.sendall(encode_frame(message))
+    except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+        raise WorkerDied(f"peer hung up while sending: {exc}") from None
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    missing = count
+    while missing:
+        chunk = sock.recv(missing)
+        if not chunk:
+            raise WorkerDied(
+                f"peer hung up mid-frame ({count - missing} bytes)")
+        chunks.append(chunk)
+        missing -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame_sync(sock: socket.socket,
+                    timeout: Optional[float] = None) -> Dict[str, object]:
+    """Receive one complete frame from a blocking socket.
+
+    *timeout* bounds the whole frame (header + payload); ``None`` keeps
+    the socket's current timeout.
+    """
+    if timeout is not None:
+        sock.settimeout(timeout)
+    try:
+        header = _recv_exactly(sock, _HEADER.size)
+        length, _ = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {length} bytes exceeds the "
+                                f"{MAX_FRAME_BYTES}-byte cap")
+        payload = _recv_exactly(sock, length)
+    except socket.timeout:
+        raise ProtocolError(f"no frame within {timeout} seconds") from None
+    except (ConnectionResetError, BrokenPipeError) as exc:
+        raise WorkerDied(f"peer hung up while receiving: {exc}") from None
+    return decode_frame(header + payload)

@@ -69,10 +69,27 @@ class StressOutcome:
     checks_run: int = 0
     reader_errors: List[str] = field(default_factory=list)
     writer_error: Optional[str] = None
+    #: Failovers survived mid-run (the replication harness sets this).
+    promotions: int = 0
 
     @property
     def total_reads(self) -> int:
         return sum(len(obs) for obs in self.observations)
+
+    def truncate_oracle(self, max_epoch: int) -> int:
+        """Forget oracle entries above *max_epoch*; returns how many.
+
+        The failover adjustment of the replicated harness: commits the
+        dead primary acknowledged but never shipped durably to the
+        promoted replica are *lost by design* (asynchronous
+        replication), so the oracle must stop expecting them.  No
+        reader can have observed a lost epoch — reads are served only
+        at applied epochs, and the election picked the highest one.
+        """
+        lost = [epoch for epoch in self.published if epoch > max_epoch]
+        for epoch in lost:
+            del self.published[epoch]
+        return len(lost)
 
     def torn_reads(self) -> List[Tuple[int, str]]:
         """Observed (epoch, digest) pairs that contradict the oracle."""

@@ -52,7 +52,14 @@ CRASH_POINTS = (
     "snapshot.after_write",     # document complete in the temp file
     "snapshot.before_fsync",    # temp flushed, not yet fsync'd
     "snapshot.before_replace",  # temp durable, rename not yet issued
-    "snapshot.after_replace",   # snapshot visible under its final name
+    "snapshot.after_replace",   # renamed, directory entry not yet fsync'd
+    # -- atomic manifest writes (gom/persistence.py save_json_atomic) ------
+    "manifest.before_write",    # temp file created, still empty
+    "manifest.torn_write",      # half the JSON document written
+    "manifest.after_write",     # document complete in the temp file
+    "manifest.before_fsync",    # temp flushed, not yet fsync'd
+    "manifest.before_replace",  # temp durable, rename not yet issued
+    "manifest.after_replace",   # renamed, directory entry not yet fsync'd
     # -- checkpoints (storage/store.py) -----------------------------------
     "checkpoint.before_snapshot",   # checkpoint started
     "checkpoint.before_wal_reset",  # snapshot replaced, old log intact

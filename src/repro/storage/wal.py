@@ -27,6 +27,17 @@ A torn tail — a half-written header, a short payload, or a checksum
 mismatch — marks the end of the valid prefix; :func:`read_log` reports
 it and :meth:`WriteAheadLog.open_for_append` truncates it away before
 appending anything new.
+
+Replication reads the same file *by offset*: :func:`iter_frames` walks
+the intact frames from any byte offset, and a :class:`WalFollower`
+keeps a cursor and hands out whatever complete frames appeared since
+its last poll — the tail-follow read API a primary uses to stream
+committed frames to its replicas.  Framing is deterministic (compact
+JSON, sorted keys), so re-encoding a decoded payload reproduces the
+exact bytes; a replica appending received records through its own
+:class:`WriteAheadLog` therefore builds a byte-identical prefix of the
+primary's log, which is what makes durable byte offsets comparable
+across nodes during failover elections.
 """
 
 from __future__ import annotations
@@ -38,7 +49,7 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import GomModelError
 from repro.storage.faults import FaultInjector, NO_FAULTS
@@ -94,6 +105,35 @@ def encode_frame(payload: Dict[str, object]) -> bytes:
     return _HEADER.pack(len(body), zlib.crc32(body)) + body
 
 
+def decode_record(data: bytes, offset: int) -> Optional[WalRecord]:
+    """Decode the one frame starting at *offset* inside *data*.
+
+    Returns None when the bytes there are torn, corrupt, or simply not
+    all present yet — the caller decides whether that means "end of the
+    valid prefix" (a scan) or "wait for more bytes" (a follower).
+    """
+    header = data[offset:offset + _HEADER.size]
+    if len(header) < _HEADER.size:
+        return None  # torn / incomplete header
+    length, checksum = _HEADER.unpack(header)
+    if length > MAX_RECORD_BYTES:
+        return None  # garbage length: treat as corruption
+    body = data[offset + _HEADER.size:offset + _HEADER.size + length]
+    if len(body) < length:
+        return None  # torn / incomplete payload
+    if zlib.crc32(body) != checksum:
+        return None  # bit rot / torn rewrite
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict) \
+            or payload.get("type") not in RECORD_TYPES:
+        return None
+    return WalRecord(kind=payload["type"], payload=payload, offset=offset,
+                     end_offset=offset + _HEADER.size + length)
+
+
 def read_log(path: str) -> LogScan:
     """Decode the valid prefix of the log at *path*.
 
@@ -110,31 +150,68 @@ def read_log(path: str) -> LogScan:
         return scan
     offset = 0
     while offset < len(data):
-        header = data[offset:offset + _HEADER.size]
-        if len(header) < _HEADER.size:
-            break  # torn header
-        length, checksum = _HEADER.unpack(header)
-        if length > MAX_RECORD_BYTES:
-            break  # garbage length: treat as corruption
-        body = data[offset + _HEADER.size:offset + _HEADER.size + length]
-        if len(body) < length:
-            break  # torn payload
-        if zlib.crc32(body) != checksum:
-            break  # bit rot / torn rewrite
-        try:
-            payload = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
+        record = decode_record(data, offset)
+        if record is None:
             break
-        if not isinstance(payload, dict) \
-                or payload.get("type") not in RECORD_TYPES:
-            break
-        end = offset + _HEADER.size + length
-        scan.records.append(WalRecord(kind=payload["type"], payload=payload,
-                                      offset=offset, end_offset=end))
-        offset = end
+        scan.records.append(record)
+        offset = record.end_offset
     scan.valid_bytes = offset
     scan.torn_bytes = len(data) - offset
     return scan
+
+
+def iter_frames(path: str, start: int = 0,
+                end: Optional[int] = None) -> Iterator[WalRecord]:
+    """Offset-addressed frame iteration: intact records from byte *start*.
+
+    *start* must sit on a frame boundary (0, or the ``end_offset`` of a
+    previously decoded record — the currency replicas keep).  Iteration
+    stops at the first torn or incomplete frame, or at byte *end* when
+    given (records straddling *end* are withheld — *end* is a durability
+    horizon, not a hint).
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(start)
+            data = handle.read()
+    except FileNotFoundError:
+        return
+    limit = len(data) if end is None else max(0, end - start)
+    offset = 0
+    while offset < limit:
+        record = decode_record(data, offset)
+        if record is None or record.end_offset > limit:
+            break
+        yield WalRecord(kind=record.kind, payload=record.payload,
+                        offset=start + record.offset,
+                        end_offset=start + record.end_offset)
+        offset = record.end_offset
+
+
+class WalFollower:
+    """A tail-following cursor over one log file.
+
+    Keeps the byte offset of the next undecoded frame and, on every
+    :meth:`poll`, returns the complete records that appeared since —
+    never a torn or half-written one, which under the single-writer
+    append discipline means a follower only ever observes frame-aligned
+    prefixes.  ``limit`` bounds each poll to a durability horizon (the
+    writer's :attr:`WriteAheadLog.durable_offset`), so a primary
+    streams *committed* bytes and never ships its own volatile tail.
+    """
+
+    __slots__ = ("path", "position")
+
+    def __init__(self, path: str, start: int = 0) -> None:
+        self.path = path
+        self.position = start
+
+    def poll(self, limit: Optional[int] = None) -> List[WalRecord]:
+        """All complete records between the cursor and *limit*."""
+        records = list(iter_frames(self.path, self.position, end=limit))
+        if records:
+            self.position = records[-1].end_offset
+        return records
 
 
 class WriteAheadLog:
@@ -172,16 +249,67 @@ class WriteAheadLog:
     # -- lifecycle -------------------------------------------------------------
 
     def open_for_append(self) -> LogScan:
-        """Scan the log, truncate any torn tail, and open for appending."""
+        """Scan the log, truncate any torn tail, and open for appending.
+
+        Creating the file also fsyncs the parent directory: a fresh
+        log whose *entry* was never hardened can disappear wholesale on
+        power failure, taking its fsync'd commit records with it.
+        """
         scan = read_log(self.path)
         if scan.torn:
             with open(self.path, "r+b") as handle:
                 handle.truncate(scan.valid_bytes)
                 handle.flush()
                 os.fsync(handle.fileno())
+        created = not os.path.exists(self.path)
         self._handle = open(self.path, "ab")
+        if created:
+            from repro.gom.persistence import fsync_directory
+            fsync_directory(os.path.dirname(os.path.abspath(self.path)))
         self._written = self._synced = scan.valid_bytes
         return scan
+
+    @property
+    def durable_offset(self) -> int:
+        """Bytes of the log known durable (covered by an fsync).
+
+        The election currency of failover: replicas append the shipped
+        frames through their own logs, so this offset is comparable
+        across nodes — the replica with the highest durable offset
+        holds the longest committed prefix.
+        """
+        with self._lock:
+            return self._synced
+
+    @property
+    def written_offset(self) -> int:
+        """Bytes appended and flushed to the OS (≥ :attr:`durable_offset`)."""
+        with self._lock:
+            return self._written
+
+    def truncate_to(self, offset: int) -> None:
+        """Drop everything past byte *offset* (which must be ≤ durable).
+
+        Promotion uses this: a follower's log may carry flushed but
+        un-fsync'd frames of a session whose commit never arrived from
+        the dead primary — its *torn tail* in replication terms.  The
+        promoted node (and every follower re-subscribing to it) cuts
+        back to its durable offset so all logs stay byte-aligned
+        prefixes of the new primary's.
+        """
+        with self._lock:
+            if offset > self._synced:
+                raise WalFormatError(
+                    f"cannot truncate to {offset}: only {self._synced} "
+                    f"bytes are durable")
+            if self._handle is not None:
+                self._handle.close()
+            with open(self.path, "r+b") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle = open(self.path, "ab")
+            self._written = self._synced = offset
 
     @property
     def closed(self) -> bool:

@@ -7,6 +7,8 @@ farm is SIGKILLed mid-life and reopened, and every shard must recover
 from its own WAL to exactly the digest it had at its last commit.
 """
 
+import multiprocessing
+import os
 import random
 
 from repro.farm import SchemaFarm
@@ -15,6 +17,11 @@ from repro.fuzz.history import Op, SessionPlan
 SHARDS = 4
 SCHEMAS = 20
 SESSIONS = 50
+
+
+def open_fds():
+    """The process's live file descriptors (Linux ``/proc`` view)."""
+    return set(os.listdir("/proc/self/fd"))
 
 
 def tenant_source(name):
@@ -29,6 +36,7 @@ def tenant_source(name):
 def test_farm_smoke_survives_kill(tmp_path):
     rng = random.Random(20260807)
     root = str(tmp_path / "farm")
+    fds_before = open_fds()
     farm = SchemaFarm.open(root, shards=SHARDS)
     names = [f"Smoke{i}" for i in range(SCHEMAS)]
     try:
@@ -83,6 +91,13 @@ def test_farm_smoke_survives_kill(tmp_path):
     finally:
         farm.kill()  # SIGKILL every worker: no shutdown handshake
 
+    # kill() must fully reap: every pipe end and process sentinel closed,
+    # no zombie children.  Leaked sentinels showed up here as exactly one
+    # stray fd per shard surviving each open/kill cycle.
+    leaked = open_fds() - fds_before
+    assert not leaked, f"farm.kill() leaked fds {sorted(leaked)}"
+    assert multiprocessing.active_children() == []
+
     recovered = SchemaFarm.open(root)
     try:
         # Epoch counters restart per process; the *content* must not.
@@ -107,3 +122,37 @@ def test_farm_smoke_survives_kill(tmp_path):
                                  "domain": "builtin:int"})]))["committed"]
     finally:
         recovered.close()
+
+
+def test_farm_open_close_cycles_leak_nothing(tmp_path):
+    """Repeated open/close and open/kill cycles return every fd.
+
+    Before the reap fix each cycle stranded the four worker sentinels
+    and pipe ends (a ``ResourceWarning`` per unclosed ``Connection``
+    under dev mode, and an fd-count creep that eventually exhausts the
+    process).  Warnings emitted from ``__del__`` cannot surface as
+    exceptions, so the test records them instead.
+    """
+    import gc
+    import warnings
+
+    fds_before = open_fds()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for cycle in range(4):
+            root = str(tmp_path / f"farm{cycle}")
+            farm = SchemaFarm.open(root, shards=2)
+            farm.define(tenant_source(f"Cycle{cycle}"))
+            if cycle % 2:
+                farm.kill()
+            else:
+                farm.close()
+            del farm
+            gc.collect()
+            leaked = open_fds() - fds_before
+            assert not leaked, (
+                f"cycle {cycle} leaked fds {sorted(leaked)}")
+    resource_warnings = [w for w in caught
+                         if issubclass(w.category, ResourceWarning)]
+    assert not resource_warnings, (
+        [str(w.message) for w in resource_warnings])

@@ -21,6 +21,12 @@ from repro.storage.faults import CRASH_POINTS, CrashPoint, FaultInjector
 CORPUS_FILE = os.path.join(os.path.dirname(__file__), "corpus",
                            "regress_public_exists_repair.json")
 
+#: The bridge drives one durable manager; ``manifest.*`` points fire
+#: only on farm-manifest saves and are exercised by the dedicated
+#: crash-matrix manifest tests (tests/storage/test_crash_matrix.py).
+BRIDGE_POINTS = tuple(point for point in CRASH_POINTS
+                      if not point.startswith("manifest."))
+
 
 @pytest.fixture(scope="module")
 def history():
@@ -51,7 +57,7 @@ def _run_durable(directory, history, injector):
     return failures
 
 
-@pytest.mark.parametrize("point", CRASH_POINTS)
+@pytest.mark.parametrize("point", BRIDGE_POINTS)
 def test_recovery_from_every_crash_point(tmp_path, history,
                                          reference_digests, point):
     directory = str(tmp_path / "db")

@@ -1,0 +1,119 @@
+"""End-to-end replication: ship, read-your-writes, failover.
+
+One cluster of real node processes per test module keeps the spawn
+cost paid once; the tests are ordered from plain shipping through a
+forced promotion (the cluster the later tests see is the post-failover
+one — deliberately, that *is* the claim under test).
+"""
+
+import os
+
+import pytest
+
+from repro.replication.client import ReplicatedSchema, ReplicationError
+from repro.replication.cluster import ReplicationCluster
+from repro.replication.node import ReplicationNode
+from repro.storage.store import SNAPSHOT_NAME
+
+
+def _source(index):
+    return (f"schema ClusterT{index} is\n"
+            f"type CT{index} is [ x{index}: int; ] end type CT{index};\n"
+            f"end schema ClusterT{index};")
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    root = str(tmp_path_factory.mktemp("repl-cluster"))
+    cluster = ReplicationCluster.open(root, replicas=2)
+    yield cluster
+    cluster.close()
+
+
+def test_writes_ship_to_every_replica(cluster):
+    with cluster.client() as client:
+        for index in range(3):
+            reply = client.write(_source(index), digest=True)
+    assert reply["epoch"] == 3
+    cluster.wait_for_epoch(3)
+    digests = {}
+    for name in list(cluster.nodes):
+        with cluster.client(name) as client:
+            answer = client.read(op="digest", min_epoch=3)
+            assert answer["epoch"] >= 3
+            digests[name] = answer["digest"]
+    assert len(set(digests.values())) == 1
+    assert next(iter(digests.values())) == reply["digest"]
+
+
+def test_replica_rejects_writes(cluster):
+    replica = cluster.replicas[0]
+    with cluster.client(replica.name) as client:
+        with pytest.raises(ReplicationError, match="read-only"):
+            client.write(_source(99))
+
+
+def test_read_your_writes_token_blocks_until_applied(cluster):
+    schema = ReplicatedSchema(cluster)
+    try:
+        reply = schema.define(_source(10), digest=True)
+        assert schema.token == reply["epoch"]
+        answer = schema.read(op="digest")
+        assert answer["epoch"] >= schema.token
+        assert cluster.statuses()  # cluster still healthy
+    finally:
+        schema.close()
+
+
+def test_unreachable_epoch_times_out_as_stale(cluster):
+    replica = cluster.replicas[0]
+    with cluster.client(replica.name) as client:
+        with pytest.raises(ReplicationError, match="stale"):
+            client.read(op="digest", min_epoch=10_000, timeout=0.3)
+
+
+def test_statuses_report_roles_and_offsets(cluster):
+    statuses = cluster.statuses()
+    roles = sorted(status["role"] for status in statuses.values())
+    assert roles == ["primary", "replica", "replica"]
+    offsets = {status["durable_offset"] for status in statuses.values()}
+    assert len(offsets) == 1  # caught-up logs are byte-identical
+
+
+def test_promotion_survives_a_sigkilled_primary(cluster):
+    schema = ReplicatedSchema(cluster)
+    try:
+        before = schema.define(_source(20), digest=True)
+        killed = cluster.kill_primary()
+        promoted = cluster.promote()
+        assert promoted != killed
+        schema.handle_failover()
+        # The token clamps to the survivor's epoch: an acked commit
+        # that never shipped is lost by design (async replication).
+        assert schema.token <= before["epoch"]
+        resumed_at = schema.token
+        # The survivor accepts writes and the remaining replica
+        # re-subscribes to it.
+        after = schema.define(_source(21), digest=True)
+        assert after["epoch"] == resumed_at + 1
+        answer = schema.read(op="digest")
+        assert answer["epoch"] >= after["epoch"]
+        cluster.wait_for_epoch(after["epoch"])
+        digests = set()
+        for name in cluster.statuses():
+            with cluster.client(name) as client:
+                digests.add(client.read(op="digest")["digest"])
+        assert len(digests) == 1  # every survivor converged
+        assert digests == {after["digest"]}
+    finally:
+        schema.close()
+
+
+def test_node_refuses_a_checkpointed_directory(tmp_path):
+    directory = str(tmp_path / "checkpointed")
+    os.makedirs(directory)
+    with open(os.path.join(directory, SNAPSHOT_NAME), "w",
+              encoding="utf-8") as handle:
+        handle.write("{}")
+    with pytest.raises(ValueError, match="never checkpoint"):
+        ReplicationNode(directory, role="primary")

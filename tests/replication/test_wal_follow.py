@@ -1,0 +1,140 @@
+"""The WAL's offset-addressed read surface: what replication ships.
+
+These pin the properties the replication layer leans on: deterministic
+re-framing (replica logs are byte-identical prefixes), the durability
+horizon (a follower never observes the writer's volatile tail), and
+truncation semantics (promotion cuts exactly the un-fsync'd bytes).
+"""
+
+import os
+
+import pytest
+
+from repro.storage.wal import (
+    WalFormatError,
+    WalFollower,
+    WriteAheadLog,
+    decode_record,
+    encode_frame,
+    iter_frames,
+    read_log,
+)
+
+
+def _record(session, kind="op", **extra):
+    payload = {"type": kind, "session": session}
+    payload.update(extra)
+    return payload
+
+
+def test_reencoding_a_decoded_payload_reproduces_the_bytes(tmp_path):
+    # Determinism is what makes durable offsets comparable across
+    # nodes: a replica re-appending decoded records must build a
+    # byte-identical file.
+    path = os.path.join(str(tmp_path), "wal.log")
+    wal = WriteAheadLog(path)
+    wal.open_for_append()
+    wal.append(_record(1, "bes"))
+    wal.append(_record(1, value={"b": 2, "a": [1, None, "x"]}))
+    wal.append(_record(1, "commit"), sync=True)
+    wal.close()
+    with open(path, "rb") as handle:
+        data = handle.read()
+    rebuilt = b""
+    for record in iter_frames(path):
+        rebuilt += encode_frame(record.payload)
+    assert rebuilt == data
+
+
+def test_iter_frames_respects_start_and_end_horizon(tmp_path):
+    path = os.path.join(str(tmp_path), "wal.log")
+    wal = WriteAheadLog(path)
+    wal.open_for_append()
+    for session in (1, 2, 3):
+        wal.append(_record(session, "bes"))
+    wal.close()
+    records = list(iter_frames(path))
+    assert [r.payload["session"] for r in records] == [1, 2, 3]
+    # From the second frame's boundary onward.
+    tail = list(iter_frames(path, start=records[0].end_offset))
+    assert [r.payload["session"] for r in tail] == [2, 3]
+    assert tail[0].offset == records[1].offset
+    # An end horizon mid-frame withholds the straddling record.
+    horizon = records[1].end_offset + 3
+    clipped = list(iter_frames(path, end=horizon))
+    assert [r.payload["session"] for r in clipped] == [1, 2]
+
+
+def test_follower_never_sees_a_torn_tail(tmp_path):
+    path = os.path.join(str(tmp_path), "wal.log")
+    wal = WriteAheadLog(path)
+    wal.open_for_append()
+    wal.append(_record(1, "bes"))
+    follower = WalFollower(path)
+    assert [r.kind for r in follower.poll()] == ["bes"]
+    # A half-written frame at the tail: poll returns nothing new and
+    # the cursor does not advance.
+    frame = encode_frame(_record(1, "commit"))
+    with open(path, "ab") as handle:
+        handle.write(frame[: len(frame) // 2])
+    position = follower.position
+    assert follower.poll() == []
+    assert follower.position == position
+    # Completing the frame makes it visible.
+    with open(path, "ab") as handle:
+        handle.write(frame[len(frame) // 2:])
+    assert [r.kind for r in follower.poll()] == ["commit"]
+
+
+def test_follower_limit_is_a_durability_horizon(tmp_path):
+    path = os.path.join(str(tmp_path), "wal.log")
+    wal = WriteAheadLog(path)
+    wal.open_for_append()
+    wal.append(_record(1, "bes"))
+    wal.append(_record(1, "commit"), sync=True)
+    durable = wal.durable_offset
+    wal.append(_record(2, "bes"))  # flushed, not fsync'd
+    assert wal.written_offset > durable
+    follower = WalFollower(path)
+    shipped = follower.poll(limit=wal.durable_offset)
+    assert [r.payload["session"] for r in shipped] == [1, 1]
+    assert follower.position == durable
+    wal.close()
+
+
+def test_truncate_to_cuts_the_unsynced_tail(tmp_path):
+    path = os.path.join(str(tmp_path), "wal.log")
+    wal = WriteAheadLog(path)
+    wal.open_for_append()
+    wal.append(_record(1, "bes"))
+    wal.append(_record(1, "commit"), sync=True)
+    durable = wal.durable_offset
+    wal.append(_record(2, "bes"))
+    wal.truncate_to(durable)
+    assert wal.written_offset == durable
+    assert os.path.getsize(path) == durable
+    scan = read_log(path)
+    assert [r.payload["session"] for r in scan.records] == [1, 1]
+    # Appending after the cut keeps the log well-formed.
+    wal.append(_record(3, "bes"), sync=True)
+    assert wal.durable_offset > durable
+    wal.close()
+
+
+def test_truncate_past_durable_is_refused(tmp_path):
+    path = os.path.join(str(tmp_path), "wal.log")
+    wal = WriteAheadLog(path)
+    wal.open_for_append()
+    wal.append(_record(1, "bes"), sync=True)
+    with pytest.raises(WalFormatError):
+        wal.truncate_to(wal.durable_offset + 1)
+    wal.close()
+
+
+def test_decode_record_rejects_garbage_and_short_frames(tmp_path):
+    frame = encode_frame(_record(1, "commit"))
+    assert decode_record(frame, 0).kind == "commit"
+    assert decode_record(frame[:-1], 0) is None        # short payload
+    assert decode_record(frame[:4], 0) is None         # short header
+    corrupt = frame[:-2] + bytes([frame[-2] ^ 0xFF]) + frame[-1:]
+    assert decode_record(corrupt, 0) is None           # checksum

@@ -15,6 +15,8 @@ it die.  The assertion therefore accepts the observed commit count or
 the one above — and always demands a fully consistent recovered model.
 """
 
+import os
+
 import pytest
 
 from repro.datalog.terms import Atom
@@ -84,8 +86,15 @@ OCCURRENCES = {
 }
 DEFAULT_OCCURRENCES = (1,)
 
+#: The durable-manager workload never writes a manifest — those points
+#: belong to the farm's config writer and get their own matrix below.
+MANAGER_POINTS = tuple(p for p in CRASH_POINTS
+                       if not p.startswith("manifest."))
+MANIFEST_POINTS = tuple(p for p in CRASH_POINTS
+                        if p.startswith("manifest."))
+
 MATRIX = [(point, occurrence)
-          for point in CRASH_POINTS
+          for point in MANAGER_POINTS
           for occurrence in OCCURRENCES.get(point, DEFAULT_OCCURRENCES)]
 
 
@@ -177,10 +186,53 @@ def test_crash_point_recovers_committed_state(tmp_path, reference_states,
         recovered.close()
 
 
+@pytest.mark.parametrize("point", MANIFEST_POINTS)
+def test_manifest_crash_leaves_old_or_new_document(tmp_path, point):
+    """The atomic manifest writer crashed at *point* never tears.
+
+    Whatever boundary the crash hits, the manifest on disk afterwards is
+    either the previous complete document or the new complete document —
+    a reader must never see half a JSON file or a lost rename.
+    """
+    from repro.gom.persistence import save_json_atomic
+
+    path = str(tmp_path / "farm.json")
+    old = {"shards": 2, "generation": 1}
+    new = {"shards": 4, "generation": 2}
+    save_json_atomic(old, path)
+
+    injector = FaultInjector().arm(point, 1)
+    with pytest.raises(CrashPoint) as caught:
+        save_json_atomic(new, path, injector=injector)
+    assert caught.value.point == point
+
+    import json
+    with open(path, "r", encoding="utf-8") as handle:
+        recovered = json.load(handle)
+    assert recovered in (old, new), (
+        f"manifest torn after crash at {point}: {recovered!r}")
+    # Crashes before the replace must still serve the old document.
+    if point != "manifest.after_replace":
+        assert recovered == old
+
+
+def test_manifest_crash_on_first_write_leaves_no_document(tmp_path):
+    """A crash before the very first manifest replace leaves nothing —
+    a fresh farm that died mid-create must look uncreated, not torn."""
+    from repro.gom.persistence import save_json_atomic
+
+    path = str(tmp_path / "farm.json")
+    injector = FaultInjector().arm("manifest.torn_write", 1)
+    with pytest.raises(CrashPoint):
+        save_json_atomic({"shards": 4}, path, injector=injector)
+    assert not os.path.exists(path)
+
+
 def test_matrix_covers_every_crash_point():
-    """The matrix enumerates CRASH_POINTS exhaustively (a new boundary
+    """The matrices enumerate CRASH_POINTS exhaustively (a new boundary
     added to the code must show up here)."""
-    assert {point for point, _ in MATRIX} == set(CRASH_POINTS)
+    covered = {point for point, _ in MATRIX} | set(MANIFEST_POINTS)
+    assert covered == set(CRASH_POINTS)
 
 
 def test_unfaulted_workload_reaches_final_state(tmp_path, reference_states):

@@ -1,0 +1,83 @@
+"""Directory-entry durability regressions.
+
+``os.replace`` and file creation only become durable once the *parent
+directory* is fsync'd — without it a power cut can lose the rename (the
+old document silently revives) or the newly created WAL file itself.
+These tests pin the two call sites that historically skipped that step:
+the farm's ``farm.json`` manifest writer and the evolution log's
+first-open file creation.  Each fails against the pre-fix code because
+no ``fsync_directory`` call reached the parent directory at all.
+"""
+
+import os
+
+import pytest
+
+import repro.gom.persistence as persistence
+from repro.storage.wal import WriteAheadLog
+
+
+@pytest.fixture
+def fsync_recorder(monkeypatch):
+    """Record every directory handed to ``fsync_directory``.
+
+    The real fsync still runs, so the test observes the production
+    sequence rather than replacing it.
+    """
+    recorded = []
+    original = persistence.fsync_directory
+
+    def recording(path):
+        recorded.append(os.path.abspath(path))
+        original(path)
+
+    monkeypatch.setattr(persistence, "fsync_directory", recording)
+    return recorded
+
+
+def test_wal_creation_fsyncs_parent_directory(tmp_path, fsync_recorder):
+    """Creating a fresh ``wal.log`` must harden the directory entry:
+    the file's first committed bytes are worthless if the file's very
+    existence can vanish with the un-fsync'd directory."""
+    path = str(tmp_path / "wal.log")
+    log = WriteAheadLog(path)
+    log.open_for_append()
+    try:
+        assert str(tmp_path) in fsync_recorder, (
+            "WAL file creation never fsync'd its parent directory")
+    finally:
+        log.close()
+
+
+def test_wal_reopen_does_not_refsync_directory(tmp_path, fsync_recorder):
+    """Re-opening an existing log appends; the directory entry is
+    already durable, so the hot reopen path stays fsync-free."""
+    path = str(tmp_path / "wal.log")
+    log = WriteAheadLog(path)
+    log.open_for_append()
+    log.close()
+    del fsync_recorder[:]
+    log = WriteAheadLog(path)
+    log.open_for_append()
+    try:
+        assert fsync_recorder == []
+    finally:
+        log.close()
+
+
+def test_farm_manifest_write_is_atomic_and_dir_durable(tmp_path,
+                                                       fsync_recorder):
+    """``SchemaFarm.open`` persists ``farm.json`` through the atomic
+    writer and fsyncs the farm root afterwards — a lost rename would
+    re-open the farm with the wrong shard count and strand every
+    shard's WAL."""
+    from repro.farm.farm import SchemaFarm
+
+    root = str(tmp_path / "farm")
+    farm = SchemaFarm.open(root, shards=1)
+    try:
+        assert os.path.abspath(root) in fsync_recorder, (
+            "farm.json replace never fsync'd the farm root directory")
+        assert not os.path.exists(os.path.join(root, "farm.json.tmp"))
+    finally:
+        farm.close()

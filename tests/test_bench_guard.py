@@ -1,0 +1,96 @@
+"""Unit tests for the bench-guard comparator.
+
+The guard compares benchmark artifacts against committed baselines.  It
+must be robust to baseline drift: a metric that is *missing* from the
+baseline entry used to crash the whole guard with a ``KeyError``, and a
+*zero* baseline value blew the ratio up into ``inf`` — a spurious
+"regression" no benchmark change could ever fix.  Both now skip with a
+printed note; genuine regressions still fail.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+GUARD_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          os.pardir, "benchmarks", "bench_guard.py")
+
+spec = importlib.util.spec_from_file_location("bench_guard", GUARD_PATH)
+bench_guard = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_guard)
+
+
+GUARD = {
+    "name": "unit",
+    "file": "unit.json",
+    "entries": "rows",
+    "key": "size",
+    "metrics": ("mean_ms",),
+    "rate_metrics": ("speedup",),
+    "holds": False,
+}
+
+
+def rows(*entries):
+    return {"rows": list(entries)}
+
+
+def test_healthy_comparison_passes():
+    baseline = rows({"size": 1, "mean_ms": 10.0, "speedup": 4.0})
+    results = rows({"size": 1, "mean_ms": 12.0, "speedup": 3.5})
+    assert bench_guard.check_guard(GUARD, results, baseline, 2.0) == []
+
+
+def test_real_regression_still_fails():
+    baseline = rows({"size": 1, "mean_ms": 10.0, "speedup": 4.0})
+    results = rows({"size": 1, "mean_ms": 50.0, "speedup": 1.0})
+    failures = bench_guard.check_guard(GUARD, results, baseline, 2.0)
+    assert len(failures) == 2
+    assert any("mean_ms" in f for f in failures)
+    assert any("speedup" in f for f in failures)
+
+
+def test_metric_missing_from_baseline_skips(capsys):
+    """Used to raise ``KeyError: 'speedup'`` and abort every guard."""
+    baseline = rows({"size": 1, "mean_ms": 10.0})  # no speedup recorded
+    results = rows({"size": 1, "mean_ms": 11.0, "speedup": 3.0})
+    failures = bench_guard.check_guard(GUARD, results, baseline, 2.0)
+    assert failures == []
+    assert "skipping" in capsys.readouterr().out
+
+
+def test_zero_baseline_skips_instead_of_inf_failure(capsys):
+    """Used to divide by zero into an unfixable ``inf``-ratio failure."""
+    baseline = rows({"size": 1, "mean_ms": 0.0, "speedup": 0.0})
+    results = rows({"size": 1, "mean_ms": 5.0, "speedup": 2.0})
+    failures = bench_guard.check_guard(GUARD, results, baseline, 2.0)
+    assert failures == []
+    out = capsys.readouterr().out
+    assert out.count("skipping") == 2
+
+
+def test_metric_missing_from_results_skips(capsys):
+    baseline = rows({"size": 1, "mean_ms": 10.0, "speedup": 4.0})
+    results = rows({"size": 1, "mean_ms": 9.0})  # speedup not measured
+    failures = bench_guard.check_guard(GUARD, results, baseline, 2.0)
+    assert failures == []
+    assert "missing from results" in capsys.readouterr().out
+
+
+def test_collapsed_rate_is_a_failure_not_a_skip():
+    """A measured rate of zero against a healthy baseline is a genuine
+    collapse — the zero-guard must not mask it."""
+    baseline = rows({"size": 1, "speedup": 4.0})
+    guard = dict(GUARD, metrics=())
+    results = rows({"size": 1, "speedup": 0.0})
+    failures = bench_guard.check_guard(guard, results, baseline, 2.0)
+    assert len(failures) == 1
+
+
+def test_missing_row_is_still_a_failure():
+    baseline = rows({"size": 1, "mean_ms": 10.0, "speedup": 4.0},
+                    {"size": 2, "mean_ms": 20.0, "speedup": 3.0})
+    results = rows({"size": 1, "mean_ms": 10.0, "speedup": 4.0})
+    failures = bench_guard.check_guard(GUARD, results, baseline, 2.0)
+    assert failures == ["unit size=2: missing from results"]
