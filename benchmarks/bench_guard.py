@@ -20,6 +20,10 @@ Guarded quantities:
 * **C2 farm** (``bench_c2_farm.json``) — per shard count, the
   ``speedup_vs_1_shard`` factor: committed-writer throughput must keep
   scaling with shards.
+* **M1 migration** (``bench_m1_migration.json``) — per population
+  size, the lazy EES-commit latency (``lazy_ms`` must stay O(1) flat)
+  and the ``speedup_eager_vs_lazy`` factor: a collapse means cures
+  went back to visiting every instance inside the session.
 
 A millisecond metric regresses when it exceeds the baseline by more
 than ``--max-regression`` (default 2.0x; generous because CI machines
@@ -99,6 +103,15 @@ GUARDS = (
         "metrics": (),
         "rate_metrics": ("scaling_vs_single_node",),
         "holds": False,
+    },
+    {
+        "name": "m1_migration",
+        "file": "bench_m1_migration.json",
+        "entries": "rows",
+        "key": "objects",
+        "metrics": ("lazy_ms",),
+        "rate_metrics": ("speedup_eager_vs_lazy",),
+        "holds": True,
     },
 )
 

@@ -1,0 +1,243 @@
+"""M1: lazy (versioned) vs eager object conversion at scale.
+
+Measures the migration engine end to end on the paper's ``fuelType``
+scenario: add an attribute to a type with a large extension and cure
+the constraint-(*) violation either **eagerly**
+(:meth:`ConversionRoutines.add_slot` touches every instance inside the
+session) or **lazily** (:meth:`MigrationEngine.add_slot` registers one
+pending migration — O(1) in the instance count — and instances convert
+on first touch or in the background drain).
+
+Phases, per population size:
+
+1. populate an object base of N instances,
+2. time the eager cure session (schema change + convert-all + EES),
+3. time the lazy cure session on a fresh, identical base,
+4. sample first-touch conversion latency on the lazy base,
+5. drain the remaining debt with a throttled
+   :class:`BackgroundMigrator` while a
+   :class:`~repro.service.SchemaService` reader pool keeps serving
+   snapshot reads, and require the debt to reach zero.
+
+The headline number is ``speedup_eager_vs_lazy`` — the EES-commit
+latency ratio.  The acceptance gate (``--check``) requires >= 20x at
+the largest size and a fully drained base under live readers.
+
+Writes ``bench_m1_migration.{txt,json}`` into ``benchmarks/results``
+(the JSON joins the CI bench artifact and the bench-guard baseline).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_m1_migration.py
+        [--objects 100000] [--touch-sample 1000] [--check]
+"""
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+
+from repro.gom.builtins import builtin_type                  # noqa: E402
+from repro.manager import SchemaManager                      # noqa: E402
+
+SPEEDUP_FLOOR = 20.0
+DRAIN_BATCH = 2000
+READER_THREADS = 2
+
+SOURCE = """
+schema Vehicles is
+type Vehicle is [ speed: int; ] end type Vehicle;
+type Car supertype Vehicle is [ doors: int; ] end type Car;
+end schema Vehicles;
+"""
+
+
+def _populate(n_objects):
+    """A fresh manager holding *n_objects* Car instances."""
+    manager = SchemaManager()
+    manager.define(SOURCE)
+    tid = manager.model.type_id("Car")
+    session = manager.begin_session()
+    for index in range(n_objects):
+        manager.runtime.create_object(
+            tid, {"speed": index, "doors": 4}, session=session)
+    session.commit()
+    return manager, tid
+
+
+def _timed_cure(manager, tid, add_slot):
+    """One evolution session: add the attribute, cure via *add_slot*,
+    commit.  Returns the wall-clock milliseconds of the whole session."""
+    started = time.perf_counter()
+    session = manager.begin_session()
+    prims = manager.analyzer.primitives(session)
+    prims.add_attribute(tid, "fuel_type", builtin_type("int"))
+    add_slot(session)
+    session.commit()
+    return (time.perf_counter() - started) * 1000.0
+
+
+def _touch_sample(manager, tid, sample):
+    """First-touch conversion latency (microseconds, mean) over a
+    *sample* of stale instances."""
+    objects = manager.runtime.objects_of(tid)[:sample]
+    session = manager.begin_session()
+    started = time.perf_counter()
+    for obj in objects:
+        manager.runtime.get_attr(obj, "fuel_type")
+    elapsed = time.perf_counter() - started
+    session.commit()
+    converted = sum(1 for obj in objects if obj.slots.get("fuel_type") == 0)
+    return (elapsed / max(len(objects), 1)) * 1e6, converted
+
+
+def _drain_with_readers(manager, tid):
+    """Background-drain the remaining debt under a live reader pool."""
+    engine = manager.runtime.migrations
+    debt_before = engine.debt()
+    service = manager.serve(readers=READER_THREADS)
+    stop = threading.Event()
+    reads = {"count": 0}
+
+    def reader():
+        while not stop.is_set():
+            epoch = service.submit(
+                lambda rs: (rs.epoch, rs.attributes(tid, inherited=True))
+            ).result()[0]
+            assert epoch >= 0
+            reads["count"] += 1
+
+    threads = [threading.Thread(target=reader, daemon=True)
+               for _ in range(READER_THREADS)]
+    migrator = engine.background(batch_size=DRAIN_BATCH)
+    try:
+        for thread in threads:
+            thread.start()
+        started = time.perf_counter()
+        drained = migrator.drain()
+        elapsed = time.perf_counter() - started
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+        service.close()
+    return {
+        "debt_before_drain": debt_before,
+        "drained": drained,
+        "drain_batches": migrator.batches,
+        "drain_ms": round(elapsed * 1000.0, 3),
+        "drain_objects_per_second": round(drained / elapsed, 1)
+        if elapsed else 0.0,
+        "reads_during_drain": reads["count"],
+        "debt_after_drain": engine.debt(),
+    }
+
+
+def _measure(n_objects, touch_sample):
+    eager_manager, eager_tid = _populate(n_objects)
+    eager_ms = _timed_cure(
+        eager_manager, eager_tid,
+        lambda session: eager_manager.conversions.add_slot(
+            eager_tid, "fuel_type", 0, session=session))
+    eager_converted = sum(
+        1 for obj in eager_manager.runtime.objects_of(eager_tid)
+        if obj.slots.get("fuel_type") == 0)
+
+    lazy_manager, lazy_tid = _populate(n_objects)
+    lazy_ms = _timed_cure(
+        lazy_manager, lazy_tid,
+        lambda session: lazy_manager.migrations.add_slot(
+            lazy_tid, "fuel_type", 0, session=session))
+    touch_us, touched = _touch_sample(lazy_manager, lazy_tid, touch_sample)
+    drain = _drain_with_readers(lazy_manager, lazy_tid)
+
+    row = {
+        "objects": n_objects,
+        "eager_ms": round(eager_ms, 3),
+        "eager_converted": eager_converted,
+        "lazy_ms": round(lazy_ms, 3),
+        "speedup_eager_vs_lazy": round(eager_ms / lazy_ms, 2),
+        "first_touch_us": round(touch_us, 2),
+        "touch_sample": touched,
+    }
+    row.update(drain)
+    row["holds"] = (
+        eager_converted == n_objects
+        and touched == min(touch_sample, n_objects)
+        and row["debt_after_drain"] == 0
+        and row["drained"] + touched == n_objects)
+    return row
+
+
+def run(n_objects, touch_sample, out_dir, check):
+    os.makedirs(out_dir, exist_ok=True)
+    sizes = [max(n_objects // 10, 1), n_objects]
+    rows = [_measure(size, touch_sample) for size in sizes]
+    speedup = rows[-1]["speedup_eager_vs_lazy"]
+    holds = all(row["holds"] for row in rows)
+
+    lines = ["M1: lazy (versioned) vs eager object conversion",
+             f"  touch sample: {touch_sample}, drain batch: {DRAIN_BATCH}, "
+             f"readers during drain: {READER_THREADS}", ""]
+    lines.append(f"  {'objects':>8} {'eager ms':>10} {'lazy ms':>9} "
+                 f"{'speedup':>8} {'touch us':>9} {'drain/s':>10} "
+                 f"{'reads':>7}")
+    for row in rows:
+        lines.append(
+            f"  {row['objects']:>8} {row['eager_ms']:>10.1f} "
+            f"{row['lazy_ms']:>9.2f} {row['speedup_eager_vs_lazy']:>7}x "
+            f"{row['first_touch_us']:>9.1f} "
+            f"{row['drain_objects_per_second']:>10} "
+            f"{row['reads_during_drain']:>7}")
+    lines.append("")
+    lines.append(f"  EES-commit speedup at n={n_objects}: {speedup}x "
+                 f"(acceptance floor: {SPEEDUP_FLOOR}x); "
+                 f"shape holds: {holds}")
+    text = "\n".join(lines)
+    print(text)
+
+    payload = {
+        "benchmark": "m1_migration",
+        "touch_sample": touch_sample,
+        "drain_batch": DRAIN_BATCH,
+        "reader_threads": READER_THREADS,
+        "rows": rows,
+        "speedup_at_max": speedup,
+        "holds": holds,
+    }
+    with open(os.path.join(out_dir, "bench_m1_migration.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    with open(os.path.join(out_dir, "bench_m1_migration.txt"), "w",
+              encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+    if check and (speedup < SPEEDUP_FLOOR or not holds):
+        print(f"FAIL: speedup {speedup}x (floor {SPEEDUP_FLOOR}x), "
+              f"holds={holds}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=int, default=100_000,
+                        help="instances at the largest size point")
+    parser.add_argument("--touch-sample", type=int, default=1000,
+                        help="instances converted via first-touch reads")
+    parser.add_argument("--out", default=os.path.join(HERE, "results"),
+                        help="output directory")
+    parser.add_argument("--check", action="store_true",
+                        help=f"exit non-zero if the EES speedup is below "
+                             f"{SPEEDUP_FLOOR}x or the shape fails")
+    args = parser.parse_args()
+    sys.exit(run(args.objects, args.touch_sample, args.out, args.check))
+
+
+if __name__ == "__main__":
+    main()

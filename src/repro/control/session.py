@@ -82,7 +82,12 @@ class SessionReport:
 class EvolutionSession:
     """One BES … EES bracket over a :class:`GomDatabase`."""
 
-    def __init__(self, model: GomDatabase, check_mode: str = "delta") -> None:
+    def __init__(self, model: GomDatabase, check_mode: str = "delta",
+                 label: Optional[str] = None) -> None:
+        """*label* names the session's purpose (e.g. ``migration.batch``)
+        in its tracer span and, on durable models, as a WAL annotation —
+        so operational sessions are tellable apart from user evolutions
+        in traces and logs."""
         if check_mode not in ("delta", "full"):
             raise ValueError(f"check_mode must be 'delta' or 'full', "
                              f"got {check_mode!r}")
@@ -100,14 +105,15 @@ class EvolutionSession:
         lock_wait = model.writer_lock.acquire()
         self.lock_wait_seconds = lock_wait
         try:
-            self._begin(model, check_mode, lock_wait)
+            self._begin(model, check_mode, lock_wait, label)
         except BaseException:
             model.writer_lock.release()
             raise
 
     def _begin(self, model: GomDatabase, check_mode: str,
-               lock_wait: float) -> None:
+               lock_wait: float, label: Optional[str] = None) -> None:
         self.model = model
+        self.label = label
         # Initialize the lifecycle flag *before* publishing this session
         # on the model: another thread blocked in BES reads
         # ``model.active_session.active`` the moment the attribute lands,
@@ -163,6 +169,9 @@ class EvolutionSession:
         self._span.__enter__()
         if self.wal_id is not None:
             self._span.set("wal_id", self.wal_id)
+        if label is not None:
+            self._span.set("label", label)
+            self.annotate(f"label: {label}")
         if self.obs.profiler is not None:
             self.obs.profiler.start(
                 f"session-{id(self):x}" if self.wal_id is None

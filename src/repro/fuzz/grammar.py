@@ -113,9 +113,13 @@ def _tracked_types(ctx: GenContext, enums: bool = False) -> List[str]:
 
 
 def _growable_types(ctx: GenContext) -> List[str]:
-    """Types whose member sets valid productions may extend: outside every
-    fashion completeness cone, and fully tracked."""
-    cone = ctx.scope.fashion_cone()
+    """Types whose member sets valid productions may extend freely:
+    outside every fashion completeness cone (growth there demands new
+    imitations), outside every instance cone (a new attribute over live
+    objects violates constraint (*) unless paired with a cure — that
+    pairing is the ``lazy_attribute_cure`` production), and fully
+    tracked."""
+    cone = ctx.scope.fashion_cone() | ctx.scope.instance_cone()
     return [h for h in _tracked_types(ctx) if h not in cone]
 
 
@@ -260,7 +264,7 @@ def _new_attribute(ctx: GenContext) -> None:
 
 
 def _renameable_attrs(ctx: GenContext) -> List[str]:
-    cone = ctx.scope.fashion_cone()
+    cone = ctx.scope.fashion_cone() | ctx.scope.instance_cone()
     return sorted(f"{h}.{a}" for h in _tracked_types(ctx) if h not in cone
                   for a in ctx.scope.types[h].attrs)
 
@@ -277,7 +281,11 @@ def _rename_attribute(ctx: GenContext) -> None:
 
 
 def _all_attrs(ctx: GenContext) -> List[str]:
-    return sorted(f"{h}.{a}" for h in _tracked_types(ctx)
+    """Attrs whose domain/existence may change: outside the instance
+    cone — live objects hold slot values for every inherited attribute,
+    so retyping or dropping one would strand the slots."""
+    cone = ctx.scope.instance_cone()
+    return sorted(f"{h}.{a}" for h in _tracked_types(ctx) if h not in cone
                   for a in ctx.scope.types[h].attrs)
 
 
@@ -368,10 +376,16 @@ def _delete_operation(ctx: GenContext) -> None:
 def _supertype_pairs(ctx: GenContext) -> List[str]:
     scope = ctx.scope
     targets = {target for _s, target in scope.fashioned}
+    instance_cone = scope.instance_cone()
     tracked = _tracked_types(ctx)
     pairs = []
     for sub in tracked:
         if (scope.descendants(sub) | {sub}) & targets:
+            continue
+        # A new supertype extends the inherited layout of sub's whole
+        # descendant set; if any of them has instances, the new attrs
+        # arrive without slots (constraint (*)).
+        if sub in instance_cone:
             continue
         for sup in tracked:
             if sup == sub or sup in scope.types[sub].supers:
@@ -393,8 +407,9 @@ def _add_supertype(ctx: GenContext) -> None:
 
 
 def _removable_super_pairs(ctx: GenContext) -> List[str]:
+    cone = ctx.scope.instance_cone()
     return sorted(f"{sub}>{sup}"
-                  for sub in _tracked_types(ctx)
+                  for sub in _tracked_types(ctx) if sub not in cone
                   for sup in ctx.scope.types[sub].supers
                   if sup in ctx.scope.types
                   and not _refinement_crosses(ctx, sub, sup))
@@ -464,8 +479,11 @@ def _move_type(ctx: GenContext) -> None:
 
 def _deletable_types(ctx: GenContext) -> List[str]:
     scope = ctx.scope
+    cone = scope.instance_cone()
     out = []
     for handle in _tracked_types(ctx, enums=True):
+        if handle in cone:
+            continue
         if scope.type_referenced(handle):
             continue
         if any(scope.decls.get(d) is not None
@@ -779,6 +797,112 @@ def _add_argument_with_callsites(ctx: GenContext) -> None:
     ctx.emit("op_add_argument_with_callsites", decl=decl,
              arg_type="builtin:int", default="0")
     ctx.scope.decls[decl].args.append("builtin:int")
+
+
+# ---------------------------------------------------------------------------
+# Valid productions — object population churn (the migration engine)
+# ---------------------------------------------------------------------------
+
+
+def _instantiable_types(ctx: GenContext) -> List[str]:
+    """Types the generator can mint conforming instances of: fully
+    tracked, non-enum, and every inherited attribute has a builtin
+    domain (object-valued attributes would need a live instance of the
+    domain type, a dependency the symbolic mirror does not chase)."""
+    out = []
+    for handle in _tracked_types(ctx):
+        attrs = ctx.scope.inherited_attrs(handle)
+        if all(domain in BUILTIN_DOMAINS for domain in attrs.values()):
+            out.append(handle)
+    return out
+
+
+def _builtin_value(ctx: GenContext, domain: str) -> object:
+    n = ctx._next("objval")
+    if domain == "builtin:float":
+        return float(n)
+    if domain == "builtin:string":
+        return f"fz{n}"
+    return n
+
+
+@production("create_object", weight=4,
+            guard=lambda ctx: bool(_instantiable_types(ctx)))
+def _create_object(ctx: GenContext) -> None:
+    type_handle = ctx.pick(_instantiable_types(ctx))
+    handle = ctx.handle("o")
+    values = {name: _builtin_value(ctx, domain)
+              for name, domain in sorted(
+                  ctx.scope.inherited_attrs(type_handle).items())}
+    ctx.emit("create_object", handle=handle, type=type_handle,
+             values=values)
+    ctx.scope.add_object(handle, type_handle)
+
+
+@production("touch_object", weight=3,
+            guard=lambda ctx: bool(ctx.scope.objects))
+def _touch_object(ctx: GenContext) -> None:
+    """Drive convert-on-touch: replay any pending lazy migrations."""
+    ctx.emit("touch_object", object=ctx.pick(ctx.scope.object_handles()))
+
+
+def _settable_slots(ctx: GenContext) -> List[str]:
+    out = []
+    for handle in ctx.scope.object_handles():
+        type_handle = ctx.scope.objects[handle]
+        for name, domain in sorted(
+                ctx.scope.inherited_attrs(type_handle).items()):
+            if domain in BUILTIN_DOMAINS:
+                out.append(f"{handle}|{name}|{domain}")
+    return out
+
+
+@production("set_object_attr", weight=2,
+            guard=lambda ctx: bool(_settable_slots(ctx)))
+def _set_object_attr(ctx: GenContext) -> None:
+    handle, name, domain = ctx.pick(_settable_slots(ctx)).split("|")
+    ctx.emit("set_object_attr", object=handle, name=name,
+             value=_builtin_value(ctx, domain))
+
+
+@production("delete_object", weight=1,
+            guard=lambda ctx: bool(ctx.scope.objects))
+def _delete_object(ctx: GenContext) -> None:
+    handle = ctx.pick(ctx.scope.object_handles())
+    ctx.emit("delete_object", object=handle)
+    ctx.scope.drop_object(handle)
+
+
+def _lazily_curable_types(ctx: GenContext) -> List[str]:
+    """Instance-cone types a paired add-attribute + lazy-slot cure may
+    grow: tracked, and outside every fashion cone (growth there would
+    demand new imitations on top of the cure)."""
+    fashion = ctx.scope.fashion_cone()
+    cone = ctx.scope.instance_cone()
+    return [h for h in _tracked_types(ctx)
+            if h in cone and h not in fashion]
+
+
+@production("lazy_attribute_cure", weight=3,
+            guard=lambda ctx: bool(_lazily_curable_types(ctx)))
+def _lazy_attribute_cure(ctx: GenContext) -> None:
+    """The paired form of ``new_attribute`` for instantiated types:
+    the schema change plus the O(1) lazy cure in the same session, so
+    EES stays consistent without touching a single instance — touches
+    and the background drain convert them later."""
+    type_handle = ctx.pick(_lazily_curable_types(ctx))
+    name = ctx.name("fza")
+    domain = ctx.pick(list(BUILTIN_DOMAINS))
+    ctx.emit("add_attribute", type=type_handle, name=name, domain=domain)
+    ctx.emit("lazy_add_slot", type=type_handle, name=name,
+             default=_builtin_value(ctx, domain))
+    ctx.scope.types[type_handle].attrs[name] = domain
+
+
+@production("drain_migrations", weight=1,
+            guard=lambda ctx: bool(ctx.scope.objects))
+def _drain_migrations(ctx: GenContext) -> None:
+    ctx.emit("drain_migrations", limit=32)
 
 
 # ---------------------------------------------------------------------------

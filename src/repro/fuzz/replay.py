@@ -22,14 +22,17 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.datalog.terms import Atom
-from repro.errors import AnalyzerError, DatalogError
+from repro.errors import AnalyzerError, DatalogError, RuntimeSystemError
 from repro.fuzz.history import Op
 from repro.gom.builtins import builtin_type
 from repro.gom.ids import Id
 
 #: Errors that deterministically reject an op without corrupting the
 #: session (CrashPoint derives from ReproError directly, so it escapes).
-SKIPPABLE = (AnalyzerError, DatalogError)
+#: RuntimeSystemError covers the object ops: a create whose type lost an
+#: attribute to a cure, a touch on an object a rolled-back session never
+#: produced — all functions of replay state, identical on every variant.
+SKIPPABLE = (AnalyzerError, DatalogError, RuntimeSystemError)
 
 
 class SkipOp(Exception):
@@ -76,6 +79,15 @@ class Replayer:
         if value is None:
             raise SkipOp(handle)
         return value
+
+    def _obj(self, handle: str):
+        """A live object by handle; skip if its creating session rolled
+        back, a cure deleted it, or the minimizer removed the creator."""
+        oid = self._req(handle)
+        runtime = self.manager.runtime
+        if not runtime.exists(oid):
+            raise SkipOp(handle)
+        return runtime.get(oid)
 
     def _raw_args(self, args: List[object]) -> tuple:
         out = []
@@ -180,6 +192,25 @@ class Replayer:
         elif kind == "add_fashion_decl":
             prims.add_fashion_decl(self._req(p["decl"]),
                                    self._req(p["subject"]), p["code"])
+        elif kind == "create_object":
+            obj = self.manager.runtime.create_object(
+                self._req(p["type"]), dict(p["values"]), session=session)
+            self.env.bind(p["handle"], obj.oid)
+        elif kind == "touch_object":
+            self.manager.runtime.migrations.touch(self._obj(p["object"]))
+        elif kind == "set_object_attr":
+            self.manager.runtime.set_attr(self._obj(p["object"]),
+                                          p["name"], p["value"])
+        elif kind == "delete_object":
+            self.manager.runtime.delete_object(self._obj(p["object"]).oid,
+                                               session=session)
+        elif kind == "lazy_add_slot":
+            self.manager.runtime.migrations.add_slot(
+                self._req(p["type"]), p["name"], p["default"],
+                session=session)
+        elif kind == "drain_migrations":
+            self.manager.runtime.migrations.drain_in_session(
+                session, limit=p["limit"])
         elif kind == "raw_fact":
             atom = Atom(p["pred"], self._raw_args(list(p["args"])))
             if p["sign"] == "+":

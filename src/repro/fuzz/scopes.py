@@ -85,6 +85,11 @@ class ScopeTracker:
         #: (kind, name) pairs referenced by publics/renames — renaming or
         #: moving such a component would break namespace resolution.
         self.namespace_uses: Set[Tuple[str, str]] = set()
+        #: Object handle -> type handle.  Instantiated types pin their
+        #: inherited layout: schema changes over the instance cone would
+        #: violate constraint (*) at EES unless paired with a cure, so
+        #: valid productions either avoid the cone or emit the cure.
+        self.objects: Dict[str, str] = {}
 
     # -- session bracketing ---------------------------------------------------
 
@@ -99,6 +104,7 @@ class ScopeTracker:
         self.schema_versions = snap.schema_versions
         self.fashioned = snap.fashioned
         self.namespace_uses = snap.namespace_uses
+        self.objects = snap.objects
 
     # -- mutation (mirrors the ops the generator emits) -----------------------
 
@@ -134,6 +140,12 @@ class ScopeTracker:
         scope = self.decls.pop(handle, None)
         if scope is not None and scope.type in self.types:
             self.types[scope.type].decls.discard(handle)
+
+    def add_object(self, handle: str, type_handle: str) -> None:
+        self.objects[handle] = type_handle
+
+    def drop_object(self, handle: str) -> None:
+        self.objects.pop(handle, None)
 
     # -- derived views (deterministically ordered) ----------------------------
 
@@ -222,6 +234,25 @@ class ScopeTracker:
                     seen.add(edge_new)
                     stack.append(edge_new)
         return False
+
+    def object_handles(self) -> List[str]:
+        return sorted(self.objects)
+
+    def instantiated_types(self) -> Set[str]:
+        """Type handles that currently have live (symbolic) objects."""
+        return set(self.objects.values())
+
+    def instance_cone(self) -> Set[str]:
+        """Types whose layout live objects depend on: every instantiated
+        type plus its transitive supertypes.  A type is in the cone iff
+        it (or a descendant) has instances — so both "grow this type"
+        and "edit this type's supertype edges" guards use the same set.
+        """
+        cone: Set[str] = set()
+        for handle in self.instantiated_types():
+            cone.add(handle)
+            cone |= self.ancestors(handle)
+        return cone
 
     def fashion_cone(self) -> Set[str]:
         """Type handles whose inherited attrs/decls feed some fashion

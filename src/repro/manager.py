@@ -233,6 +233,37 @@ class SchemaManager:
         protocol = SchemaEvolutionProtocol(session, chooser=chooser)
         return protocol.run(changes)
 
+    # -- online migration --------------------------------------------------------------
+
+    @property
+    def migrations(self):
+        """The runtime's :class:`~repro.runtime.migration.MigrationEngine`.
+
+        Lazy conversion for large bases: ``migrations.add_slot`` /
+        ``delete_slot`` register pending migrations (O(1) in the
+        instance count) instead of converting eagerly, objects convert
+        on first touch, and ``migrations.background()`` drains the
+        remainder in throttled batches.
+        """
+        return self.runtime.migrations
+
+    def advise(self, session: Optional[EvolutionSession] = None):
+        """Evolution impact report for an open session's net delta.
+
+        Call before EES: reports, per added/removed attribute, the
+        instance counts across the subtype cone, the methods whose code
+        requires the attribute, and the cure options (eager-convert vs
+        lazy-convert vs mask) ranked by cost.  Defaults to the model's
+        active session.
+        """
+        if session is None:
+            session = self.model.active_session
+        if session is None or not session.active:
+            raise SessionError(
+                "advise needs an open evolution session — begin one and "
+                "apply the schema changes first")
+        return self.runtime.migrations.advise(session)
+
     # -- checking ------------------------------------------------------------------------
 
     def check(self) -> CheckReport:

@@ -37,6 +37,14 @@ Replication instruments (published by ``repro.replication.node``):
 * ``repl.chunks_applied`` / ``repl.bytes_applied`` (counters),
 * ``repl.reads`` / ``repl.writes`` (counters), and
 * ``repl.promotions`` (counter) — failover promotions this node won.
+
+Migration instruments (published by ``repro.runtime.migration``):
+
+* ``migration.debt`` (gauge) — objects still awaiting lazy conversion,
+* ``migration.registered`` (counter) — objects made stale by lazy cures,
+* ``migration.converted`` (counter) — objects converted on touch,
+* ``migration.batches`` / ``migration.background_converted`` (counters)
+  and ``migration.batch_ms`` (histogram) — background drain progress.
 """
 
 from __future__ import annotations

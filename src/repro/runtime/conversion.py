@@ -60,7 +60,8 @@ class ConversionRoutines:
 
     def add_slot(self, tid: Id, attr: str, source: ValueSource,
                  session: Optional[EvolutionSession] = None,
-                 value_is_operation: bool = False) -> int:
+                 value_is_operation: bool = False,
+                 overwrite: bool = False) -> int:
         """Add a slot for *attr* to the representation of *tid* and fill
         it on every instance.  Returns the number of converted objects.
 
@@ -68,6 +69,10 @@ class ConversionRoutines:
         precedes the cure).  *source* is a constant, a callable
         ``object -> value``, or — with *value_is_operation* — the name of
         an operation evaluated on each instance.
+
+        Instances that already hold a value for *attr* (e.g. filled by a
+        masking handler's materialization, or written mid-session) keep
+        it; pass ``overwrite=True`` to clobber them with *source*.
         """
         attrs = dict(self.model.attributes(tid, inherited=True))
         if attr not in attrs:
@@ -80,16 +85,23 @@ class ConversionRoutines:
                 f"type {self.model.type_name(tid)!r} has no instances, "
                 f"nothing to convert")
         active, owned = self.runtime._auto_session(session)
-        domain_rep = self.runtime._phrep_for_domain(active, attrs[attr])
-        slot_fact = Atom("Slot", (clid, attr, domain_rep))
-        if not self.model.db.edb.contains(slot_fact):
-            active.add(slot_fact)
         converted = 0
-        for obj in self.runtime.objects_of(tid):
-            value = self._produce(obj, source, value_is_operation)
-            self._record_slot_undo(active, obj, attr)
-            self.runtime.set_attr(obj, attr, value)
-            converted += 1
+        try:
+            domain_rep = self.runtime._phrep_for_domain(active, attrs[attr])
+            slot_fact = Atom("Slot", (clid, attr, domain_rep))
+            if not self.model.db.edb.contains(slot_fact):
+                active.add(slot_fact)
+            for obj in self.runtime.objects_of(tid):
+                if attr in obj.slots and not overwrite:
+                    continue
+                value = self._produce(obj, source, value_is_operation)
+                self._record_slot_undo(active, obj, attr)
+                self.runtime.set_attr(obj, attr, value)
+                converted += 1
+        except Exception:
+            if owned:
+                active.rollback()
+            raise
         if owned:
             active.commit()
         return converted
@@ -124,41 +136,82 @@ class ConversionRoutines:
             raise ConversionError(
                 f"type {self.model.type_name(tid)!r} has no attribute "
                 f"{attr!r} — add the attribute before masking")
-        clid = self.model.phrep_of(tid)
-        if clid is not None:
-            active, owned = self.runtime._auto_session(session)
-            domain_rep = self.runtime._phrep_for_domain(active, attrs[attr])
-            slot_fact = Atom("Slot", (clid, attr, domain_rep))
-            if not self.model.db.edb.contains(slot_fact):
-                active.add(slot_fact)
+        runtime = self.runtime
+        registry = runtime.handlers
+        active, owned = runtime._auto_session(session)
+        try:
+            clid = self.model.phrep_of(tid)
+            if clid is not None:
+                domain_rep = runtime._phrep_for_domain(active, attrs[attr])
+                slot_fact = Atom("Slot", (clid, attr, domain_rep))
+                if not self.model.db.edb.contains(slot_fact):
+                    active.add(slot_fact)
+            # Defer the layout fact regardless: a representation minted
+            # later (the type used as an attribute domain before it has
+            # instances, or re-minted after the last instance died) must
+            # start with the masked slot, or it violates constraint (*).
+            previous_deferred = runtime.defer_masked_slot(
+                tid, attr, attrs[attr])
+            previous_entry = registry.entry(tid, attr)
+            active.record_undo(
+                lambda: registry.restore(tid, attr, previous_entry))
+            active.record_undo(
+                lambda: runtime.restore_deferred_slot(tid, attr,
+                                                      previous_deferred))
+            read_handler = reader if callable(reader) else (
+                lambda obj, value=reader: value)
+            registry.register_read(tid, attr, read_handler,
+                                   materialize=materialize)
+            if writer is not None:
+                registry.register_write(tid, attr, writer)
+        except Exception:
             if owned:
-                active.commit()
-        read_handler = reader if callable(reader) else (
-            lambda obj, value=reader: value)
-        self.runtime.handlers.register_read(tid, attr, read_handler,
-                                            materialize=materialize)
-        if writer is not None:
-            self.runtime.handlers.register_write(tid, attr, writer)
+                active.rollback()
+            raise
+        if owned:
+            active.commit()
 
     # -- deleting a slot -------------------------------------------------------------
 
     def delete_slot(self, tid: Id, attr: str,
                     session: Optional[EvolutionSession] = None) -> int:
-        """Remove a slot from the representation of *tid* and drop the
-        value from every instance."""
+        """Remove a slot from the representation of *tid*, drop the
+        value from every instance, and unregister any masking handlers
+        for the attribute (a stale handler would resurrect values of the
+        deleted slot).  All of it is transactional on the session."""
+        runtime = self.runtime
+        registry = runtime.handlers
         clid = self.model.phrep_of(tid)
-        if clid is None:
+        previous_entry = registry.entry(tid, attr)
+        has_handlers = any(part is not None for part in previous_entry)
+        has_deferred = attr in runtime.deferred_masked_slots(tid)
+        if clid is None and not has_handlers and not has_deferred:
             return 0
-        active, owned = self.runtime._auto_session(session)
+        active, owned = runtime._auto_session(session)
         removed = 0
-        for fact in list(self.model.db.matching(Atom("Slot",
-                                                     (clid, attr, None)))):
-            active.remove(fact)
-        for obj in self.runtime.objects_of(tid):
-            if attr in obj.slots:
-                self._record_slot_undo(active, obj, attr)
-                del obj.slots[attr]
-                removed += 1
+        try:
+            if clid is not None:
+                for fact in list(self.model.db.matching(
+                        Atom("Slot", (clid, attr, None)))):
+                    active.remove(fact)
+                for obj in runtime.objects_of(tid):
+                    if attr in obj.slots:
+                        self._record_slot_undo(active, obj, attr)
+                        del obj.slots[attr]
+                        removed += 1
+            if has_handlers:
+                active.record_undo(
+                    lambda: registry.restore(tid, attr, previous_entry))
+                registry.unregister(tid, attr)
+            if has_deferred:
+                previous_deferred = runtime.undefer_masked_slot(tid, attr)
+                active.record_undo(
+                    lambda: runtime.restore_deferred_slot(
+                        tid, attr, previous_deferred))
+        except Exception:
+            if owned:
+                active.rollback()
+            raise
         if owned:
             active.commit()
         return removed

@@ -72,6 +72,28 @@ class HandlerRegistry:
         self._writes.pop((tid, name), None)
         self._calls.pop((tid, name), None)
 
+    def entry(self, tid: Id, name: str):
+        """The (read, write, call) registration triple for (tid, name).
+
+        Capture before mutating the registry inside a session, and hand
+        the triple to :meth:`restore` from a session undo entry — that
+        makes registration changes transactional.
+        """
+        return (self._reads.get((tid, name)),
+                self._writes.get((tid, name)),
+                self._calls.get((tid, name)))
+
+    def restore(self, tid: Id, name: str, entry) -> None:
+        """Reinstate a triple captured by :meth:`entry` (None pops)."""
+        read, write, call = entry
+        for mapping, value in ((self._reads, read),
+                               (self._writes, write),
+                               (self._calls, call)):
+            if value is None:
+                mapping.pop((tid, name), None)
+            else:
+                mapping[(tid, name)] = value
+
     def clear(self) -> None:
         self._reads.clear()
         self._writes.clear()
@@ -82,14 +104,26 @@ class HandlerRegistry:
 
     # -- dispatch ------------------------------------------------------------------
 
-    def read(self, obj, attr: str) -> Tuple[bool, object]:
-        """Try to handle a read; returns (handled, value)."""
+    def read(self, obj, attr: str,
+             materializer: Optional[Callable[[object, str, object], None]]
+             = None) -> Tuple[bool, object]:
+        """Try to handle a read; returns (handled, value).
+
+        *materializer* is the write-back channel for materializing
+        handlers — the runtime passes its undo-recording slot mutator so
+        a lazy materialization inside a session that later rolls back
+        leaves no slot residue.  Without one the value is stored
+        directly (no session in play).
+        """
         entry = self._reads.get((obj.tid, attr))
         if entry is None:
             return False, None
         value = entry.handler(obj)
         if entry.materialize:
-            obj.slots[attr] = value
+            if materializer is not None:
+                materializer(obj, attr, value)
+            else:
+                obj.slots[attr] = value
         return True, value
 
     def write(self, obj, attr: str, value: object) -> bool:

@@ -42,6 +42,10 @@ class GomObject:
     oid: Id
     tid: Id
     slots: Dict[str, object] = field(default_factory=dict)
+    #: Migration version stamped at creation; when the type's current
+    #: version moves past it the object is *stale* and converts on
+    #: first touch (see :mod:`repro.runtime.migration`).
+    schema_version: int = 0
 
     def __repr__(self) -> str:
         return f"<{self.oid} : {self.tid}>"
@@ -57,9 +61,18 @@ class RuntimeSystem:
         from repro.runtime.interpreter import Interpreter
         from repro.runtime.explain import runtime_explainer
         from repro.runtime.handlers import HandlerRegistry
+        from repro.runtime.migration import MigrationEngine
         self.interpreter = Interpreter(self)
         self.explainer = runtime_explainer(self.model, self)
         self.handlers = HandlerRegistry()
+        self.migrations = MigrationEngine(self)
+        #: Masked slots deferred until the type's representation exists:
+        #: (tid -> attr -> domain).  ``mask_with_handler`` on a type with
+        #: no PhRep records the layout fact here, and
+        #: :meth:`_phrep_for_domain` inserts it the moment a bare
+        #: representation is minted — otherwise that representation
+        #: would start out violating constraint (*).
+        self._deferred_slots: Dict[Id, Dict[str, Id]] = {}
 
     # -- session plumbing ------------------------------------------------------
 
@@ -126,7 +139,8 @@ class RuntimeSystem:
         try:
             self._ensure_phrep(active, tid, attrs)
             oid = self.model.ids.object()
-            obj = GomObject(oid=oid, tid=tid, slots=dict(values))
+            obj = GomObject(oid=oid, tid=tid, slots=dict(values),
+                            schema_version=self.migrations.version_of(tid))
             self._objects[oid] = obj
             self._instances_by_type.setdefault(tid, set()).add(oid)
             # The PhRep/Slot facts roll back via the EDB snapshot; the
@@ -228,6 +242,16 @@ class RuntimeSystem:
         # lazily so that instantiating the domain type later reuses it.
         clid = self.model.ids.phrep()
         session.add(Atom("PhRep", (clid, domain)))
+        # A masked attribute recorded before this representation existed
+        # must appear in its layout, or the new PhRep starts out
+        # violating constraint (*).  The PhRep fact is added first so a
+        # self-referential attribute domain resolves to this clid.
+        for attr, attr_domain in sorted(
+                self._deferred_slots.get(domain, {}).items()):
+            domain_rep = self._phrep_for_domain(session, attr_domain)
+            slot_fact = Atom("Slot", (clid, attr, domain_rep))
+            if not self.model.db.edb.contains(slot_fact):
+                session.add(slot_fact)
         return clid
 
     def _retract_phrep(self, session: EvolutionSession, tid: Id) -> None:
@@ -239,18 +263,90 @@ class RuntimeSystem:
             deletions.append(fact)
         session.modify(deletions=deletions)
 
+    # -- undo-recording slot mutators -----------------------------------------------------
+
+    def store_slot(self, obj: GomObject, attr: str, value: object) -> None:
+        """Write a slot value, recording its inverse on the open session.
+
+        The transactional write path for cures and lazy materialization:
+        when an evolution session is active on the model, the previous
+        state of the slot (old value, or absence) is registered as an
+        undo entry first, so a later rollback restores the object.
+        """
+        self._record_slot_undo(obj, attr)
+        obj.slots[attr] = value
+
+    def drop_slot(self, obj: GomObject, attr: str) -> None:
+        """Remove a slot value (if present), recording undo likewise."""
+        if attr in obj.slots:
+            self._record_slot_undo(obj, attr)
+            del obj.slots[attr]
+
+    def _record_slot_undo(self, obj: GomObject, attr: str) -> None:
+        active = getattr(self.model, "active_session", None)
+        if active is None or not active.active:
+            return
+        if attr in obj.slots:
+            old = obj.slots[attr]
+
+            def undo(obj=obj, attr=attr, old=old):
+                obj.slots[attr] = old
+        else:
+            def undo(obj=obj, attr=attr):
+                obj.slots.pop(attr, None)
+        active.record_undo(undo)
+
+    # -- deferred masked slots ------------------------------------------------------------
+
+    def defer_masked_slot(self, tid: Id, attr: str,
+                          domain: Id) -> Optional[Id]:
+        """Record a masked slot to insert when *tid*'s PhRep is minted.
+
+        Returns the previously deferred domain (None if none) so the
+        caller can undo the deferral on rollback via
+        :meth:`restore_deferred_slot`.
+        """
+        previous = self._deferred_slots.get(tid, {}).get(attr)
+        self._deferred_slots.setdefault(tid, {})[attr] = domain
+        return previous
+
+    def undefer_masked_slot(self, tid: Id, attr: str) -> Optional[Id]:
+        """Drop (and return) the deferred domain for (tid, attr)."""
+        slots = self._deferred_slots.get(tid)
+        if not slots:
+            return None
+        previous = slots.pop(attr, None)
+        if not slots:
+            del self._deferred_slots[tid]
+        return previous
+
+    def restore_deferred_slot(self, tid: Id, attr: str,
+                              previous: Optional[Id]) -> None:
+        """Reinstate the deferral state captured before a change."""
+        if previous is None:
+            self.undefer_masked_slot(tid, attr)
+        else:
+            self._deferred_slots.setdefault(tid, {})[attr] = previous
+
+    def deferred_masked_slots(self, tid: Id) -> Dict[str, Id]:
+        """attr -> domain of the masked slots awaiting *tid*'s PhRep."""
+        return dict(self._deferred_slots.get(tid, {}))
+
     # -- attribute access (with fashion masking) ------------------------------------------
 
     def get_attr(self, obj: GomObject, name: str) -> object:
         """Read an attribute.
 
-        Resolution order: stored slot value, then registered exception
-        handlers (the ENCORE-style masking cure), then fashion masking
-        (cross-version substitutability).
+        Resolution order: pending lazy migrations (convert-on-touch),
+        stored slot value, then registered exception handlers (the
+        ENCORE-style masking cure), then fashion masking (cross-version
+        substitutability).
         """
+        self.migrations.touch(obj)
         if name in obj.slots:
             return obj.slots[name]
-        handled, value = self.handlers.read(obj, name)
+        handled, value = self.handlers.read(obj, name,
+                                            materializer=self.store_slot)
         if handled:
             return value
         masked = self._fashion_read(obj, name)
@@ -269,6 +365,7 @@ class RuntimeSystem:
         creates the slot value — this is how conversion routines fill
         new slots.
         """
+        self.migrations.touch(obj)
         attrs = dict(self.model.attributes(obj.tid, inherited=True))
         if name in obj.slots or name in attrs:
             if check and name in attrs:
@@ -338,6 +435,7 @@ class RuntimeSystem:
     def call(self, obj: GomObject, opname: str,
              args: Sequence[object] = ()) -> object:
         """Invoke an operation with dynamic binding (and fashion fallback)."""
+        self.migrations.touch(obj)
         return self.interpreter.call(obj, opname, list(args))
 
 

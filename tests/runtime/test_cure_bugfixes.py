@@ -1,0 +1,192 @@
+"""Regression tests for four runtime-cure transactionality bugs.
+
+Each test failed before its fix:
+
+1. materializing read handlers wrote ``obj.slots[attr]`` directly in
+   :meth:`HandlerRegistry.read`, bypassing session undo — a lazy
+   materialization inside a session that rolled back left slot residue;
+2. ``ConversionRoutines.add_slot`` filled every instance
+   unconditionally, clobbering values objects already held;
+3. ``delete_slot`` never unregistered masking handlers (a stale handler
+   resurrected values of the deleted attribute), and
+   ``mask_with_handler``'s registration was not undone on rollback;
+4. ``mask_with_handler`` on a type with no ``PhRep`` registered the
+   handlers but never arranged for the ``Slot`` fact, so a
+   representation minted later started out violating constraint (*).
+"""
+
+import pytest
+
+from repro.errors import InconsistentSchemaError, UnknownSlotError
+from repro.gom.builtins import builtin_type
+from repro.manager import SchemaManager
+
+SOURCE = """
+schema S is
+type T is [ x: int; ] end type T;
+end schema S;
+"""
+
+
+@pytest.fixture
+def world():
+    manager = SchemaManager()
+    manager.define(SOURCE)
+    obj = manager.runtime.create_object("T", {"x": 1})
+    return manager, obj, obj.tid
+
+
+def _add_attribute(manager, session, tid, name):
+    prims = manager.analyzer.primitives(session)
+    prims.add_attribute(tid, name, builtin_type("int"))
+
+
+class TestMaterializationRollsBack:
+    """Bug 1: lazy materialization must leave no residue on rollback."""
+
+    def test_materializing_mask_read_rolls_back(self, world):
+        manager, obj, tid = world
+        session = manager.begin_session()
+        _add_attribute(manager, session, tid, "y")
+        manager.conversions.mask_with_handler(tid, "y", 42,
+                                              materialize=True,
+                                              session=session)
+        assert manager.runtime.get_attr(obj, "y") == 42
+        assert obj.slots["y"] == 42  # materialized into the slot
+        session.rollback()
+        # The schema change is gone — and so must be the residue.
+        assert "y" not in obj.slots
+
+    def test_direct_handler_materialization_rolls_back(self, world):
+        manager, obj, tid = world
+        manager.runtime.handlers.register_read(
+            tid, "nickname", lambda o: "bob", materialize=True)
+        session = manager.begin_session()
+        assert manager.runtime.get_attr(obj, "nickname") == "bob"
+        assert obj.slots["nickname"] == "bob"
+        session.rollback()
+        assert "nickname" not in obj.slots
+
+    def test_materialization_outside_sessions_still_sticks(self, world):
+        manager, obj, tid = world
+        manager.runtime.handlers.register_read(
+            tid, "nickname", lambda o: "bob", materialize=True)
+        assert manager.runtime.get_attr(obj, "nickname") == "bob"
+        assert obj.slots["nickname"] == "bob"
+
+
+class TestAddSlotPreservesValues:
+    """Bug 2: ``add_slot`` must not clobber already-filled slots."""
+
+    def test_existing_values_kept(self, world):
+        manager, obj, tid = world
+        other = manager.runtime.create_object("T", {"x": 2})
+        session = manager.begin_session()
+        _add_attribute(manager, session, tid, "y")
+        manager.runtime.set_attr(obj, "y", 99)
+        converted = manager.conversions.add_slot(tid, "y", 0,
+                                                 session=session)
+        assert converted == 1            # only the unfilled instance
+        assert obj.slots["y"] == 99      # pre-fix: clobbered to 0
+        assert other.slots["y"] == 0
+        session.commit()
+
+    def test_overwrite_escape_hatch(self, world):
+        manager, obj, tid = world
+        other = manager.runtime.create_object("T", {"x": 2})
+        session = manager.begin_session()
+        _add_attribute(manager, session, tid, "y")
+        manager.runtime.set_attr(obj, "y", 99)
+        converted = manager.conversions.add_slot(tid, "y", 0,
+                                                 session=session,
+                                                 overwrite=True)
+        assert converted == 2
+        assert obj.slots["y"] == 0
+        assert other.slots["y"] == 0
+        session.commit()
+
+
+class TestHandlerLifecycle:
+    """Bug 3: handlers die with their slot and with their session."""
+
+    def test_delete_slot_unregisters_handlers(self, world):
+        manager, obj, tid = world
+        session = manager.begin_session()
+        _add_attribute(manager, session, tid, "y")
+        manager.conversions.mask_with_handler(tid, "y", 5, session=session)
+        assert manager.runtime.get_attr(obj, "y") == 5
+        prims = manager.analyzer.primitives(session)
+        prims.delete_attribute(tid, "y")
+        manager.conversions.delete_slot(tid, "y", session=session)
+        # Pre-fix the stale handler resurrected the deleted attribute.
+        with pytest.raises(UnknownSlotError):
+            manager.runtime.get_attr(obj, "y")
+        assert "y" not in manager.runtime.handlers.handled_attrs(tid)
+        session.commit()
+        with pytest.raises(UnknownSlotError):
+            manager.runtime.get_attr(obj, "y")
+
+    def test_delete_slot_rollback_restores_handlers(self, world):
+        manager, obj, tid = world
+        session = manager.begin_session()
+        _add_attribute(manager, session, tid, "y")
+        manager.conversions.mask_with_handler(tid, "y", 5, session=session)
+        session.commit()
+        session = manager.begin_session()
+        manager.conversions.delete_slot(tid, "y", session=session)
+        assert "y" not in manager.runtime.handlers.handled_attrs(tid)
+        session.rollback()
+        # The committed cure survives the rolled-back deletion.
+        assert manager.runtime.get_attr(obj, "y") == 5
+
+    def test_mask_registration_rolls_back(self, world):
+        manager, obj, tid = world
+        session = manager.begin_session()
+        _add_attribute(manager, session, tid, "y")
+        manager.conversions.mask_with_handler(tid, "y", 5, session=session)
+        assert manager.runtime.handlers.handled_attrs(tid) == {"y": False}
+        session.rollback()
+        assert manager.runtime.handlers.handled_attrs(tid) == {}
+        with pytest.raises(UnknownSlotError):
+            manager.runtime.get_attr(obj, "y")
+
+
+class TestMaskWithoutRepresentation:
+    """Bug 4: masking an instanceless type must not poison the PhRep
+    minted later for it."""
+
+    SOURCE = """
+    schema S is
+    type T is [ x: int; ] end type T;
+    type Sub supertype T is end type Sub;
+    type U is [ t: T; ] end type U;
+    end schema S;
+    """
+
+    def test_deferred_slot_fact_inserted_with_bare_phrep(self):
+        manager = SchemaManager()
+        manager.define(self.SOURCE)
+        tid = manager.model.type_id("T")
+        # No instance of T itself exists, so T has no representation.
+        manager.conversions.mask_with_handler(tid, "x", 0)
+        assert manager.model.phrep_of(tid) is None
+        assert manager.runtime.deferred_masked_slots(tid) == {
+            "x": builtin_type("int")}
+        # A Sub instance conforms to T without giving T a full PhRep;
+        # instantiating U then mints a *bare* representation for its
+        # attribute domain T — which must carry the masked slot or the
+        # session violates constraint (*) at EES.
+        sub = manager.runtime.create_object("Sub", {"x": 7})
+        manager.runtime.create_object("U", {"t": sub.oid})
+        assert manager.model.phrep_of(tid) is not None
+        assert manager.check().consistent
+
+    def test_pre_fix_scenario_raises_cleanly_not_inconsistently(self):
+        # Same scenario without the mask: instantiating U is refused at
+        # EES because T's bare PhRep misses the slot for x — the clean
+        # failure mode the deferral machinery exists to avoid.
+        manager = SchemaManager()
+        manager.define(self.SOURCE)
+        sub = manager.runtime.create_object("Sub", {"x": 7})
+        with pytest.raises(InconsistentSchemaError):
+            manager.runtime.create_object("U", {"t": sub.oid})
